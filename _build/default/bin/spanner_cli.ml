@@ -1,0 +1,274 @@
+(* Command-line driver: generate graphs, run the paper's algorithms on
+   edge-list files, verify spanners, and print lower-bound curves.
+
+     spanner_cli generate --family caveman --n 100 --seed 1 graph.txt
+     spanner_cli span graph.txt --algorithm distributed --dot out.dot
+     spanner_cli mds graph.txt
+     spanner_cli check graph.txt spanner.txt --k 2
+     spanner_cli bounds --n 1000000 --alpha 4 *)
+
+open Grapho
+module C = Spanner_core
+module L = Lowerbound
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let load_graph path = Graph_io.of_edge_list (read_file path)
+
+(* ---- generate ---------------------------------------------------- *)
+
+let generate family n p seed out =
+  let rng = Rng.create seed in
+  let g =
+    match family with
+    | "gnp" -> Generators.gnp_connected rng n p
+    | "complete" -> Generators.complete n
+    | "bipartite" -> Generators.complete_bipartite (n / 2) (n - (n / 2))
+    | "grid" ->
+        let side = int_of_float (Float.sqrt (float_of_int n)) in
+        Generators.grid side side
+    | "caveman" -> Generators.caveman rng (max 1 (n / 8)) 8 0.05
+    | "pa" -> Generators.preferential_attachment rng n (max 2 (int_of_float p))
+    | "tree" -> Generators.random_tree rng n
+    | "ladder" -> Generators.clique_ladder rng n
+    | other -> failwith (Printf.sprintf "unknown family %S" other)
+  in
+  let text = Graph_io.to_edge_list g in
+  (match out with
+  | Some path ->
+      write_file path text;
+      Printf.printf "wrote %s: n=%d m=%d\n" path (Ugraph.n g) (Ugraph.m g)
+  | None -> print_string text);
+  0
+
+let family_arg =
+  let doc =
+    "Graph family: gnp, complete, bipartite, grid, caveman, pa, tree, ladder."
+  in
+  Arg.(value & opt string "gnp" & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let n_arg = Arg.(value & opt int 100 & info [ "vertices"; "n" ] ~docv:"N" ~doc:"Vertices.")
+
+let p_arg =
+  Arg.(value & opt float 0.1
+       & info [ "prob"; "p" ] ~docv:"P" ~doc:"Edge probability (or degree for pa).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let out_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"Output file (stdout if omitted).")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a graph as an edge list.")
+    Term.(const generate $ family_arg $ n_arg $ p_arg $ seed_arg $ out_arg)
+
+(* ---- span -------------------------------------------------------- *)
+
+let span file algorithm k seed dot weights_file faults =
+  let g = load_graph file in
+  let rng = Rng.create seed in
+  let weights =
+    Option.map (fun p -> snd (Graph_io.weighted_of_edge_list (read_file p)))
+      weights_file
+  in
+  let spanner, label =
+    match algorithm with
+    | "distributed" ->
+        if k <> 2 then failwith "the distributed algorithm targets k=2";
+        let r = C.Two_spanner.run ~rng g in
+        Printf.printf "iterations=%d rounds=%d stars=%d\n" r.iterations
+          r.rounds r.stars_added;
+        (r.spanner, "distributed (Thm 1.3)")
+    | "local" ->
+        if k <> 2 then failwith "the LOCAL protocol targets k=2";
+        let r = C.Two_spanner_local.run ~seed g in
+        Printf.printf "iterations=%d rounds=%d messages=%d\n" r.iterations
+          r.metrics.rounds r.metrics.messages;
+        (r.spanner, "message-passing LOCAL protocol")
+    | "congest" ->
+        if k <> 2 then failwith "the CONGEST port targets k=2";
+        let r = C.Two_spanner_local.run_congest ~seed g in
+        Printf.printf
+          "iterations=%d rounds=%d max-message=%d bits violations=%d\n"
+          r.iterations r.metrics.rounds r.metrics.max_message_bits
+          r.metrics.congest_violations;
+        (r.spanner, "chunked CONGEST port (Section 1.3)")
+    | "weighted" ->
+        if k <> 2 then failwith "the weighted algorithm targets k=2";
+        let w =
+          match weights with
+          | Some w -> w
+          | None -> failwith "--weights FILE required for weighted"
+        in
+        let r = C.Weighted_two_spanner.run ~rng g w in
+        Printf.printf "cost=%g iterations=%d\n" r.cost r.iterations;
+        (r.spanner, "weighted distributed (Thm 4.12)")
+    | "fault-tolerant" ->
+        if k <> 2 then failwith "fault tolerance targets k=2";
+        let r = C.Fault_tolerant.greedy g ~f:faults in
+        Printf.printf "stars=%d single-batches=%d (f=%d)\n" r.stars_added
+          r.singles_added faults;
+        (r.spanner, Printf.sprintf "%d-fault-tolerant greedy" faults)
+    | "greedy" ->
+        if k <> 2 then failwith "the greedy algorithm targets k=2";
+        ((C.Kp_greedy.run g).spanner, "Kortsarz-Peleg greedy")
+    | "exact" ->
+        (match
+           C.Exact.min_k_spanner ~targets:(Ugraph.edge_set g)
+             ~usable:(Ugraph.edge_set g) ~n:(Ugraph.n g) ~k ()
+         with
+        | Some s -> (s, "exact (branch & bound)")
+        | None -> failwith "no spanner (impossible)")
+    | "baswana-sen" ->
+        let bs_k = max 1 ((k + 1) / 2) in
+        let r = C.Baswana_sen.run ~rng ~k:bs_k g in
+        (r.spanner, Printf.sprintf "Baswana-Sen (stretch %d)" ((2 * bs_k) - 1))
+    | "epsilon" ->
+        let r = C.Epsilon_spanner.run ~rng ~epsilon:0.25 ~k g in
+        (r.spanner, "(1+eps) via network decomposition (Thm 1.2)")
+    | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  in
+  let valid =
+    if algorithm = "fault-tolerant" then
+      C.Fault_tolerant.is_ft_2_spanner g ~f:faults spanner
+    else C.Spanner_check.is_spanner g spanner ~k
+  in
+  Printf.printf "%s: %d / %d edges, valid: %b\n" label
+    (Edge.Set.cardinal spanner) (Ugraph.m g) valid;
+  (match dot with
+  | Some path ->
+      write_file path (Graph_io.to_dot ~highlight:spanner g);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  0
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"GRAPH" ~doc:"Edge-list file.")
+
+let algorithm_arg =
+  let doc =
+    "Algorithm: distributed, local, congest, weighted, fault-tolerant, \
+     greedy, exact, baswana-sen, epsilon."
+  in
+  Arg.(value & opt string "distributed"
+       & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+
+let k_arg = Arg.(value & opt int 2 & info [ "stretch"; "k" ] ~docv:"K" ~doc:"Stretch.")
+
+let dot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dot" ] ~docv:"FILE" ~doc:"Write a Graphviz rendering.")
+
+let weights_arg =
+  Arg.(value & opt (some file) None
+       & info [ "weights" ] ~docv:"FILE"
+           ~doc:"Weighted edge list (u v w lines) for -a weighted.")
+
+let faults_arg =
+  Arg.(value & opt int 1
+       & info [ "faults"; "f" ] ~docv:"F"
+           ~doc:"Fault budget for -a fault-tolerant.")
+
+let span_cmd =
+  Cmd.v
+    (Cmd.info "span" ~doc:"Approximate a minimum k-spanner.")
+    Term.(const span $ file_arg $ algorithm_arg $ k_arg $ seed_arg $ dot_arg
+          $ weights_arg $ faults_arg)
+
+(* ---- mds --------------------------------------------------------- *)
+
+let mds file seed =
+  let g = load_graph file in
+  let r = C.Mds.run ~rng:(Rng.create seed) g in
+  Printf.printf
+    "dominating set of %d vertices (greedy: %d), %d CONGEST rounds,\n\
+     max message %d bits, violations %d\n"
+    (List.length r.dominating_set)
+    (List.length (C.Mds.greedy g))
+    r.metrics.rounds r.metrics.max_message_bits
+    r.metrics.congest_violations;
+  Printf.printf "members: %s\n"
+    (String.concat " " (List.map string_of_int r.dominating_set));
+  0
+
+let mds_cmd =
+  Cmd.v
+    (Cmd.info "mds" ~doc:"Approximate a minimum dominating set in CONGEST.")
+    Term.(const mds $ file_arg $ seed_arg)
+
+(* ---- check ------------------------------------------------------- *)
+
+let check file spanner_file k =
+  let g = load_graph file in
+  let s = Ugraph.edge_set (load_graph spanner_file) in
+  let ok = C.Spanner_check.is_spanner_of_targets ~n:(Ugraph.n g)
+      ~targets:(Ugraph.edge_set g) s ~k
+  in
+  Printf.printf "%s is %sa valid %d-spanner of %s\n" spanner_file
+    (if ok then "" else "NOT ")
+    k file;
+  if ok then 0 else 1
+
+let spanner_file_arg =
+  Arg.(required & pos 1 (some file) None
+       & info [] ~docv:"SPANNER" ~doc:"Candidate spanner edge list.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify a candidate k-spanner.")
+    Term.(const check $ file_arg $ spanner_file_arg $ k_arg)
+
+(* ---- bounds ------------------------------------------------------ *)
+
+let bounds n alpha =
+  Printf.printf "round lower bounds at n=%d, alpha=%.1f:\n" n alpha;
+  Printf.printf "  directed k>=5, randomized (Thm 1.1): %.1f\n"
+    (L.Bounds.thm_1_1_randomized ~n ~alpha);
+  Printf.printf "  directed k>=5, deterministic (Thm 2.8): %.1f\n"
+    (L.Bounds.thm_2_8_deterministic ~n ~alpha);
+  Printf.printf "  weighted directed k>=4 (Thm 2.9): %.1f\n"
+    (L.Bounds.thm_2_9_weighted_directed ~n);
+  Printf.printf "  weighted undirected, k=4 (Thm 2.10): %.1f\n"
+    (L.Bounds.thm_2_10_weighted_undirected ~n ~k:4);
+  Printf.printf "  exact weighted 2-spanner, CONGEST (Thm 3.5): %.0f\n"
+    (L.Bounds.thm_3_5_exact_congest ~n);
+  0
+
+let alpha_arg =
+  Arg.(value & opt float 1.0
+       & info [ "alpha" ] ~docv:"ALPHA" ~doc:"Approximation ratio.")
+
+let bound_n_arg =
+  Arg.(value & opt int 1_000_000 & info [ "vertices"; "n" ] ~docv:"N" ~doc:"Vertices.")
+
+let bounds_cmd =
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the paper's lower-bound curves.")
+    Term.(const bounds $ bound_n_arg $ alpha_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "spanner_cli" ~version:"1.0"
+      ~doc:"Distributed spanner approximation (Censor-Hillel & Dory, PODC 2018)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; span_cmd; mds_cmd; check_cmd; bounds_cmd ]))

@@ -1,0 +1,1 @@
+examples/client_server_design.ml: Edge Generators Grapho Printf Rng Spanner_core Ugraph

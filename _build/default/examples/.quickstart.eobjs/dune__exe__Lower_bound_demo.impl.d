@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Edge Grapho List Lowerbound Printf Rng Spanner_core

@@ -1,0 +1,1 @@
+examples/mds_congest.ml: Generators Grapho List Printf Rng Spanner_core String Ugraph

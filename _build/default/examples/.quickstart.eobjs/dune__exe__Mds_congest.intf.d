@@ -1,0 +1,1 @@
+examples/mds_congest.mli:

@@ -1,0 +1,1 @@
+examples/network_upgrade.ml: Edge Generators Grapho Printf Rng Spanner_core Ugraph

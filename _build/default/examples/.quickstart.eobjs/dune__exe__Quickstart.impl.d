@@ -1,0 +1,1 @@
+examples/quickstart.ml: Edge Format Generators Graph_io Grapho Printf Rng Spanner_core String Ugraph

@@ -1,0 +1,1 @@
+examples/synchronizer.ml: Array Distsim Float Generators Grapho Printf Rng Spanner_core Traversal Ugraph

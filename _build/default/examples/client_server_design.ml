@@ -1,0 +1,44 @@
+(* Client-server network design (Elkin & Peleg [29], Section 4.3.3 of
+   the paper): demands ("client" pairs) must be served within two hops
+   using only purchasable ("server") links. The distributed algorithm
+   selects an approximately minimum set of server links.
+
+   Scenario: a metro network where only some fiber segments are for
+   sale, and a set of latency-critical endpoint pairs must end up at
+   most two hops apart.
+
+   Run with: dune exec examples/client_server_design.exe *)
+
+open Grapho
+module Spanner = Spanner_core
+
+let () =
+  let rng = Rng.create 11 in
+  let metro = Generators.gnp_connected rng 120 0.12 in
+  (* 60% of adjacent pairs are demands; 70% of segments purchasable. *)
+  let clients, servers =
+    Generators.random_client_server rng metro ~client_fraction:0.6
+      ~server_fraction:0.7
+  in
+  Printf.printf "metro: n=%d m=%d | demands=%d purchasable=%d\n"
+    (Ugraph.n metro) (Ugraph.m metro)
+    (Edge.Set.cardinal clients) (Edge.Set.cardinal servers);
+
+  let r = Spanner.Client_server.run ~rng metro ~clients ~servers in
+  Printf.printf "purchased %d server links in %d LOCAL rounds\n"
+    (Edge.Set.cardinal r.spanner) r.rounds;
+  Printf.printf "unserveable demands (no purchasable 2-hop route): %d\n"
+    (Edge.Set.cardinal r.uncoverable);
+
+  (* Verify the service-level objective. *)
+  let served = Edge.Set.diff clients r.uncoverable in
+  assert (
+    Spanner.Spanner_check.is_spanner_of_targets ~n:(Ugraph.n metro)
+      ~targets:served r.spanner ~k:2);
+  Printf.printf "verified: every serveable demand is within 2 purchased hops\n";
+
+  (* Compare with the sequential greedy on the same instance. *)
+  let greedy = Spanner.Kp_greedy.run ~targets:clients ~usable:servers metro in
+  Printf.printf "sequential greedy buys %d links; guaranteed ratio <= %.1f\n"
+    (Edge.Set.cardinal greedy.spanner)
+    (Spanner.Client_server.ratio_bound metro ~clients ~servers)

@@ -1,0 +1,67 @@
+(* Incremental network upgrade: 2-spanner augmentation and fault
+   tolerance.
+
+   An operator already owns a backbone (say, last year's spanner) and
+   wants to (a) top it up to a valid 2-spanner after the overlay grew,
+   paying only for new links, and (b) harden the result against single
+   node failures.
+
+   Augmentation is the 0/1-weight special case of the weighted
+   algorithm (the remark after Theorem 3.5); fault tolerance is the
+   Dinitz-Krauthgamer variant the paper's Section 4 relates to.
+
+   Run with: dune exec examples/network_upgrade.exe *)
+
+open Grapho
+module Spanner = Spanner_core
+
+let () =
+  let rng = Rng.create 21 in
+  (* Last year's network and its spanner. *)
+  let old_overlay = Generators.caveman rng 8 8 0.05 in
+  let owned = (Spanner.Two_spanner.run ~rng old_overlay).spanner in
+  Printf.printf "owned backbone: %d links\n" (Edge.Set.cardinal owned);
+
+  (* The overlay grew: new chords appeared. *)
+  let grown =
+    Ugraph.of_edge_set ~n:(Ugraph.n old_overlay)
+      (Edge.Set.union
+         (Ugraph.edge_set old_overlay)
+         (Ugraph.edge_set (Generators.gnp rng (Ugraph.n old_overlay) 0.02)))
+  in
+  Printf.printf "overlay grew to %d edges (was %d)\n" (Ugraph.m grown)
+    (Ugraph.m old_overlay);
+
+  (* (a) Pay only for the top-up. *)
+  let owned = Edge.Set.inter owned (Ugraph.edge_set grown) in
+  let upgrade = Spanner.Augmentation.run ~seed:4 grown ~initial:owned in
+  Printf.printf "augmentation buys %d new links (%d total)\n"
+    (Edge.Set.cardinal upgrade.added)
+    (Edge.Set.cardinal upgrade.spanner);
+  assert (Spanner.Spanner_check.is_spanner grown upgrade.spanner ~k:2);
+
+  (* (b) Harden against one node failure. *)
+  let hardened = Spanner.Fault_tolerant.greedy grown ~f:1 in
+  Printf.printf "1-fault-tolerant backbone: %d links\n"
+    (Edge.Set.cardinal hardened.spanner);
+  assert (Spanner.Fault_tolerant.is_ft_2_spanner grown ~f:1 hardened.spanner);
+
+  (* Demonstrate the guarantee: knock out the busiest vertex and check
+     the survivors still span the surviving demands within 2 hops. *)
+  let victim =
+    Ugraph.fold_vertices
+      (fun v best ->
+        if Ugraph.degree grown v > Ugraph.degree grown best then v else best)
+      grown 0
+  in
+  let survives set =
+    Edge.Set.filter (fun e -> not (Edge.mem_endpoint e victim)) set
+  in
+  let ok =
+    Spanner.Spanner_check.is_spanner_of_targets ~n:(Ugraph.n grown)
+      ~targets:(survives (Ugraph.edge_set grown))
+      (survives hardened.spanner) ~k:2
+  in
+  Printf.printf "after losing hub %d (degree %d): still a 2-spanner? %b\n"
+    victim (Ugraph.degree grown victim) ok;
+  assert ok

@@ -1,0 +1,46 @@
+(* Quickstart: build a graph, approximate its minimum 2-spanner with
+   the distributed algorithm of Censor-Hillel & Dory (PODC 2018), and
+   verify the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Grapho
+module Spanner = Spanner_core
+
+let () =
+  (* A reproducible random graph: 100 vertices, locally dense. *)
+  let rng = Rng.create 42 in
+  let graph = Generators.caveman rng 10 10 0.05 in
+  Printf.printf "input graph: %d vertices, %d edges, max degree %d\n"
+    (Ugraph.n graph) (Ugraph.m graph) (Ugraph.max_degree graph);
+
+  (* Run the LOCAL-model 2-spanner approximation (Theorem 1.3):
+     guaranteed O(log m/n) ratio, O(log n log Delta) rounds w.h.p. *)
+  let result = Spanner.Two_spanner.run ~rng graph in
+  Printf.printf "2-spanner: %d edges (%.0f%% of the graph)\n"
+    (Edge.Set.cardinal result.spanner)
+    (100.0
+    *. float_of_int (Edge.Set.cardinal result.spanner)
+    /. float_of_int (Ugraph.m graph));
+  Printf.printf "converged in %d iterations = %d LOCAL rounds, %d stars\n"
+    result.iterations result.rounds result.stars_added;
+
+  (* Every edge of the graph now has a path of length <= 2 inside the
+     spanner; the library can check that for you. *)
+  assert (Spanner.Spanner_check.is_spanner graph result.spanner ~k:2);
+  Printf.printf "verified: every edge is spanned within 2 hops\n";
+
+  (* Compare with the sequential greedy of Kortsarz & Peleg. *)
+  let greedy = Spanner.Kp_greedy.run graph in
+  Printf.printf "sequential greedy baseline: %d edges\n"
+    (Edge.Set.cardinal greedy.spanner);
+
+  (* Stretch statistics: how much each edge pays. *)
+  Format.printf "%a@."
+    Spanner.Spanner_stats.pp
+    (Spanner.Spanner_stats.compute graph result.spanner);
+
+  (* Export for visualization: the spanner in red. *)
+  let dot = Graph_io.to_dot ~highlight:result.spanner graph in
+  Printf.printf "dot output: %d characters (pipe to `dot -Tsvg`)\n"
+    (String.length dot)

@@ -1,0 +1,52 @@
+(* Network synchronizer, the classic spanner application the paper's
+   introduction cites [2,3,57]: replace the full topology by a sparse
+   2-spanner and pay at most one extra hop on every exchanged message
+   while cutting the per-round message volume.
+
+   We build a skewed overlay network, compute a 2-spanner, then run
+   the same flooding workload (distributed min-id election) on both
+   topologies under CONGEST and compare measured traffic.
+
+   Run with: dune exec examples/synchronizer.exe *)
+
+open Grapho
+module Spanner = Spanner_core
+
+let () =
+  let rng = Rng.create 7 in
+  let overlay = Generators.preferential_attachment rng 300 12 in
+  Printf.printf "overlay: n=%d m=%d max-degree=%d\n" (Ugraph.n overlay)
+    (Ugraph.m overlay) (Ugraph.max_degree overlay);
+
+  let result = Spanner.Two_spanner.run ~rng overlay in
+  let backbone = Ugraph.of_edge_set ~n:(Ugraph.n overlay) result.spanner in
+  assert (Spanner.Spanner_check.is_spanner overlay result.spanner ~k:2);
+  Printf.printf "synchronizer backbone: m=%d (%.0f%% of overlay edges)\n"
+    (Ugraph.m backbone)
+    (100.0 *. float_of_int (Ugraph.m backbone)
+    /. float_of_int (Ugraph.m overlay));
+
+  (* The same distributed workload on both topologies. *)
+  let _, full = Distsim.Algorithms.flood_min_id overlay in
+  let _, sparse = Distsim.Algorithms.flood_min_id backbone in
+  Printf.printf "flooding on overlay : rounds=%d messages=%d bits=%d\n"
+    full.rounds full.messages full.total_bits;
+  Printf.printf "flooding on backbone: rounds=%d messages=%d bits=%d\n"
+    sparse.rounds sparse.messages sparse.total_bits;
+  Printf.printf "traffic saved: %.0f%%, extra rounds: %d\n"
+    (100.0 *. (1.0 -. float_of_int sparse.total_bits
+               /. float_of_int full.total_bits))
+    (sparse.rounds - full.rounds);
+
+  (* Distances degrade by at most the stretch factor 2. *)
+  let d_full = Traversal.bfs_distances overlay 0 in
+  let d_sparse = Traversal.bfs_distances backbone 0 in
+  let worst = ref 0.0 in
+  for v = 1 to Ugraph.n overlay - 1 do
+    if d_full.(v) > 0 && d_full.(v) < max_int then
+      worst := Float.max !worst
+          (float_of_int d_sparse.(v) /. float_of_int d_full.(v))
+  done;
+  Printf.printf "worst observed distance blow-up from node 0: %.2fx (<= 2x)\n"
+    !worst;
+  assert (!worst <= 2.0 +. 1e-9)

@@ -1,0 +1,1 @@
+lib/core/augmentation.ml: Edge Grapho Ugraph Weighted_two_spanner Weights

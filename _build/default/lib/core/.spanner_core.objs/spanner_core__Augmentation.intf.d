@@ -1,0 +1,1 @@
+lib/core/augmentation.mli: Edge Grapho Rng Ugraph

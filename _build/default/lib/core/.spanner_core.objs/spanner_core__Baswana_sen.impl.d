@@ -1,0 +1,1 @@
+lib/core/baswana_sen.ml: Array Edge Grapho Hashtbl List Option Rng Ugraph

@@ -1,0 +1,1 @@
+lib/core/baswana_sen.mli: Edge Grapho Rng Ugraph

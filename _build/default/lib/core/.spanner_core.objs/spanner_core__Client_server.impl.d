@@ -1,0 +1,1 @@
+lib/core/client_server.ml: Edge Float Grapho Hashtbl Int List Option Printf Set Two_spanner_engine Ugraph

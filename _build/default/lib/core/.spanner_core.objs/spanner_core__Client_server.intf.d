@@ -1,0 +1,1 @@
+lib/core/client_server.mli: Edge Grapho Rng Two_spanner_engine Ugraph

@@ -1,0 +1,1 @@
+lib/core/cover2.ml: Array Edge Grapho Int List Set

@@ -1,0 +1,1 @@
+lib/core/cover2.mli: Edge Grapho

@@ -1,0 +1,1 @@
+lib/core/decomposition.ml: Array Edge Grapho Hashtbl List Option Queue Rng Traversal Ugraph

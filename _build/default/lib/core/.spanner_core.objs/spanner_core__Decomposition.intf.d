@@ -1,0 +1,1 @@
+lib/core/decomposition.mli: Grapho Rng Ugraph

@@ -1,0 +1,1 @@
+lib/core/directed_two_spanner.ml: Array Dgraph Edge Grapho Hashtbl Int List Option Rng Set Star_pick

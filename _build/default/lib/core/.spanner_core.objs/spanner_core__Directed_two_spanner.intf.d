@@ -1,0 +1,1 @@
+lib/core/directed_two_spanner.mli: Dgraph Edge Grapho Rng

@@ -1,0 +1,1 @@
+lib/core/elkin_neiman.ml: Array Distsim Edge Float Grapho Hashtbl List Rng Ugraph

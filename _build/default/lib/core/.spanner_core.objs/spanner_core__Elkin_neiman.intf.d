@@ -1,0 +1,1 @@
+lib/core/elkin_neiman.mli: Distsim Edge Grapho Ugraph

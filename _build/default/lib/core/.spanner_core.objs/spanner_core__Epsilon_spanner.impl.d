@@ -1,0 +1,1 @@
+lib/core/epsilon_spanner.ml: Array Decomposition Edge Exact Float Grapho List Power Queue Rng Traversal Ugraph Weights

@@ -1,0 +1,1 @@
+lib/core/epsilon_spanner.mli: Edge Grapho Rng Ugraph Weights

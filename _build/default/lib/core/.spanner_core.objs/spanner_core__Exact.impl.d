@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Dgraph Edge Float Grapho Hashtbl Int List Option Set Ugraph Weights

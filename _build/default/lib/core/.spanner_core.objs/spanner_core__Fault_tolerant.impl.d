@@ -1,0 +1,1 @@
+lib/core/fault_tolerant.ml: Array Edge Grapho Int List Set Star_pick Ugraph

@@ -1,0 +1,1 @@
+lib/core/fault_tolerant.mli: Edge Grapho Ugraph

@@ -1,0 +1,1 @@
+lib/core/kp_greedy.ml: Array Cover2 Edge Float Grapho List Option Star_pick Ugraph Weights

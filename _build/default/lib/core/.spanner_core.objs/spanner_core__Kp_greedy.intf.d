@@ -1,0 +1,1 @@
+lib/core/kp_greedy.mli: Edge Grapho Ugraph Weights

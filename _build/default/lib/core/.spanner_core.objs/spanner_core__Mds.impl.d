@@ -1,0 +1,1 @@
+lib/core/mds.ml: Array Distsim Grapho Int List Rng Set Star_pick Ugraph

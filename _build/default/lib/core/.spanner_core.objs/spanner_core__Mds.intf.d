@@ -1,0 +1,1 @@
+lib/core/mds.mli: Distsim Grapho Rng Ugraph

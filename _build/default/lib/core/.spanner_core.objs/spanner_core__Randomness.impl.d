@@ -1,0 +1,1 @@
+lib/core/randomness.ml: Grapho Rng

@@ -1,0 +1,1 @@
+lib/core/spanner_check.ml: Array Dgraph Edge Grapho List Queue Traversal Ugraph

@@ -1,0 +1,1 @@
+lib/core/spanner_check.mli: Dgraph Edge Grapho Ugraph

@@ -1,0 +1,1 @@
+lib/core/spanner_stats.ml: Array Dgraph Edge Format Grapho Hashtbl List Option Queue Traversal Ugraph

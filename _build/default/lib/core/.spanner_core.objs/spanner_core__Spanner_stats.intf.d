@@ -1,0 +1,1 @@
+lib/core/spanner_stats.mli: Dgraph Edge Format Grapho Ugraph

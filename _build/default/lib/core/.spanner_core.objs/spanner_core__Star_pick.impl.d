@@ -1,0 +1,1 @@
+lib/core/star_pick.ml: Array Edge Float Grapho Hashtbl List Netflow

@@ -1,0 +1,1 @@
+lib/core/star_pick.mli: Edge Grapho

@@ -1,0 +1,1 @@
+lib/core/two_spanner.ml: Edge Float Grapho Two_spanner_engine Ugraph

@@ -1,0 +1,1 @@
+lib/core/two_spanner.mli: Edge Grapho Rng Two_spanner_engine Ugraph

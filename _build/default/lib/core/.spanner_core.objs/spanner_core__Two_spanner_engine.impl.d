@@ -1,0 +1,1 @@
+lib/core/two_spanner_engine.ml: Array Cover2 Edge Float Grapho Hashtbl List Option Printf Randomness Rng Star_pick Ugraph

@@ -1,0 +1,1 @@
+lib/core/two_spanner_engine.mli: Edge Grapho Rng Ugraph

@@ -1,0 +1,1 @@
+lib/core/two_spanner_local.ml: Array Distsim Edge Float Grapho Hashtbl Int Int64 List Option Randomness Set Star_pick Ugraph Weights

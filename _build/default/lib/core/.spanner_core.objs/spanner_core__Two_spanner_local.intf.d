@@ -1,0 +1,1 @@
+lib/core/two_spanner_local.mli: Distsim Edge Grapho Ugraph Weights

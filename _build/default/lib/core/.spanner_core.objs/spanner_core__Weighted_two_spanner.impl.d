@@ -1,0 +1,1 @@
+lib/core/weighted_two_spanner.ml: Array Edge Grapho Two_spanner_engine Ugraph Weights

@@ -1,0 +1,1 @@
+lib/core/weighted_two_spanner.mli: Edge Grapho Rng Two_spanner_engine Ugraph Weights

@@ -1,0 +1,27 @@
+open Grapho
+
+type result = {
+  added : Edge.Set.t;
+  spanner : Edge.Set.t;
+  iterations : int;
+  rounds : int;
+}
+
+let run ?rng ?seed ?max_iterations g ~initial =
+  Edge.Set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if not (Ugraph.mem_edge g u v) then
+        invalid_arg "Augmentation.run: initial edge not in graph")
+    initial;
+  let weights =
+    Weights.of_map ~default:1.0
+      (Edge.Set.fold (fun e m -> Edge.Map.add e 0.0 m) initial Edge.Map.empty)
+  in
+  let r = Weighted_two_spanner.run ?rng ?seed ?max_iterations g weights in
+  {
+    added = Edge.Set.diff r.spanner initial;
+    spanner = r.spanner;
+    iterations = r.iterations;
+    rounds = r.rounds;
+  }

@@ -1,0 +1,22 @@
+(** The 2-spanner augmentation problem (remark after Theorem 3.5):
+    given an initial edge set, add the minimum number of edges so that
+    the union becomes a 2-spanner.
+
+    Realized through the weighted algorithm with 0/1 weights — initial
+    edges are free, new edges cost 1 — so the O(log Δ) guarantee of
+    Theorem 4.12 carries over, and by the same remark the problem
+    inherits the MVC-hardness bounds of Theorems 3.3/3.4. *)
+
+open Grapho
+
+type result = {
+  added : Edge.Set.t;  (** the newly bought edges *)
+  spanner : Edge.Set.t;  (** initial ∪ added: a valid 2-spanner *)
+  iterations : int;
+  rounds : int;
+}
+
+val run :
+  ?rng:Rng.t -> ?seed:int -> ?max_iterations:int -> Ugraph.t ->
+  initial:Edge.Set.t -> result
+(** [initial] must consist of edges of the graph. *)

@@ -1,0 +1,118 @@
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  k : int;
+  rounds : int;
+  final_clusters : int;
+}
+
+let expected_size_bound ~n ~k =
+  let nf = float_of_int n in
+  (float_of_int k *. (nf ** (1.0 +. (1.0 /. float_of_int k)))) +. nf
+
+let run ?rng ~k g =
+  if k < 1 then invalid_arg "Baswana_sen.run: k < 1";
+  let rng = match rng with Some r -> r | None -> Rng.create 0xBA55 in
+  let n = Ugraph.n g in
+  let sample_p =
+    if n <= 1 then 1.0 else float_of_int n ** (-1.0 /. float_of_int k)
+  in
+  let cluster = Array.init n (fun v -> Some v) in
+  let live = ref (Ugraph.edge_set g) in
+  let spanner = ref Edge.Set.empty in
+  (* Live edges of v grouped by the cluster of the clustered other
+     endpoint. *)
+  let neighbors_by_cluster v =
+    let tbl = Hashtbl.create 8 in
+    Edge.Set.iter
+      (fun e ->
+        if Edge.mem_endpoint e v then begin
+          let u = Edge.other e v in
+          match cluster.(u) with
+          | Some c ->
+              Hashtbl.replace tbl c
+                (e :: Option.value ~default:[] (Hashtbl.find_opt tbl c))
+          | None -> ()
+        end)
+      !live;
+    tbl
+  in
+  let drop_edges tbl clusters =
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt tbl c with
+        | Some edges ->
+            List.iter (fun e -> live := Edge.Set.remove e !live) edges
+        | None -> ())
+      clusters
+  in
+  for _phase = 1 to k - 1 do
+    let centers = Hashtbl.create 16 in
+    Array.iter
+      (function Some c -> Hashtbl.replace centers c () | None -> ())
+      cluster;
+    let sampled = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun c () -> if Rng.float rng 1.0 < sample_p then Hashtbl.replace sampled c ())
+      centers;
+    let next = Array.copy cluster in
+    for v = 0 to n - 1 do
+      match cluster.(v) with
+      | None -> ()
+      | Some c when Hashtbl.mem sampled c -> ()
+      | Some _ ->
+          let tbl = neighbors_by_cluster v in
+          let neighbor_clusters =
+            Hashtbl.fold (fun c _ acc -> c :: acc) tbl []
+          in
+          let sampled_neighbor =
+            List.find_opt (fun c -> Hashtbl.mem sampled c) neighbor_clusters
+          in
+          (match sampled_neighbor with
+          | Some c_star ->
+              (* Join the sampled cluster through one edge. Edges into
+                 c_star are covered by its tree and discarded; edges to
+                 other clusters stay live for later levels or the final
+                 join. *)
+              (match Hashtbl.find_opt tbl c_star with
+              | Some (e :: _) -> spanner := Edge.Set.add e !spanner
+              | _ -> assert false);
+              next.(v) <- Some c_star;
+              drop_edges tbl [ c_star ]
+          | None ->
+              (* No sampled cluster around: keep one edge per
+                 neighboring cluster and retire. *)
+              List.iter
+                (fun c ->
+                  match Hashtbl.find_opt tbl c with
+                  | Some (e :: _) -> spanner := Edge.Set.add e !spanner
+                  | _ -> assert false)
+                neighbor_clusters;
+              drop_edges tbl neighbor_clusters;
+              next.(v) <- None)
+    done;
+    Array.blit next 0 cluster 0 n
+  done;
+  (* Final vertex-cluster joining: one edge per adjacent cluster. *)
+  for v = 0 to n - 1 do
+    let tbl = neighbors_by_cluster v in
+    Hashtbl.iter
+      (fun c edges ->
+        if Some c <> cluster.(v) then
+          match edges with
+          | e :: _ -> spanner := Edge.Set.add e !spanner
+          | [] -> ())
+      tbl;
+    drop_edges tbl (Hashtbl.fold (fun c _ acc -> c :: acc) tbl [])
+  done;
+  (* Intra-cluster edges ride the cluster trees built by the joins;
+     an edge that is still live and intra-cluster is covered there. *)
+  let final_clusters =
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (function Some c -> Hashtbl.replace tbl c () | None -> ())
+      cluster;
+    Hashtbl.length tbl
+  in
+  { spanner = !spanner; k; rounds = k; final_clusters }

@@ -1,0 +1,22 @@
+(** Randomized (2k-1)-spanner of Baswana & Sen [7], unweighted.
+
+    Builds a spanner with O(k · n^{1+1/k}) edges in expectation and
+    stretch at most 2k-1 always, in k phases — the k-round CONGEST
+    construction [28] that gives the O(n^{1/k})-approximation for
+    undirected minimum (2k-1)-spanners which the paper contrasts with
+    its directed-case lower bounds (Sections 1.1 and 2.1). *)
+
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  k : int;
+  rounds : int;  (** k: one communication phase per clustering level *)
+  final_clusters : int;
+}
+
+val run : ?rng:Rng.t -> k:int -> Ugraph.t -> result
+(** Stretch of the result is at most [2k-1] always. *)
+
+val expected_size_bound : n:int -> k:int -> float
+(** [k * n^(1 + 1/k) + n], a convenient display bound. *)

@@ -1,0 +1,42 @@
+(** Distributed approximation of client-server 2-spanners
+    (Theorem 4.15).
+
+    The edges of the input graph are typed as clients [C] and servers
+    [S] (an edge may be both); the goal is a minimum set of server
+    edges covering every client edge. The algorithm guarantees an
+    approximation ratio of O(min(log (|C| / |V(C)|), log Δ_S)) in
+    O(log n · log Δ_S) rounds w.h.p.
+
+    Differences from the plain algorithm (Section 4.3.3): stars use
+    server edges only, densities count client edges, the density floor
+    is 1/2 (the best cover of a lone client edge may be a 2-path), and
+    a terminating vertex may only self-add incident uncovered edges
+    that are both client and server. Client edges no server path can
+    cover are reported in [uncoverable]; when the instance admits a
+    solution that set is empty. *)
+
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  iterations : int;
+  rounds : int;
+  stars_added : int;
+  candidate_count : int;
+  uncoverable : Edge.Set.t;
+}
+
+val run :
+  ?rng:Rng.t ->
+  ?seed:int ->
+  ?max_iterations:int ->
+  ?selection:Two_spanner_engine.selection ->
+  Ugraph.t ->
+  clients:Edge.Set.t ->
+  servers:Edge.Set.t ->
+  result
+(** [run g ~clients ~servers]: both sets must be subsets of [g]'s
+    edges. Every coverable client edge is covered by the result. *)
+
+val ratio_bound : Ugraph.t -> clients:Edge.Set.t -> servers:Edge.Set.t -> float
+(** [8 · (min(log2(|C|/|V(C)|), log2 Δ_S) + 3)], for display. *)

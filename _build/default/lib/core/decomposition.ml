@@ -1,0 +1,123 @@
+open Grapho
+
+type t = { color : int array; leader : int array; colors : int }
+
+(* BFS among live vertices only, truncated at [cap]. *)
+let live_distances g live source cap =
+  let n = Ugraph.n g in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if dist.(u) < cap then
+      Array.iter
+        (fun v ->
+          if live.(v) && dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (Ugraph.neighbors g u)
+  done;
+  dist
+
+let default_cap n =
+  let rec log2c acc v = if v <= 1 then acc else log2c (acc + 1) ((v + 1) / 2) in
+  log2c 0 (max 2 n) + 2
+
+let run ?rng ?(p = 0.5) ?radius_cap g =
+  let rng = match rng with Some r -> r | None -> Rng.create 0x115A5 in
+  let n = Ugraph.n g in
+  let cap = match radius_cap with Some c -> c | None -> default_cap n in
+  let color = Array.make n (-1) in
+  let leader = Array.make n (-1) in
+  let live = Array.make n true in
+  let remaining = ref n in
+  let phase = ref 0 in
+  let attempts = ref 0 in
+  while !remaining > 0 do
+    let radius = Array.make n 0 in
+    for y = 0 to n - 1 do
+      if live.(y) then radius.(y) <- min cap (Rng.geometric rng p)
+    done;
+    (* capture.(u) = (best id y, d(u,y)) over live y with d <= r_y *)
+    let capture = Array.make n (-1, max_int) in
+    for y = 0 to n - 1 do
+      if live.(y) then begin
+        let dist = live_distances g live y radius.(y) in
+        for u = 0 to n - 1 do
+          if live.(u) && dist.(u) <= radius.(y) then begin
+            let best, _ = capture.(u) in
+            if y > best then capture.(u) <- (y, dist.(u))
+          end
+        done
+      end
+    done;
+    let progressed = ref false in
+    for u = 0 to n - 1 do
+      if live.(u) then begin
+        let y, d = capture.(u) in
+        assert (y >= 0) (* u captures itself: d(u,u) = 0 <= r_u *);
+        (* Strict inequality keeps same-phase clusters non-adjacent;
+           boundary vertices are deferred. *)
+        if d < radius.(y) then begin
+          color.(u) <- !phase;
+          leader.(u) <- y;
+          live.(u) <- false;
+          decr remaining;
+          progressed := true
+        end
+      end
+    done;
+    (* An all-boundary phase clusters nobody; redraw the radii without
+       consuming a color. Each vertex is deferred with probability at
+       most 1/2, so this happens O(1) times in expectation. *)
+    if !progressed then incr phase;
+    incr attempts;
+    if !attempts > 200 * (n + 4) then
+      failwith "Decomposition.run: radii draws failed to make progress"
+  done;
+  { color; leader; colors = !phase }
+
+let clusters_of_color t c =
+  let by_leader = Hashtbl.create 16 in
+  Array.iteri
+    (fun v col ->
+      if col = c then
+        Hashtbl.replace by_leader t.leader.(v)
+          (v :: Option.value ~default:[] (Hashtbl.find_opt by_leader t.leader.(v))))
+    t.color;
+  Hashtbl.fold (fun _ members acc -> List.sort compare members :: acc)
+    by_leader []
+
+let weak_diameter g members =
+  match members with
+  | [] -> 0
+  | _ ->
+      List.fold_left
+        (fun acc v ->
+          let dist = Traversal.bfs_distances g v in
+          List.fold_left (fun acc u -> max acc dist.(u)) acc members)
+        0 members
+
+let check g t =
+  let n = Ugraph.n g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if t.color.(v) < 0 || t.leader.(v) < 0 then ok := false
+  done;
+  Ugraph.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if t.color.(u) = t.color.(v) && t.leader.(u) <> t.leader.(v) then
+        ok := false)
+    g;
+  let cap = default_cap n in
+  for c = 0 to t.colors - 1 do
+    List.iter
+      (fun members ->
+        if weak_diameter g members > 4 * (cap + 1) then ok := false)
+      (clusters_of_color t c)
+  done;
+  !ok

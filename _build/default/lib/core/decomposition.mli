@@ -1,0 +1,34 @@
+(** Low-diameter network decomposition (Linial & Saks [52]).
+
+    Partitions the vertices into clusters, each assigned a color, such
+    that clusters of the same color are non-adjacent and each cluster
+    has weak diameter O(log n); O(log n) colors are used w.h.p. This
+    is the scaffolding of the (1+ε)-approximation of Section 6, which
+    runs it on the power graph [G^r]. *)
+
+open Grapho
+
+type t = {
+  color : int array;  (** phase in which the vertex was clustered *)
+  leader : int array;  (** cluster identifier: the capturing vertex *)
+  colors : int;  (** number of colors used *)
+}
+
+val run : ?rng:Rng.t -> ?p:float -> ?radius_cap:int -> Ugraph.t -> t
+(** [p] is the geometric-radius parameter (default 0.5); [radius_cap]
+    defaults to [ceil(log2 n) + 2]. Each phase, every live vertex [y]
+    draws a radius [r_y]; a live vertex [u] is captured by the
+    largest-id [y] with [d(u, y) <= r_y] (distances among live
+    vertices), joins [y]'s cluster if the inequality is strict, and
+    is deferred to the next phase otherwise. *)
+
+val clusters_of_color : t -> int -> int list list
+(** The clusters assigned a given color, as vertex lists. *)
+
+val check : Ugraph.t -> t -> bool
+(** Validity: every vertex clustered; same-color adjacent vertices are
+    in the same cluster; each cluster's weak diameter (in the input
+    graph) is at most [4 * (radius_cap + 1)]. *)
+
+val weak_diameter : Ugraph.t -> int list -> int
+(** Largest pairwise distance, measured in the ambient graph. *)

@@ -1,0 +1,388 @@
+open Grapho
+module Iset = Set.Make (Int)
+module Dset = Edge.Directed.Set
+
+type result = {
+  spanner : Dset.t;
+  iterations : int;
+  rounds : int;
+  stars_added : int;
+  candidate_count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Directed coverage tracker: a target (u,w) is covered once it is in
+   the spanner or the spanner holds a directed 2-path u -> z -> w.    *)
+
+type cover = {
+  n : int;
+  g : Dgraph.t;
+  mutable spanner : Dset.t;
+  out_h : Iset.t array;  (* spanner out-neighbors *)
+  in_h : Iset.t array;
+  mutable uncovered : Dset.t;
+  hv : Dset.t array;  (* uncovered targets 2-spannable by each center *)
+  out_un : Dset.t array;  (* uncovered targets by source vertex *)
+  in_un : Dset.t array;  (* uncovered targets by destination vertex *)
+}
+
+(* Centers able to 2-span (u,w): vertices z with (u,z) and (z,w) in G. *)
+let spanning_centers g u w =
+  let outs = Dgraph.out_neighbors g u in
+  Array.fold_left
+    (fun acc z -> if z <> w && Dgraph.mem_edge g z w then z :: acc else acc)
+    [] outs
+
+let cover_create g =
+  let n = Dgraph.n g in
+  let c =
+    {
+      n;
+      g;
+      spanner = Dset.empty;
+      out_h = Array.make n Iset.empty;
+      in_h = Array.make n Iset.empty;
+      uncovered = Dgraph.edge_set g;
+      hv = Array.make n Dset.empty;
+      out_un = Array.make n Dset.empty;
+      in_un = Array.make n Dset.empty;
+    }
+  in
+  Dset.iter
+    (fun (u, w) ->
+      c.out_un.(u) <- Dset.add (u, w) c.out_un.(u);
+      c.in_un.(w) <- Dset.add (u, w) c.in_un.(w);
+      List.iter
+        (fun z -> c.hv.(z) <- Dset.add (u, w) c.hv.(z))
+        (spanning_centers g u w))
+    c.uncovered;
+  c
+
+let covered_now c (u, w) =
+  Dset.mem (u, w) c.spanner
+  ||
+  let a, b =
+    if Iset.cardinal c.out_h.(u) <= Iset.cardinal c.in_h.(w) then
+      (c.out_h.(u), c.in_h.(w))
+    else (c.in_h.(w), c.out_h.(u))
+  in
+  Iset.exists (fun z -> Iset.mem z b) a
+
+let cover_add c edges ~dirty =
+  let touched_src = ref Iset.empty and touched_dst = ref Iset.empty in
+  Dset.iter
+    (fun (a, b) ->
+      if not (Dgraph.mem_edge c.g a b) then
+        invalid_arg "Directed_two_spanner: edge not in graph";
+      if not (Dset.mem (a, b) c.spanner) then begin
+        c.spanner <- Dset.add (a, b) c.spanner;
+        c.out_h.(a) <- Iset.add b c.out_h.(a);
+        c.in_h.(b) <- Iset.add a c.in_h.(b);
+        touched_src := Iset.add a !touched_src;
+        touched_dst := Iset.add b !touched_dst
+      end)
+    edges;
+  (* A target covered by a brand-new 2-path u -> z -> w uses a new edge
+     (u,z) (so u gained an out-edge) or (z,w) (so w gained an in-edge);
+     the target itself being added touches both. *)
+  let candidates =
+    Iset.fold
+      (fun v acc -> Dset.union acc c.out_un.(v))
+      !touched_src
+      (Iset.fold
+         (fun v acc -> Dset.union acc c.in_un.(v))
+         !touched_dst Dset.empty)
+  in
+  let dirtied = ref Iset.empty in
+  Dset.iter
+    (fun (u, w) ->
+      if Dset.mem (u, w) c.uncovered && covered_now c (u, w) then begin
+        c.uncovered <- Dset.remove (u, w) c.uncovered;
+        c.out_un.(u) <- Dset.remove (u, w) c.out_un.(u);
+        c.in_un.(w) <- Dset.remove (u, w) c.in_un.(w);
+        List.iter
+          (fun z ->
+            c.hv.(z) <- Dset.remove (u, w) c.hv.(z);
+            dirtied := Iset.add z !dirtied)
+          (spanning_centers c.g u w)
+      end)
+    candidates;
+  Iset.iter dirty !dirtied
+
+(* ------------------------------------------------------------------ *)
+(* Star machinery.                                                    *)
+
+(* Directed density of the star at [v] selecting underlying neighbors
+   [sel]: 2-spanned uncovered targets over the number of directed star
+   edges (every existing orientation of each chosen edge is taken). *)
+let directed_density c v sel =
+  if sel = [] then 0.0
+  else begin
+    let inside = Iset.of_list sel in
+    let size =
+      List.fold_left
+        (fun acc u ->
+          acc
+          + (if Dgraph.mem_edge c.g u v then 1 else 0)
+          + if Dgraph.mem_edge c.g v u then 1 else 0)
+        0 sel
+    in
+    let covered =
+      Dset.fold
+        (fun (u, w) acc ->
+          if Iset.mem u inside && Iset.mem w inside then acc + 1 else acc)
+        c.hv.(v) 0
+    in
+    if size = 0 then 0.0 else float_of_int covered /. float_of_int size
+  end
+
+let spanned_targets c v sel =
+  let inside = Iset.of_list sel in
+  Dset.filter
+    (fun (u, w) -> Iset.mem u inside && Iset.mem w inside)
+    c.hv.(v)
+
+(* Undirected shadow of the local star problem: eligible neighbors are
+   the underlying neighbors, H_v targets collapse to undirected pairs. *)
+let shadow_problem c v =
+  let nodes = Dgraph.undirected_neighbors c.g v in
+  let hv_edges =
+    Dset.fold
+      (fun (u, w) acc -> Edge.Set.add (Edge.make u w) acc)
+      c.hv.(v) Edge.Set.empty
+  in
+  Star_pick.make ~center:v ~nodes ~hv_edges ()
+
+(* The Section 4.1 closure, directed flavor: greedily add single
+   underlying neighbors while the directed density stays above the
+   threshold, then dense disjoint stars found through the shadow. *)
+let extend_directed c v ~start ~allowed ~threshold =
+  let prob = shadow_problem c v in
+  let selection = ref start in
+  let member u = List.mem u !selection in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let best = ref None in
+    List.iter
+      (fun u ->
+        if not (member u) then begin
+          let d = directed_density c v (u :: !selection) in
+          if d >= threshold then
+            match !best with
+            | Some (_, d') when d' >= d -> ()
+            | _ -> best := Some (u, d)
+        end)
+      allowed;
+    match !best with
+    | Some (u, _) ->
+        selection := u :: !selection;
+        progress := true
+    | None -> (
+        let remaining = List.filter (fun u -> not (member u)) allowed in
+        match Star_pick.densest_within prob ~allowed:remaining with
+        | Some (disjoint, _) when disjoint <> [] ->
+            let candidate = disjoint @ !selection in
+            if directed_density c v candidate >= threshold then begin
+              selection := candidate;
+              progress := true
+            end
+        | _ -> ())
+  done;
+  List.sort_uniq compare !selection
+
+(* ------------------------------------------------------------------ *)
+
+type vstate = {
+  mutable rho : float;  (* 2-approximate directed density *)
+  mutable exp : int;  (* monotone rounded exponent; min_int = zero *)
+  mutable dirty : bool;
+  mutable star : int list;
+  mutable star_exp : int;
+  mutable terminated : bool;
+}
+
+let rounds_per_iteration = 8
+
+let log2_ceil x =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  go 0 x
+
+let run ?rng ?max_iterations g =
+  let rng = match rng with Some r -> r | None -> Rng.create 0xD17EC7 in
+  let n = Dgraph.n g in
+  let max_iterations =
+    match max_iterations with
+    | Some m -> m
+    | None ->
+        (10
+        * (log2_ceil (n + 2) + 2)
+        * (log2_ceil (Dgraph.max_degree g + 2) + 2))
+        + 100
+  in
+  let cover = cover_create g in
+  let st =
+    Array.init n (fun _ ->
+        {
+          rho = 0.0;
+          exp = min_int;
+          dirty = true;
+          star = [];
+          star_exp = min_int;
+          terminated = false;
+        })
+  in
+  let mark_dirty v = st.(v).dirty <- true in
+  let refresh () =
+    for v = 0 to n - 1 do
+      if st.(v).dirty then begin
+        st.(v).dirty <- false;
+        let rho =
+          if Dset.is_empty cover.hv.(v) then 0.0
+          else
+            match Star_pick.densest (shadow_problem cover v) with
+            | None -> 0.0
+            | Some (sel, _) -> directed_density cover v sel
+        in
+        st.(v).rho <- rho;
+        let fresh_exp =
+          match Star_pick.rounded_exponent rho with
+          | None -> min_int
+          | Some e -> e
+        in
+        (* Footnote 7: the approximate rounded density is kept monotone
+           non-increasing across iterations. *)
+        st.(v).exp <-
+          (if st.(v).exp = min_int then fresh_exp
+           else min st.(v).exp fresh_exp)
+      end
+    done
+  in
+  let und_neighbors v = Dgraph.undirected_neighbors g v in
+  let two_hop_max value =
+    let one = Array.make n neg_infinity in
+    for v = 0 to n - 1 do
+      let m = ref (value v) in
+      Array.iter (fun u -> m := max !m (value u)) (und_neighbors v);
+      one.(v) <- !m
+    done;
+    Array.init n (fun v ->
+        Array.fold_left (fun acc u -> max acc one.(u)) one.(v)
+          (und_neighbors v))
+  in
+  let orientations v u =
+    let s = ref Dset.empty in
+    if Dgraph.mem_edge g u v then s := Dset.add (u, v) !s;
+    if Dgraph.mem_edge g v u then s := Dset.add (v, u) !s;
+    !s
+  in
+  let iterations = ref 0 and stars_added = ref 0 and candidate_count = ref 0 in
+  let n4 =
+    let f = float_of_int (max n 2) ** 4.0 in
+    if f > 1e15 then 1_000_000_000_000_000 else int_of_float f + 16
+  in
+  let all_terminated () = Array.for_all (fun s -> s.terminated) st in
+  while not (all_terminated ()) do
+    incr iterations;
+    if !iterations > max_iterations then
+      failwith "Directed_two_spanner.run: iteration limit exceeded";
+    refresh ();
+    let exp_of v =
+      if st.(v).exp = min_int then neg_infinity else float_of_int st.(v).exp
+    in
+    let max_exp = two_hop_max exp_of in
+    let candidates = ref [] in
+    for v = 0 to n - 1 do
+      let s = st.(v) in
+      if
+        (not s.terminated)
+        && s.exp <> min_int
+        && float_of_int s.exp >= max_exp.(v)
+        && s.rho >= 1.0
+      then begin
+        let level = s.exp in
+        let threshold = Star_pick.pow2 level /. 8.0 in
+        let allowed_all = Array.to_list (und_neighbors v) in
+        let fresh () =
+          match Star_pick.densest (shadow_problem cover v) with
+          | Some (sel, _) when sel <> [] ->
+              extend_directed cover v ~start:sel ~allowed:allowed_all
+                ~threshold
+          | _ -> []
+        in
+        let selection =
+          if s.star_exp = level && s.star <> [] then
+            if directed_density cover v s.star >= threshold then s.star
+            else
+              match
+                Star_pick.densest_within (shadow_problem cover v)
+                  ~allowed:s.star
+              with
+              | Some (inner, _)
+                when inner <> []
+                     && directed_density cover v inner >= threshold ->
+                  extend_directed cover v ~start:inner ~allowed:s.star
+                    ~threshold
+              | _ -> fresh ()
+          else fresh ()
+        in
+        if selection <> [] then begin
+          s.star <- selection;
+          s.star_exp <- level;
+          let covered = spanned_targets cover v selection in
+          if not (Dset.is_empty covered) then begin
+            incr candidate_count;
+            let r = 1 + Rng.int rng n4 in
+            candidates := (v, r, selection, covered) :: !candidates
+          end
+        end
+      end
+    done;
+    (* Votes over directed targets. *)
+    let ballot : (Edge.Directed.t, int * int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (v, r, _, covered) ->
+        Dset.iter
+          (fun e ->
+            match Hashtbl.find_opt ballot e with
+            | Some key when key <= (r, v) -> ()
+            | _ -> Hashtbl.replace ballot e (r, v))
+          covered)
+      !candidates;
+    let votes = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ (_, v) ->
+        Hashtbl.replace votes v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt votes v)))
+      ballot;
+    let additions = ref Dset.empty in
+    List.iter
+      (fun (v, _, selection, covered) ->
+        let received = Option.value ~default:0 (Hashtbl.find_opt votes v) in
+        if 8 * received >= Dset.cardinal covered then begin
+          incr stars_added;
+          List.iter
+            (fun u -> additions := Dset.union (orientations v u) !additions)
+            selection
+        end)
+      !candidates;
+    if not (Dset.is_empty !additions) then
+      cover_add cover !additions ~dirty:mark_dirty;
+    refresh ();
+    let max_rho = two_hop_max (fun v -> st.(v).rho) in
+    let finals = ref Dset.empty in
+    for v = 0 to n - 1 do
+      if (not st.(v).terminated) && max max_rho.(v) 0.0 <= 1.0 then begin
+        st.(v).terminated <- true;
+        finals := Dset.union cover.out_un.(v) (Dset.union cover.in_un.(v) !finals)
+      end
+    done;
+    if not (Dset.is_empty !finals) then cover_add cover !finals ~dirty:mark_dirty
+  done;
+  {
+    spanner = cover.spanner;
+    iterations = !iterations;
+    rounds = rounds_per_iteration * !iterations;
+    stars_added = !stars_added;
+    candidate_count = !candidate_count;
+  }

@@ -1,0 +1,113 @@
+open Grapho
+
+type entry = { value : float; via : int }
+
+type vstate = {
+  table : (int, entry) Hashtbl.t;  (* source -> best value, delivering nbr *)
+  mutable fresh : (int * float) list;  (* entries to broadcast *)
+}
+
+type result = {
+  spanner : Edge.Set.t;
+  k : int;
+  rounds : int;
+  metrics : Distsim.Engine.metrics;
+}
+
+let run ?(seed = 0xE171) ~k g =
+  if k < 1 then invalid_arg "Elkin_neiman.run: k < 1";
+  let n = Ugraph.n g in
+  let master = Rng.create seed in
+  let beta = Float.log (float_of_int (max 2 n)) /. float_of_int k in
+  (* Exp(beta) rejection-truncated below k: the event the stretch proof
+     conditions on. *)
+  let radius rng =
+    let rec draw () =
+      let u = Rng.float rng 1.0 in
+      let u = if u = 0.0 then epsilon_float else u in
+      let r = -.Float.log u /. beta in
+      if r < float_of_int k then r else draw ()
+    in
+    draw ()
+  in
+  let radii = Array.init n (fun _ -> radius (Rng.split master)) in
+  let measure (src, value) =
+    ignore value;
+    Distsim.Message.bits_for_id ~n:(max 2 n)
+    + 64
+    + Distsim.Message.bits_int (src + 1)
+  in
+  let spec =
+    {
+      Distsim.Engine.init =
+        (fun ~n:_ ~vertex ~neighbors ->
+          let table = Hashtbl.create 8 in
+          Hashtbl.replace table vertex { value = radii.(vertex); via = -1 };
+          let st = { table; fresh = [] } in
+          ( st,
+            Array.to_list
+              (Array.map
+                 (fun u ->
+                   { Distsim.Engine.dst = u;
+                     payload = (vertex, radii.(vertex)) })
+                 neighbors) ));
+      step =
+        (fun ~round:_ ~vertex st inbox ->
+          ignore vertex;
+          st.fresh <- [];
+          List.iter
+            (fun (nb, (src, value)) ->
+              let candidate = value -. 1.0 in
+              (* Entries down to -1 still matter locally (they can sit
+                 within 1 of the maximum); only non-negative ones can
+                 matter further away, so only those rebroadcast. *)
+              if candidate >= -1.0 then begin
+                let better =
+                  match Hashtbl.find_opt st.table src with
+                  | Some e -> candidate > e.value
+                  | None -> true
+                in
+                if better then begin
+                  Hashtbl.replace st.table src { value = candidate; via = nb };
+                  if candidate >= 0.0 then
+                    st.fresh <- (src, candidate) :: st.fresh
+                end
+              end)
+            inbox;
+          if st.fresh = [] then (st, [], `Done)
+          else begin
+            let neighbors = Ugraph.neighbors g vertex in
+            let out =
+              List.concat_map
+                (fun (src, value) ->
+                  Array.to_list
+                    (Array.map
+                       (fun u ->
+                         { Distsim.Engine.dst = u; payload = (src, value) })
+                       neighbors))
+                st.fresh
+            in
+            (st, out, `Continue)
+          end);
+      measure;
+    }
+  in
+  let states, metrics =
+    Distsim.Engine.run ~model:Distsim.Model.local ~graph:g spec
+  in
+  (* Edge selection: one edge toward every source within 1 of the
+     maximum. *)
+  let spanner = ref Edge.Set.empty in
+  Array.iteri
+    (fun v st ->
+      let m =
+        Hashtbl.fold (fun _ e acc -> Float.max acc e.value) st.table
+          neg_infinity
+      in
+      Hashtbl.iter
+        (fun src e ->
+          if src <> v && e.value >= m -. 1.0 && e.via >= 0 then
+            spanner := Edge.Set.add (Edge.make v e.via) !spanner)
+        st.table)
+    states;
+  { spanner = !spanner; k; rounds = metrics.rounds; metrics }

@@ -1,0 +1,29 @@
+(** The Elkin–Neiman (2k-1)-spanner [28] — the k-round randomized
+    CONGEST construction the paper cites as the best undirected upper
+    bound in the separation discussion (Sections 1.1 and 2.1).
+
+    Every vertex draws an exponential radius r_u ~ Exp(ln n / k)
+    (rejection-truncated below k, which makes the stretch guarantee
+    unconditional); values m_u(v) = r_u - d(u,v) flood the graph,
+    non-negative entries only; finally each vertex keeps one edge
+    toward every source whose value is within 1 of its maximum. The
+    expected size is O(n^{1+1/k}), and the flooding settles within k
+    rounds because deeper values go negative.
+
+    Runs as a genuine message-passing algorithm on {!Distsim.Engine};
+    the value tables make the messages super-logarithmic in the worst
+    case, so the metrics report honest sizes rather than assuming the
+    CONGEST bound. *)
+
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  k : int;
+  rounds : int;
+  metrics : Distsim.Engine.metrics;
+}
+
+val run : ?seed:int -> k:int -> Ugraph.t -> result
+(** Stretch of the result is at most [2k-1], always (thanks to the
+    truncation). *)

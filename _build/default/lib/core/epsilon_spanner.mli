@@ -1,0 +1,38 @@
+(** (1+ε)-approximate minimum k-spanner in the LOCAL model
+    (Theorem 1.2, Section 6).
+
+    The algorithm follows the covering-problem framework of Ghaffari,
+    Kuhn and Maus [39]: decompose the power graph [G^r] (for [r =
+    O(log n / ε)]) with {!Decomposition}, then process clusters color
+    by color; inside a cluster, vertices run, in id order, the
+    sequential ball-growing step — find the smallest radius [r_i] with
+    [g(v, r_i + 2k) <= (1+ε) · g(v, r_i)], where [g(v,d)] is the size
+    of an optimal spanner of the still-uncovered edges of the radius-d
+    ball, and commit an optimal spanner of the [r_i + 2k] ball.
+    Optimal ball spanners come from {!Exact}; the paper explicitly
+    assumes unbounded local computation here, which restricts our runs
+    to small instances.
+
+    The returned LOCAL-round figure charges, per color, the collection
+    radius [O(r · log n)] a cluster leader needs — the accounting in
+    the proof of Theorem 1.2. *)
+
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  cost : float;  (** total weight; the cardinality under unit weights *)
+  r : int;  (** the locality radius used *)
+  colors : int;
+  balls_processed : int;
+  rounds : int;  (** simulated LOCAL rounds: [colors * O(log n) * r] *)
+}
+
+val run :
+  ?rng:Rng.t -> ?weights:Weights.t -> epsilon:float -> k:int -> Ugraph.t ->
+  result
+(** The result is always a valid k-spanner; its cost is at most
+    [(1+ε)] times optimal (certifiable against {!Exact} on small
+    inputs). The weighted form follows the paper's closing remark of
+    Section 6 (complexity grows with [log (nW)]). Intended for [n] up
+    to a few dozen. *)

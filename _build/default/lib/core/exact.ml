@@ -1,0 +1,318 @@
+open Grapho
+module Iset = Set.Make (Int)
+
+(* Enumerate the edge sets of the simple paths of length <= k between
+   u and w inside the given adjacency. *)
+let path_options ~adj ~k u w ~edge_of =
+  let options = ref [] in
+  let rec dfs x depth path_edges visited =
+    if x = w && depth > 0 then options := path_edges :: !options
+    else if depth < k then
+      List.iter
+        (fun y ->
+          if not (Iset.mem y visited) then
+            dfs y (depth + 1)
+              (edge_of x y :: path_edges)
+              (Iset.add y visited))
+        adj.(x)
+  in
+  dfs u 0 [] (Iset.singleton u);
+  !options
+
+(* Branch and bound over a covering problem: every target needs one of
+   its options (an option = a set of edge ids) fully bought. Coverage
+   by option-inclusion is exact for spanners because the options
+   enumerate every simple path of length <= k, and any covering edge
+   set contains one. *)
+let solve_cover ~edge_count ~edge_cost ~(options : int array array array) =
+  (* options.(t) : candidate edge-id arrays for target t *)
+  let t_count = Array.length options in
+  let infeasible = Array.exists (fun opts -> Array.length opts = 0) options in
+  if infeasible then None
+  else begin
+    let chosen = Array.make edge_count false in
+    let option_satisfied opt = Array.for_all (fun e -> chosen.(e)) opt in
+    let covered t = Array.exists option_satisfied options.(t) in
+    let added_cost opt =
+      Array.fold_left
+        (fun acc e -> if chosen.(e) then acc else acc +. edge_cost.(e))
+        0.0 opt
+    in
+    (* Greedy incumbent: repeatedly buy the option with the best
+       newly-covered / added-cost ratio. *)
+    let best = ref None and best_cost = ref infinity in
+    let greedy () =
+      let saved = Array.copy chosen in
+      let total = ref 0.0 in
+      let continue_loop = ref true in
+      while !continue_loop do
+        let uncovered = ref [] in
+        for t = t_count - 1 downto 0 do
+          if not (covered t) then uncovered := t :: !uncovered
+        done;
+        if !uncovered = [] then continue_loop := false
+        else begin
+          let best_opt = ref None and best_score = ref neg_infinity in
+          List.iter
+            (fun t ->
+              Array.iter
+                (fun opt ->
+                  let cost = added_cost opt in
+                  let score =
+                    if cost <= 0.0 then infinity else 1.0 /. cost
+                  in
+                  if score > !best_score then begin
+                    best_score := score;
+                    best_opt := Some opt
+                  end)
+                options.(t))
+            !uncovered;
+          match !best_opt with
+          | Some opt ->
+              Array.iter
+                (fun e ->
+                  if not chosen.(e) then begin
+                    chosen.(e) <- true;
+                    total := !total +. edge_cost.(e)
+                  end)
+                opt
+          | None -> continue_loop := false
+        end
+      done;
+      let cost =
+        Array.to_list (Array.mapi (fun e c -> if c then edge_cost.(e) else 0.0) chosen)
+        |> List.fold_left ( +. ) 0.0
+      in
+      ignore !total;
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := Some (Array.copy chosen)
+      end;
+      Array.blit saved 0 chosen 0 edge_count
+    in
+    greedy ();
+    (* Depth-first branch and bound. *)
+    let rec go cost =
+      if cost < !best_cost then begin
+        (* Find the uncovered target with the fewest options; also a
+           simple bound: some uncovered target must pay its cheapest
+           marginal option. *)
+        let pick = ref (-1) and pick_width = ref max_int in
+        let bound = ref 0.0 in
+        let all_covered = ref true in
+        for t = 0 to t_count - 1 do
+          if not (covered t) then begin
+            all_covered := false;
+            let width = Array.length options.(t) in
+            if width < !pick_width then begin
+              pick_width := width;
+              pick := t
+            end;
+            let cheapest =
+              Array.fold_left
+                (fun acc opt -> Float.min acc (added_cost opt))
+                infinity options.(t)
+            in
+            if cheapest > !bound then bound := cheapest
+          end
+        done;
+        if !all_covered then begin
+          best_cost := cost;
+          best := Some (Array.copy chosen)
+        end
+        else if cost +. !bound < !best_cost then begin
+          let branches =
+            Array.to_list options.(!pick)
+            |> List.map (fun opt -> (added_cost opt, opt))
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          List.iter
+            (fun (extra, opt) ->
+              if cost +. extra < !best_cost then begin
+                let bought =
+                  Array.to_list opt
+                  |> List.filter (fun e -> not chosen.(e))
+                in
+                List.iter (fun e -> chosen.(e) <- true) bought;
+                go (cost +. extra);
+                List.iter (fun e -> chosen.(e) <- false) bought
+              end)
+            branches
+        end
+      end
+    in
+    go 0.0;
+    !best
+  end
+
+(* Shared frontend: number the edges, enumerate options, solve, map
+   back. *)
+let min_cover ~edge_ids ~edge_cost_of ~target_options =
+  (* edge_ids : ('edge, int) Hashtbl; target_options : 'edge list list
+     per target *)
+  let edge_count = Hashtbl.length edge_ids in
+  let edge_cost = Array.make edge_count 0.0 in
+  Hashtbl.iter (fun e id -> edge_cost.(id) <- edge_cost_of e) edge_ids;
+  let options =
+    Array.of_list
+      (List.map
+         (fun opts ->
+           Array.of_list
+             (List.map
+                (fun opt ->
+                  Array.of_list
+                    (List.map (fun e -> Hashtbl.find edge_ids e) opt))
+                opts))
+         target_options)
+  in
+  match solve_cover ~edge_count ~edge_cost ~options with
+  | None -> None
+  | Some chosen ->
+      let inverse = Array.make edge_count None in
+      Hashtbl.iter (fun e id -> inverse.(id) <- Some e) edge_ids;
+      let selected = ref [] in
+      Array.iteri
+        (fun id flag ->
+          if flag then
+            match inverse.(id) with
+            | Some e -> selected := e :: !selected
+            | None -> ())
+        chosen;
+      Some !selected
+
+let min_k_spanner ?weights ?targets ?usable ~n ~k () =
+  let w = match weights with Some w -> w | None -> Weights.uniform 1.0 in
+  let targets = match targets with Some t -> t | None -> Edge.Set.empty in
+  let usable = Option.value ~default:targets usable in
+  let adj = Array.make n [] in
+  Edge.Set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    usable;
+  let edge_ids = Hashtbl.create 64 in
+  Edge.Set.iter
+    (fun e -> Hashtbl.replace edge_ids e (Hashtbl.length edge_ids))
+    usable;
+  let target_options =
+    List.map
+      (fun e ->
+        let u, v = Edge.endpoints e in
+        path_options ~adj ~k u v ~edge_of:Edge.make)
+      (Edge.Set.elements targets)
+  in
+  match min_cover ~edge_ids ~edge_cost_of:(Weights.get w) ~target_options with
+  | None -> None
+  | Some chosen ->
+      Some (List.fold_left (fun s e -> Edge.Set.add e s) Edge.Set.empty chosen)
+
+let min_2_spanner g =
+  match
+    min_k_spanner ~targets:(Ugraph.edge_set g) ~usable:(Ugraph.edge_set g)
+      ~n:(Ugraph.n g) ~k:2 ()
+  with
+  | Some s -> s
+  | None -> assert false (* every edge covers itself *)
+
+let min_2_spanner_size g = Edge.Set.cardinal (min_2_spanner g)
+
+let min_weighted_2_spanner g w =
+  match
+    min_k_spanner ~weights:w ~targets:(Ugraph.edge_set g)
+      ~usable:(Ugraph.edge_set g) ~n:(Ugraph.n g) ~k:2 ()
+  with
+  | Some s -> s
+  | None -> assert false
+
+let min_directed_k_spanner ?weights g ~k =
+  let cost_of =
+    match weights with
+    | Some w -> Weights.Directed.get w
+    | None -> fun _ -> 1.0
+  in
+  let n = Dgraph.n g in
+  let adj = Array.make n [] in
+  Dgraph.iter_edges (fun (u, v) -> adj.(u) <- v :: adj.(u)) g;
+  let edge_ids = Hashtbl.create 64 in
+  Dgraph.iter_edges
+    (fun e -> Hashtbl.replace edge_ids e (Hashtbl.length edge_ids))
+    g;
+  let target_options =
+    List.map
+      (fun (u, v) -> path_options ~adj ~k u v ~edge_of:(fun a b -> (a, b)))
+      (Dgraph.edges g)
+  in
+  match min_cover ~edge_ids ~edge_cost_of:cost_of ~target_options with
+  | None -> assert false (* each edge is a path of length 1 *)
+  | Some chosen ->
+      List.fold_left
+        (fun s e -> Edge.Directed.Set.add e s)
+        Edge.Directed.Set.empty chosen
+
+let min_dominating_set g =
+  let n = Ugraph.n g in
+  let closed v =
+    Iset.add v
+      (Array.fold_left (fun s u -> Iset.add u s) Iset.empty
+         (Ugraph.neighbors g v))
+  in
+  let max_cover = 1 + Ugraph.max_degree g in
+  let best = ref (List.init n (fun i -> i)) in
+  let rec go undominated chosen count =
+    if
+      count + ((Iset.cardinal undominated + max_cover - 1) / max_cover)
+      >= List.length !best
+    then ()
+    else if Iset.is_empty undominated then best := chosen
+    else begin
+      (* Branch on who dominates the undominated vertex with the fewest
+         potential dominators. *)
+      let pick =
+        Iset.fold
+          (fun v acc ->
+            match acc with
+            | None -> Some v
+            | Some v' ->
+                if Iset.cardinal (closed v) < Iset.cardinal (closed v') then
+                  Some v
+                else acc)
+          undominated None
+      in
+      match pick with
+      | None -> ()
+      | Some v ->
+          Iset.iter
+            (fun u ->
+              go (Iset.diff undominated (closed u)) (u :: chosen) (count + 1))
+            (closed v)
+    end
+  in
+  go (Iset.of_list (List.init n (fun i -> i))) [] 0;
+  List.sort compare !best
+
+let min_vertex_cover g =
+  let best = ref (List.init (Ugraph.n g) (fun i -> i)) in
+  let rec go edges chosen count =
+    (* Lower bound via a greedy matching on the remaining edges. *)
+    let rec matching acc used = function
+      | [] -> acc
+      | e :: rest ->
+          let u, v = Edge.endpoints e in
+          if Iset.mem u used || Iset.mem v used then matching acc used rest
+          else matching (acc + 1) (Iset.add u (Iset.add v used)) rest
+    in
+    if count + matching 0 Iset.empty edges >= List.length !best then ()
+    else
+      match edges with
+      | [] -> best := chosen
+      | e :: _ ->
+          let u, v = Edge.endpoints e in
+          let without x =
+            List.filter (fun e' -> not (Edge.mem_endpoint e' x)) edges
+          in
+          go (without u) (u :: chosen) (count + 1);
+          go (without v) (v :: chosen) (count + 1)
+  in
+  go (Ugraph.edges g) [] 0;
+  List.sort compare !best

@@ -1,0 +1,45 @@
+(** Exact solvers for small instances.
+
+    Used as ground truth in tests and experiments, and as the
+    unbounded-local-computation oracle inside the (1+ε)-approximation
+    of Section 6 (which the paper explicitly allows to solve
+    NP-complete subproblems on polylogarithmic-size balls).
+
+    All solvers are branch-and-bound searches; they are exponential in
+    the worst case and intended for instances of a few dozen edges. *)
+
+open Grapho
+
+val min_k_spanner :
+  ?weights:Weights.t ->
+  ?targets:Edge.Set.t ->
+  ?usable:Edge.Set.t ->
+  n:int ->
+  k:int ->
+  unit ->
+  Edge.Set.t option
+(** Minimum-cost subset of [usable] covering every edge of [targets]
+    within [k] hops. [None] when some target is uncoverable. Defaults:
+    unit weights; when [usable] is omitted it defaults to [targets].
+    Branches over the ≤[k]-hop covering paths of an uncovered target
+    (those with the fewest options first). *)
+
+val min_2_spanner : Ugraph.t -> Edge.Set.t
+(** Minimum 2-spanner of a graph (always exists). *)
+
+val min_2_spanner_size : Ugraph.t -> int
+
+val min_weighted_2_spanner : Ugraph.t -> Weights.t -> Edge.Set.t
+
+val min_directed_k_spanner :
+  ?weights:Weights.Directed.t -> Dgraph.t -> k:int -> Edge.Directed.Set.t
+(** Minimum(-cost) directed k-spanner (always exists: the whole edge
+    set). Unit costs when [weights] is omitted. *)
+
+val min_dominating_set : Ugraph.t -> int list
+(** Minimum dominating set, by branching on the closed neighborhood of
+    an undominated vertex. *)
+
+val min_vertex_cover : Ugraph.t -> int list
+(** Minimum vertex cover, by branching on the endpoints of an
+    uncovered edge. *)

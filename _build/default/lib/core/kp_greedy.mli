@@ -1,0 +1,28 @@
+(** The sequential greedy 2-spanner of Kortsarz and Peleg [46], with
+    the weighted [45] and client-server [29] extensions.
+
+    Repeatedly commits the globally densest star — density measured
+    against the still-uncovered targets, computed in polynomial time by
+    parametric flow — or a single target edge when that covers more per
+    unit cost, until everything coverable is covered. Approximation
+    ratio O(log (m/n)) (unweighted), the benchmark our distributed
+    algorithm is measured against. *)
+
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  cost : float;
+  stars_added : int;
+  singles_added : int;
+  uncoverable : Edge.Set.t;
+}
+
+val run :
+  ?weights:Weights.t ->
+  ?targets:Edge.Set.t ->
+  ?usable:Edge.Set.t ->
+  Ugraph.t ->
+  result
+(** [targets] and [usable] default to all edges of the graph;
+    [weights] to the all-ones weighting. *)

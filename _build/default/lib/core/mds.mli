@@ -1,0 +1,54 @@
+(** Distributed minimum dominating set (Theorem 5.1).
+
+    The CONGEST-model algorithm of Section 5: O(log Δ) guaranteed
+    approximation, O(log n log Δ) rounds w.h.p. It runs as an honest
+    message-passing state machine on {!Distsim.Engine}: each iteration
+    spends six communication rounds (spread rounded densities two
+    hops, announce candidacies with their random draws, vote, announce
+    joins, propagate cover status), and every message fits in O(log n)
+    bits — the run's metrics report the largest message so CONGEST
+    compliance is checkable.
+
+    Density here follows Section 5: the density of the star of [v] is
+    the number of still-uncovered vertices among [v] and its
+    neighbors. A vertex is covered once it or a neighbor joined the
+    dominating set. Candidates are the rounded-density maxima of
+    their 2-neighborhoods; uncovered vertices vote for the first
+    candidate covering them in [(r_v, id)] order; a candidate keeping
+    at least an eighth of its coverable vertices' votes joins. A
+    vertex goes quiet once the maximal density in its 2-neighborhood
+    reaches zero. *)
+
+open Grapho
+
+type result = {
+  dominating_set : int list;
+  iterations : int;
+  metrics : Distsim.Engine.metrics;
+}
+
+type selection = Votes | Coin of float
+(** [Votes] is the paper's scheme (guaranteed O(log Δ)); [Coin p] has
+    each candidate join independently — the symmetry breaking of Jia,
+    Rajaraman & Suel [43], whose O(log Δ) holds only in expectation.
+    The paper's Section 5 contribution is exactly this difference. *)
+
+val run :
+  ?rng:Rng.t -> ?model:Distsim.Model.t -> ?selection:selection -> Ugraph.t ->
+  result
+(** [model] defaults to CONGEST with the customary [O(log n)]-bit
+    bandwidth; running under {!Distsim.Model.local} merely disables
+    the bandwidth check; [selection] defaults to [Votes]. The returned
+    set always dominates the graph. *)
+
+val is_dominating_set : Ugraph.t -> int list -> bool
+
+val greedy : Ugraph.t -> int list
+(** The classic sequential greedy (pick the vertex covering the most
+    uncovered vertices): the O(ln Δ) baseline. *)
+
+val reference : ?rng:Rng.t -> ?selection:selection -> Ugraph.t -> int list
+(** A centralized mirror of the protocol, consuming randomness through
+    the same per-vertex streams: with equal [rng] seeds it elects the
+    identical dominating set as {!run} — the Section 5 analogue of the
+    E13 protocol-equality validation. *)

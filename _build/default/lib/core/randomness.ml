@@ -1,0 +1,20 @@
+open Grapho
+
+let derived ~seed ~vertex ~iteration =
+  (* Feed the coordinates through SplitMix via distinct odd multipliers
+     so nearby (vertex, iteration) pairs decorrelate. *)
+  Rng.create
+    (seed
+    lxor (vertex * 0x9E3779B1)
+    lxor (iteration * 0x85EBCA77)
+    lxor 0x165667B1)
+
+let vote_value ~seed ~vertex ~iteration ~bound =
+  1 + Rng.int (derived ~seed ~vertex ~iteration) bound
+
+let coin ~seed ~vertex ~iteration ~p =
+  Rng.float (derived ~seed ~vertex ~iteration) 1.0 < p
+
+let vote_bound ~n =
+  let f = float_of_int (max n 2) ** 4.0 in
+  if f > 1e15 then 1_000_000_000_000_000 else int_of_float f + 16

@@ -1,0 +1,15 @@
+(** Shared per-vertex randomness for the voting scheme.
+
+    Both implementations of the Section 4 algorithm (the round-
+    structured engine and the message-passing LOCAL state machine)
+    must draw the same value r_v for the same (seed, vertex,
+    iteration) so that their executions coincide — which is exactly
+    what the differential tests assert. *)
+
+val vote_value : seed:int -> vertex:int -> iteration:int -> bound:int -> int
+(** Uniform in [{1..bound}], deterministic in its inputs. *)
+
+val coin : seed:int -> vertex:int -> iteration:int -> p:float -> bool
+
+val vote_bound : n:int -> int
+(** The paper's n^4 (capped to stay within native ints). *)

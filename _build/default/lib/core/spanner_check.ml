@@ -1,0 +1,115 @@
+open Grapho
+
+(* Coverage tests run one bounded BFS per queried edge over adjacency
+   built once from the candidate set. *)
+
+let bounded_reach adj n src dst bound =
+  if src = dst then true
+  else begin
+    let dist = Array.make n (-1) in
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src q;
+    let found = ref false in
+    (try
+       while not (Queue.is_empty q) do
+         let x = Queue.pop q in
+         if dist.(x) < bound then
+           List.iter
+             (fun y ->
+               if dist.(y) = -1 then begin
+                 dist.(y) <- dist.(x) + 1;
+                 if y = dst then begin
+                   found := true;
+                   raise Exit
+                 end;
+                 Queue.add y q
+               end)
+             adj.(x)
+       done
+     with Exit -> ());
+    !found
+  end
+
+let covers_edge ~n s ~k e =
+  let adj = Traversal.adjacency_of_set ~n s in
+  let u, v = Edge.endpoints e in
+  bounded_reach adj n u v k
+
+let uncovered_of_targets ~n ~targets s ~k =
+  let adj = Traversal.adjacency_of_set ~n s in
+  Edge.Set.fold
+    (fun e acc ->
+      let u, v = Edge.endpoints e in
+      if bounded_reach adj n u v k then acc else e :: acc)
+    targets []
+
+let uncovered_edges g s ~k =
+  uncovered_of_targets ~n:(Ugraph.n g) ~targets:(Ugraph.edge_set g) s ~k
+
+let is_spanner g s ~k =
+  Edge.Set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if not (Ugraph.mem_edge g u v) then
+        invalid_arg "Spanner_check.is_spanner: spanner edge not in graph")
+    s;
+  uncovered_edges g s ~k = []
+
+let is_spanner_of_targets ~n ~targets s ~k =
+  uncovered_of_targets ~n ~targets s ~k = []
+
+let directed_covers_edge ~n s ~k e =
+  let adj = Traversal.directed_adjacency_of_set ~n s in
+  bounded_reach adj n (Edge.Directed.src e) (Edge.Directed.dst e) k
+
+let directed_uncovered_edges g s ~k =
+  let n = Dgraph.n g in
+  let adj = Traversal.directed_adjacency_of_set ~n s in
+  Dgraph.fold_edges
+    (fun (u, v) acc -> if bounded_reach adj n u v k then acc else (u, v) :: acc)
+    g []
+
+let is_directed_spanner g s ~k =
+  Edge.Directed.Set.iter
+    (fun (u, v) ->
+      if not (Dgraph.mem_edge g u v) then
+        invalid_arg
+          "Spanner_check.is_directed_spanner: spanner edge not in graph")
+    s;
+  directed_uncovered_edges g s ~k = []
+
+let stretch_generic ~n ~adj ~fold =
+  fold (fun (u, v) acc ->
+      if acc = max_int then max_int
+      else begin
+        (* Unbounded BFS in the candidate set from u, read distance of v. *)
+        let dist = Array.make n (-1) in
+        let q = Queue.create () in
+        dist.(u) <- 0;
+        Queue.add u q;
+        while not (Queue.is_empty q) do
+          let x = Queue.pop q in
+          List.iter
+            (fun y ->
+              if dist.(y) = -1 then begin
+                dist.(y) <- dist.(x) + 1;
+                Queue.add y q
+              end)
+            adj.(x)
+        done;
+        if dist.(v) = -1 then max_int else max acc dist.(v)
+      end)
+    0
+
+let stretch g s =
+  let n = Ugraph.n g in
+  let adj = Traversal.adjacency_of_set ~n s in
+  stretch_generic ~n ~adj ~fold:(fun f init ->
+      Ugraph.fold_edges (fun e acc -> f (Edge.endpoints e) acc) g init)
+
+let directed_stretch g s =
+  let n = Dgraph.n g in
+  let adj = Traversal.directed_adjacency_of_set ~n s in
+  stretch_generic ~n ~adj ~fold:(fun f init ->
+      Dgraph.fold_edges (fun e acc -> f e acc) g init)

@@ -1,0 +1,41 @@
+(** Validity checkers for all spanner variants of the paper.
+
+    Following Section 1.5: an edge [{u,v}] is covered by an edge set
+    [S] if [S] contains a path of length at most [k] between [u] and
+    [v]; a k-spanner of [G] covers every edge of [G]; a k-spanner of a
+    subgraph [G' ⊆ G] is a subset of [G]'s edges covering every edge
+    of [G']. For directed graphs the path must be directed from [u]
+    to [v]. *)
+
+open Grapho
+
+val covers_edge : n:int -> Edge.Set.t -> k:int -> Edge.t -> bool
+(** [covers_edge ~n s ~k e]: does [s] contain a path of length ≤ [k]
+    between the endpoints of [e]? *)
+
+val uncovered_edges : Ugraph.t -> Edge.Set.t -> k:int -> Edge.t list
+(** Edges of the graph not covered by the candidate spanner. *)
+
+val is_spanner : Ugraph.t -> Edge.Set.t -> k:int -> bool
+(** [is_spanner g s ~k]: [s] covers every edge of [g]. [s] must be a
+    subset of [g]'s edges (checked). *)
+
+val is_spanner_of_targets :
+  n:int -> targets:Edge.Set.t -> Edge.Set.t -> k:int -> bool
+(** Client-server / partial form: does the edge set cover every edge
+    of [targets]? *)
+
+val directed_covers_edge :
+  n:int -> Edge.Directed.Set.t -> k:int -> Edge.Directed.t -> bool
+
+val directed_uncovered_edges :
+  Dgraph.t -> Edge.Directed.Set.t -> k:int -> Edge.Directed.t list
+
+val is_directed_spanner : Dgraph.t -> Edge.Directed.Set.t -> k:int -> bool
+
+val stretch : Ugraph.t -> Edge.Set.t -> int
+(** Maximum over edges [{u,v}] of [g] of the distance between [u] and
+    [v] in the spanner ([max_int] if some edge is not spanned at all).
+    A set is a k-spanner iff its stretch is at most [k]. *)
+
+val directed_stretch : Dgraph.t -> Edge.Directed.Set.t -> int

@@ -1,0 +1,104 @@
+open Grapho
+
+type t = {
+  edges : int;
+  graph_edges : int;
+  compression : float;
+  max_stretch : int;
+  mean_stretch : float;
+  stretch_histogram : (int * int) list;
+}
+
+let from_stretches ~edges ~graph_edges stretches =
+  let histogram = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace histogram s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram s)))
+    stretches;
+  let finite = List.filter (fun s -> s < max_int) stretches in
+  let mean =
+    if finite = [] then 0.0
+    else
+      float_of_int (List.fold_left ( + ) 0 finite)
+      /. float_of_int (List.length finite)
+  in
+  {
+    edges;
+    graph_edges;
+    compression =
+      float_of_int edges /. float_of_int (max 1 graph_edges);
+    max_stretch = List.fold_left max 0 stretches;
+    mean_stretch = mean;
+    stretch_histogram =
+      List.sort compare
+        (Hashtbl.fold (fun s c acc -> (s, c) :: acc) histogram []);
+  }
+
+let compute g s =
+  let n = Ugraph.n g in
+  let adj = Traversal.adjacency_of_set ~n s in
+  let stretches =
+    Ugraph.fold_edges
+      (fun e acc ->
+        let u, v = Edge.endpoints e in
+        let dist = Array.make n (-1) in
+        let q = Queue.create () in
+        dist.(u) <- 0;
+        Queue.add u q;
+        while not (Queue.is_empty q) do
+          let x = Queue.pop q in
+          List.iter
+            (fun y ->
+              if dist.(y) = -1 then begin
+                dist.(y) <- dist.(x) + 1;
+                Queue.add y q
+              end)
+            adj.(x)
+        done;
+        (if dist.(v) = -1 then max_int else dist.(v)) :: acc)
+      g []
+  in
+  from_stretches ~edges:(Edge.Set.cardinal s) ~graph_edges:(Ugraph.m g)
+    stretches
+
+let directed_compute g s =
+  let n = Dgraph.n g in
+  let adj = Traversal.directed_adjacency_of_set ~n s in
+  let stretches =
+    Dgraph.fold_edges
+      (fun (u, v) acc ->
+        let dist = Array.make n (-1) in
+        let q = Queue.create () in
+        dist.(u) <- 0;
+        Queue.add u q;
+        while not (Queue.is_empty q) do
+          let x = Queue.pop q in
+          List.iter
+            (fun y ->
+              if dist.(y) = -1 then begin
+                dist.(y) <- dist.(x) + 1;
+                Queue.add y q
+              end)
+            adj.(x)
+        done;
+        (if dist.(v) = -1 then max_int else dist.(v)) :: acc)
+      g []
+  in
+  from_stretches
+    ~edges:(Edge.Directed.Set.cardinal s)
+    ~graph_edges:(Dgraph.m g) stretches
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>edges: %d / %d (%.1f%%)@,max stretch: %s@,mean stretch: %.3f@,histogram:"
+    t.edges t.graph_edges (100.0 *. t.compression)
+    (if t.max_stretch = max_int then "unreachable pair!"
+     else string_of_int t.max_stretch)
+    t.mean_stretch;
+  List.iter
+    (fun (s, c) ->
+      if s = max_int then Format.fprintf ppf "@,  unreachable: %d" c
+      else Format.fprintf ppf "@,  %d hops: %d" s c)
+    t.stretch_histogram;
+  Format.fprintf ppf "@]"

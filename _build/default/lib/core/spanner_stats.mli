@@ -1,0 +1,20 @@
+(** Descriptive statistics of a candidate spanner, for reports and
+    benchmarks. *)
+
+open Grapho
+
+type t = {
+  edges : int;
+  graph_edges : int;
+  compression : float;  (** edges / graph_edges *)
+  max_stretch : int;  (** over graph edges; [max_int] if not a spanner *)
+  mean_stretch : float;
+  stretch_histogram : (int * int) list;
+      (** (stretch value, #edges) sorted by stretch; a missing path
+          counts under [max_int] *)
+}
+
+val compute : Ugraph.t -> Edge.Set.t -> t
+val pp : Format.formatter -> t -> unit
+
+val directed_compute : Dgraph.t -> Edge.Directed.Set.t -> t

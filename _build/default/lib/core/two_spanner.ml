@@ -1,0 +1,40 @@
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  iterations : int;
+  rounds : int;
+  stars_added : int;
+  candidate_count : int;
+}
+
+let run ?rng ?seed ?max_iterations ?(selection = Two_spanner_engine.Votes 0.125)
+    ?trace g =
+  let edges = Ugraph.edge_set g in
+  let spec =
+    {
+      Two_spanner_engine.graph = g;
+      targets = edges;
+      usable = edges;
+      weight = (fun _ -> 1.0);
+      candidate_ok = (fun _ rho -> rho >= 1.0);
+      terminate_ok = (fun _ max_rho -> max_rho <= 1.0);
+      finalize = (fun _ -> true);
+      dominance_includes_terminated = true;
+      selection;
+    }
+  in
+  let r = Two_spanner_engine.run ?rng ?seed ?max_iterations ?trace spec in
+  assert (Edge.Set.is_empty r.uncovered);
+  {
+    spanner = r.spanner;
+    iterations = r.iterations;
+    rounds = r.rounds;
+    stars_added = r.stars_added;
+    candidate_count = r.candidate_count;
+  }
+
+let ratio_bound g =
+  let n = float_of_int (max 1 (Ugraph.n g)) in
+  let m = float_of_int (max 1 (Ugraph.m g)) in
+  8.0 *. ((Float.log (m /. n) /. Float.log 2.0) +. 2.0)

@@ -1,0 +1,30 @@
+(** Distributed approximation of minimum 2-spanners (Theorem 1.3).
+
+    The LOCAL-model algorithm of Section 4: guaranteed approximation
+    ratio O(log (m/n)) with polynomial local computation, O(log n ·
+    log Δ) rounds w.h.p. *)
+
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  iterations : int;
+  rounds : int;
+  stars_added : int;
+  candidate_count : int;
+}
+
+val run :
+  ?rng:Rng.t ->
+  ?seed:int ->
+  ?max_iterations:int ->
+  ?selection:Two_spanner_engine.selection ->
+  ?trace:(Two_spanner_engine.iteration_stats -> unit) ->
+  Ugraph.t ->
+  result
+(** Runs on a (not necessarily connected) undirected graph; the result
+    is always a valid 2-spanner. *)
+
+val ratio_bound : Ugraph.t -> float
+(** The guaranteed bound [c · (log2 (m/n) + 2)] with the paper's
+    constant [c = 8], for display next to measured ratios. *)

@@ -1,0 +1,286 @@
+open Grapho
+
+type spec = {
+  graph : Ugraph.t;
+  targets : Edge.Set.t;
+  usable : Edge.Set.t;
+  weight : Edge.t -> float;
+  candidate_ok : int -> float -> bool;
+  terminate_ok : int -> float -> bool;
+  finalize : Edge.t -> bool;
+  dominance_includes_terminated : bool;
+  selection : selection;
+}
+
+and selection = Votes of float | Coin of float | All
+
+type iteration_stats = {
+  iteration : int;
+  uncovered_before : int;
+  max_density : float;
+  candidates : int;
+  stars_accepted : int;
+  terminated_now : int;
+}
+
+type result = {
+  spanner : Edge.Set.t;
+  iterations : int;
+  rounds : int;
+  stars_added : int;
+  candidate_count : int;
+  votes_cast : int;
+  uncovered : Edge.Set.t;
+}
+
+let rounds_per_iteration = 8
+
+type vstate = {
+  mutable rho : float;  (* true density of the densest star *)
+  mutable exp : int;  (* rounded exponent; min_int when rho <= 0 *)
+  mutable dirty : bool;
+  mutable star : int list;  (* stored selection (paying neighbors) *)
+  mutable star_exp : int;  (* level the stored star was chosen at *)
+  mutable terminated : bool;
+}
+
+let log2_ceil x =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  go 0 x
+
+let run ?rng ?seed ?max_iterations ?trace spec =
+  let seed =
+    match (seed, rng) with
+    | Some s, _ -> s
+    | None, Some r -> Rng.int r (1 lsl 30)
+    | None, None -> 0x2D5F1
+  in
+  let g = spec.graph in
+  let n = Ugraph.n g in
+  let max_iterations =
+    match max_iterations with
+    | Some m -> m
+    | None ->
+        (10 * (log2_ceil (n + 2) + 2) * (log2_ceil (Ugraph.max_degree g + 2) + 2))
+        + 100
+  in
+  let cover = Cover2.create ~n ~targets:spec.targets ~usable:spec.usable in
+  let st =
+    Array.init n (fun _ ->
+        {
+          rho = 0.0;
+          exp = min_int;
+          dirty = true;
+          star = [];
+          star_exp = min_int;
+          terminated = false;
+        })
+  in
+  let mark_dirty v = st.(v).dirty <- true in
+  (* Weight-zero usable edges enter the spanner before the first
+     iteration (weighted variant; a no-op otherwise). *)
+  let zero_edges = Edge.Set.filter (fun e -> spec.weight e = 0.0) spec.usable in
+  if not (Edge.Set.is_empty zero_edges) then
+    Cover2.add cover zero_edges ~dirty:mark_dirty;
+  (* Split eligible neighbors into paying and free once; weights are
+     static. *)
+  let paying = Array.make n [||] and free = Array.make n [||] in
+  for v = 0 to n - 1 do
+    let pay = ref [] and fr = ref [] in
+    let nb = Cover2.usable_neighbors cover v in
+    Array.iter
+      (fun u ->
+        if spec.weight (Edge.make v u) = 0.0 then fr := u :: !fr
+        else pay := u :: !pay)
+      nb;
+    paying.(v) <- Array.of_list (List.rev !pay);
+    free.(v) <- Array.of_list (List.rev !fr)
+  done;
+  let problem v =
+    Star_pick.make ~center:v ~nodes:paying.(v) ~free:free.(v)
+      ~weight:(fun u -> spec.weight (Edge.make v u))
+      ~hv_edges:(Cover2.hv cover v) ()
+  in
+  let refresh_densities () =
+    for v = 0 to n - 1 do
+      if st.(v).dirty then begin
+        st.(v).dirty <- false;
+        let rho =
+          if Edge.Set.is_empty (Cover2.hv cover v) then 0.0
+          else
+            match Star_pick.densest (problem v) with
+            | None -> 0.0
+            | Some (_, d) -> d
+        in
+        st.(v).rho <- rho;
+        st.(v).exp <-
+          (match Star_pick.rounded_exponent rho with
+          | None -> min_int
+          | Some e -> e)
+      end
+    done
+  in
+  (* Maximum of a per-vertex value over closed 2-neighborhoods, by two
+     rounds of neighbor-max (exactly how the vertices would learn it). *)
+  let two_hop_max (value : int -> float) =
+    let one = Array.make n neg_infinity in
+    for v = 0 to n - 1 do
+      let m = ref (value v) in
+      Array.iter (fun u -> m := max !m (value u)) (Ugraph.neighbors g v);
+      one.(v) <- !m
+    done;
+    let two = Array.make n neg_infinity in
+    for v = 0 to n - 1 do
+      let m = ref one.(v) in
+      Array.iter (fun u -> m := max !m one.(u)) (Ugraph.neighbors g v);
+      two.(v) <- !m
+    done;
+    two
+  in
+  let iterations = ref 0 in
+  let stars_added = ref 0 in
+  let candidate_count = ref 0 in
+  let votes_cast = ref 0 in
+  let n4 = Randomness.vote_bound ~n in
+  let all_terminated () = Array.for_all (fun s -> s.terminated) st in
+  while not (all_terminated ()) do
+    incr iterations;
+    if !iterations > max_iterations then
+      failwith
+        (Printf.sprintf "Two_spanner_engine.run: %d iterations without \
+                         termination" max_iterations);
+    (* Step 1: densities and their rounded 2-neighborhood maxima. *)
+    refresh_densities ();
+    let uncovered_before = Cover2.uncovered_count cover in
+    let max_density_now =
+      Array.fold_left (fun acc s -> Float.max acc s.rho) 0.0 st
+    in
+    let stars_before = !stars_added and cands_before = !candidate_count in
+    let dom_exp v =
+      if st.(v).terminated && not spec.dominance_includes_terminated then
+        neg_infinity
+      else if st.(v).exp = min_int then neg_infinity
+      else float_of_int st.(v).exp
+    in
+    let max_exp = two_hop_max dom_exp in
+    (* Step 2: candidates choose stars (Section 4.1). *)
+    let candidates = ref [] in
+    for v = 0 to n - 1 do
+      let s = st.(v) in
+      if
+        (not s.terminated)
+        && s.exp <> min_int
+        && float_of_int s.exp >= max_exp.(v)
+        && spec.candidate_ok v s.rho
+      then begin
+        let prob = problem v in
+        let level = s.exp in
+        let selection =
+          Star_pick.section_4_1_choice prob
+            ~stored:(Some (s.star, s.star_exp))
+            ~level ~divisor:4.0
+        in
+        if selection <> [] then begin
+          s.star <- selection;
+          s.star_exp <- level;
+          let covered = Star_pick.spanned prob selection in
+          if not (Edge.Set.is_empty covered) then begin
+            incr candidate_count;
+            (* Step 3: the random value r_v in {1..n^4}, drawn from the
+               shared per-(vertex, iteration) stream so that the
+               message-passing implementation coincides. *)
+            let r =
+              Randomness.vote_value ~seed ~vertex:v ~iteration:!iterations
+                ~bound:n4
+            in
+            candidates := (v, r, selection, covered) :: !candidates
+          end
+        end
+      end
+    done;
+    (* Step 4: each uncovered 2-spanned target votes for the first
+       candidate in (r, id) order among those 2-spanning it. *)
+    let ballot : (Edge.t, int * int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (v, r, _, covered) ->
+        Edge.Set.iter
+          (fun e ->
+            match Hashtbl.find_opt ballot e with
+            | Some (r', v') when (r', v') <= (r, v) -> ()
+            | _ -> Hashtbl.replace ballot e (r, v))
+          covered)
+      !candidates;
+    let votes = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ (_, v) ->
+        incr votes_cast;
+        Hashtbl.replace votes v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt votes v)))
+      ballot;
+    (* Step 5: admit candidate stars per the selection rule (the paper:
+       at least |C_v| / 8 votes). *)
+    let admitted v covered =
+      match spec.selection with
+      | Votes fraction ->
+          let received = Option.value ~default:0 (Hashtbl.find_opt votes v) in
+          float_of_int received
+          >= fraction *. float_of_int (Edge.Set.cardinal covered)
+      | Coin p -> Randomness.coin ~seed ~vertex:v ~iteration:!iterations ~p
+      | All -> true
+    in
+    let additions = ref Edge.Set.empty in
+    List.iter
+      (fun (v, _, selection, covered) ->
+        if admitted v covered then begin
+          incr stars_added;
+          List.iter
+            (fun u -> additions := Edge.Set.add (Edge.make v u) !additions)
+            selection
+        end)
+      !candidates;
+    if not (Edge.Set.is_empty !additions) then
+      Cover2.add cover !additions ~dirty:mark_dirty;
+    (* Step 6/7: refresh and terminate low-density neighborhoods. *)
+    refresh_densities ();
+    let max_rho =
+      two_hop_max (fun v ->
+          if st.(v).terminated && not spec.dominance_includes_terminated then
+            0.0
+          else st.(v).rho)
+    in
+    let finals = ref Edge.Set.empty in
+    let terminated_this_iteration = ref 0 in
+    for v = 0 to n - 1 do
+      if (not st.(v).terminated) && spec.terminate_ok v (max max_rho.(v) 0.0)
+      then begin
+        st.(v).terminated <- true;
+        incr terminated_this_iteration;
+        Edge.Set.iter
+          (fun e -> if spec.finalize e then finals := Edge.Set.add e !finals)
+          (Cover2.uncovered_incident cover v)
+      end
+    done;
+    if not (Edge.Set.is_empty !finals) then
+      Cover2.add cover !finals ~dirty:mark_dirty;
+    (match trace with
+    | Some f ->
+        f
+          {
+            iteration = !iterations;
+            uncovered_before;
+            max_density = max_density_now;
+            candidates = !candidate_count - cands_before;
+            stars_accepted = !stars_added - stars_before;
+            terminated_now = !terminated_this_iteration;
+          }
+    | None -> ())
+  done;
+  {
+    spanner = Cover2.spanner cover;
+    iterations = !iterations;
+    rounds = rounds_per_iteration * !iterations;
+    stars_added = !stars_added;
+    candidate_count = !candidate_count;
+    votes_cast = !votes_cast;
+    uncovered = Cover2.uncovered cover;
+  }

@@ -1,0 +1,113 @@
+(** The distributed 2-spanner algorithm of Section 4, as a generic
+    engine shared by the unweighted (§4), weighted (§4.3.2) and
+    client-server (§4.3.3) variants.
+
+    The engine executes the paper's iteration faithfully:
+
+    + every vertex computes its rounded density (densest star over its
+      still-uncovered 2-spannable targets, by parametric flow) and
+      learns the maximum over its 2-neighborhood;
+    + vertices whose rounded density attains that maximum (and whose
+      true density passes the variant's candidacy bar) become
+      candidates and choose a star of density at least a quarter of
+      their rounded density, with the monotone star-choice mechanism
+      of Section 4.1;
+    + candidates draw uniform values in [{1..n^4}]; each uncovered
+      target 2-spanned by at least one candidate star votes for the
+      first such candidate in [(value, id)] order;
+    + a candidate star receiving at least an eighth of the votes of
+      the targets it 2-spans joins the spanner;
+    + coverage and the sets [H_v] are updated, and a vertex whose
+      2-neighborhood's maximal density has dropped to the variant's
+      floor terminates, adding its remaining uncovered incident
+      targets (those the variant allows).
+
+    Every decision of a vertex reads only its own state and its
+    2-neighborhood, so each iteration is implementable in O(1) LOCAL
+    rounds; {!rounds_per_iteration} is the constant we charge, and the
+    returned [rounds] is that constant times the iteration count. *)
+
+open Grapho
+
+type spec = {
+  graph : Ugraph.t;  (** communication topology *)
+  targets : Edge.Set.t;  (** edges that must be covered *)
+  usable : Edge.Set.t;  (** edges the spanner may use *)
+  weight : Edge.t -> float;
+      (** cost of a usable edge; weight-zero edges are added to the
+          spanner up front, as the weighted variant prescribes *)
+  candidate_ok : int -> float -> bool;
+      (** [candidate_ok v rho]: may [v] (true density [rho]) stand as
+          a candidate? (unweighted: [rho >= 1]) *)
+  terminate_ok : int -> float -> bool;
+      (** [terminate_ok v max_rho]: does [v] terminate when the
+          maximal true density in its 2-neighborhood is [max_rho]?
+          (unweighted: [max_rho <= 1]) *)
+  finalize : Edge.t -> bool;
+      (** which of [v]'s uncovered incident targets are added on
+          termination (they must be usable) *)
+  dominance_includes_terminated : bool;
+      (** whether terminated vertices still take part in the rounded-
+          density maxima that gate candidacy. The paper compares
+          against the whole 2-neighborhood (true); the weighted
+          variant's per-vertex termination floors make that unsafe
+          against stalls, so it passes false. *)
+  selection : selection;
+      (** how candidate stars are admitted to the spanner; the paper's
+          rule is [Votes 0.125] *)
+}
+
+and selection =
+  | Votes of float
+      (** the paper's voting scheme: a star joins when it receives at
+          least the given fraction of the votes of the targets it
+          2-spans (1/8 in the paper; other values for ablations) *)
+  | Coin of float
+      (** symmetry breaking by independent coin flips with the given
+          acceptance probability — the Dinitz–Krauthgamer-style rule
+          whose ratio holds only in expectation; kept as a baseline *)
+  | All  (** every candidate star joins; degrades the ratio *)
+
+type iteration_stats = {
+  iteration : int;
+  uncovered_before : int;  (** uncovered targets entering the iteration *)
+  max_density : float;  (** largest true density at the iteration start *)
+  candidates : int;
+  stars_accepted : int;
+  terminated_now : int;  (** vertices that terminated this iteration *)
+}
+(** One row of the optional per-iteration trace: enough to watch the
+    potential of Lemma 4.5 fall and the density levels step down. *)
+
+type result = {
+  spanner : Edge.Set.t;
+  iterations : int;
+  rounds : int;  (** [rounds_per_iteration * iterations] LOCAL rounds *)
+  stars_added : int;
+  candidate_count : int;  (** candidacies summed over iterations *)
+  votes_cast : int;
+  uncovered : Edge.Set.t;
+      (** targets left uncovered: exactly the client-server targets no
+          usable 2-path can ever cover; empty otherwise *)
+}
+
+val rounds_per_iteration : int
+(** 8: two rounds to spread densities to the 2-neighborhood, one each
+    for candidate stars, random values and votes, one to announce
+    accepted stars, and two to refresh the [H_v] sets. *)
+
+val run :
+  ?rng:Rng.t ->
+  ?seed:int ->
+  ?max_iterations:int ->
+  ?trace:(iteration_stats -> unit) ->
+  spec ->
+  result
+(** Executes the algorithm to global termination. All vote values are
+    drawn through {!Randomness} from [seed] (which, when absent, is
+    derived from [rng], which in turn defaults to a fixed seed) so
+    that the message-passing implementation {!Two_spanner_local} run
+    with the same seed produces the identical spanner.
+    [max_iterations] (default [10·(log2 n + 2)·(log2 Δ + 2) + 100])
+    guards against the improbable event that the random voting
+    stalls, raising [Failure]. *)

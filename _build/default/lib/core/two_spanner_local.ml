@@ -1,0 +1,600 @@
+open Grapho
+module Iset = Set.Make (Int)
+
+type msg =
+  | Uncovered of int list
+  | Density of int * bool  (* rounded exponent (min_int = zero), terminated *)
+  | Max1 of int
+  | Candidate of int * int list  (* r_v, chosen neighbor set *)
+  | Votes of (int * int) list  (* the voting edges, batched per candidate *)
+  | Accepted of int list
+  | Covered_notice of (int * int) list
+  | Fresh_uncovered of int list
+  | Rho of float * bool  (* true density, terminated flag *)
+  | Max1_rho of float * bool  (* 1-hop max density, 1-hop all-terminated *)
+  | Final_added of int list
+
+type vstate = {
+  neighbors : int array;
+  paying : int array;  (* neighbors across positive-weight edges *)
+  free : int array;  (* neighbors across weight-zero edges *)
+  mutable uncovered_inc : Iset.t;  (* w with {v,w} an uncovered target *)
+  mutable h_adj : Iset.t;  (* spanner neighbors *)
+  mutable hv : Edge.Set.t;
+  mutable rho : float;
+  mutable exp : int;
+  mutable max1 : int;
+  mutable star : int list;
+  mutable star_exp : int;
+  mutable is_candidate : bool;
+  mutable covered_set : Edge.Set.t;  (* C_v of the current candidacy *)
+  mutable max1_rho : float;
+  mutable all1 : bool;
+  mutable terminated : bool;
+  mutable quiet : bool;
+  mutable iteration : int;
+}
+
+type result = {
+  spanner : Edge.Set.t;
+  iterations : int;
+  metrics : Distsim.Engine.metrics;
+}
+
+(* The variant knobs, mirroring Two_spanner_engine.spec. *)
+type variant = {
+  weight : Edge.t -> float;
+  candidate_ok : int -> float -> bool;
+  terminate_ok : int -> float -> bool;
+  dominance_includes_terminated : bool;
+}
+
+let unweighted_variant =
+  {
+    weight = (fun _ -> 1.0);
+    candidate_ok = (fun _ rho -> rho >= 1.0);
+    terminate_ok = (fun _ max_rho -> max_rho <= 1.0);
+    dominance_includes_terminated = true;
+  }
+
+let rounds_per_iteration = 12
+let warmup_rounds = 3
+
+(* Wire sizes (LOCAL: unbounded, but we still account). *)
+let measure ~n msg =
+  let id = Distsim.Message.bits_for_id ~n in
+  match msg with
+  | Uncovered l | Fresh_uncovered l | Accepted l | Final_added l ->
+      4 + (id * List.length l)
+  | Density _ | Max1 _ -> 5 + id
+  | Candidate (_, l) -> 4 + (5 * id) + (id * List.length l)
+  | Votes l | Covered_notice l -> 4 + (2 * id * List.length l)
+  | Rho _ | Max1_rho _ -> 4 + 65
+
+let make_spec ~seed ~variant g =
+  let n = Ugraph.n g in
+  let n4 = Randomness.vote_bound ~n in
+  let broadcast st payload =
+    Array.to_list
+      (Array.map (fun u -> { Distsim.Engine.dst = u; payload }) st.neighbors)
+  in
+  let exponent_of rho =
+    match Star_pick.rounded_exponent rho with
+    | Some e -> e
+    | None -> min_int
+  in
+  let problem vertex st =
+    Star_pick.make ~center:vertex ~nodes:st.paying ~free:st.free
+      ~weight:(fun u -> variant.weight (Edge.make vertex u))
+      ~hv_edges:st.hv ()
+  in
+  let compute_density vertex st =
+    if Edge.Set.is_empty st.hv then begin
+      st.rho <- 0.0;
+      st.exp <- min_int
+    end
+    else begin
+      let rho =
+        match Star_pick.densest (problem vertex st) with
+        | None -> 0.0
+        | Some (_, d) -> d
+      in
+      st.rho <- rho;
+      st.exp <- exponent_of rho
+    end
+  in
+  let rebuild_hv vertex st lists =
+    (* lists: (neighbor u, u's uncovered incident endpoints). An edge
+       {u,w} belongs to H_v iff both u and w are neighbors of v and
+       either reports it uncovered (they agree, so one suffices). *)
+    let nset =
+      Array.fold_left (fun s u -> Iset.add u s) Iset.empty st.neighbors
+    in
+    st.hv <-
+      List.fold_left
+        (fun acc (u, ws) ->
+          List.fold_left
+            (fun acc w ->
+              if w <> u && Iset.mem w nset && w <> vertex then
+                Edge.Set.add (Edge.make u w) acc
+              else acc)
+            acc ws)
+        Edge.Set.empty lists
+  in
+  (* H_v edges newly 2-spanned through this vertex; returns the notices
+     to send and prunes them from hv. *)
+  let via_me_notices st =
+    let covered =
+      Edge.Set.filter
+        (fun e ->
+          let u, w = Edge.endpoints e in
+          Iset.mem u st.h_adj && Iset.mem w st.h_adj)
+        st.hv
+    in
+    st.hv <- Edge.Set.diff st.hv covered;
+    if Edge.Set.is_empty covered then []
+    else begin
+      let per_endpoint = Hashtbl.create 8 in
+      Edge.Set.iter
+        (fun e ->
+          let u, w = Edge.endpoints e in
+          List.iter
+            (fun x ->
+              Hashtbl.replace per_endpoint x
+                ((u, w)
+                :: Option.value ~default:[] (Hashtbl.find_opt per_endpoint x)))
+            [ u; w ])
+        covered;
+      Hashtbl.fold
+        (fun dst pairs acc ->
+          { Distsim.Engine.dst; payload = Covered_notice pairs } :: acc)
+        per_endpoint []
+    end
+  in
+  let absorb_notices vertex st inbox =
+    List.iter
+      (fun (_, m) ->
+        match m with
+        | Covered_notice pairs ->
+            List.iter
+              (fun (a, b) ->
+                if vertex = a then
+                  st.uncovered_inc <- Iset.remove b st.uncovered_inc
+                else if vertex = b then
+                  st.uncovered_inc <- Iset.remove a st.uncovered_inc)
+              pairs
+        | _ -> ())
+      inbox
+  in
+  let uncovered_list st = Iset.elements st.uncovered_inc in
+  let absorb_uncovered_lists inbox =
+    List.filter_map
+      (fun (src, m) ->
+        match m with
+        | Uncovered l | Fresh_uncovered l -> Some (src, l)
+        | _ -> None)
+      inbox
+  in
+  {
+    Distsim.Engine.init =
+      (fun ~n:_ ~vertex ~neighbors ->
+        let paying = ref [] and free = ref [] in
+        Array.iter
+          (fun u ->
+            if variant.weight (Edge.make vertex u) = 0.0 then
+              free := u :: !free
+            else paying := u :: !paying)
+          neighbors;
+        (* Weight-zero edges enter the spanner before the first
+           iteration; their own targets are covered by membership. *)
+        let free = Array.of_list (List.rev !free) in
+        let st =
+          {
+            neighbors;
+            paying = Array.of_list (List.rev !paying);
+            free;
+            uncovered_inc =
+              Array.fold_left
+                (fun s u ->
+                  if variant.weight (Edge.make vertex u) = 0.0 then s
+                  else Iset.add u s)
+                Iset.empty neighbors;
+            h_adj = Array.fold_left (fun s u -> Iset.add u s) Iset.empty free;
+            hv = Edge.Set.empty;
+            rho = 0.0;
+            exp = min_int;
+            max1 = min_int;
+            star = [];
+            star_exp = min_int;
+            is_candidate = false;
+            covered_set = Edge.Set.empty;
+            max1_rho = 0.0;
+            all1 = true;
+            terminated = false;
+            quiet = false;
+            iteration = 1;
+          }
+        in
+        (* Warm-up round W0 payload. *)
+        (st, broadcast st (Uncovered (uncovered_list st))));
+    step =
+      (fun ~round ~vertex st inbox ->
+        if st.quiet then (st, [], `Done)
+        else if round < warmup_rounds then begin
+          if round = 1 then begin
+            (* W1: pre-added weight-zero 2-paths already cover some
+               targets; notify their endpoints. A no-op when there are
+               no zero-weight edges. *)
+            rebuild_hv vertex st (absorb_uncovered_lists inbox);
+            (st, via_me_notices st, `Continue)
+          end
+          else begin
+            (* W2: absorb and launch the main loop's first iteration. *)
+            absorb_notices vertex st inbox;
+            (st, broadcast st (Uncovered (uncovered_list st)), `Continue)
+          end
+        end
+        else begin
+          let phase = (round - warmup_rounds) mod rounds_per_iteration in
+          let out =
+            match phase with
+            | 0 ->
+                (* Uncovered lists -> H_v -> density. *)
+                rebuild_hv vertex st (absorb_uncovered_lists inbox);
+                compute_density vertex st;
+                broadcast st (Density (st.exp, st.terminated))
+            | 1 ->
+                let own =
+                  if
+                    st.terminated
+                    && not variant.dominance_includes_terminated
+                  then min_int
+                  else st.exp
+                in
+                let m =
+                  List.fold_left
+                    (fun acc (_, msg) ->
+                      match msg with
+                      | Density (e, t) ->
+                          if t && not variant.dominance_includes_terminated
+                          then acc
+                          else max acc e
+                      | _ -> acc)
+                    own inbox
+                in
+                st.max1 <- m;
+                broadcast st (Max1 m)
+            | 2 ->
+                let max2 =
+                  List.fold_left
+                    (fun acc (_, msg) ->
+                      match msg with Max1 e -> max acc e | _ -> acc)
+                    st.max1 inbox
+                in
+                st.is_candidate <- false;
+                if
+                  (not st.terminated)
+                  && st.exp <> min_int
+                  && st.exp >= max2
+                  && variant.candidate_ok vertex st.rho
+                then begin
+                  let prob = problem vertex st in
+                  let selection =
+                    Star_pick.section_4_1_choice prob
+                      ~stored:(Some (st.star, st.star_exp))
+                      ~level:st.exp ~divisor:4.0
+                  in
+                  if selection <> [] then begin
+                    st.star <- selection;
+                    st.star_exp <- st.exp;
+                    let covered = Star_pick.spanned prob selection in
+                    if not (Edge.Set.is_empty covered) then begin
+                      st.is_candidate <- true;
+                      st.covered_set <- covered;
+                      let r =
+                        Randomness.vote_value ~seed ~vertex
+                          ~iteration:st.iteration ~bound:n4
+                      in
+                      (* Voters must see the star as Section 4.3.2
+                         defines it: the paying selection plus the
+                         implicit weight-zero edges. *)
+                      broadcast st
+                        (Candidate (r, selection @ Array.to_list st.free))
+                    end
+                    else []
+                  end
+                  else []
+                end
+                else []
+            | 3 ->
+                (* The smaller endpoint of each uncovered edge casts
+                   its vote; votes to the same candidate are batched
+                   into one message (one message per edge per round). *)
+                let candidates =
+                  List.filter_map
+                    (fun (src, m) ->
+                      match m with
+                      | Candidate (r, star) -> Some (src, r, star)
+                      | _ -> None)
+                    inbox
+                in
+                let per_winner = Hashtbl.create 8 in
+                Iset.iter
+                  (fun w ->
+                    if vertex < w then begin
+                      let spanning =
+                        List.filter_map
+                          (fun (src, r, star) ->
+                            if List.mem vertex star && List.mem w star then
+                              Some (r, src)
+                            else None)
+                          candidates
+                      in
+                      match List.sort compare spanning with
+                      | [] -> ()
+                      | (_, winner) :: _ ->
+                          Hashtbl.replace per_winner winner
+                            ((vertex, w)
+                            :: Option.value ~default:[]
+                                 (Hashtbl.find_opt per_winner winner))
+                    end)
+                  st.uncovered_inc;
+                Hashtbl.fold
+                  (fun dst votes acc ->
+                    { Distsim.Engine.dst; payload = Votes votes } :: acc)
+                  per_winner []
+            | 4 ->
+                if st.is_candidate then begin
+                  st.is_candidate <- false;
+                  let votes =
+                    List.fold_left
+                      (fun acc (_, m) ->
+                        match m with
+                        | Votes l -> acc + List.length l
+                        | _ -> acc)
+                      0 inbox
+                  in
+                  if
+                    float_of_int votes
+                    >= 0.125
+                       *. float_of_int (Edge.Set.cardinal st.covered_set)
+                  then begin
+                    (* The star joins the spanner. *)
+                    List.iter
+                      (fun u ->
+                        st.h_adj <- Iset.add u st.h_adj;
+                        st.uncovered_inc <- Iset.remove u st.uncovered_inc)
+                      st.star;
+                    broadcast st (Accepted st.star)
+                  end
+                  else []
+                end
+                else []
+            | 5 ->
+                (* Neighbors' accepted stars update the spanner
+                   incidence; report edges 2-spanned through me. *)
+                List.iter
+                  (fun (src, m) ->
+                    match m with
+                    | Accepted star when List.mem vertex star ->
+                        st.h_adj <- Iset.add src st.h_adj;
+                        st.uncovered_inc <- Iset.remove src st.uncovered_inc
+                    | _ -> ())
+                  inbox;
+                via_me_notices st
+            | 6 ->
+                absorb_notices vertex st inbox;
+                broadcast st (Fresh_uncovered (uncovered_list st))
+            | 7 ->
+                rebuild_hv vertex st (absorb_uncovered_lists inbox);
+                compute_density vertex st;
+                broadcast st (Rho (st.rho, st.terminated))
+            | 8 ->
+                let exclude t =
+                  t && not variant.dominance_includes_terminated
+                in
+                let own_rho =
+                  if exclude st.terminated then 0.0 else st.rho
+                in
+                let m, a =
+                  List.fold_left
+                    (fun (acc, all) (_, msg) ->
+                      match msg with
+                      | Rho (r, t) ->
+                          ( Float.max acc (if exclude t then 0.0 else r),
+                            all && t )
+                      | _ -> (acc, all))
+                    (own_rho, st.terminated)
+                    inbox
+                in
+                st.max1_rho <- m;
+                st.all1 <- a;
+                broadcast st (Max1_rho (m, a))
+            | 9 ->
+                let max2_rho, all2 =
+                  List.fold_left
+                    (fun (acc, all) (_, msg) ->
+                      match msg with
+                      | Max1_rho (r, t) -> (Float.max acc r, all && t)
+                      | _ -> (acc, all))
+                    (st.max1_rho, st.all1)
+                    inbox
+                in
+                let out =
+                  if
+                    (not st.terminated)
+                    && variant.terminate_ok vertex (Float.max max2_rho 0.0)
+                  then begin
+                    st.terminated <- true;
+                    let finals = uncovered_list st in
+                    List.iter
+                      (fun w ->
+                        st.h_adj <- Iset.add w st.h_adj;
+                        st.uncovered_inc <- Iset.remove w st.uncovered_inc)
+                      finals;
+                    if finals <> [] then broadcast st (Final_added finals)
+                    else []
+                  end
+                  else []
+                in
+                if all2 && st.terminated then st.quiet <- true;
+                out
+            | 10 ->
+                List.iter
+                  (fun (src, m) ->
+                    match m with
+                    | Final_added l when List.mem vertex l ->
+                        st.h_adj <- Iset.add src st.h_adj;
+                        st.uncovered_inc <- Iset.remove src st.uncovered_inc
+                    | _ -> ())
+                  inbox;
+                via_me_notices st
+            | _ ->
+                absorb_notices vertex st inbox;
+                st.iteration <- st.iteration + 1;
+                broadcast st (Uncovered (uncovered_list st))
+          in
+          (st, out, if st.quiet then `Done else `Continue)
+        end);
+    measure = measure ~n:(max n 2);
+  }
+
+let collect_result (states, metrics) =
+  let spanner = ref Edge.Set.empty in
+  Array.iteri
+    (fun v st ->
+      Iset.iter
+        (fun u -> spanner := Edge.Set.add (Edge.make v u) !spanner)
+        st.h_adj)
+    states;
+  let iterations =
+    Array.fold_left (fun acc st -> max acc (st.iteration - 1)) 0 states
+  in
+  { spanner = !spanner; iterations; metrics }
+
+let run ?(seed = 0x2D5F1) ?max_rounds g =
+  let n = Ugraph.n g in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 200 * (n + 20)
+  in
+  collect_result
+    (Distsim.Engine.run ~max_rounds ~model:Distsim.Model.local ~graph:g
+       (make_spec ~seed ~variant:unweighted_variant g))
+
+(* The weighted variant of Section 4.3.2, mirroring
+   Weighted_two_spanner's engine configuration. The per-vertex
+   termination floors 1/wmax (wmax over the closed 2-neighborhood) are
+   static topology data, precomputed the way vertices' knowledge of
+   their neighbors is. *)
+let run_weighted ?(seed = 0x2D5F1) ?max_rounds g w =
+  let n = Ugraph.n g in
+  let own = Array.make n 0.0 in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun u -> own.(v) <- Float.max own.(v) (Weights.get w (Edge.make v u)))
+      (Ugraph.neighbors g v)
+  done;
+  let hop a =
+    Array.init n (fun v ->
+        Array.fold_left
+          (fun acc u -> Float.max acc a.(u))
+          a.(v) (Ugraph.neighbors g v))
+  in
+  let wmax2 = hop (hop own) in
+  let floor_of v = if wmax2.(v) > 0.0 then 1.0 /. wmax2.(v) else infinity in
+  let variant =
+    {
+      weight = Weights.get w;
+      candidate_ok = (fun _ rho -> rho > 0.0);
+      terminate_ok = (fun v max_rho -> max_rho <= floor_of v);
+      dominance_includes_terminated = false;
+    }
+  in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 400 * (n + 20)
+  in
+  collect_result
+    (Distsim.Engine.run ~max_rounds ~model:Distsim.Model.local ~graph:g
+       (make_spec ~seed ~variant g))
+
+(* ------------------------------------------------------------------ *)
+(* CONGEST compilation: every protocol message is a short list of
+   identifiers (or a density), so it fragments into O(log n)-bit
+   chunks; a virtual round costs O(Delta) real rounds, exactly the
+   overhead Section 1.3 predicts for a direct CONGEST port. *)
+
+let exp_offset = 4096
+let encode_exp e = if e = min_int then 0 else e + exp_offset
+let decode_exp x = if x = 0 then min_int else x - exp_offset
+
+let encode_float f =
+  let bits = Int64.bits_of_float f in
+  ( Int64.to_int (Int64.shift_right_logical bits 32),
+    Int64.to_int (Int64.logand bits 0xFFFFFFFFL) )
+
+let decode_float hi lo =
+  Int64.float_of_bits
+    (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
+
+let encode_pairs pairs = List.concat_map (fun (a, b) -> [ a; b ]) pairs
+
+let rec decode_pairs = function
+  | [] -> []
+  | a :: b :: rest -> (a, b) :: decode_pairs rest
+  | _ -> invalid_arg "Two_spanner_local: odd pair stream"
+
+let encode = function
+  | Uncovered l -> 0 :: l
+  | Density (e, t) -> [ 1; encode_exp e; (if t then 1 else 0) ]
+  | Max1 e -> [ 2; encode_exp e ]
+  | Candidate (r, star) -> 3 :: r :: star
+  | Votes pairs -> 4 :: encode_pairs pairs
+  | Accepted l -> 5 :: l
+  | Covered_notice pairs -> 6 :: encode_pairs pairs
+  | Fresh_uncovered l -> 7 :: l
+  | Rho (f, t) ->
+      let hi, lo = encode_float f in
+      [ 8; (if t then 1 else 0); hi; lo ]
+  | Max1_rho (f, t) ->
+      let hi, lo = encode_float f in
+      [ 9; (if t then 1 else 0); hi; lo ]
+  | Final_added l -> 10 :: l
+
+let decode chunks =
+  let msg =
+    match chunks with
+    | 0 :: l -> Uncovered l
+    | [ 1; e; t ] -> Density (decode_exp e, t = 1)
+    | [ 2; e ] -> Max1 (decode_exp e)
+    | 3 :: r :: star -> Candidate (r, star)
+    | 4 :: pairs -> Votes (decode_pairs pairs)
+    | 5 :: l -> Accepted l
+    | 6 :: pairs -> Covered_notice (decode_pairs pairs)
+    | 7 :: l -> Fresh_uncovered l
+    | [ 8; t; hi; lo ] -> Rho (decode_float hi lo, t = 1)
+    | [ 9; t; hi; lo ] -> Max1_rho (decode_float hi lo, t = 1)
+    | 10 :: l -> Final_added l
+    | _ -> invalid_arg "Two_spanner_local: undecodable chunk stream"
+  in
+  (msg, [])
+
+let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round g =
+  let n = Ugraph.n g in
+  let delta = Ugraph.max_degree g in
+  let chunks_per_round =
+    match chunks_per_round with Some c -> c | None -> (2 * delta) + 4
+  in
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None -> 200 * (n + 20) * chunks_per_round
+  in
+  (* c = 16 suffices once log n covers the 33-bit density halves; on
+     tiny graphs raise the constant so the budget still does. *)
+  let id_bits = Distsim.Message.bits_for_id ~n:(max n 2) in
+  let c = max 16 ((48 / id_bits) + 1) in
+  let model = Distsim.Model.congest ~n:(max n 2) ~c () in
+  collect_result
+    (Distsim.Chunked.run ~max_rounds ~model ~graph:g ~chunks_per_round
+       ~encode ~decode
+       (make_spec ~seed ~variant:unweighted_variant g))

@@ -1,0 +1,68 @@
+(** The Section 4 algorithm as an honest message-passing LOCAL
+    protocol on {!Distsim.Engine}.
+
+    Each iteration of the paper's algorithm is realized in 12
+    communication rounds:
+
+    + vertices exchange their uncovered incident edges, from which
+      every vertex rebuilds its [H_v] and computes its rounded
+      density (rounds 1-2 also spread the densities two hops);
+    + candidates announce their chosen star together with their random
+      draw; the smaller endpoint of each uncovered edge casts the
+      edge's vote; accepted stars are announced;
+    + coverage percolates: every vertex reports the [H_v]-edges newly
+      2-spanned through it to their endpoints, fresh uncovered lists
+      rebuild the [H_v]'s, true densities spread two hops, and
+      vertices whose 2-neighborhood density has dropped to 1 finalize
+      their remaining uncovered edges, whose coverage effects
+      percolate in the last two rounds.
+
+    A vertex goes quiet once everyone within distance 2 has
+    terminated.
+
+    Vote values come from {!Randomness} keyed on [(seed, vertex,
+    iteration)], exactly as in {!Two_spanner_engine}: running both
+    with the same seed on the same graph yields the {e identical}
+    spanner — the differential tests assert this equality. Only the
+    unweighted undirected variant is realized here; the variants share
+    the engine. *)
+
+open Grapho
+
+type result = {
+  spanner : Edge.Set.t;
+  iterations : int;  (** completed 12-round iterations *)
+  metrics : Distsim.Engine.metrics;
+}
+
+val rounds_per_iteration : int
+
+val warmup_rounds : int
+(** Three bootstrap rounds before the first iteration, covering the
+    targets that the weighted variant's pre-added weight-zero edges
+    already 2-span (a no-op in the unweighted case). *)
+
+val run : ?seed:int -> ?max_rounds:int -> Ugraph.t -> result
+(** Runs under {!Distsim.Model.local} (messages are neighbor lists,
+    hence unbounded, as the paper's algorithm requires). The result is
+    always a valid 2-spanner. *)
+
+val run_weighted :
+  ?seed:int -> ?max_rounds:int -> Ugraph.t -> Weights.t -> result
+(** The weighted variant of Section 4.3.2 as a message-passing
+    protocol, mirroring {!Weighted_two_spanner}'s engine configuration
+    (weight-zero edges pre-added, no candidacy floor, per-vertex
+    termination floors 1/wmax, terminated vertices excluded from the
+    density maxima). Same seed, same spanner as the engine — the
+    differential tests assert it. *)
+
+val run_congest :
+  ?seed:int -> ?max_rounds:int -> ?chunks_per_round:int -> Ugraph.t -> result
+(** The same protocol compiled to CONGEST with {!Distsim.Chunked}:
+    messages fragment into O(log n)-bit chunks, each virtual round
+    spending [chunks_per_round] (default [2Δ + 4]) real rounds — the
+    O(Δ)-overhead direct implementation Section 1.3 discusses. Runs
+    under an O(log n)-bit CONGEST model (c = 16, raised on tiny graphs
+    so the 33-bit density halves always fit); produces the same spanner as {!run} and the
+    engine for equal seeds, and its metrics expose the genuine
+    compiled round count and chunk traffic. *)

@@ -1,0 +1,1 @@
+lib/distsim/algorithms.ml: Array Engine Grapho List Message Model

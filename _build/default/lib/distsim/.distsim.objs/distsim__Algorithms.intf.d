@@ -1,0 +1,1 @@
+lib/distsim/algorithms.mli: Engine Grapho Model

@@ -1,0 +1,1 @@
+lib/distsim/chunked.ml: Array Engine Hashtbl List Message Option Printf

@@ -1,0 +1,1 @@
+lib/distsim/chunked.mli: Engine Grapho Model

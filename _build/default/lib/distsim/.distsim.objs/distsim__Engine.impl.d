@@ -1,0 +1,1 @@
+lib/distsim/engine.ml: Array Grapho List Model Printf

@@ -1,0 +1,1 @@
+lib/distsim/message.mli:

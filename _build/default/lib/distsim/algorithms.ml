@@ -1,0 +1,284 @@
+type 'a state = { mutable value : 'a }
+
+(* Shared shape: each vertex holds a value, rebroadcasts it whenever it
+   improves, and is done while no improvement arrives. Messages carry
+   values of the same type as the state. *)
+let improving ~initial ~announces_first ~improve ~measure ?model graph =
+  let model =
+    match model with
+    | Some m -> m
+    | None -> Model.congest ~n:(max 2 (Grapho.Ugraph.n graph)) ()
+  in
+  let broadcast neighbors payload =
+    Array.to_list
+      (Array.map (fun u -> { Engine.dst = u; payload }) neighbors)
+  in
+  let spec =
+    {
+      Engine.init =
+        (fun ~n:_ ~vertex ~neighbors ->
+          let v = initial vertex in
+          let out = if announces_first vertex then broadcast neighbors v else [] in
+          ({ value = v }, out));
+      step =
+        (fun ~round:_ ~vertex st inbox ->
+          let improved = ref false in
+          List.iter
+            (fun (_, msg) ->
+              match improve st.value msg with
+              | Some better ->
+                  st.value <- better;
+                  improved := true
+              | None -> ())
+            inbox;
+          if !improved then
+            ( st,
+              broadcast (Grapho.Ugraph.neighbors graph vertex) st.value,
+              `Continue )
+          else (st, [], `Done));
+      measure;
+    }
+  in
+  let states, metrics = Engine.run ~model ~graph spec in
+  (Array.map (fun s -> s.value) states, metrics)
+
+let flood_min_id ?model graph =
+  let bits = Message.bits_for_id ~n:(max 2 (Grapho.Ugraph.n graph)) in
+  improving ?model graph
+    ~initial:(fun v -> v)
+    ~announces_first:(fun _ -> true)
+    ~improve:(fun current incoming ->
+      if incoming < current then Some incoming else None)
+    ~measure:(fun _ -> bits)
+
+let bfs_distances ?model ~root graph =
+  let bits = Message.bits_for_id ~n:(max 2 (Grapho.Ugraph.n graph)) in
+  improving ?model graph
+    ~initial:(fun v -> if v = root then 0 else max_int)
+    ~announces_first:(fun v -> v = root)
+    ~improve:(fun current incoming ->
+      if incoming < max_int && incoming + 1 < current then Some (incoming + 1)
+      else None)
+    ~measure:(fun _ -> bits)
+
+(* ------------------------------------------------------------------ *)
+(* Luby's MIS: phases of (Value, Joined, -). *)
+
+type mis_state = {
+  rng : Grapho.Rng.t;
+  mutable in_mis : bool;
+  mutable dead : bool;
+  mutable my_value : int;
+  mutable best_seen : int option;
+}
+
+type mis_msg = Value of int | Joined_mis
+
+let luby_mis ?(seed = 0x715B) ?model graph =
+  let n = max 2 (Grapho.Ugraph.n graph) in
+  let model =
+    match model with Some m -> m | None -> Model.congest ~n ()
+  in
+  let master = Grapho.Rng.create seed in
+  let streams =
+    Array.init (Grapho.Ugraph.n graph) (fun _ -> Grapho.Rng.split master)
+  in
+  let bound = n * n * n in
+  let broadcast st payload =
+    ignore st;
+    fun neighbors ->
+      Array.to_list
+        (Array.map (fun u -> { Engine.dst = u; payload }) neighbors)
+  in
+  let spec =
+    {
+      Engine.init =
+        (fun ~n:_ ~vertex ~neighbors ->
+          let st =
+            {
+              rng = streams.(vertex);
+              in_mis = false;
+              dead = false;
+              my_value = 0;
+              best_seen = None;
+            }
+          in
+          st.my_value <- Grapho.Rng.int st.rng bound;
+          (st, broadcast st (Value st.my_value) neighbors));
+      step =
+        (fun ~round ~vertex st inbox ->
+          if st.dead || st.in_mis then (st, [], `Done)
+          else begin
+            let neighbors = Grapho.Ugraph.neighbors graph vertex in
+            let phase = (round - 1) mod 3 in
+            let out =
+              match phase with
+              | 0 ->
+                  (* Received live neighbor values; join if strictly
+                     first in (value, id) order. *)
+                  let mine = (st.my_value, vertex) in
+                  let beaten =
+                    List.exists
+                      (fun (src, m) ->
+                        match m with
+                        | Value v -> (v, src) < mine
+                        | _ -> false)
+                      inbox
+                  in
+                  if not beaten then begin
+                    st.in_mis <- true;
+                    broadcast st Joined_mis neighbors
+                  end
+                  else []
+              | 1 ->
+                  (* Neighbors joining kill this vertex. *)
+                  if List.exists (fun (_, m) -> m = Joined_mis) inbox then
+                    st.dead <- true;
+                  []
+              | _ ->
+                  (* Start the next phase with a fresh value. *)
+                  st.my_value <- Grapho.Rng.int st.rng bound;
+                  broadcast st (Value st.my_value) neighbors
+            in
+            let status =
+              if st.dead || st.in_mis then `Done else `Continue
+            in
+            (st, out, status)
+          end);
+      measure =
+        (fun m ->
+          match m with
+          | Value _ -> 2 + (3 * Message.bits_for_id ~n)
+          | Joined_mis -> 2);
+    }
+  in
+  let states, metrics = Engine.run ~model ~graph spec in
+  (Array.map (fun st -> st.in_mis) states, metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Maximal matching by random head/tail proposals (Israeli-Itai
+   style): each phase, every active vertex flips a coin; heads propose
+   to a random active tail neighbor, tails accept one proposer. The
+   head/tail asymmetry rules out mutual-proposal deadlocks. *)
+
+type mm_state = {
+  mm_rng : Grapho.Rng.t;
+  mutable mate : int;
+  mutable announced : bool;
+  mutable is_head : bool;
+  mutable tails : int list;
+  mutable live_nbrs : int list;
+}
+
+type mm_msg = Mm_coin of bool | Mm_propose | Mm_accept | Mm_matched
+
+let maximal_matching ?(seed = 0x7A7E) ?model graph =
+  let n = max 2 (Grapho.Ugraph.n graph) in
+  let model =
+    match model with Some m -> m | None -> Model.congest ~n ()
+  in
+  let master = Grapho.Rng.create seed in
+  let streams =
+    Array.init (Grapho.Ugraph.n graph) (fun _ -> Grapho.Rng.split master)
+  in
+  let send dst payload = { Engine.dst; payload } in
+  let broadcast_to targets payload =
+    List.map (fun u -> send u payload) targets
+  in
+  let spec =
+    {
+      Engine.init =
+        (fun ~n:_ ~vertex ~neighbors ->
+          let st =
+            {
+              mm_rng = streams.(vertex);
+              mate = -1;
+              announced = false;
+              is_head = false;
+              tails = [];
+              live_nbrs = Array.to_list neighbors;
+            }
+          in
+          st.is_head <- Grapho.Rng.bool st.mm_rng;
+          (st, broadcast_to st.live_nbrs (Mm_coin st.is_head)));
+      step =
+        (fun ~round ~vertex st inbox ->
+          ignore vertex;
+          (* Matched neighbors leave the pool, whatever the phase. *)
+          List.iter
+            (fun (src, m) ->
+              if m = Mm_matched then
+                st.live_nbrs <- List.filter (fun u -> u <> src) st.live_nbrs)
+            inbox;
+          let finished () = st.mate >= 0 || st.live_nbrs = [] in
+          let phase = (round - 1) mod 4 in
+          let out =
+            match phase with
+            | 0 ->
+                (* Coins in hand: heads court a random active tail. *)
+                if st.mate >= 0 then []
+                else begin
+                  st.tails <-
+                    List.filter_map
+                      (fun (src, m) ->
+                        match m with
+                        | Mm_coin false
+                          when List.mem src st.live_nbrs ->
+                            Some src
+                        | _ -> None)
+                      inbox;
+                  if st.is_head && st.tails <> [] then begin
+                    let pick =
+                      List.nth st.tails
+                        (Grapho.Rng.int st.mm_rng (List.length st.tails))
+                    in
+                    [ send pick Mm_propose ]
+                  end
+                  else []
+                end
+            | 1 ->
+                (* Tails accept the smallest-id proposer. *)
+                if st.mate >= 0 then []
+                else begin
+                  let proposers =
+                    List.filter_map
+                      (fun (src, m) ->
+                        match m with Mm_propose -> Some src | _ -> None)
+                      inbox
+                  in
+                  match List.sort compare proposers with
+                  | [] -> []
+                  | u :: _ ->
+                      st.mate <- u;
+                      st.announced <- true;
+                      send u Mm_accept
+                      :: broadcast_to st.live_nbrs Mm_matched
+                end
+            | 2 ->
+                (* Heads learn their fate: an accept can only come from
+                   the single tail they proposed to. *)
+                if st.mate < 0 then
+                  (match
+                     List.find_opt (fun (_, m) -> m = Mm_accept) inbox
+                   with
+                  | Some (src, _) -> st.mate <- src
+                  | None -> ());
+                if st.mate >= 0 && not st.announced then begin
+                  st.announced <- true;
+                  broadcast_to st.live_nbrs Mm_matched
+                end
+                else []
+            | _ ->
+                (* Fresh coins for the next phase. *)
+                if finished () then []
+                else begin
+                  st.is_head <- Grapho.Rng.bool st.mm_rng;
+                  broadcast_to st.live_nbrs (Mm_coin st.is_head)
+                end
+          in
+          (st, out, if finished () then `Done else `Continue));
+      measure = (fun _ -> 3);
+    }
+  in
+  let states, metrics = Engine.run ~model ~graph spec in
+  (Array.map (fun st -> st.mate) states, metrics)

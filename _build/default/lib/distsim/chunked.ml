@@ -1,0 +1,135 @@
+type 's outer_state = {
+  inner : 's;
+  queues : (int, int list) Hashtbl.t;  (* dst -> chunks still to send *)
+  buffers : (int, int list) Hashtbl.t;  (* src -> chunks received (rev) *)
+  mutable inner_done : bool;
+}
+
+let run ?max_rounds ?strict ~model ~graph ~chunks_per_round ~encode ~decode
+    spec =
+  if chunks_per_round < 2 then
+    invalid_arg "Chunked.run: chunks_per_round must be at least 2";
+  let c = chunks_per_round in
+  (* Frame a message as [length; chunk1; ...; chunkL]. *)
+  let frame msg =
+    let chunks = encode msg in
+    let len = List.length chunks in
+    if len > c - 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Chunked.run: a message encoded to %d chunks, budget is %d" len
+           (c - 1));
+    len :: chunks
+  in
+  let enqueue st outbox =
+    List.iter
+      (fun { Engine.dst; payload } ->
+        (* One inner message per edge per virtual round: anything more
+           cannot fit the chunk schedule (and violates the model). *)
+        if Hashtbl.mem st.queues dst then
+          invalid_arg
+            "Chunked.run: two messages to one destination in a round";
+        Hashtbl.replace st.queues dst (frame payload))
+      outbox
+  in
+  (* One chunk per destination per real round. (Mutating a Hashtbl
+     under fold is unspecified, so snapshot the keys first.) *)
+  let drain st =
+    let keys = Hashtbl.fold (fun dst _ acc -> dst :: acc) st.queues [] in
+    List.filter_map
+      (fun dst ->
+        match Hashtbl.find_opt st.queues dst with
+        | None | Some [] ->
+            Hashtbl.remove st.queues dst;
+            None
+        | Some (chunk :: rest) ->
+            if rest = [] then Hashtbl.remove st.queues dst
+            else Hashtbl.replace st.queues dst rest;
+            Some { Engine.dst; payload = chunk })
+      keys
+  in
+  let queues_empty st = Hashtbl.length st.queues = 0 in
+  let absorb st inbox =
+    List.iter
+      (fun (src, chunk) ->
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt st.buffers src)
+        in
+        Hashtbl.replace st.buffers src (chunk :: existing))
+      inbox
+  in
+  let deliverables st =
+    let messages =
+      Hashtbl.fold
+        (fun src rev_chunks acc ->
+          let rec parse stream acc =
+            match stream with
+            | [] -> acc
+            | len :: rest ->
+                let rec take k stream taken =
+                  if k = 0 then (List.rev taken, stream)
+                  else
+                    match stream with
+                    | x :: xs -> take (k - 1) xs (x :: taken)
+                    | [] ->
+                        invalid_arg
+                          (Printf.sprintf
+                             "Chunked.run: truncated chunk stream (src=%d \
+                              need=%d have=%d)"
+                             src k (List.length rev_chunks))
+                in
+                let body, rest = take len rest [] in
+                let msg, leftover = decode body in
+                if leftover <> [] then
+                  invalid_arg "Chunked.run: decoder left residue";
+                parse rest ((src, msg) :: acc)
+          in
+          parse (List.rev rev_chunks) acc)
+        st.buffers []
+    in
+    Hashtbl.reset st.buffers;
+    (* Engine semantics: inboxes sorted by source. *)
+    List.sort (fun (a, _) (b, _) -> compare a b) messages
+  in
+  let outer =
+    {
+      Engine.init =
+        (fun ~n ~vertex ~neighbors ->
+          let inner, outbox = spec.Engine.init ~n ~vertex ~neighbors in
+          let st =
+            {
+              inner;
+              queues = Hashtbl.create 8;
+              buffers = Hashtbl.create 8;
+              inner_done = false;
+            }
+          in
+          enqueue st outbox;
+          (st, drain st));
+      step =
+        (fun ~round ~vertex st inbox ->
+          absorb st inbox;
+          if round mod c = 0 then begin
+            (* Virtual round boundary: deliver and run the inner step. *)
+            let virtual_round = round / c in
+            let delivered = deliverables st in
+            let inner, outbox, status =
+              spec.Engine.step ~round:virtual_round ~vertex st.inner delivered
+            in
+            let st = { st with inner } in
+            st.inner_done <- (status = `Done);
+            enqueue st outbox;
+            ( st,
+              drain st,
+              if st.inner_done && queues_empty st then `Done else `Continue )
+          end
+          else
+            ( st,
+              drain st,
+              if st.inner_done && queues_empty st then `Done else `Continue ))
+        ;
+      measure = (fun chunk -> 6 + Message.bits_int (abs chunk + 1));
+    }
+  in
+  let states, metrics = Engine.run ?max_rounds ?strict ~model ~graph outer in
+  (Array.map (fun st -> st.inner) states, metrics)

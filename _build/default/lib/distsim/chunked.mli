@@ -1,0 +1,32 @@
+(** A generic LOCAL → CONGEST compiler by message fragmentation.
+
+    Wraps an {!Engine.spec} whose messages may be large: each virtual
+    round of the inner algorithm is stretched over [chunks_per_round]
+    real rounds during which every (sender, receiver) pair carries at
+    most one small chunk per round; receivers reassemble and the inner
+    step runs once per virtual round. If every inner message encodes
+    into at most [chunks_per_round - 1] chunks (one chunk is a length
+    header), the compiled protocol is semantically identical to the
+    LOCAL original while every wire message fits the CONGEST budget.
+
+    This realizes the paper's Section 1.3 remark that a direct CONGEST
+    implementation of the Section 4 algorithm carries an O(Δ)
+    overhead: its messages are neighbor lists of at most Δ
+    identifiers, so [chunks_per_round = Θ(Δ)]. *)
+
+val run :
+  ?max_rounds:int ->
+  ?strict:bool ->
+  model:Model.t ->
+  graph:Grapho.Ugraph.t ->
+  chunks_per_round:int ->
+  encode:('m -> int list) ->
+  decode:(int list -> 'm * int list) ->
+  ('s, 'm) Engine.spec ->
+  's array * Engine.metrics
+(** [encode] turns a message into non-negative integer chunks (at most
+    [chunks_per_round - 1]); [decode] consumes one message from the
+    front of a chunk stream and returns the rest. Raises
+    [Invalid_argument] if a message encodes to too many chunks. The
+    returned metrics are the real (compiled) rounds and chunk
+    traffic. *)

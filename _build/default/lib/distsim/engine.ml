@@ -1,0 +1,100 @@
+type 'msg send = { dst : int; payload : 'msg }
+
+type metrics = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_message_bits : int;
+  congest_violations : int;
+}
+
+type ('state, 'msg) spec = {
+  init :
+    n:int -> vertex:int -> neighbors:int array ->
+    'state * 'msg send list;
+  step :
+    round:int -> vertex:int -> 'state -> (int * 'msg) list ->
+    'state * 'msg send list * [ `Continue | `Done ];
+  measure : 'msg -> int;
+}
+
+exception Congest_violation of { src : int; dst : int; bits : int }
+
+let run ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
+  let n = Grapho.Ugraph.n graph in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 50 * (n + 5)
+  in
+  let done_flags = Array.make n false in
+  let inboxes = Array.make n [] in
+  let messages = ref 0 in
+  let total_bits = ref 0 in
+  let max_message_bits = ref 0 in
+  let congest_violations = ref 0 in
+  let bandwidth = Model.bandwidth model in
+  let in_flight = ref 0 in
+  let account src outbox =
+    List.iter
+      (fun { dst; payload } ->
+        if not (Grapho.Ugraph.mem_edge graph src dst) then
+          invalid_arg
+            (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src
+               dst);
+        let bits = spec.measure payload in
+        (match observer with
+        | Some f -> f ~src ~dst ~bits
+        | None -> ());
+        incr messages;
+        incr in_flight;
+        total_bits := !total_bits + bits;
+        if bits > !max_message_bits then max_message_bits := bits;
+        (match bandwidth with
+        | Some limit when bits > limit ->
+            if strict then raise (Congest_violation { src; dst; bits })
+            else incr congest_violations
+        | _ -> ());
+        inboxes.(dst) <- (src, payload) :: inboxes.(dst))
+      outbox
+  in
+  (* Round 0: init everyone. *)
+  let initial =
+    Array.init n (fun v ->
+        spec.init ~n ~vertex:v ~neighbors:(Grapho.Ugraph.neighbors graph v))
+  in
+  let states = Array.map fst initial in
+  Array.iteri (fun v (_, outbox) -> account v outbox) initial;
+  let round = ref 0 in
+  let all_done () = Array.for_all (fun f -> f) done_flags in
+  let finished = ref (n = 0) in
+  while not !finished do
+    incr round;
+    if !round > max_rounds then
+      failwith
+        (Printf.sprintf "Engine.run: no termination within %d rounds"
+           max_rounds);
+    (* Snapshot and clear inboxes so this round's sends arrive next
+       round. *)
+    let current = Array.copy inboxes in
+    Array.fill inboxes 0 n [];
+    in_flight := 0;
+    for v = 0 to n - 1 do
+      let inbox =
+        List.sort (fun (a, _) (b, _) -> compare a b) current.(v)
+      in
+      let state, outbox, status = spec.step ~round:!round ~vertex:v
+          states.(v) inbox
+      in
+      states.(v) <- state;
+      done_flags.(v) <- (status = `Done);
+      account v outbox
+    done;
+    if all_done () && !in_flight = 0 then finished := true
+  done;
+  ( states,
+    {
+      rounds = !round;
+      messages = !messages;
+      total_bits = !total_bits;
+      max_message_bits = !max_message_bits;
+      congest_violations = !congest_violations;
+    } )

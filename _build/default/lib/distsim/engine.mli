@@ -1,0 +1,59 @@
+(** Synchronous round-by-round execution engine.
+
+    A distributed algorithm is a value of type [('state, 'msg) spec].
+    Execution follows the standard synchronous model: in every round
+    each vertex consumes the messages sent to it in the previous round,
+    updates its state, and emits messages to neighbors. Execution stops
+    when every vertex has declared termination and no message is in
+    flight, or when [max_rounds] is exceeded.
+
+    The engine never lets a vertex observe anything but its own state
+    and inbox, so an algorithm that type-checks against [spec] is
+    honestly distributed; global knowledge must travel in messages. *)
+
+type 'msg send = { dst : int; payload : 'msg }
+
+type metrics = {
+  rounds : int;  (** rounds executed *)
+  messages : int;  (** total messages delivered *)
+  total_bits : int;
+  max_message_bits : int;
+  congest_violations : int;
+      (** messages exceeding the CONGEST bandwidth (0 under LOCAL) *)
+}
+
+type ('state, 'msg) spec = {
+  init :
+    n:int -> vertex:int -> neighbors:int array ->
+    'state * 'msg send list;
+      (** Round 0: initial state and first outbox. Vertices know [n]
+          (or a polynomial bound on it) and the identifiers of their
+          neighbors, per the paper's input convention. *)
+  step :
+    round:int -> vertex:int -> 'state -> (int * 'msg) list ->
+    'state * 'msg send list * [ `Continue | `Done ];
+      (** One round: current state and inbox (pairs [(src, payload)],
+          sorted by [src]) to new state, outbox and halting flag. A
+          vertex that returned [`Done] keeps being stepped (it may
+          serve as a relay) and may return to [`Continue]. *)
+  measure : 'msg -> int;  (** wire size of a payload, in bits *)
+}
+
+exception Congest_violation of { src : int; dst : int; bits : int }
+
+val run :
+  ?max_rounds:int ->
+  ?strict:bool ->
+  ?observer:(src:int -> dst:int -> bits:int -> unit) ->
+  model:Model.t ->
+  graph:Grapho.Ugraph.t ->
+  ('state, 'msg) spec ->
+  'state array * metrics
+(** Runs the algorithm on the given topology. [observer] sees every
+    message's endpoints and wire size — the hook the two-party
+    simulation harness uses to meter the bits crossing the Alice/Bob
+    cut. [strict] (default [false]) raises {!Congest_violation} on the
+    first oversized message instead of merely counting it. Sending to a non-neighbor
+    raises [Invalid_argument]. [max_rounds] defaults to
+    [50 * (n + 5)]. Raises [Failure] if the round limit is hit before
+    global termination. *)

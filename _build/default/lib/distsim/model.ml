@@ -1,0 +1,18 @@
+type t = Local | Congest of { bits_per_message : int }
+
+let local = Local
+
+let bits_needed n =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 n)
+
+let congest ~n ?(c = 4) () = Congest { bits_per_message = c * bits_needed n }
+
+let bandwidth = function
+  | Local -> None
+  | Congest { bits_per_message } -> Some bits_per_message
+
+let pp ppf = function
+  | Local -> Format.pp_print_string ppf "LOCAL"
+  | Congest { bits_per_message } ->
+      Format.fprintf ppf "CONGEST(%d bits)" bits_per_message

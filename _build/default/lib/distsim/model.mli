@@ -1,0 +1,23 @@
+(** Synchronous distributed computing models.
+
+    Both the LOCAL model [Linial 92] and the CONGEST model [Peleg 00]
+    proceed in synchronous rounds over the communication graph; they
+    differ only in the permitted message size. The simulator accounts
+    for the size in bits of every message and, under CONGEST, flags or
+    rejects oversized ones. *)
+
+type t =
+  | Local  (** unbounded messages *)
+  | Congest of { bits_per_message : int }
+      (** at most [bits_per_message] bits per edge per direction per
+          round *)
+
+val local : t
+
+val congest : n:int -> ?c:int -> unit -> t
+(** [congest ~n ()] allows [c * ceil(log2 (n+1))] bits per message —
+    the customary O(log n); [c] defaults to 4 (enough for a constant
+    number of identifiers or counters per message). *)
+
+val bandwidth : t -> int option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/flow/densest.ml: Array Int List Maxflow Option Set

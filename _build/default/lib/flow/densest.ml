@@ -1,0 +1,165 @@
+let density_of ?weights ?bonuses ~edges subset =
+  let module S = Set.Make (Int) in
+  let s = S.of_list subset in
+  let inside = List.filter (fun (u, v) -> S.mem u s && S.mem v s) edges in
+  let weight v = match weights with None -> 1.0 | Some w -> w.(v) in
+  let bonus v = match bonuses with None -> 0.0 | Some b -> b.(v) in
+  let total = List.fold_left (fun acc v -> acc +. weight v) 0.0 subset in
+  let gain =
+    float_of_int (List.length inside)
+    +. List.fold_left (fun acc v -> acc +. bonus v) 0.0 subset
+  in
+  if total = 0.0 then infinity else gain /. total
+
+let validate ?weights ?bonuses ~n ~edges () =
+  (match weights with
+  | Some w ->
+      if Array.length w <> n then invalid_arg "Densest: weights length";
+      Array.iter
+        (fun x -> if x <= 0.0 then invalid_arg "Densest: non-positive weight")
+        w
+  | None -> ());
+  (match bonuses with
+  | Some b ->
+      if Array.length b <> n then invalid_arg "Densest: bonuses length";
+      Array.iter
+        (fun x -> if x < 0.0 then invalid_arg "Densest: negative bonus")
+        b
+  | None -> ());
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then
+        invalid_arg "Densest: bad edge")
+    edges
+
+(* Source side of the min cut of Goldberg's network at guess [g];
+   returns the subset (possibly empty) and whether the cut is strictly
+   below the trivial cut, i.e. whether a subset of density > g
+   exists. *)
+let probe ~n ~edges ~weight ~bonus ~big g =
+  let s = n and t = n + 1 in
+  let net = Maxflow.create (n + 2) in
+  let deg = Array.make n 0.0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) +. 1.0;
+      deg.(v) <- deg.(v) +. 1.0)
+    edges;
+  for v = 0 to n - 1 do
+    Maxflow.add_edge net ~src:s ~dst:v ~cap:big;
+    Maxflow.add_edge net ~src:v ~dst:t
+      ~cap:(big +. (2.0 *. g *. weight v) -. deg.(v) -. (2.0 *. bonus v))
+  done;
+  List.iter
+    (fun (u, v) ->
+      Maxflow.add_edge net ~src:u ~dst:v ~cap:1.0;
+      Maxflow.add_edge net ~src:v ~dst:u ~cap:1.0)
+    edges;
+  let flow = Maxflow.max_flow net ~s ~t in
+  let trivial = big *. float_of_int n in
+  let feasible = flow < trivial -. 1e-6 in
+  if not feasible then ([], false)
+  else begin
+    let side = Maxflow.min_cut_side net ~s in
+    let subset = ref [] in
+    for v = n - 1 downto 0 do
+      if side.(v) then subset := v :: !subset
+    done;
+    (!subset, true)
+  end
+
+let densest_subset ?weights ?bonuses ~n ~edges () =
+  validate ?weights ?bonuses ~n ~edges ();
+  let weight v = match weights with None -> 1.0 | Some w -> w.(v) in
+  let bonus v = match bonuses with None -> 0.0 | Some b -> b.(v) in
+  let total_bonus = ref 0.0 in
+  for v = 0 to n - 1 do
+    total_bonus := !total_bonus +. bonus v
+  done;
+  (* A sensible starting incumbent: the endpoints of the first edge, or
+     the best single node when only bonuses contribute. *)
+  let seed =
+    match edges with
+    | (u0, v0) :: _ -> Some (List.sort_uniq compare [ u0; v0 ])
+    | [] ->
+        let best = ref None in
+        for v = 0 to n - 1 do
+          if bonus v > 0.0 then
+            match !best with
+            | Some b when bonus b /. weight b >= bonus v /. weight v -> ()
+            | _ -> best := Some v
+        done;
+        Option.map (fun v -> [ v ]) !best
+  in
+  match seed with
+  | None -> None
+  | Some seed ->
+      let m = List.length edges in
+      let exact subset = density_of ?weights ?bonuses ~edges subset in
+      let best = ref seed in
+      let best_density = ref (exact seed) in
+      let min_weight =
+        match weights with
+        | None -> 1.0
+        | Some w -> Array.fold_left min w.(0) w
+      in
+      let max_bonus =
+        match bonuses with
+        | None -> 0.0
+        | Some b -> Array.fold_left max 0.0 b
+      in
+      let big = (2.0 *. float_of_int m) +. (2.0 *. max_bonus) +. 1.0 in
+      let lo = ref 0.0 in
+      let hi =
+        ref (((float_of_int m +. !total_bonus) /. min_weight) +. 1.0)
+      in
+      (* With unit weights (bonuses integral in all our uses) any two
+         distinct densities differ by at least 1/(n*(n-1)); with float
+         weights we settle for a tight relative tolerance and trust the
+         exact recomputation of candidates. *)
+      let granularity =
+        match weights with
+        | None -> 1.0 /. ((float_of_int n *. float_of_int n) +. 1.0)
+        | Some _ -> 1e-9 *. !hi
+      in
+      let iterations = ref 0 in
+      while !hi -. !lo > granularity && !iterations < 200 do
+        incr iterations;
+        let g = (!lo +. !hi) /. 2.0 in
+        match probe ~n ~edges ~weight ~bonus ~big g with
+        | subset, true when subset <> [] ->
+            let d = exact subset in
+            if d > !best_density then begin
+              best := subset;
+              best_density := d
+            end;
+            lo := g
+        | _ -> hi := g
+      done;
+      Some (!best, !best_density)
+
+let brute_force ?weights ?bonuses ~n ~edges () =
+  validate ?weights ?bonuses ~n ~edges ();
+  if n > 20 then invalid_arg "Densest.brute_force: n > 20";
+  let no_gain =
+    edges = []
+    && match bonuses with
+       | None -> true
+       | Some b -> Array.for_all (fun x -> x = 0.0) b
+  in
+  if no_gain then None
+  else begin
+  let best = ref [] and best_density = ref neg_infinity in
+  for mask = 1 to (1 lsl n) - 1 do
+    let subset = ref [] in
+    for v = n - 1 downto 0 do
+      if mask land (1 lsl v) <> 0 then subset := v :: !subset
+    done;
+    let d = density_of ?weights ?bonuses ~edges !subset in
+    if d > !best_density then begin
+      best := !subset;
+      best_density := d
+    end
+  done;
+  if !best = [] then None else Some (!best, !best_density)
+  end

@@ -1,0 +1,100 @@
+let eps = 1e-12
+
+type edge = { dst : int; mutable cap : float; rev : int }
+
+type t = { n : int; adj : edge array ref array; sizes : int array }
+
+let create n =
+  { n; adj = Array.init n (fun _ -> ref [||]); sizes = Array.make n 0 }
+
+let push t v e =
+  let a = !(t.adj.(v)) in
+  let len = Array.length a in
+  if t.sizes.(v) = len then begin
+    let bigger = Array.make (max 4 (2 * len)) e in
+    Array.blit a 0 bigger 0 len;
+    t.adj.(v) := bigger
+  end;
+  !(t.adj.(v)).(t.sizes.(v)) <- e;
+  t.sizes.(v) <- t.sizes.(v) + 1
+
+let add_edge t ~src ~dst ~cap =
+  if cap < 0.0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  let fwd = { dst; cap; rev = t.sizes.(dst) } in
+  let bwd = { dst = src; cap = 0.0; rev = t.sizes.(src) } in
+  push t src fwd;
+  push t dst bwd
+
+let bfs_levels t ~s ~t:sink =
+  let level = Array.make t.n (-1) in
+  let q = Queue.create () in
+  level.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for i = 0 to t.sizes.(u) - 1 do
+      let e = !(t.adj.(u)).(i) in
+      if e.cap > eps && level.(e.dst) = -1 then begin
+        level.(e.dst) <- level.(u) + 1;
+        Queue.add e.dst q
+      end
+    done
+  done;
+  if level.(sink) = -1 then None else Some level
+
+let max_flow t ~s ~t:sink =
+  let flow = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    match bfs_levels t ~s ~t:sink with
+    | None -> continue := false
+    | Some level ->
+        let iter = Array.make t.n 0 in
+        let rec dfs u pushed =
+          if u = sink then pushed
+          else begin
+            let result = ref 0.0 in
+            while !result = 0.0 && iter.(u) < t.sizes.(u) do
+              let e = !(t.adj.(u)).(iter.(u)) in
+              if e.cap > eps && level.(e.dst) = level.(u) + 1 then begin
+                let d = dfs e.dst (min pushed e.cap) in
+                if d > eps then begin
+                  e.cap <- e.cap -. d;
+                  let back = !(t.adj.(e.dst)).(e.rev) in
+                  back.cap <- back.cap +. d;
+                  result := d
+                end
+                else iter.(u) <- iter.(u) + 1
+              end
+              else iter.(u) <- iter.(u) + 1
+            done;
+            !result
+          end
+        in
+        let rec pump () =
+          let d = dfs s infinity in
+          if d > eps then begin
+            flow := !flow +. d;
+            pump ()
+          end
+        in
+        pump ()
+  done;
+  !flow
+
+let min_cut_side t ~s =
+  let seen = Array.make t.n false in
+  let q = Queue.create () in
+  seen.(s) <- true;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for i = 0 to t.sizes.(u) - 1 do
+      let e = !(t.adj.(u)).(i) in
+      if e.cap > eps && not seen.(e.dst) then begin
+        seen.(e.dst) <- true;
+        Queue.add e.dst q
+      end
+    done
+  done;
+  seen

@@ -1,0 +1,1 @@
+lib/graph/dgraph.ml: Array Edge Format Int List Printf Set Ugraph

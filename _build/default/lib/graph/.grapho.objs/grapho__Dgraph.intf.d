@@ -1,0 +1,1 @@
+lib/graph/dgraph.mli: Edge Format Ugraph

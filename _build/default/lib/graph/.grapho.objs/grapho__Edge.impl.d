@@ -1,0 +1,1 @@
+lib/graph/edge.ml: Format Map Set Stdlib

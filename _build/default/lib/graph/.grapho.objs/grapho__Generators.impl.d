@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Dgraph Edge Int List Rng Set Ugraph Weights

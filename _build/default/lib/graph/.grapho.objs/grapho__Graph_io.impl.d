@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Buffer Dgraph Edge List Printf String Ugraph Weights

@@ -1,0 +1,1 @@
+lib/graph/graph_io.mli: Dgraph Edge Ugraph Weights

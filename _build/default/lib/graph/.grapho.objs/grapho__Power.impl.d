@@ -1,0 +1,1 @@
+lib/graph/power.ml: Array Traversal Ugraph

@@ -1,0 +1,108 @@
+type t = {
+  n : int;
+  m : int;
+  out_adj : int array array;
+  in_adj : int array array;
+  und_adj : int array array;
+}
+
+let validate_vertex n u =
+  if u < 0 || u >= n then
+    invalid_arg (Printf.sprintf "Dgraph: vertex %d out of range [0,%d)" u n)
+
+let of_edge_set ~n set =
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+  Edge.Directed.Set.iter
+    (fun (u, v) ->
+      validate_vertex n u;
+      validate_vertex n v;
+      out_deg.(u) <- out_deg.(u) + 1;
+      in_deg.(v) <- in_deg.(v) + 1)
+    set;
+  let out_adj = Array.init n (fun u -> Array.make out_deg.(u) 0) in
+  let in_adj = Array.init n (fun u -> Array.make in_deg.(u) 0) in
+  let ofill = Array.make n 0 and ifill = Array.make n 0 in
+  Edge.Directed.Set.iter
+    (fun (u, v) ->
+      out_adj.(u).(ofill.(u)) <- v;
+      ofill.(u) <- ofill.(u) + 1;
+      in_adj.(v).(ifill.(v)) <- u;
+      ifill.(v) <- ifill.(v) + 1)
+    set;
+  Array.iter (fun a -> Array.sort compare a) out_adj;
+  Array.iter (fun a -> Array.sort compare a) in_adj;
+  let und_adj =
+    Array.init n (fun u ->
+        let module S = Set.Make (Int) in
+        let s =
+          Array.fold_left (fun s v -> S.add v s)
+            (Array.fold_left (fun s v -> S.add v s) S.empty out_adj.(u))
+            in_adj.(u)
+        in
+        Array.of_list (S.elements s))
+  in
+  { n; m = Edge.Directed.Set.cardinal set; out_adj; in_adj; und_adj }
+
+let of_edges ~n edges =
+  let set =
+    List.fold_left
+      (fun s (u, v) -> Edge.Directed.Set.add (Edge.Directed.make u v) s)
+      Edge.Directed.Set.empty edges
+  in
+  of_edge_set ~n set
+
+let empty n =
+  { n; m = 0; out_adj = Array.make n [||]; in_adj = Array.make n [||];
+    und_adj = Array.make n [||] }
+
+let n g = g.n
+let m g = g.m
+let out_degree g u = Array.length g.out_adj.(u)
+let in_degree g u = Array.length g.in_adj.(u)
+let degree g u = out_degree g u + in_degree g u
+
+let max_degree g =
+  let best = ref 0 in
+  for u = 0 to g.n - 1 do
+    best := max !best (degree g u)
+  done;
+  !best
+
+let out_neighbors g u = g.out_adj.(u)
+let in_neighbors g u = g.in_adj.(u)
+let undirected_neighbors g u = g.und_adj.(u)
+
+let mem_edge g u v =
+  if u = v then false
+  else
+    let a = g.out_adj.(u) in
+    let rec search lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = v then true
+        else if a.(mid) < v then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 (Array.length a)
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> f (u, v)) g.out_adj.(u)
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun e -> acc := f e !acc) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun e acc -> e :: acc) g [])
+let edge_set g = fold_edges Edge.Directed.Set.add g Edge.Directed.Set.empty
+
+let underlying g =
+  Ugraph.of_edges ~n:g.n (List.map (fun (u, v) -> (u, v)) (edges g))
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>digraph(n=%d, m=%d:" g.n g.m;
+  iter_edges (fun e -> Format.fprintf ppf "@ %a" Edge.Directed.pp e) g;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,43 @@
+(** Immutable directed simple graphs on vertices [0 .. n-1].
+
+    Both out- and in-adjacency are materialized because distributed
+    spanner algorithms communicate over the underlying undirected
+    topology while covering directed edges. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a digraph; [(u, v)] is an edge from [u]
+    to [v]. Duplicates are merged; self-loops and out-of-range
+    endpoints raise [Invalid_argument]. Antiparallel pairs are kept. *)
+
+val of_edge_set : n:int -> Edge.Directed.Set.t -> t
+val empty : int -> t
+val n : t -> int
+val m : t -> int
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val degree : t -> int -> int
+(** [out_degree + in_degree]: degree in the communication topology,
+    counting an antiparallel pair twice. *)
+
+val max_degree : t -> int
+val out_neighbors : t -> int -> int array
+val in_neighbors : t -> int -> int array
+
+val undirected_neighbors : t -> int -> int array
+(** Sorted, deduplicated union of in- and out-neighbors. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests for the directed edge [u -> v]. *)
+
+val edges : t -> Edge.Directed.t list
+val edge_set : t -> Edge.Directed.Set.t
+val iter_edges : (Edge.Directed.t -> unit) -> t -> unit
+val fold_edges : (Edge.Directed.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val underlying : t -> Ugraph.t
+(** Forget orientations (antiparallel pairs collapse). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type t = int * int
+
+let make u v =
+  if u = v then invalid_arg "Edge.make: self-loop";
+  if u < v then (u, v) else (v, u)
+
+let endpoints e = e
+
+let other (u, v) w =
+  if w = u then v
+  else if w = v then u
+  else invalid_arg "Edge.other: not an endpoint"
+
+let mem_endpoint (u, v) w = w = u || w = v
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+let hash ((u, v) : t) = (u * 1000003) lxor v
+let pp ppf (u, v) = Format.fprintf ppf "{%d,%d}" u v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Directed = struct
+  type t = int * int
+
+  let make u v =
+    if u = v then invalid_arg "Edge.Directed.make: self-loop";
+    (u, v)
+
+  let src (u, _) = u
+  let dst (_, v) = v
+  let rev (u, v) = (v, u)
+  let compare (a : t) (b : t) = Stdlib.compare a b
+  let equal (a : t) (b : t) = a = b
+  let pp ppf (u, v) = Format.fprintf ppf "(%d->%d)" u v
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Set = Stdlib.Set.Make (Ord)
+  module Map = Stdlib.Map.Make (Ord)
+end

@@ -1,0 +1,48 @@
+(** Edges of undirected and directed graphs.
+
+    Vertices are dense integer identifiers [0 .. n-1]. An undirected
+    edge is kept in normalized form (smaller endpoint first) so that
+    structural equality and ordering behave as set semantics demand. *)
+
+type t = private int * int
+(** A normalized undirected edge [(u, v)] with [u < v]. *)
+
+val make : int -> int -> t
+(** [make u v] normalizes the pair. Raises [Invalid_argument] on a
+    self-loop. *)
+
+val endpoints : t -> int * int
+(** The two endpoints, smaller first. *)
+
+val other : t -> int -> int
+(** [other e u] is the endpoint of [e] different from [u]. Raises
+    [Invalid_argument] if [u] is not an endpoint. *)
+
+val mem_endpoint : t -> int -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+module Directed : sig
+  (** A directed edge [(src, dst)]; no normalization. *)
+
+  type t = int * int
+
+  val make : int -> int -> t
+  (** Raises [Invalid_argument] on a self-loop. *)
+
+  val src : t -> int
+  val dst : t -> int
+  val rev : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Stdlib.Set.S with type elt = t
+  module Map : Stdlib.Map.S with type key = t
+end

@@ -1,0 +1,259 @@
+let path n =
+  Ugraph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  Ugraph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  Ugraph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Ugraph.of_edges ~n !edges
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Ugraph.of_edges ~n:(a + b) !edges
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Ugraph.of_edges ~n:(rows * cols) !edges
+
+let hypercube d =
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Ugraph.of_edges ~n !edges
+
+let gnp rng n p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Ugraph.of_edges ~n !edges
+
+let gnp_connected rng n p =
+  let g = gnp rng n p in
+  let perm = Rng.permutation rng n in
+  let backbone = List.init (max 0 (n - 1)) (fun i -> (perm.(i), perm.(i + 1))) in
+  Ugraph.of_edge_set ~n
+    (List.fold_left
+       (fun s (u, v) -> Edge.Set.add (Edge.make u v) s)
+       (Ugraph.edge_set g) backbone)
+
+let random_bipartite rng a b p =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Ugraph.of_edges ~n:(a + b) !edges
+
+let preferential_attachment rng n k =
+  if n < k + 1 then invalid_arg "Generators.preferential_attachment: n <= k";
+  (* endpoint multiset: picking a uniform element weights by degree *)
+  let endpoints = ref [] in
+  let edges = ref [] in
+  for v = 1 to k do
+    edges := (v, 0) :: !edges;
+    endpoints := v :: 0 :: !endpoints
+  done;
+  let pool = ref (Array.of_list !endpoints) in
+  for v = k + 1 to n - 1 do
+    let targets = ref [] in
+    let attempts = ref 0 in
+    while List.length !targets < k && !attempts < 50 * k do
+      incr attempts;
+      let t = !pool.(Rng.int rng (Array.length !pool)) in
+      if t <> v && not (List.mem t !targets) then targets := t :: !targets
+    done;
+    List.iter
+      (fun t ->
+        edges := (v, t) :: !edges;
+        pool := Array.append !pool [| v; t |])
+      !targets
+  done;
+  Ugraph.of_edges ~n !edges
+
+let caveman rng cliques size p_rewire =
+  let n = cliques * size in
+  let set = ref Edge.Set.empty in
+  for c = 0 to cliques - 1 do
+    let base = c * size in
+    for i = 0 to size - 1 do
+      for j = i + 1 to size - 1 do
+        set := Edge.Set.add (Edge.make (base + i) (base + j)) !set
+      done
+    done;
+    (* ring of cliques *)
+    let next = (c + 1) mod cliques * size in
+    set := Edge.Set.add (Edge.make base next) !set
+  done;
+  (* rewire: replace a random intra-clique edge endpoint *)
+  let rewired =
+    Edge.Set.fold
+      (fun e acc ->
+        if Rng.float rng 1.0 < p_rewire then begin
+          let u, _ = Edge.endpoints e in
+          let w = Rng.int rng n in
+          if w <> u then Edge.Set.add (Edge.make u w) acc
+          else Edge.Set.add e acc
+        end
+        else Edge.Set.add e acc)
+      !set Edge.Set.empty
+  in
+  Ugraph.of_edge_set ~n rewired
+
+let clique_ladder rng n =
+  let set = ref Edge.Set.empty in
+  let base = ref 0 and size = ref 4 in
+  while !base + !size < n do
+    for i = 0 to !size - 1 do
+      for j = i + 1 to !size - 1 do
+        set := Edge.Set.add (Edge.make (!base + i) (!base + j)) !set
+      done
+    done;
+    base := !base + !size;
+    size := !size + 2
+  done;
+  for _ = 1 to 3 * n do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then set := Edge.Set.add (Edge.make u v) !set
+  done;
+  Ugraph.of_edge_set ~n !set
+
+let random_tree rng n =
+  if n <= 1 then Ugraph.empty (max n 0)
+  else if n = 2 then Ugraph.of_edges ~n [ (0, 1) ]
+  else begin
+    (* Prüfer decoding *)
+    let prufer = Array.init (n - 2) (fun _ -> Rng.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) prufer;
+    let module H = Set.Make (Int) in
+    let leaves = ref H.empty in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then leaves := H.add v !leaves
+    done;
+    let edges = ref [] in
+    Array.iter
+      (fun v ->
+        let leaf = H.min_elt !leaves in
+        leaves := H.remove leaf !leaves;
+        edges := (leaf, v) :: !edges;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then leaves := H.add v !leaves)
+      prufer;
+    (match H.elements !leaves with
+    | [ a; b ] -> edges := (a, b) :: !edges
+    | _ -> assert false);
+    Ugraph.of_edges ~n !edges
+  end
+
+let random_regular_ish rng n d =
+  if d >= n then invalid_arg "Generators.random_regular_ish: d >= n";
+  let set = ref Edge.Set.empty in
+  let add_cycle () =
+    let perm = Rng.permutation rng n in
+    for i = 0 to n - 1 do
+      let u = perm.(i) and v = perm.((i + 1) mod n) in
+      if u <> v then set := Edge.Set.add (Edge.make u v) !set
+    done
+  in
+  let add_path () =
+    let perm = Rng.permutation rng n in
+    for i = 0 to n - 2 do
+      set := Edge.Set.add (Edge.make perm.(i) perm.(i + 1)) !set
+    done
+  in
+  for _ = 1 to d / 2 do
+    add_cycle ()
+  done;
+  if d mod 2 = 1 then add_path ();
+  Ugraph.of_edge_set ~n !set
+
+let random_orientation rng g =
+  let edges =
+    Ugraph.fold_edges
+      (fun e acc ->
+        let u, v = Edge.endpoints e in
+        if Rng.bool rng then (u, v) :: acc else (v, u) :: acc)
+      g []
+  in
+  Dgraph.of_edges ~n:(Ugraph.n g) edges
+
+let random_dag_orientation g =
+  Dgraph.of_edges ~n:(Ugraph.n g)
+    (List.map Edge.endpoints (Ugraph.edges g))
+
+let bidirect g =
+  let edges =
+    Ugraph.fold_edges
+      (fun e acc ->
+        let u, v = Edge.endpoints e in
+        (u, v) :: (v, u) :: acc)
+      g []
+  in
+  Dgraph.of_edges ~n:(Ugraph.n g) edges
+
+let random_weights rng g ~max_weight =
+  let l =
+    Ugraph.fold_edges
+      (fun e acc ->
+        let u, v = Edge.endpoints e in
+        (u, v, float_of_int (1 + Rng.int rng max_weight)) :: acc)
+      g []
+  in
+  Weights.of_list ~default:1.0 l
+
+let random_weights_with_zeros rng g ~zero_fraction ~max_weight =
+  let l =
+    Ugraph.fold_edges
+      (fun e acc ->
+        let u, v = Edge.endpoints e in
+        let w =
+          if Rng.float rng 1.0 < zero_fraction then 0.0
+          else float_of_int (1 + Rng.int rng max_weight)
+        in
+        (u, v, w) :: acc)
+      g []
+  in
+  Weights.of_list ~default:1.0 l
+
+let random_client_server rng g ~client_fraction ~server_fraction =
+  Ugraph.fold_edges
+    (fun e (clients, servers) ->
+      let c = Rng.float rng 1.0 < client_fraction in
+      let s = Rng.float rng 1.0 < server_fraction in
+      let s = s || not c in
+      let clients = if c then Edge.Set.add e clients else clients in
+      let servers = if s then Edge.Set.add e servers else servers in
+      (clients, servers))
+    g
+    (Edge.Set.empty, Edge.Set.empty)

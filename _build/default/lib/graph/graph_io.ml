@@ -1,0 +1,111 @@
+let to_edge_list g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Ugraph.n g) (Ugraph.m g));
+  Ugraph.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    g;
+  Buffer.contents buf
+
+let parse_lines s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let parse_pair line =
+  match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+  | [ a; b ] -> (int_of_string a, int_of_string b)
+  | _ -> failwith (Printf.sprintf "Graph_io: malformed line %S" line)
+
+let parse_edge_list s =
+  match parse_lines s with
+  | [] -> failwith "Graph_io: empty input"
+  | header :: rest ->
+      let n, m = parse_pair header in
+      let edges = List.map parse_pair rest in
+      if List.length edges <> m then
+        failwith "Graph_io: edge count does not match header";
+      (n, edges)
+
+let of_edge_list s =
+  let n, edges = parse_edge_list s in
+  Ugraph.of_edges ~n edges
+
+let directed_to_edge_list g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Dgraph.n g) (Dgraph.m g));
+  Dgraph.iter_edges
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    g;
+  Buffer.contents buf
+
+let directed_of_edge_list s =
+  let n, edges = parse_edge_list s in
+  Dgraph.of_edges ~n edges
+
+let to_dot ?(highlight = Edge.Set.empty) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph G {\n";
+  for v = 0 to Ugraph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Ugraph.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      let attrs =
+        if Edge.Set.mem e highlight then " [color=red, penwidth=2.0]" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v attrs))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let directed_to_dot ?(highlight = Edge.Directed.Set.empty) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph G {\n";
+  for v = 0 to Dgraph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Dgraph.iter_edges
+    (fun e ->
+      let u, v = e in
+      let attrs =
+        if Edge.Directed.Set.mem e highlight then
+          " [color=red, penwidth=2.0]"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -> %d%s;\n" u v attrs))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let weighted_to_edge_list g w =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Ugraph.n g) (Ugraph.m g));
+  Ugraph.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %g\n" u v (Weights.get w e)))
+    g;
+  Buffer.contents buf
+
+let weighted_of_edge_list s =
+  match parse_lines s with
+  | [] -> failwith "Graph_io: empty input"
+  | header :: rest ->
+      let n, m = parse_pair header in
+      let rows =
+        List.map
+          (fun line ->
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [ a; b; w ] ->
+                (int_of_string a, int_of_string b, float_of_string w)
+            | _ -> failwith (Printf.sprintf "Graph_io: malformed line %S" line))
+          rest
+      in
+      if List.length rows <> m then
+        failwith "Graph_io: edge count does not match header";
+      let g = Ugraph.of_edges ~n (List.map (fun (u, v, _) -> (u, v)) rows) in
+      (g, Weights.of_list ~default:1.0 rows)

@@ -1,0 +1,23 @@
+(** Plain-text edge-list serialization and Graphviz export. *)
+
+val to_edge_list : Ugraph.t -> string
+(** First line "n m", then one "u v" line per edge. *)
+
+val of_edge_list : string -> Ugraph.t
+(** Inverse of {!to_edge_list}. Raises [Failure] on malformed input. *)
+
+val directed_to_edge_list : Dgraph.t -> string
+val directed_of_edge_list : string -> Dgraph.t
+
+val weighted_to_edge_list : Ugraph.t -> Weights.t -> string
+(** First line "n m", then one "u v w" line per edge. *)
+
+val weighted_of_edge_list : string -> Ugraph.t * Weights.t
+(** Inverse of {!weighted_to_edge_list}; unlisted weights default
+    to 1. Raises [Failure] on malformed input. *)
+
+val to_dot : ?highlight:Edge.Set.t -> Ugraph.t -> string
+(** Graphviz source; edges in [highlight] are drawn bold red (used to
+    visualize a spanner inside its graph). *)
+
+val directed_to_dot : ?highlight:Edge.Directed.Set.t -> Dgraph.t -> string

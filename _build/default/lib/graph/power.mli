@@ -1,0 +1,8 @@
+(** Graph powers.
+
+    The (1+ε)-approximation of Section 6 runs a network decomposition
+    on [G^r], the graph connecting every two vertices at distance at
+    most [r] in [G]. *)
+
+val power : Ugraph.t -> int -> Ugraph.t
+(** [power g r] with [r >= 1]. O(n·m) construction. *)

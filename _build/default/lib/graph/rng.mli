@@ -1,0 +1,43 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    All randomized algorithms in this repository draw randomness through
+    this module so that every experiment is reproducible from a seed.
+    The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a
+    64-bit state advanced by a Weyl sequence and finalized by a
+    variant of the MurmurHash3 mixer. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator determined by [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream.
+    Used to give each simulated vertex its own private randomness. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success
+    of a Bernoulli(p) trial; [p] must lie in (0, 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)

@@ -1,0 +1,106 @@
+type t = { n : int; m : int; adj : int array array }
+
+let validate_vertex n u =
+  if u < 0 || u >= n then
+    invalid_arg (Printf.sprintf "Ugraph: vertex %d out of range [0,%d)" u n)
+
+let of_edge_set ~n set =
+  let deg = Array.make n 0 in
+  Edge.Set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      validate_vertex n u;
+      validate_vertex n v;
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    set;
+  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
+  let fill = Array.make n 0 in
+  Edge.Set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    set;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; m = Edge.Set.cardinal set; adj }
+
+let of_edges ~n edges =
+  let set =
+    List.fold_left (fun s (u, v) -> Edge.Set.add (Edge.make u v) s)
+      Edge.Set.empty edges
+  in
+  of_edge_set ~n set
+
+let empty n = { n; m = 0; adj = Array.make n [||] }
+let n g = g.n
+let m g = g.m
+let degree g u = Array.length g.adj.(u)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let neighbors g u = g.adj.(u)
+
+let mem_edge g u v =
+  if u = v then false
+  else begin
+    (* Binary search in the sorted neighbor array of the lower-degree
+       endpoint. *)
+    let a, x =
+      if Array.length g.adj.(u) <= Array.length g.adj.(v) then (g.adj.(u), v)
+      else (g.adj.(v), u)
+    in
+    let rec search lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = x then true
+        else if a.(mid) < x then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 (Array.length a)
+  end
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f (Edge.make u v)) g.adj.(u)
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun e -> acc := f e !acc) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun e acc -> e :: acc) g [])
+let edge_set g = fold_edges Edge.Set.add g Edge.Set.empty
+
+let fold_vertices f g init =
+  let acc = ref init in
+  for u = 0 to g.n - 1 do
+    acc := f u !acc
+  done;
+  !acc
+
+let iter_vertices f g =
+  for u = 0 to g.n - 1 do
+    f u
+  done
+
+let induced_by_edges g s =
+  Edge.Set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if not (mem_edge g u v) then
+        invalid_arg "Ugraph.induced_by_edges: edge not in graph")
+    s;
+  of_edge_set ~n:g.n s
+
+let equal a b = a.n = b.n && Edge.Set.equal (edge_set a) (edge_set b)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>graph(n=%d, m=%d:" g.n g.m;
+  iter_edges (fun e -> Format.fprintf ppf "@ %a" Edge.pp e) g;
+  Format.fprintf ppf ")@]"

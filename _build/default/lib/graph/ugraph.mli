@@ -1,0 +1,45 @@
+(** Immutable undirected simple graphs on vertices [0 .. n-1].
+
+    The representation is a frozen adjacency structure with sorted
+    neighbor arrays, giving O(deg) iteration and O(log deg) membership
+    tests. Graphs are built once from an edge list and never mutated;
+    algorithms that grow edge sets (spanners) operate on {!Edge.Set}
+    values instead. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph with vertex set [0..n-1].
+    Duplicate edges are merged; self-loops raise [Invalid_argument],
+    as do endpoints outside the vertex range. *)
+
+val of_edge_set : n:int -> Edge.Set.t -> t
+
+val empty : int -> t
+(** [empty n] has [n] vertices and no edges. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val neighbors : t -> int -> int array
+(** Sorted array of neighbors. The returned array must not be mutated. *)
+
+val mem_edge : t -> int -> int -> bool
+val edges : t -> Edge.t list
+val edge_set : t -> Edge.Set.t
+val iter_edges : (Edge.t -> unit) -> t -> unit
+val fold_edges : (Edge.t -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_vertices : (int -> unit) -> t -> unit
+
+val induced_by_edges : t -> Edge.Set.t -> t
+(** [induced_by_edges g s] keeps the vertex set of [g] but only the
+    edges in [s]. All edges of [s] must be edges of [g]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+let check w =
+  if w < 0.0 then invalid_arg "Weights: negative weight";
+  w
+
+type t = { table : float Edge.Map.t; default : float }
+
+let uniform w = { table = Edge.Map.empty; default = check w }
+
+let of_map ?(default = 1.0) table =
+  Edge.Map.iter (fun _ w -> ignore (check w)) table;
+  { table; default = check default }
+
+let of_list ?(default = 1.0) l =
+  let table =
+    List.fold_left
+      (fun m (u, v, w) -> Edge.Map.add (Edge.make u v) (check w) m)
+      Edge.Map.empty l
+  in
+  { table; default = check default }
+
+let get t e =
+  match Edge.Map.find_opt e t.table with Some w -> w | None -> t.default
+
+let cost t s = Edge.Set.fold (fun e acc -> acc +. get t e) s 0.0
+
+let graph_cost t g = Ugraph.fold_edges (fun e acc -> acc +. get t e) g 0.0
+
+let fold_positive f t g init =
+  Ugraph.fold_edges
+    (fun e acc ->
+      let w = get t e in
+      if w > 0.0 then f w acc else acc)
+    g init
+
+let max_positive t g = fold_positive max t g 0.0
+
+let min_positive t g =
+  fold_positive (fun w acc -> if acc = 0.0 then w else min w acc) t g 0.0
+
+let ratio t g =
+  let mn = min_positive t g in
+  if mn = 0.0 then 1.0 else max_positive t g /. mn
+
+module Directed = struct
+  type t = { table : float Edge.Directed.Map.t; default : float }
+
+  let uniform w = { table = Edge.Directed.Map.empty; default = check w }
+
+  let of_list ?(default = 1.0) l =
+    let table =
+      List.fold_left
+        (fun m (u, v, w) ->
+          Edge.Directed.Map.add (Edge.Directed.make u v) (check w) m)
+        Edge.Directed.Map.empty l
+    in
+    { table; default = check default }
+
+  let get t e =
+    match Edge.Directed.Map.find_opt e t.table with
+    | Some w -> w
+    | None -> t.default
+
+  let cost t s = Edge.Directed.Set.fold (fun e acc -> acc +. get t e) s 0.0
+end

@@ -1,0 +1,42 @@
+(** Non-negative edge weights.
+
+    The weighted k-spanner problem of the paper assigns each edge a
+    non-negative cost; all edges keep {e length} 1 (weights are costs,
+    not metric lengths). A weight table carries a default so that
+    "all remaining edges weigh 1" needs no enumeration. *)
+
+type t
+(** Weights for undirected edges. *)
+
+val uniform : float -> t
+(** Every edge has the given weight. *)
+
+val of_list : ?default:float -> (int * int * float) list -> t
+(** Explicit weights; unlisted edges get [default] (1.0 if omitted).
+    Raises [Invalid_argument] on negative weights. *)
+
+val of_map : ?default:float -> float Edge.Map.t -> t
+val get : t -> Edge.t -> float
+val cost : t -> Edge.Set.t -> float
+(** Total weight of an edge set. *)
+
+val graph_cost : t -> Ugraph.t -> float
+
+val max_positive : t -> Ugraph.t -> float
+(** Largest positive weight of an edge of the graph; 0 if none. *)
+
+val min_positive : t -> Ugraph.t -> float
+(** Smallest positive weight of an edge of the graph; 0 if none. *)
+
+val ratio : t -> Ugraph.t -> float
+(** [W = max_positive / min_positive]; 1.0 when the graph has no
+    positively-weighted edge. *)
+
+module Directed : sig
+  type t
+
+  val uniform : float -> t
+  val of_list : ?default:float -> (int * int * float) list -> t
+  val get : t -> Edge.Directed.t -> float
+  val cost : t -> Edge.Directed.Set.t -> float
+end

@@ -1,0 +1,1 @@
+lib/lowerbound/construction_g.ml: Array Dgraph Disjointness Edge Float Grapho List Traversal

@@ -1,0 +1,1 @@
+lib/lowerbound/construction_g.mli: Dgraph Disjointness Edge Grapho

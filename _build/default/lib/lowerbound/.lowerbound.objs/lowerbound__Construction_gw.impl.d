@@ -1,0 +1,1 @@
+lib/lowerbound/construction_gw.ml: Array Dgraph Disjointness Edge Grapho List Spanner_core Traversal Ugraph Weights

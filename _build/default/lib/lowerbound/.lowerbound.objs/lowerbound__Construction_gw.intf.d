@@ -1,0 +1,1 @@
+lib/lowerbound/construction_gw.mli: Dgraph Disjointness Edge Grapho Ugraph Weights

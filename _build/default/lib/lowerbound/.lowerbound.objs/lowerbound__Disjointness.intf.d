@@ -1,0 +1,1 @@
+lib/lowerbound/disjointness.mli: Grapho

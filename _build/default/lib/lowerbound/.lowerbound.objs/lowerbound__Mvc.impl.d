@@ -1,0 +1,1 @@
+lib/lowerbound/mvc.ml: Array Edge Grapho Hashtbl List Ugraph

@@ -1,0 +1,1 @@
+lib/lowerbound/mvc.mli: Grapho Ugraph

@@ -1,0 +1,1 @@
+lib/lowerbound/mvc_reduction.ml: Dgraph Edge Float Grapho List Spanner_core Ugraph Weights

@@ -1,0 +1,1 @@
+lib/lowerbound/mvc_reduction.mli: Dgraph Edge Grapho Ugraph Weights

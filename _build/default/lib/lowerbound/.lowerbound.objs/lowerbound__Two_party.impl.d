@@ -1,0 +1,1 @@
+lib/lowerbound/two_party.ml: Array Distsim Edge Grapho List Ugraph

@@ -1,0 +1,1 @@
+lib/lowerbound/two_party.mli: Distsim Grapho Ugraph

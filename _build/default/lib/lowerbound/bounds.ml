@@ -1,0 +1,37 @@
+let log2 x = Float.log x /. Float.log 2.0
+
+let safe_log2 n = Float.max 1.0 (log2 (float_of_int (max n 2)))
+
+let thm_1_1_randomized ~n ~alpha =
+  Float.sqrt (float_of_int n) /. (Float.sqrt alpha *. safe_log2 n)
+
+let thm_2_8_deterministic ~n ~alpha =
+  float_of_int n /. (Float.sqrt alpha *. safe_log2 n)
+
+let thm_2_9_weighted_directed ~n = float_of_int n /. safe_log2 n
+
+let thm_2_10_weighted_undirected ~n ~k =
+  float_of_int n /. (float_of_int k *. safe_log2 n)
+
+let thm_3_3_local_by_degree ~delta =
+  let l = Float.max 2.0 (log2 (float_of_int (max delta 4))) in
+  l /. Float.max 1.0 (log2 l)
+
+let thm_3_3_local_by_n ~n =
+  let l = safe_log2 n in
+  Float.sqrt (l /. Float.max 1.0 (log2 l))
+
+let thm_3_4_ratio_by_n ~n ~rounds =
+  let k = float_of_int (max rounds 1) in
+  (float_of_int (max n 2) ** (1.0 /. (4.0 *. k *. k))) /. k
+
+let thm_3_4_ratio_by_delta ~delta ~rounds =
+  let k = float_of_int (max rounds 1) in
+  (float_of_int (max delta 2) ** (1.0 /. (k +. 1.0))) /. k
+
+let thm_3_5_exact_congest ~n =
+  let l = safe_log2 n in
+  float_of_int n *. float_of_int n /. (l *. l)
+
+let simulation_rounds ~bits ~cut ~bandwidth =
+  float_of_int bits /. float_of_int (2 * cut * bandwidth)

@@ -1,0 +1,39 @@
+(** The round lower-bound curves proved in Sections 2 and 3, as
+    functions of the construction parameters. The benchmark harness
+    prints these next to the verified construction quantities (cut
+    sizes, spanner-size gaps) that the proofs count. *)
+
+val log2 : float -> float
+
+val thm_1_1_randomized : n:int -> alpha:float -> float
+(** Ω(√n / (√α · log n)) — randomized directed k-spanner, k ≥ 5. *)
+
+val thm_2_8_deterministic : n:int -> alpha:float -> float
+(** Ω(n / (√α · log n)) — deterministic directed k-spanner, k ≥ 5. *)
+
+val thm_2_9_weighted_directed : n:int -> float
+(** Ω(n / log n) — weighted directed k-spanner, k ≥ 4, any ratio. *)
+
+val thm_2_10_weighted_undirected : n:int -> k:int -> float
+(** Ω(n / (k · log n)). *)
+
+val thm_3_3_local_by_degree : delta:int -> float
+(** Ω(log Δ / log log Δ) for (poly)log-ratio weighted 2-spanner. *)
+
+val thm_3_3_local_by_n : n:int -> float
+(** Ω(√(log n / log log n)). *)
+
+val thm_3_4_ratio_by_n : n:int -> rounds:int -> float
+(** In [rounds] LOCAL rounds the ratio is Ω(n^{(1-o(1))/4k²} / k);
+    the o(1) is dropped for display. *)
+
+val thm_3_4_ratio_by_delta : delta:int -> rounds:int -> float
+(** Ω(Δ^{1/(k+1)} / k). *)
+
+val thm_3_5_exact_congest : n:int -> float
+(** Ω(n² / log² n) — exact weighted 2-spanner in CONGEST. *)
+
+val simulation_rounds : bits:int -> cut:int -> bandwidth:int -> float
+(** Lemma 2.4's accounting: a task needing [bits] over a [cut] at
+    [bandwidth] bits/edge/round needs at least
+    [bits / (2 · cut · bandwidth)] rounds. *)

@@ -1,0 +1,86 @@
+(** The lower-bound graph G(ℓ, β) of Section 2 (Figure 1).
+
+    A directed graph on n = 2ℓβ + 5ℓ vertices hosting a reduction from
+    set disjointness to directed k-spanner approximation for k ≥ 5.
+    The dense complete bipartite component D between X₂ and Y₂ lives
+    entirely on Alice's side, so the Alice/Bob cut stays Θ(ℓ) while
+    every input bit (i,r) controls whether the β² D-edges of block
+    (i,r) are forced into every k-spanner:
+
+    - bit a_{ir} = 0 puts the edge (x¹_i, x²_r) in G;
+    - bit b_{ir} = 0 puts the edge (y¹_i, y²_r) in G;
+    - if either edge is present there is a directed 5-path from any
+      x_{ij} to any y_{rs} avoiding D; if both are absent the only
+      x_{ij} → y_{rs} path is the D-edge itself (Claim 2.2).
+
+    Bob simulates V_B = Y₁ and Alice the rest. *)
+
+open Grapho
+
+type t = {
+  ell : int;
+  beta : int;
+  inputs : Disjointness.t;  (** length ℓ² *)
+  graph : Dgraph.t;
+  d_edges : Edge.Directed.Set.t;
+  bob_vertices : int list;  (** V_B = Y₁ *)
+}
+
+val build : ell:int -> beta:int -> Disjointness.t -> t
+(** Requires the input strings to have length ℓ². *)
+
+(** Vertex coordinates (all 0-based). *)
+
+val x1 : t -> int -> int
+val x2 : t -> int -> int
+val y1 : t -> int -> int
+val y2 : t -> int -> int
+val y3 : t -> int -> int
+val x2v : t -> int -> int -> int
+(** [x2v t i j] is x_{ij} ∈ X₂. *)
+
+val y2v : t -> int -> int -> int
+(** [y2v t i j] is y_{ij} ∈ Y₂. *)
+
+val n : t -> int
+
+val cut_edges : t -> (int * int) list
+(** Directed edges crossing the Alice/Bob cut; Θ(ℓ) many. *)
+
+val non_d_edges : t -> Edge.Directed.Set.t
+(** All edges outside D: at most 7ℓβ when β ≥ ℓ (Lemma 2.3). *)
+
+val forced_d_edges : t -> Edge.Directed.Set.t
+(** The D-edges every k-spanner (k ≥ 5) must contain: all β² edges of
+    every intersecting block — β² per intersecting input index. *)
+
+val oracle_spanner : t -> Edge.Directed.Set.t
+(** [non_d_edges ∪ forced_d_edges]: a valid 5-spanner realizing the
+    bounds of Lemmas 2.3/2.6 (machine-checkable via
+    {!Spanner_core.Spanner_check.is_directed_spanner}). *)
+
+val check_claim_2_2 : t -> i:int -> r:int -> bool
+(** Verifies Claim 2.2 on block (i,r): when one of the optional edges
+    exists, every x_{ij} reaches every y_{rs} by a directed path of
+    length ≤ 5 avoiding D; otherwise the D-edge is the only path. *)
+
+val decide_disjointness :
+  t -> spanner:Edge.Directed.Set.t -> alpha:float -> bool
+(** Alice's decision rule in Lemma 2.4: conclude "disjoint" iff the
+    spanner uses at most [alpha · 7ℓβ] edges of D. Correct whenever
+    [alpha · 7ℓβ < β²] and the spanner is an [alpha]-approximation. *)
+
+val decide_gap_disjointness :
+  t -> spanner:Edge.Directed.Set.t -> alpha:float -> bool
+(** Alice's decision in the deterministic reduction (Lemma 2.7):
+    conclude "disjoint" iff the spanner uses at most [alpha · 7ℓ²]
+    edges of D; distinguishes disjoint from far-from-disjoint whenever
+    [alpha · 7ℓ² < β²ℓ²/12]. *)
+
+val params_randomized : n':int -> alpha:float -> int * int
+(** The (ℓ, β) choice in the proof of Theorem 1.1: q = ⌈α·7⌉ + 1,
+    ℓ = ⌊√(n′/(7q))⌋, β = qℓ. *)
+
+val params_deterministic : n':int -> alpha:float -> int * int
+(** The (ℓ, β) choice in the proof of Theorem 2.8:
+    β = ⌈√(12·α·7)⌉ + 1, ℓ = ⌊n′/(7β)⌋. *)

@@ -1,0 +1,56 @@
+(** The weighted lower-bound graphs of Section 2.3 (Figure 2).
+
+    [Gw(ℓ)] is a directed graph on exactly 6ℓ vertices: the dense
+    component D (complete bipartite X₂ → Y₂, ℓ² edges) has weight 1 and
+    everything else weight 0, so a k-spanner of cost 0 exists iff the
+    inputs are disjoint (k ≥ 4) — giving the Ω(n / log n) bound of
+    Theorem 2.9 for any approximation ratio.
+
+    The undirected variant replaces each edge {y²_i, y_i} by a
+    weight-0 path of length k-3 so that no long undirected detour can
+    sneak around the construction; it has (k-4)ℓ extra vertices and
+    yields Theorem 2.10's Ω(n / (k log n)). *)
+
+open Grapho
+
+type t = {
+  ell : int;
+  inputs : Disjointness.t;
+  graph : Dgraph.t;
+  weights : Weights.Directed.t;
+  d_edges : Edge.Directed.Set.t;
+  bob_vertices : int list;
+}
+
+val build : ell:int -> Disjointness.t -> t
+(** Inputs must have length ℓ². *)
+
+val n : t -> int
+val cut_edges : t -> (int * int) list
+
+val zero_weight_edges : t -> Edge.Directed.Set.t
+
+val has_zero_cost_spanner : t -> k:int -> bool
+(** Whether the weight-0 edges alone form a k-spanner; the paper
+    proves, for k ≥ 4, that this holds iff the inputs are disjoint. *)
+
+val min_d_edges_needed : t -> int
+(** Number of D-edges that are the unique path between their
+    endpoints: a lower bound on the cost of any spanner. 0 iff a
+    zero-cost spanner exists. *)
+
+type undirected = {
+  u_ell : int;
+  u_k : int;
+  u_inputs : Disjointness.t;
+  u_graph : Ugraph.t;
+  u_weights : Weights.t;
+  u_d_edges : Edge.Set.t;
+}
+
+val build_undirected : ell:int -> k:int -> Disjointness.t -> undirected
+(** Requires k ≥ 4. *)
+
+val undirected_has_zero_cost_spanner : undirected -> bool
+(** Whether the weight-0 edges form a k-spanner of the undirected
+    construction; holds iff the inputs are disjoint. *)

@@ -1,0 +1,50 @@
+open Grapho
+
+type t = { a : bool array; b : bool array }
+
+let length t = Array.length t.a
+
+let is_disjoint t =
+  let n = length t in
+  let rec go i = i >= n || ((not (t.a.(i) && t.b.(i))) && go (i + 1)) in
+  go 0
+
+let intersection_size t =
+  let count = ref 0 in
+  Array.iteri (fun i ai -> if ai && t.b.(i) then incr count) t.a;
+  !count
+
+let is_far_from_disjoint t = 12 * intersection_size t >= length t
+
+let random rng ~n ~density =
+  {
+    a = Array.init n (fun _ -> Rng.float rng 1.0 < density);
+    b = Array.init n (fun _ -> Rng.float rng 1.0 < density);
+  }
+
+let random_disjoint rng ~n ~density =
+  let a = Array.make n false and b = Array.make n false in
+  for i = 0 to n - 1 do
+    if Rng.float rng 1.0 < density then
+      if Rng.bool rng then a.(i) <- true else b.(i) <- true
+  done;
+  { a; b }
+
+let random_intersecting rng ~n =
+  let t = random_disjoint rng ~n ~density:0.5 in
+  let i = Rng.int rng n in
+  t.a.(i) <- true;
+  t.b.(i) <- true;
+  t
+
+let random_far rng ~n =
+  let t = random_disjoint rng ~n ~density:0.5 in
+  let planted = max 1 ((n + 11) / 12) in
+  let perm = Rng.permutation rng n in
+  for j = 0 to planted - 1 do
+    t.a.(perm.(j)) <- true;
+    t.b.(perm.(j)) <- true
+  done;
+  t
+
+let communication_lower_bound ~n = n

@@ -1,0 +1,35 @@
+(** Two-party communication problems behind the CONGEST lower bounds.
+
+    Set disjointness: Alice holds [a], Bob holds [b] ([N]-bit strings);
+    they must decide whether some index has [a_i = b_i = 1]. Any
+    protocol, even randomized, exchanges Ω(N) bits (Lemma 2.1). Gap
+    disjointness relaxes the task to distinguishing disjoint inputs
+    from inputs intersecting in at least [N/12] indices, which still
+    costs Ω(N) bits deterministically (Lemma 2.5). *)
+
+type t = { a : bool array; b : bool array }
+
+val length : t -> int
+val is_disjoint : t -> bool
+
+val intersection_size : t -> int
+(** Number of indices with [a_i = b_i = 1]. *)
+
+val is_far_from_disjoint : t -> bool
+(** At least [N/12] intersecting indices. *)
+
+val random : Grapho.Rng.t -> n:int -> density:float -> t
+(** Independent biased bits on each side. *)
+
+val random_disjoint : Grapho.Rng.t -> n:int -> density:float -> t
+(** Random instance conditioned on disjointness: each index gets
+    (0,0), (0,1) or (1,0). *)
+
+val random_intersecting : Grapho.Rng.t -> n:int -> t
+(** Disjoint-looking instance with exactly one planted intersection. *)
+
+val random_far : Grapho.Rng.t -> n:int -> t
+(** Instance with at least [N/12] planted intersections. *)
+
+val communication_lower_bound : n:int -> int
+(** Ω(N) with the constant 1: the bits any protocol must exchange. *)

@@ -1,0 +1,57 @@
+open Grapho
+
+let is_vertex_cover g c =
+  let inside = Array.make (Ugraph.n g) false in
+  List.iter (fun v -> inside.(v) <- true) c;
+  Ugraph.fold_edges
+    (fun e acc ->
+      let u, v = Edge.endpoints e in
+      acc && (inside.(u) || inside.(v)))
+    g true
+
+let two_approx g =
+  let matched = Array.make (Ugraph.n g) false in
+  let cover = ref [] in
+  Ugraph.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if (not matched.(u)) && not matched.(v) then begin
+        matched.(u) <- true;
+        matched.(v) <- true;
+        cover := u :: v :: !cover
+      end)
+    g;
+  List.sort compare !cover
+
+let greedy g =
+  let n = Ugraph.n g in
+  let covered = Hashtbl.create 64 in
+  let uncovered_degree v =
+    Array.fold_left
+      (fun acc u ->
+        if Hashtbl.mem covered (Edge.make v u) then acc else acc + 1)
+      0 (Ugraph.neighbors g v)
+  in
+  let remaining = ref (Ugraph.m g) in
+  let cover = ref [] in
+  while !remaining > 0 do
+    let best = ref 0 and best_deg = ref (-1) in
+    for v = 0 to n - 1 do
+      let d = uncovered_degree v in
+      if d > !best_deg then begin
+        best := v;
+        best_deg := d
+      end
+    done;
+    let v = !best in
+    cover := v :: !cover;
+    Array.iter
+      (fun u ->
+        let e = Edge.make v u in
+        if not (Hashtbl.mem covered e) then begin
+          Hashtbl.replace covered e ();
+          decr remaining
+        end)
+      (Ugraph.neighbors g v)
+  done;
+  List.sort compare !cover

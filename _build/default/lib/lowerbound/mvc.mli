@@ -1,0 +1,14 @@
+(** Minimum vertex cover algorithms used around the Section 3
+    reduction. *)
+
+open Grapho
+
+val is_vertex_cover : Ugraph.t -> int list -> bool
+
+val two_approx : Ugraph.t -> int list
+(** Both endpoints of a greedily-built maximal matching: the classic
+    2-approximation. *)
+
+val greedy : Ugraph.t -> int list
+(** Repeatedly pick the vertex covering the most uncovered edges
+    (O(log n) approximation). *)

@@ -1,0 +1,119 @@
+open Grapho
+
+type t = { base : Ugraph.t; graph : Ugraph.t; weights : Weights.t }
+
+let v1 v = 3 * v
+let v2 v = (3 * v) + 1
+let v3 v = (3 * v) + 2
+
+let build ?(augmentation = false) base =
+  let cross_weight = if augmentation then 1.0 else 2.0 in
+  let entries = ref [] in
+  let add u v w = entries := (u, v, w) :: !entries in
+  for v = 0 to Ugraph.n base - 1 do
+    add (v1 v) (v2 v) 1.0;
+    add (v1 v) (v3 v) 0.0;
+    add (v2 v) (v3 v) 0.0
+  done;
+  Ugraph.iter_edges
+    (fun e ->
+      let v, u = Edge.endpoints e in
+      (* v < u by edge normalization: the cross edge is {v1, u2}. *)
+      add (v1 v) (v1 u) 0.0;
+      add (v2 v) (v2 u) 0.0;
+      add (v1 v) (v2 u) cross_weight)
+    base;
+  let graph =
+    Ugraph.of_edges ~n:(3 * Ugraph.n base)
+      (List.map (fun (u, v, _) -> (u, v)) !entries)
+  in
+  let weights = Weights.of_list ~default:1.0 !entries in
+  { base; graph; weights }
+
+let zero_edges t =
+  Ugraph.fold_edges
+    (fun e acc ->
+      if Weights.get t.weights e = 0.0 then Edge.Set.add e acc else acc)
+    t.graph Edge.Set.empty
+
+let vc_to_spanner t cover =
+  List.fold_left
+    (fun acc v -> Edge.Set.add (Edge.make (v1 v) (v2 v)) acc)
+    (zero_edges t) cover
+
+let spanner_to_vc t spanner =
+  (* Normalize: keep weight-0/1 edges, expand weight-2 cross edges into
+     the two triangle edges they shortcut, add all weight-0 edges. *)
+  let normalized =
+    Edge.Set.fold
+      (fun e acc ->
+        let w = Weights.get t.weights e in
+        if w <= 1.0 then Edge.Set.add e acc
+        else begin
+          let a, b = Edge.endpoints e in
+          (* a = v1 of some vertex, b = v2 of another. *)
+          let v = a / 3 and u = b / 3 in
+          Edge.Set.add
+            (Edge.make (v1 v) (v2 v))
+            (Edge.Set.add (Edge.make (v1 u) (v2 u)) acc)
+        end)
+      spanner (zero_edges t)
+  in
+  let cover = ref [] in
+  for v = Ugraph.n t.base - 1 downto 0 do
+    if Edge.Set.mem (Edge.make (v1 v) (v2 v)) normalized then
+      cover := v :: !cover
+  done;
+  !cover
+
+let spanner_cost t spanner = Weights.cost t.weights spanner
+
+let check_claim_3_1 base =
+  let t = build base in
+  let spanner =
+    Spanner_core.Exact.min_weighted_2_spanner t.graph t.weights
+  in
+  let cover = Spanner_core.Exact.min_vertex_cover base in
+  let cost = spanner_cost t spanner in
+  Float.abs (cost -. float_of_int (List.length cover)) < 1e-9
+
+type directed = {
+  d_base : Ugraph.t;
+  d_graph : Dgraph.t;
+  d_weights : Weights.Directed.t;
+}
+
+let build_directed ?(augmentation = false) base =
+  let cross_weight = if augmentation then 1.0 else 2.0 in
+  let entries = ref [] in
+  let add u v w = entries := (u, v, w) :: !entries in
+  for v = 0 to Ugraph.n base - 1 do
+    add (v1 v) (v2 v) 1.0;
+    add (v1 v) (v3 v) 0.0;
+    add (v3 v) (v2 v) 0.0
+  done;
+  Ugraph.iter_edges
+    (fun e ->
+      let v, u = Edge.endpoints e in
+      add (v1 v) (v1 u) 0.0;
+      add (v1 u) (v1 v) 0.0;
+      add (v2 v) (v2 u) 0.0;
+      add (v2 u) (v2 v) 0.0;
+      add (v1 v) (v2 u) cross_weight)
+    base;
+  let d_graph =
+    Dgraph.of_edges ~n:(3 * Ugraph.n base)
+      (List.map (fun (u, v, _) -> (u, v)) !entries)
+  in
+  let d_weights = Weights.Directed.of_list ~default:1.0 !entries in
+  { d_base = base; d_graph; d_weights }
+
+let check_claim_3_1_directed base =
+  let t = build_directed base in
+  let spanner =
+    Spanner_core.Exact.min_directed_k_spanner ~weights:t.d_weights t.d_graph
+      ~k:2
+  in
+  let cost = Weights.Directed.cost t.d_weights spanner in
+  let cover = Spanner_core.Exact.min_vertex_cover base in
+  Float.abs (cost -. float_of_int (List.length cover)) < 1e-9

@@ -1,0 +1,69 @@
+(** The MVC → weighted 2-spanner reduction of Section 3 (Figure 3).
+
+    From an MVC instance [G] build [G_S]: each vertex [v] becomes a
+    triangle [v₁v₂v₃] with w(v₁v₂)=1 and the other two sides 0; each
+    edge [{v,u}] becomes [{v₁,u₁}] and [{v₂,u₂}] of weight 0 plus one
+    of [{v₁,u₂}], [{u₁,v₂}] (by id order) of weight 2. Claim 3.1: the
+    minimum 2-spanner cost of [G_S] equals the minimum vertex cover
+    size of [G] — both directions of the proof are executable here as
+    converters, so the claim is machine-checkable on small instances
+    with the exact solvers. Lemma 3.2 then turns any weighted
+    2-spanner algorithm into an MVC algorithm with a factor-3 round
+    overhead, importing the KMW [48] and near-quadratic [11] lower
+    bounds (Theorems 3.3-3.5). *)
+
+open Grapho
+
+type t = {
+  base : Ugraph.t;  (** the MVC instance *)
+  graph : Ugraph.t;  (** G_S, on 3n vertices *)
+  weights : Weights.t;
+}
+
+val build : ?augmentation:bool -> Ugraph.t -> t
+(** [augmentation] (default false) sets the cross edges to weight 1
+    instead of 2 — the 0/1-weight variant of the remark after Theorem
+    3.5, under which an α-approximation still yields a
+    2α-approximation for MVC. *)
+
+val v1 : int -> int
+val v2 : int -> int
+val v3 : int -> int
+
+val vc_to_spanner : t -> int list -> Edge.Set.t
+(** The forward direction of Claim 3.1: a vertex cover [C] of the base
+    graph maps to a 2-spanner [H_C] of [G_S] of cost exactly [|C|]
+    (all weight-0 edges plus [{v₁,v₂}] for each [v ∈ C]). *)
+
+val spanner_to_vc : t -> Edge.Set.t -> int list
+(** The reverse direction: normalize the spanner (replace each
+    weight-2 edge by the two corresponding weight-1 edges, add all
+    weight-0 edges) and read off [{v : {v₁,v₂} ∈ H'}]; a vertex cover
+    of cost at most the spanner's. *)
+
+val spanner_cost : t -> Edge.Set.t -> float
+
+val check_claim_3_1 : Ugraph.t -> bool
+(** Exact check on a small instance: min-cost 2-spanner of [G_S] =
+    min vertex cover of [G]. *)
+
+(** {2 Directed variant}
+
+    The remark closing Section 3: the triangle of [v] becomes
+    [(v₁,v₂), (v₁,v₃), (v₃,v₂)] and each base edge contributes five
+    directed edges — both orientations of [(v₁,u₁)] and [(v₂,u₂)] at
+    weight 0 plus one cross edge — so the same lower bounds hold for
+    the directed weighted 2-spanner problem. *)
+
+type directed = {
+  d_base : Ugraph.t;
+  d_graph : Dgraph.t;
+  d_weights : Weights.Directed.t;
+}
+
+val build_directed : ?augmentation:bool -> Ugraph.t -> directed
+
+val check_claim_3_1_directed : Ugraph.t -> bool
+(** Exact check on a small instance: the minimum-cost directed
+    2-spanner of the directed [G_S] costs exactly the minimum vertex
+    cover of the base graph. *)

@@ -1,0 +1,31 @@
+(** The Alice/Bob simulation harness of Lemma 2.4.
+
+    Alice simulates [V_A], Bob [V_B]; messages inside a side are free,
+    and every message crossing the cut costs its wire size. Running a
+    distributed algorithm under this meter realizes the protocol of
+    the lower-bound proofs: the measured bits obey
+    [bits ≤ rounds · cut · B], so a communication-complexity lower
+    bound on the task forces a round lower bound on the algorithm. *)
+
+open Grapho
+
+type report = {
+  rounds : int;
+  cut_edge_count : int;  (** undirected cut edges of the topology *)
+  bits_across_cut : int;
+  total_bits : int;
+  bound_per_round : int;  (** cut · bandwidth: the Lemma 2.4 budget *)
+}
+
+val meter :
+  ?max_rounds:int ->
+  model:Distsim.Model.t ->
+  graph:Ugraph.t ->
+  bob:int list ->
+  ('s, 'm) Distsim.Engine.spec ->
+  report * 's array
+
+val meter_flood :
+  ?model:Distsim.Model.t -> graph:Ugraph.t -> bob:int list -> unit -> report
+(** Meters min-id flooding — a canonical CONGEST workload — over the
+    given cut. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Edge Float Generators Grapho List QCheck QCheck_alcotest Rng Spanner_core Traversal Ugraph Weights

@@ -1,0 +1,1 @@
+test/test_distsim.ml: Alcotest Array Distsim Edge Generators Grapho Hashtbl List Option QCheck QCheck_alcotest Rng Traversal Ugraph

@@ -1,0 +1,1 @@
+test/test_grapho.ml: Alcotest Array Dgraph Edge Generators Graph_io Grapho List Power QCheck QCheck_alcotest Rng String Traversal Ugraph Weights

@@ -1,0 +1,1 @@
+test/test_local_model.ml: Alcotest Array Edge Generators Grapho List QCheck QCheck_alcotest Rng Spanner_core Ugraph

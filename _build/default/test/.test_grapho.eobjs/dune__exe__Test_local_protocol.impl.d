@@ -1,0 +1,1 @@
+test/test_local_protocol.ml: Alcotest Array Dgraph Edge Generators Grapho List Printf QCheck QCheck_alcotest Rng Spanner_core Ugraph Weights

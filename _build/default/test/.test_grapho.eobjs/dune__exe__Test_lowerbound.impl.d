@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Dgraph Edge Generators Grapho List Lowerbound QCheck QCheck_alcotest Rng Spanner_core Ugraph Weights

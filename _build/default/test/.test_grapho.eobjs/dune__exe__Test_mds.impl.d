@@ -1,0 +1,1 @@
+test/test_mds.ml: Alcotest Distsim Float Generators Grapho List Printf QCheck QCheck_alcotest Rng Spanner_core Ugraph

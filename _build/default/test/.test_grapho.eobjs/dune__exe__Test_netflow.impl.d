@@ -1,0 +1,1 @@
+test/test_netflow.ml: Alcotest Array Float Grapho List Netflow QCheck QCheck_alcotest

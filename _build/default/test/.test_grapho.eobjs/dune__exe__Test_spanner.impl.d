@@ -1,0 +1,1 @@
+test/test_spanner.ml: Alcotest Array Dgraph Edge Generators Grapho List QCheck QCheck_alcotest Rng Spanner_core Ugraph

@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Dgraph Edge Float Generators Grapho List QCheck QCheck_alcotest Rng Spanner_core Ugraph Weights

@@ -1,0 +1,168 @@
+(* Tests for the exact solvers (ground truth for everything else). *)
+
+open Grapho
+module C = Spanner_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let spanner_size g k =
+  match
+    C.Exact.min_k_spanner ~targets:(Ugraph.edge_set g)
+      ~usable:(Ugraph.edge_set g) ~n:(Ugraph.n g) ~k ()
+  with
+  | Some s -> Edge.Set.cardinal s
+  | None -> Alcotest.fail "spanner must exist"
+
+let test_known_2_spanners () =
+  check_int "K5 star" 4 (spanner_size (Generators.complete 5) 2);
+  check_int "path keeps all" 4 (spanner_size (Generators.path 5) 2);
+  check_int "C5 keeps all" 5 (spanner_size (Generators.cycle 5) 2);
+  check_int "C3 drops one" 2 (spanner_size (Generators.cycle 3) 2);
+  (* bipartite graphs are triangle-free: all edges needed *)
+  check_int "K23 all" 6 (spanner_size (Generators.complete_bipartite 2 3) 2)
+
+let test_known_k_spanners () =
+  (* C6 with k=5: dropping one edge leaves a 5-path. *)
+  check_int "C6 k5" 5 (spanner_size (Generators.cycle 6) 5);
+  check_int "C6 k4" 6 (spanner_size (Generators.cycle 6) 4);
+  (* K4 with k=3: a spanning path of 3 edges covers everything. *)
+  check_int "K4 k3" 3 (spanner_size (Generators.complete 4) 3)
+
+let test_spanner_result_is_valid () =
+  for seed = 0 to 5 do
+    let g = Generators.gnp_connected (Rng.create seed) 9 0.4 in
+    match
+      C.Exact.min_k_spanner ~targets:(Ugraph.edge_set g)
+        ~usable:(Ugraph.edge_set g) ~n:9 ~k:2 ()
+    with
+    | Some s -> check "valid" true (C.Spanner_check.is_spanner g s ~k:2)
+    | None -> Alcotest.fail "must exist"
+  done
+
+let test_uncoverable_targets_give_none () =
+  let targets = Edge.Set.singleton (Edge.make 0 1) in
+  let usable = Edge.Set.singleton (Edge.make 2 3) in
+  check "none" true
+    (C.Exact.min_k_spanner ~targets ~usable ~n:4 ~k:2 () = None)
+
+let test_weighted_prefers_cheap_paths () =
+  (* Triangle where the direct edge costs 10 and the 2-path costs 2. *)
+  let g = Generators.complete 3 in
+  let w = Weights.of_list [ (0, 1, 10.0); (1, 2, 1.0); (0, 2, 1.0) ] in
+  let s = C.Exact.min_weighted_2_spanner g w in
+  check "skips expensive edge" false (Edge.Set.mem (Edge.make 0 1) s);
+  Alcotest.(check (float 1e-9)) "cost 2" 2.0 (Weights.cost w s)
+
+let test_weighted_zero_edges () =
+  let g = Generators.complete 4 in
+  let w = Weights.uniform 0.0 in
+  let s = C.Exact.min_weighted_2_spanner g w in
+  Alcotest.(check (float 1e-9)) "free" 0.0 (Weights.cost w s);
+  check "valid" true (C.Spanner_check.is_spanner g s ~k:2)
+
+let test_directed_known () =
+  (* Bidirected K4: double star = 6 edges. *)
+  let dg = Generators.bidirect (Generators.complete 4) in
+  check_int "double star" 6
+    (Edge.Directed.Set.cardinal (C.Exact.min_directed_k_spanner dg ~k:2));
+  (* Directed triangle cycle: no shortcuts, all edges needed. *)
+  let tri = Dgraph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  check_int "directed triangle" 3
+    (Edge.Directed.Set.cardinal (C.Exact.min_directed_k_spanner tri ~k:2))
+
+let test_directed_result_valid () =
+  for seed = 0 to 3 do
+    let dg =
+      Generators.random_orientation (Rng.create seed)
+        (Generators.gnp_connected (Rng.create (seed + 50)) 8 0.5)
+    in
+    let s = C.Exact.min_directed_k_spanner dg ~k:3 in
+    check "valid" true (C.Spanner_check.is_directed_spanner dg s ~k:3)
+  done
+
+let test_mds_known () =
+  check_int "star" 1 (List.length (C.Exact.min_dominating_set (Generators.star 9)));
+  check_int "C7" 3 (List.length (C.Exact.min_dominating_set (Generators.cycle 7)));
+  check_int "C9" 3 (List.length (C.Exact.min_dominating_set (Generators.cycle 9)));
+  check_int "path6" 2 (List.length (C.Exact.min_dominating_set (Generators.path 6)));
+  check_int "K6" 1 (List.length (C.Exact.min_dominating_set (Generators.complete 6)));
+  check_int "empty graph dominates itself" 4
+    (List.length (C.Exact.min_dominating_set (Ugraph.empty 4)))
+
+let test_mds_result_dominates () =
+  for seed = 0 to 5 do
+    let g = Generators.gnp_connected (Rng.create seed) 12 0.25 in
+    let d = C.Exact.min_dominating_set g in
+    check "dominates" true (C.Mds.is_dominating_set g d)
+  done
+
+let test_mvc_known () =
+  check_int "star" 1 (List.length (C.Exact.min_vertex_cover (Generators.star 9)));
+  check_int "C7" 4 (List.length (C.Exact.min_vertex_cover (Generators.cycle 7)));
+  check_int "path5" 2 (List.length (C.Exact.min_vertex_cover (Generators.path 5)));
+  check_int "K5" 4 (List.length (C.Exact.min_vertex_cover (Generators.complete 5)));
+  check_int "K33" 3
+    (List.length (C.Exact.min_vertex_cover (Generators.complete_bipartite 3 3)))
+
+let test_mvc_result_covers () =
+  for seed = 0 to 5 do
+    let g = Generators.gnp_connected (Rng.create seed) 12 0.3 in
+    let c = C.Exact.min_vertex_cover g in
+    check "covers" true (Lowerbound.Mvc.is_vertex_cover g c)
+  done
+
+let prop_exact_below_greedy =
+  QCheck.Test.make ~name:"exact 2-spanner never beats itself" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Generators.gnp_connected (Rng.create seed) 9 0.4 in
+      let exact = C.Exact.min_2_spanner_size g in
+      let greedy = Edge.Set.cardinal (C.Kp_greedy.run g).spanner in
+      exact <= greedy)
+
+let prop_mds_exact_minimal =
+  QCheck.Test.make ~name:"exact MDS below greedy MDS" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Generators.gnp_connected (Rng.create seed) 12 0.25 in
+      List.length (C.Exact.min_dominating_set g)
+      <= List.length (C.Mds.greedy g))
+
+let prop_mvc_exact_minimal =
+  QCheck.Test.make ~name:"exact MVC below 2-approx" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Generators.gnp_connected (Rng.create seed) 12 0.3 in
+      let exact = List.length (C.Exact.min_vertex_cover g) in
+      let approx = List.length (Lowerbound.Mvc.two_approx g) in
+      exact <= approx && approx <= 2 * exact)
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "spanners",
+        [
+          Alcotest.test_case "known 2-spanners" `Quick test_known_2_spanners;
+          Alcotest.test_case "known k-spanners" `Quick test_known_k_spanners;
+          Alcotest.test_case "valid" `Quick test_spanner_result_is_valid;
+          Alcotest.test_case "uncoverable" `Quick
+            test_uncoverable_targets_give_none;
+          Alcotest.test_case "weighted cheap paths" `Quick
+            test_weighted_prefers_cheap_paths;
+          Alcotest.test_case "weighted zero" `Quick test_weighted_zero_edges;
+          Alcotest.test_case "directed known" `Quick test_directed_known;
+          Alcotest.test_case "directed valid" `Quick test_directed_result_valid;
+        ] );
+      ( "covering",
+        [
+          Alcotest.test_case "mds known" `Quick test_mds_known;
+          Alcotest.test_case "mds dominates" `Quick test_mds_result_dominates;
+          Alcotest.test_case "mvc known" `Quick test_mvc_known;
+          Alcotest.test_case "mvc covers" `Quick test_mvc_result_covers;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exact_below_greedy; prop_mds_exact_minimal;
+            prop_mvc_exact_minimal ] );
+    ]

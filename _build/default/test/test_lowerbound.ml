@@ -1,0 +1,401 @@
+(* Tests for the lower-bound constructions of Sections 2 and 3:
+   disjointness instances, G(l,b), Gw, the MVC reduction, the
+   two-party meter and the bound curves. *)
+
+open Grapho
+module L = Lowerbound
+module C = Spanner_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Disjointness *)
+
+let test_disjointness_predicates () =
+  let t = { L.Disjointness.a = [| true; false |]; b = [| false; true |] } in
+  check "disjoint" true (L.Disjointness.is_disjoint t);
+  let t2 = { L.Disjointness.a = [| true |]; b = [| true |] } in
+  check "intersecting" false (L.Disjointness.is_disjoint t2);
+  check_int "size" 1 (L.Disjointness.intersection_size t2);
+  check "far" true (L.Disjointness.is_far_from_disjoint t2)
+
+let test_disjointness_generators () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 20 do
+    check "disjoint gen" true
+      (L.Disjointness.is_disjoint
+         (L.Disjointness.random_disjoint rng ~n:30 ~density:0.6));
+    check "intersecting gen" false
+      (L.Disjointness.is_disjoint (L.Disjointness.random_intersecting rng ~n:30));
+    check "far gen" true
+      (L.Disjointness.is_far_from_disjoint (L.Disjointness.random_far rng ~n:30))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Construction G (Figure 1, Theorems 1.1 / 2.8) *)
+
+let build_g seed ~ell ~beta kind =
+  let rng = Rng.create seed in
+  let inputs =
+    match kind with
+    | `Disjoint -> L.Disjointness.random_disjoint rng ~n:(ell * ell) ~density:0.5
+    | `Intersecting -> L.Disjointness.random_intersecting rng ~n:(ell * ell)
+    | `Far -> L.Disjointness.random_far rng ~n:(ell * ell)
+  in
+  L.Construction_g.build ~ell ~beta inputs
+
+let test_g_vertex_count () =
+  let t = build_g 1 ~ell:3 ~beta:5 `Disjoint in
+  check_int "n = 2lb + 5l" ((2 * 3 * 5) + (5 * 3)) (L.Construction_g.n t);
+  check_int "graph agrees" (L.Construction_g.n t) (Dgraph.n t.graph)
+
+let test_g_cut_is_theta_ell () =
+  List.iter
+    (fun ell ->
+      let t = build_g 2 ~ell ~beta:(ell + 1) `Disjoint in
+      check_int "cut = 3l" (3 * ell)
+        (List.length (L.Construction_g.cut_edges t)))
+    [ 2; 3; 4; 5 ]
+
+let test_g_claim_2_2_all_blocks () =
+  List.iter
+    (fun kind ->
+      let t = build_g 3 ~ell:3 ~beta:4 kind in
+      for i = 0 to 2 do
+        for r = 0 to 2 do
+          check "claim 2.2" true (L.Construction_g.check_claim_2_2 t ~i ~r)
+        done
+      done)
+    [ `Disjoint; `Intersecting; `Far ]
+
+let test_g_disjoint_sparse_spanner () =
+  (* Lemma 2.3, disjoint side: the non-D edges form a 5-spanner of at
+     most 7lb edges (beta >= ell). *)
+  let t = build_g 4 ~ell:3 ~beta:4 `Disjoint in
+  let nonD = L.Construction_g.non_d_edges t in
+  check "valid 5-spanner" true
+    (C.Spanner_check.is_directed_spanner t.graph nonD ~k:5);
+  check "size bound" true
+    (Edge.Directed.Set.cardinal nonD <= 7 * 3 * 4);
+  check_int "no forced D-edges" 0
+    (Edge.Directed.Set.cardinal (L.Construction_g.forced_d_edges t))
+
+let test_g_intersecting_forces_beta_squared () =
+  (* Lemma 2.3, intersecting side: at least beta^2 forced D-edges. *)
+  let t = build_g 5 ~ell:3 ~beta:4 `Intersecting in
+  check "forced >= beta^2" true
+    (Edge.Directed.Set.cardinal (L.Construction_g.forced_d_edges t) >= 16);
+  (* and dropping any forced edge breaks the spanner *)
+  let oracle = L.Construction_g.oracle_spanner t in
+  check "oracle valid" true
+    (C.Spanner_check.is_directed_spanner t.graph oracle ~k:5);
+  let forced = L.Construction_g.forced_d_edges t in
+  let e = Edge.Directed.Set.choose forced in
+  check "forced edge irreplaceable" false
+    (C.Spanner_check.is_directed_spanner t.graph
+       (Edge.Directed.Set.remove e oracle) ~k:5)
+
+let test_g_far_forces_many_blocks () =
+  (* Lemma 2.6: far inputs force beta^2/12 * l^2 D-edges. *)
+  let ell = 4 and beta = 3 in
+  let t = build_g 6 ~ell ~beta `Far in
+  let forced = Edge.Directed.Set.cardinal (L.Construction_g.forced_d_edges t) in
+  check "many forced" true (forced * 12 >= beta * beta * ell * ell)
+
+let test_g_decision_rule_in_regime () =
+  (* With parameters from the theorem (alpha*7lb < beta^2), the
+     Lemma 2.4 decision on the oracle spanner is always correct. *)
+  let alpha = 1.0 in
+  let ell, beta = L.Construction_g.params_randomized ~n':260 ~alpha in
+  check "regime" true (alpha *. float_of_int (7 * ell * beta)
+                       < float_of_int (beta * beta));
+  List.iter
+    (fun kind ->
+      let t = build_g 7 ~ell ~beta kind in
+      let spanner = L.Construction_g.oracle_spanner t in
+      let verdict = L.Construction_g.decide_disjointness t ~spanner ~alpha in
+      check "decision matches" true
+        (verdict = L.Disjointness.is_disjoint t.inputs))
+    [ `Disjoint; `Intersecting ]
+
+let test_g_gap_decision_rule () =
+  (* Deterministic regime (Thm 2.8): beta fixed ~ sqrt(alpha), ell
+     large; gap decision separates disjoint from far inputs. *)
+  let alpha = 1.0 in
+  let ell, beta = L.Construction_g.params_deterministic ~n':400 ~alpha in
+  check "regime" true
+    (alpha *. float_of_int (7 * ell * ell)
+    < float_of_int (beta * beta * ell * ell) /. 12.0);
+  List.iter
+    (fun kind ->
+      let t = build_g 17 ~ell ~beta kind in
+      let spanner = L.Construction_g.oracle_spanner t in
+      let verdict =
+        L.Construction_g.decide_gap_disjointness t ~spanner ~alpha
+      in
+      match kind with
+      | `Disjoint -> check "says disjoint" true verdict
+      | `Far -> check "says far" false verdict
+      | `Intersecting -> ())
+    [ `Disjoint; `Far ]
+
+let test_g_params () =
+  let ell, beta = L.Construction_g.params_randomized ~n':1000 ~alpha:2.0 in
+  check "beta = q ell" true (beta mod ell = 0 && beta / ell >= 15);
+  let ell2, beta2 = L.Construction_g.params_deterministic ~n':1000 ~alpha:2.0 in
+  check "beta fixed" true (beta2 >= 13);
+  check "ell linear" true (ell2 >= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Construction Gw (Figure 2, Theorems 2.9 / 2.10) *)
+
+let gw_inputs seed ell kind =
+  let rng = Rng.create seed in
+  match kind with
+  | `Disjoint -> L.Disjointness.random_disjoint rng ~n:(ell * ell) ~density:0.5
+  | `Intersecting -> L.Disjointness.random_intersecting rng ~n:(ell * ell)
+
+let test_gw_n_exact () =
+  let t = L.Construction_gw.build ~ell:4 (gw_inputs 1 4 `Disjoint) in
+  check_int "n = 6l" 24 (L.Construction_gw.n t);
+  check_int "cut = 3l" 12 (List.length (L.Construction_gw.cut_edges t))
+
+let test_gw_zero_cost_iff_disjoint () =
+  for seed = 0 to 9 do
+    let kind = if seed mod 2 = 0 then `Disjoint else `Intersecting in
+    let inputs = gw_inputs seed 4 kind in
+    let t = L.Construction_gw.build ~ell:4 inputs in
+    List.iter
+      (fun k ->
+        check "zero-cost iff disjoint" true
+          (L.Construction_gw.has_zero_cost_spanner t ~k
+          = L.Disjointness.is_disjoint inputs))
+      [ 4; 5; 6 ]
+  done
+
+let test_gw_forced_edges_counted () =
+  let t = L.Construction_gw.build ~ell:4 (gw_inputs 3 4 `Intersecting) in
+  check "at least one forced" true (L.Construction_gw.min_d_edges_needed t >= 1);
+  let t2 = L.Construction_gw.build ~ell:4 (gw_inputs 2 4 `Disjoint) in
+  check_int "none forced" 0 (L.Construction_gw.min_d_edges_needed t2)
+
+let test_gw_undirected_variants () =
+  for k = 4 to 7 do
+    for seed = 0 to 3 do
+      let kind = if seed mod 2 = 0 then `Disjoint else `Intersecting in
+      let inputs = gw_inputs (100 + seed) 3 kind in
+      let u = L.Construction_gw.build_undirected ~ell:3 ~k inputs in
+      check_int "n = 6l + (k-4)l" ((6 * 3) + ((k - 4) * 3)) (Ugraph.n u.u_graph);
+      check "zero-cost iff disjoint" true
+        (L.Construction_gw.undirected_has_zero_cost_spanner u
+        = L.Disjointness.is_disjoint inputs)
+    done
+  done
+
+let test_gw_undirected_k3_rejected () =
+  check "k<4 rejected" true
+    (try
+       ignore
+         (L.Construction_gw.build_undirected ~ell:2 ~k:3 (gw_inputs 1 2 `Disjoint));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* MVC reduction (Figure 3, Claim 3.1, Theorems 3.3-3.5) *)
+
+let test_reduction_shape () =
+  let g = Generators.cycle 5 in
+  let t = L.Mvc_reduction.build g in
+  check_int "3n vertices" 15 (Ugraph.n t.graph);
+  (* 3 triangle edges per vertex + 3 edges per base edge *)
+  check_int "edge count" ((3 * 5) + (3 * 5)) (Ugraph.m t.graph)
+
+let test_claim_3_1_small_graphs () =
+  List.iter
+    (fun (name, g) ->
+      check name true (L.Mvc_reduction.check_claim_3_1 g))
+    [
+      ("edge", Generators.path 2);
+      ("path4", Generators.path 4);
+      ("C5", Generators.cycle 5);
+      ("K4", Generators.complete 4);
+      ("star6", Generators.star 6);
+      ("gnp7", Generators.gnp_connected (Rng.create 3) 7 0.4);
+    ]
+
+let test_vc_to_spanner_direction () =
+  let g = Generators.gnp_connected (Rng.create 4) 10 0.3 in
+  let t = L.Mvc_reduction.build g in
+  let cover = L.Mvc.two_approx g in
+  let h = L.Mvc_reduction.vc_to_spanner t cover in
+  check "is 2-spanner" true (C.Spanner_check.is_spanner t.graph h ~k:2);
+  Alcotest.(check (float 1e-9)) "cost = |C|"
+    (float_of_int (List.length cover))
+    (L.Mvc_reduction.spanner_cost t h)
+
+let test_spanner_to_vc_direction () =
+  for seed = 0 to 4 do
+    let g = Generators.gnp_connected (Rng.create (40 + seed)) 15 0.25 in
+    let t = L.Mvc_reduction.build g in
+    let r = C.Weighted_two_spanner.run ~rng:(Rng.create seed) t.graph t.weights in
+    let vc = L.Mvc_reduction.spanner_to_vc t r.spanner in
+    check "valid cover" true (L.Mvc.is_vertex_cover g vc);
+    check "cost dominates cover" true
+      (float_of_int (List.length vc) <= r.cost +. 1e-9)
+  done
+
+let test_reduction_augmentation_weights () =
+  let g = Generators.cycle 4 in
+  let t = L.Mvc_reduction.build ~augmentation:true g in
+  Ugraph.iter_edges
+    (fun e -> check "weights in {0,1}" true (Weights.get t.weights e <= 1.0))
+    t.graph
+
+let test_claim_3_1_directed () =
+  List.iter
+    (fun (name, g) ->
+      check name true (L.Mvc_reduction.check_claim_3_1_directed g))
+    [
+      ("edge", Generators.path 2);
+      ("path4", Generators.path 4);
+      ("C5", Generators.cycle 5);
+      ("K4", Generators.complete 4);
+    ]
+
+let test_mvc_helpers () =
+  let g = Generators.cycle 6 in
+  check "2approx covers" true (L.Mvc.is_vertex_cover g (L.Mvc.two_approx g));
+  check "greedy covers" true (L.Mvc.is_vertex_cover g (L.Mvc.greedy g));
+  check "empty not cover" false (L.Mvc.is_vertex_cover g [])
+
+(* ------------------------------------------------------------------ *)
+(* Two-party meter and bounds *)
+
+let test_meter_counts_cut_bits () =
+  let inputs = L.Disjointness.random_disjoint (Rng.create 5) ~n:9 ~density:0.5 in
+  let t = L.Construction_g.build ~ell:3 ~beta:4 inputs in
+  let g = Dgraph.underlying t.graph in
+  let rep = L.Two_party.meter_flood ~graph:g ~bob:t.bob_vertices () in
+  check "bits bounded per round" true
+    (rep.bits_across_cut <= rep.rounds * rep.bound_per_round);
+  check "some bits crossed" true (rep.bits_across_cut > 0);
+  check "cut matches construction" true (rep.cut_edge_count >= 3 * 3)
+
+let test_meter_cut_free_when_bob_empty () =
+  let g = Generators.gnp_connected (Rng.create 6) 20 0.2 in
+  let rep = L.Two_party.meter_flood ~graph:g ~bob:[] () in
+  check_int "no cut" 0 rep.cut_edge_count;
+  check_int "no cut bits" 0 rep.bits_across_cut
+
+let test_bound_curves_shape () =
+  (* Monotonicity sanity of the theorem curves. *)
+  check "1.1 grows with n" true
+    (L.Bounds.thm_1_1_randomized ~n:40_000 ~alpha:1.0
+    > L.Bounds.thm_1_1_randomized ~n:10_000 ~alpha:1.0);
+  check "1.1 shrinks with alpha" true
+    (L.Bounds.thm_1_1_randomized ~n:10_000 ~alpha:16.0
+    < L.Bounds.thm_1_1_randomized ~n:10_000 ~alpha:1.0);
+  check "2.8 above 1.1" true
+    (L.Bounds.thm_2_8_deterministic ~n:10_000 ~alpha:4.0
+    > L.Bounds.thm_1_1_randomized ~n:10_000 ~alpha:4.0);
+  check "2.10 below 2.9" true
+    (L.Bounds.thm_2_10_weighted_undirected ~n:10_000 ~k:5
+    < L.Bounds.thm_2_9_weighted_directed ~n:10_000);
+  check "3.5 near quadratic" true
+    (L.Bounds.thm_3_5_exact_congest ~n:1000 > 5000.0);
+  check "simulation rounds" true
+    (L.Bounds.simulation_rounds ~bits:1000 ~cut:10 ~bandwidth:10 = 5.0)
+
+let prop_gw_iff =
+  QCheck.Test.make ~name:"Gw zero-cost spanner iff disjoint" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inputs = L.Disjointness.random rng ~n:9 ~density:0.4 in
+      let t = L.Construction_gw.build ~ell:3 inputs in
+      L.Construction_gw.has_zero_cost_spanner t ~k:4
+      = L.Disjointness.is_disjoint inputs)
+
+let prop_claim_2_2 =
+  QCheck.Test.make ~name:"Claim 2.2 holds for random inputs" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inputs = L.Disjointness.random rng ~n:4 ~density:0.5 in
+      let t = L.Construction_g.build ~ell:2 ~beta:3 inputs in
+      let ok = ref true in
+      for i = 0 to 1 do
+        for r = 0 to 1 do
+          if not (L.Construction_g.check_claim_2_2 t ~i ~r) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_reduction_roundtrip =
+  QCheck.Test.make ~name:"VC -> spanner -> VC does not grow" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Generators.gnp_connected (Rng.create seed) 10 0.3 in
+      let t = L.Mvc_reduction.build g in
+      let cover = L.Mvc.two_approx g in
+      let h = L.Mvc_reduction.vc_to_spanner t cover in
+      let back = L.Mvc_reduction.spanner_to_vc t h in
+      L.Mvc.is_vertex_cover g back
+      && List.length back <= List.length cover)
+
+let () =
+  Alcotest.run "lowerbound"
+    [
+      ( "disjointness",
+        [
+          Alcotest.test_case "predicates" `Quick test_disjointness_predicates;
+          Alcotest.test_case "generators" `Quick test_disjointness_generators;
+        ] );
+      ( "construction_g",
+        [
+          Alcotest.test_case "vertex count" `Quick test_g_vertex_count;
+          Alcotest.test_case "cut size" `Quick test_g_cut_is_theta_ell;
+          Alcotest.test_case "claim 2.2" `Quick test_g_claim_2_2_all_blocks;
+          Alcotest.test_case "disjoint sparse" `Quick
+            test_g_disjoint_sparse_spanner;
+          Alcotest.test_case "intersecting forces" `Quick
+            test_g_intersecting_forces_beta_squared;
+          Alcotest.test_case "far forces many" `Quick test_g_far_forces_many_blocks;
+          Alcotest.test_case "decision rule" `Quick test_g_decision_rule_in_regime;
+          Alcotest.test_case "gap decision rule" `Quick
+            test_g_gap_decision_rule;
+          Alcotest.test_case "parameter choices" `Quick test_g_params;
+          QCheck_alcotest.to_alcotest prop_claim_2_2;
+        ] );
+      ( "construction_gw",
+        [
+          Alcotest.test_case "shape" `Quick test_gw_n_exact;
+          Alcotest.test_case "zero-cost iff disjoint" `Quick
+            test_gw_zero_cost_iff_disjoint;
+          Alcotest.test_case "forced edges" `Quick test_gw_forced_edges_counted;
+          Alcotest.test_case "undirected variants" `Quick
+            test_gw_undirected_variants;
+          Alcotest.test_case "k<4 rejected" `Quick test_gw_undirected_k3_rejected;
+          QCheck_alcotest.to_alcotest prop_gw_iff;
+        ] );
+      ( "mvc_reduction",
+        [
+          Alcotest.test_case "shape" `Quick test_reduction_shape;
+          Alcotest.test_case "claim 3.1" `Quick test_claim_3_1_small_graphs;
+          Alcotest.test_case "claim 3.1 directed" `Quick
+            test_claim_3_1_directed;
+          Alcotest.test_case "vc to spanner" `Quick test_vc_to_spanner_direction;
+          Alcotest.test_case "spanner to vc" `Quick test_spanner_to_vc_direction;
+          Alcotest.test_case "augmentation weights" `Quick
+            test_reduction_augmentation_weights;
+          Alcotest.test_case "mvc helpers" `Quick test_mvc_helpers;
+          QCheck_alcotest.to_alcotest prop_reduction_roundtrip;
+        ] );
+      ( "two_party",
+        [
+          Alcotest.test_case "meter" `Quick test_meter_counts_cut_bits;
+          Alcotest.test_case "empty bob" `Quick test_meter_cut_free_when_bob_empty;
+          Alcotest.test_case "bound curves" `Quick test_bound_curves_shape;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Tests for Dinic max-flow and Goldberg maximum-density subgraph. *)
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Maxflow *)
+
+let test_single_edge () =
+  let net = Netflow.Maxflow.create 2 in
+  Netflow.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:3.5;
+  check_float "flow" 3.5 (Netflow.Maxflow.max_flow net ~s:0 ~t:1)
+
+let test_series_bottleneck () =
+  let net = Netflow.Maxflow.create 3 in
+  Netflow.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5.0;
+  Netflow.Maxflow.add_edge net ~src:1 ~dst:2 ~cap:2.0;
+  check_float "bottleneck" 2.0 (Netflow.Maxflow.max_flow net ~s:0 ~t:2)
+
+let test_parallel_paths () =
+  let net = Netflow.Maxflow.create 4 in
+  Netflow.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:3.0;
+  Netflow.Maxflow.add_edge net ~src:1 ~dst:3 ~cap:3.0;
+  Netflow.Maxflow.add_edge net ~src:0 ~dst:2 ~cap:4.0;
+  Netflow.Maxflow.add_edge net ~src:2 ~dst:3 ~cap:1.0;
+  check_float "sum of paths" 4.0 (Netflow.Maxflow.max_flow net ~s:0 ~t:3)
+
+let test_classic_network () =
+  (* CLRS figure: max flow 23. *)
+  let net = Netflow.Maxflow.create 6 in
+  let edges =
+    [ (0, 1, 16.); (0, 2, 13.); (1, 2, 10.); (2, 1, 4.); (1, 3, 12.);
+      (3, 2, 9.); (2, 4, 14.); (4, 3, 7.); (3, 5, 20.); (4, 5, 4.) ]
+  in
+  List.iter
+    (fun (src, dst, cap) -> Netflow.Maxflow.add_edge net ~src ~dst ~cap)
+    edges;
+  check_float "CLRS" 23.0 (Netflow.Maxflow.max_flow net ~s:0 ~t:5)
+
+let test_min_cut_side () =
+  let net = Netflow.Maxflow.create 3 in
+  Netflow.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1.0;
+  Netflow.Maxflow.add_edge net ~src:1 ~dst:2 ~cap:100.0;
+  ignore (Netflow.Maxflow.max_flow net ~s:0 ~t:2);
+  let side = Netflow.Maxflow.min_cut_side net ~s:0 in
+  check "s side" true side.(0);
+  check "cut after bottleneck" false side.(1);
+  check "t side" false side.(2)
+
+let test_disconnected_flow () =
+  let net = Netflow.Maxflow.create 3 in
+  Netflow.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5.0;
+  check_float "no path" 0.0 (Netflow.Maxflow.max_flow net ~s:0 ~t:2)
+
+let test_negative_capacity_rejected () =
+  let net = Netflow.Maxflow.create 2 in
+  check "raises" true
+    (try
+       Netflow.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:(-1.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Densest subgraph *)
+
+let test_densest_triangle_plus_pendant () =
+  (* Triangle 0-1-2 with pendant 3: both the triangle and the whole
+     graph achieve the maximum density 1. *)
+  let edges = [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  match Netflow.Densest.densest_subset ~n:4 ~edges () with
+  | Some (subset, d) ->
+      check "contains triangle" true
+        (List.for_all (fun v -> List.mem v subset) [ 0; 1; 2 ]);
+      check_float "density 1" 1.0 d
+  | None -> Alcotest.fail "expected a subset"
+
+let test_densest_empty () =
+  check "no edges -> none" true
+    (Netflow.Densest.densest_subset ~n:5 ~edges:[] () = None)
+
+let test_densest_clique_inside_sparse () =
+  (* K4 on 0..3 (density 1.5) dangling path 4-5-6. *)
+  let edges =
+    [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3); (3, 4); (4, 5); (5, 6) ]
+  in
+  match Netflow.Densest.densest_subset ~n:7 ~edges () with
+  | Some (subset, d) ->
+      Alcotest.(check (list int)) "K4" [ 0; 1; 2; 3 ] subset;
+      check_float "density" 1.5 d
+  | None -> Alcotest.fail "expected a subset"
+
+let test_densest_with_weights () =
+  (* One heavy node makes the pair (0,1) denser than the triangle. *)
+  let edges = [ (0, 1); (1, 2); (0, 2) ] in
+  let weights = [| 1.0; 1.0; 10.0 |] in
+  match Netflow.Densest.densest_subset ~weights ~n:3 ~edges () with
+  | Some (subset, d) ->
+      Alcotest.(check (list int)) "skip heavy" [ 0; 1 ] subset;
+      check_float "density" 0.5 d
+  | None -> Alcotest.fail "expected a subset"
+
+let test_densest_with_bonuses () =
+  (* No edges, but node 2 has a bonus. *)
+  let bonuses = [| 0.0; 0.0; 4.0 |] in
+  match Netflow.Densest.densest_subset ~bonuses ~n:3 ~edges:[] () with
+  | Some (subset, d) ->
+      Alcotest.(check (list int)) "bonus node" [ 2 ] subset;
+      check_float "density" 4.0 d
+  | None -> Alcotest.fail "expected a subset"
+
+let test_density_of () =
+  let edges = [ (0, 1); (1, 2); (0, 2) ] in
+  check_float "triangle" 1.0 (Netflow.Densest.density_of ~edges [ 0; 1; 2 ]);
+  check_float "pair" 0.5 (Netflow.Densest.density_of ~edges [ 0; 1 ])
+
+let random_instance seed =
+  let rng = Grapho.Rng.create seed in
+  let n = 2 + Grapho.Rng.int rng 8 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Grapho.Rng.float rng 1.0 < 0.45 then edges := (u, v) :: !edges
+    done
+  done;
+  (n, !edges, rng)
+
+let prop_flow_matches_brute_density =
+  QCheck.Test.make ~name:"flow densest = brute force (unit weights)"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n, edges, _ = random_instance seed in
+      match
+        ( Netflow.Densest.densest_subset ~n ~edges (),
+          Netflow.Densest.brute_force ~n ~edges () )
+      with
+      | None, None -> true
+      | Some (_, d1), Some (_, d2) -> Float.abs (d1 -. d2) < 1e-9
+      | _ -> false)
+
+let prop_flow_matches_brute_weighted =
+  QCheck.Test.make ~name:"flow densest = brute force (weights + bonuses)"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n, edges, rng = random_instance seed in
+      let weights =
+        Array.init n (fun _ -> 0.5 +. Grapho.Rng.float rng 3.0)
+      in
+      let bonuses =
+        Array.init n (fun _ -> float_of_int (Grapho.Rng.int rng 3))
+      in
+      match
+        ( Netflow.Densest.densest_subset ~weights ~bonuses ~n ~edges (),
+          Netflow.Densest.brute_force ~weights ~bonuses ~n ~edges () )
+      with
+      | None, None -> true
+      | Some (_, d1), Some (_, d2) -> Float.abs (d1 -. d2) < 1e-6
+      | _ -> false)
+
+let prop_returned_subset_has_returned_density =
+  QCheck.Test.make ~name:"reported density is exact for reported subset"
+    ~count:50
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n, edges, _ = random_instance seed in
+      match Netflow.Densest.densest_subset ~n ~edges () with
+      | None -> edges = []
+      | Some (subset, d) ->
+          Float.abs (Netflow.Densest.density_of ~edges subset -. d) < 1e-9)
+
+let () =
+  Alcotest.run "netflow"
+    [
+      ( "maxflow",
+        [
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "series" `Quick test_series_bottleneck;
+          Alcotest.test_case "parallel" `Quick test_parallel_paths;
+          Alcotest.test_case "classic" `Quick test_classic_network;
+          Alcotest.test_case "min cut side" `Quick test_min_cut_side;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_flow;
+          Alcotest.test_case "negative rejected" `Quick
+            test_negative_capacity_rejected;
+        ] );
+      ( "densest",
+        [
+          Alcotest.test_case "triangle" `Quick
+            test_densest_triangle_plus_pendant;
+          Alcotest.test_case "empty" `Quick test_densest_empty;
+          Alcotest.test_case "clique inside sparse" `Quick
+            test_densest_clique_inside_sparse;
+          Alcotest.test_case "weights" `Quick test_densest_with_weights;
+          Alcotest.test_case "bonuses" `Quick test_densest_with_bonuses;
+          Alcotest.test_case "density_of" `Quick test_density_of;
+          QCheck_alcotest.to_alcotest prop_flow_matches_brute_density;
+          QCheck_alcotest.to_alcotest prop_flow_matches_brute_weighted;
+          QCheck_alcotest.to_alcotest prop_returned_subset_has_returned_density;
+        ] );
+    ]
