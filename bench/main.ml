@@ -845,6 +845,16 @@ let micro () =
           (Staged.stage (fun () ->
                C.Two_spanner_local.run_congest ~seed:3
                  (Generators.caveman (rng 21) 4 6 0.05)));
+        (* Larger protocol workloads: the perf-trajectory anchors that
+           BENCH_PR*.json tracks across PRs. *)
+        Test.make ~name:"e8_local_caveman"
+          (Staged.stage (fun () ->
+               C.Two_spanner_local.run ~seed:3
+                 (Generators.caveman (rng 23) 8 8 0.03)));
+        Test.make ~name:"e15_congest"
+          (Staged.stage (fun () ->
+               C.Two_spanner_local.run_congest ~seed:3
+                 (Generators.caveman (rng 24) 6 6 0.04)));
         Test.make ~name:"e16_stability"
           (Staged.stage (fun () ->
                C.Two_spanner.run ~seed:9
@@ -872,10 +882,139 @@ let micro () =
       | Some (est :: _) -> rows := (name, est) :: !rows
       | _ -> ())
     results;
+  let rows = List.sort compare !rows in
   printf "%-32s %14s\n" "benchmark" "ns/run";
-  List.iter
-    (fun (name, est) -> printf "%-32s %14.0f\n" name est)
-    (List.sort compare !rows)
+  List.iter (fun (name, est) -> printf "%-32s %14.0f\n" name est) rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Perf trajectory (--json FILE): a machine-readable snapshot of the
+   Bechamel estimates, wall-clock anchors and engine metrics, written
+   as BENCH_PR<k>.json at the end of a PR so regressions show up as
+   diffs (see EXPERIMENTS.md, "Performance"). *)
+
+(* The protocol workloads the trajectory tracks across PRs. [`Local]
+   runs the LOCAL message-passing protocol, [`Congest] its chunked
+   CONGEST compilation. Gated by the experiment family they belong
+   to. *)
+let anchors () =
+  [
+    ("e8_local_caveman", "e8", `Local, Generators.caveman (rng 23) 8 8 0.03);
+    ("e13_local_protocol", "e13", `Local, Generators.caveman (rng 19) 4 6 0.05);
+    ("e15_congest", "e15", `Congest, Generators.caveman (rng 24) 6 6 0.04);
+    ("e15_congest_port", "e15", `Congest, Generators.caveman (rng 21) 4 6 0.05);
+  ]
+
+let run_anchor kind g : C.Two_spanner_local.result =
+  match kind with
+  | `Local -> C.Two_spanner_local.run ~seed:3 g
+  | `Congest -> C.Two_spanner_local.run_congest ~seed:3 g
+
+let best_wall_ms ~reps f =
+  f () (* warm-up *);
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  1000.0 *. !best
+
+(* (name, (key, value) list); every value is a JSON number. *)
+let metric_row name g (r : C.Two_spanner_local.result) densest_calls =
+  ( name,
+    [
+      ("n", float_of_int (Ugraph.n g));
+      ("m", float_of_int (Ugraph.m g));
+      ("spanner_edges", float_of_int (Edge.Set.cardinal r.spanner));
+      ("iterations", float_of_int r.iterations);
+      ("rounds", float_of_int r.metrics.rounds);
+      ("messages", float_of_int r.metrics.messages);
+      ("total_bits", float_of_int r.metrics.total_bits);
+      ("max_message_bits", float_of_int r.metrics.max_message_bits);
+      ("densest_calls", float_of_int densest_calls);
+    ] )
+
+let perf_json ~path ~selected ~micro_rows =
+  let sel id = selected = [] || List.mem id selected in
+  let with_densest_count f =
+    let c0 = !Netflow.Densest.solver_calls in
+    let r = f () in
+    (r, !Netflow.Densest.solver_calls - c0)
+  in
+  (* Engine metrics: the E1 graph families under the LOCAL protocol,
+     plus the protocol anchors. *)
+  let metric_rows =
+    let e1_rows =
+      if not (sel "e1") then []
+      else
+        List.map
+          (fun (name, g) ->
+            let r, calls =
+              with_densest_count (fun () -> C.Two_spanner_local.run ~seed:5 g)
+            in
+            metric_row ("e1_local_" ^ name) g r calls)
+          (ratio_families ())
+    in
+    let anchor_rows =
+      List.filter_map
+        (fun (name, family, kind, g) ->
+          if not (sel family) then None
+          else
+            let r, calls = with_densest_count (fun () -> run_anchor kind g) in
+            Some (metric_row name g r calls))
+        (anchors ())
+    in
+    e1_rows @ anchor_rows
+  in
+  let wall_rows =
+    List.filter_map
+      (fun (name, family, kind, g) ->
+        if not (sel family) then None
+        else
+          Some
+            (name, best_wall_ms ~reps:5 (fun () -> ignore (run_anchor kind g))))
+      (anchors ())
+  in
+  let oc = open_out path in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sep body items =
+    List.iteri
+      (fun i x ->
+        if i > 0 then out ",\n";
+        body x)
+      items
+  in
+  out "{\n";
+  out "  \"schema\": \"spanner-bench/1\",\n";
+  out "  \"micro_ns_per_run\": {\n";
+  sep
+    (fun (name, est) -> out "    %S: %.1f" name est)
+    (match micro_rows with None -> [] | Some rows -> rows);
+  out "\n  },\n";
+  out "  \"wall_clock_ms_best_of_5\": {\n";
+  sep (fun (name, ms) -> out "    %S: %.3f" name ms) wall_rows;
+  out "\n  },\n";
+  out "  \"engine_metrics\": {\n";
+  sep
+    (fun (name, fields) ->
+      out "    %S: { " name;
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then out ", ";
+          out "%S: %.0f" k v)
+        fields;
+      out " }")
+    metric_rows;
+  out "\n  }\n";
+  out "}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  printf "\nperf trajectory written to %s (%d metric rows, %d micros)\n" path
+    (List.length metric_rows)
+    (match micro_rows with None -> 0 | Some rows -> List.length rows)
 
 (* ------------------------------------------------------------------ *)
 
@@ -889,6 +1028,15 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec extract_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires a file argument";
+        exit 2
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = extract_json [] args in
   let t0 = Unix.gettimeofday () in
   let wanted, with_micro =
     match args with
@@ -901,5 +1049,8 @@ let () =
       | Some f -> f ()
       | None -> printf "unknown experiment %s\n" id)
     wanted;
-  if with_micro then micro ();
+  let micro_rows = if with_micro then Some (micro ()) else None in
+  (match json_path with
+  | Some path -> perf_json ~path ~selected:args ~micro_rows
+  | None -> ());
   printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -9,6 +9,9 @@ type t = {
   adj : int list array;  (* same, as adjacency *)
   free_edges : Edge.t list array;  (* hv edges from paying position to a free neighbor *)
   bonus : float array;  (* |free_edges| per position *)
+  mutable densest_memo : (int list * float) option option;
+      (* cached [densest] answer; the problem is immutable after
+         [make], so one flow solve serves every later query *)
 }
 
 let make ~center ~nodes ?(free = [||]) ?(weight = fun _ -> 1.0) ~hv_edges () =
@@ -49,7 +52,17 @@ let make ~center ~nodes ?(free = [||]) ?(weight = fun _ -> 1.0) ~hv_edges () =
   let bonus =
     Array.init k (fun i -> float_of_int (List.length free_edges.(i)))
   in
-  { center; nodes; pos; weight = weight_arr; edges; adj; free_edges; bonus }
+  {
+    center;
+    nodes;
+    pos;
+    weight = weight_arr;
+    edges;
+    adj;
+    free_edges;
+    bonus;
+    densest_memo = None;
+  }
 
 let center t = t.center
 let nodes t = t.nodes
@@ -66,10 +79,14 @@ let selection_stats t selection =
   let ps = positions t selection in
   let inside = Array.make (Array.length t.nodes) false in
   List.iter (fun i -> inside.(i) <- true) ps;
-  let spanned = List.filter (fun (i, j) -> inside.(i) && inside.(j)) t.edges in
+  let spanned =
+    List.fold_left
+      (fun acc (i, j) -> if inside.(i) && inside.(j) then acc + 1 else acc)
+      0 t.edges
+  in
   let weight = List.fold_left (fun acc i -> acc +. t.weight.(i)) 0.0 ps in
   let gain =
-    float_of_int (List.length spanned)
+    float_of_int spanned
     +. List.fold_left (fun acc i -> acc +. t.bonus.(i)) 0.0 ps
   in
   (gain, weight)
@@ -136,8 +153,15 @@ let densest_on t ~allowed_positions =
   end
 
 let densest t =
-  densest_on t
-    ~allowed_positions:(List.init (Array.length t.nodes) (fun i -> i))
+  match t.densest_memo with
+  | Some memo -> memo
+  | None ->
+      let memo =
+        densest_on t
+          ~allowed_positions:(List.init (Array.length t.nodes) (fun i -> i))
+      in
+      t.densest_memo <- Some memo;
+      memo
 
 let densest_within t ~allowed =
   densest_on t ~allowed_positions:(positions t allowed)
@@ -178,11 +202,12 @@ let extend t ~start ~allowed ~threshold =
     let best = ref None in
     for i = 0 to k - 1 do
       if allowed_flag.(i) && not inside.(i) then begin
-        let extra =
-          t.bonus.(i)
-          +. float_of_int
-               (List.length (List.filter (fun j -> inside.(j)) t.adj.(i)))
+        let inside_deg =
+          List.fold_left
+            (fun acc j -> if inside.(j) then acc + 1 else acc)
+            0 t.adj.(i)
         in
+        let extra = t.bonus.(i) +. float_of_int inside_deg in
         let d = (!gain +. extra) /. (!weight +. t.weight.(i)) in
         if d >= threshold then
           match !best with

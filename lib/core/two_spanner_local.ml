@@ -16,9 +16,15 @@ type msg =
 
 type vstate = {
   neighbors : int array;
+  nbr_list : int list;  (* [neighbors] as a list, for cheap broadcasts *)
+  nbr_set : (int, unit) Hashtbl.t;  (* static membership index *)
   paying : int array;  (* neighbors across positive-weight edges *)
   free : int array;  (* neighbors across weight-zero edges *)
   mutable uncovered_inc : Iset.t;  (* w with {v,w} an uncovered target *)
+  mutable prob : Star_pick.t option;
+      (* the densest-star problem for the current hv; invalidated on
+         every hv mutation, so [compute_density] and the candidate
+         phase of one iteration share a single [Star_pick.make] *)
   mutable h_adj : Iset.t;  (* spanner neighbors *)
   mutable hv : Edge.Set.t;
   mutable rho : float;
@@ -75,8 +81,7 @@ let make_spec ~seed ~variant g =
   let n = Ugraph.n g in
   let n4 = Randomness.vote_bound ~n in
   let broadcast st payload =
-    Array.to_list
-      (Array.map (fun u -> { Distsim.Engine.dst = u; payload }) st.neighbors)
+    List.map (fun u -> { Distsim.Engine.dst = u; payload }) st.nbr_list
   in
   let exponent_of rho =
     match Star_pick.rounded_exponent rho with
@@ -90,36 +95,51 @@ let make_spec ~seed ~variant g =
   in
   let compute_density vertex st =
     if Edge.Set.is_empty st.hv then begin
+      st.prob <- None;
       st.rho <- 0.0;
       st.exp <- min_int
     end
     else begin
-      let rho =
-        match Star_pick.densest (problem vertex st) with
-        | None -> 0.0
-        | Some (_, d) -> d
-      in
-      st.rho <- rho;
-      st.exp <- exponent_of rho
+      match st.prob with
+      | Some _ ->
+          (* hv is unchanged since the last computation (the cache is
+             invalidated on every hv mutation), so [rho] and [exp] are
+             already current: skip the densest-star flow entirely. *)
+          ()
+      | None ->
+          let p = problem vertex st in
+          st.prob <- Some p;
+          let rho =
+            match Star_pick.densest p with None -> 0.0 | Some (_, d) -> d
+          in
+          st.rho <- rho;
+          st.exp <- exponent_of rho
     end
   in
   let rebuild_hv vertex st lists =
     (* lists: (neighbor u, u's uncovered incident endpoints). An edge
        {u,w} belongs to H_v iff both u and w are neighbors of v and
-       either reports it uncovered (they agree, so one suffices). *)
-    let nset =
-      Array.fold_left (fun s u -> Iset.add u s) Iset.empty st.neighbors
-    in
-    st.hv <-
+       either reports it uncovered (they agree, so one suffices).
+       Neighbor membership is the static [nbr_set] index built once in
+       [init]. *)
+    let hv' =
       List.fold_left
         (fun acc (u, ws) ->
           List.fold_left
             (fun acc w ->
-              if w <> u && Iset.mem w nset && w <> vertex then
+              if w <> u && w <> vertex && Hashtbl.mem st.nbr_set w then
                 Edge.Set.add (Edge.make u w) acc
               else acc)
             acc ws)
         Edge.Set.empty lists
+    in
+    (* Keep the cached problem (and with it the cached density) alive
+       across iterations in which nothing near this vertex changed —
+       the steady state of almost-terminated regions. *)
+    if not (Edge.Set.equal hv' st.hv) then begin
+      st.hv <- hv';
+      st.prob <- None
+    end
   in
   (* H_v edges newly 2-spanned through this vertex; returns the notices
      to send and prunes them from hv. *)
@@ -132,6 +152,7 @@ let make_spec ~seed ~variant g =
         st.hv
     in
     st.hv <- Edge.Set.diff st.hv covered;
+    if not (Edge.Set.is_empty covered) then st.prob <- None;
     if Edge.Set.is_empty covered then []
     else begin
       let per_endpoint = Hashtbl.create 8 in
@@ -188,11 +209,16 @@ let make_spec ~seed ~variant g =
         (* Weight-zero edges enter the spanner before the first
            iteration; their own targets are covered by membership. *)
         let free = Array.of_list (List.rev !free) in
+        let nbr_set = Hashtbl.create (2 * Array.length neighbors) in
+        Array.iter (fun u -> Hashtbl.replace nbr_set u ()) neighbors;
         let st =
           {
             neighbors;
+            nbr_list = Array.to_list neighbors;
+            nbr_set;
             paying = Array.of_list (List.rev !paying);
             free;
+            prob = None;
             uncovered_inc =
               Array.fold_left
                 (fun s u ->
@@ -278,7 +304,13 @@ let make_spec ~seed ~variant g =
                   && st.exp >= max2
                   && variant.candidate_ok vertex st.rho
                 then begin
-                  let prob = problem vertex st in
+                  (* hv is untouched since phase 0, so the problem
+                     built by [compute_density] is still valid. *)
+                  let prob =
+                    match st.prob with
+                    | Some p -> p
+                    | None -> problem vertex st
+                  in
                   let selection =
                     Star_pick.section_4_1_choice prob
                       ~stored:(Some (st.star, st.star_exp))
@@ -309,40 +341,68 @@ let make_spec ~seed ~variant g =
             | 3 ->
                 (* The smaller endpoint of each uncovered edge casts
                    its vote; votes to the same candidate are batched
-                   into one message (one message per edge per round). *)
+                   into one message (one message per edge per round).
+                   Each candidate's star is indexed into a hash set
+                   once, so an edge costs O(1) per candidate instead
+                   of two O(|star|) scans. *)
                 let candidates =
                   List.filter_map
                     (fun (src, m) ->
                       match m with
-                      | Candidate (r, star) -> Some (src, r, star)
+                      | Candidate (r, star) ->
+                          let members =
+                            Hashtbl.create (2 * List.length star)
+                          in
+                          List.iter
+                            (fun u -> Hashtbl.replace members u ())
+                            star;
+                          Some (src, r, members)
                       | _ -> None)
                     inbox
                 in
-                let per_winner = Hashtbl.create 8 in
-                Iset.iter
-                  (fun w ->
-                    if vertex < w then begin
-                      let spanning =
-                        List.filter_map
-                          (fun (src, r, star) ->
-                            if List.mem vertex star && List.mem w star then
-                              Some (r, src)
-                            else None)
-                          candidates
-                      in
-                      match List.sort compare spanning with
-                      | [] -> ()
-                      | (_, winner) :: _ ->
-                          Hashtbl.replace per_winner winner
-                            ((vertex, w)
-                            :: Option.value ~default:[]
-                                 (Hashtbl.find_opt per_winner winner))
-                    end)
-                  st.uncovered_inc;
-                Hashtbl.fold
-                  (fun dst votes acc ->
-                    { Distsim.Engine.dst; payload = Votes votes } :: acc)
-                  per_winner []
+                if candidates = [] then []
+                else begin
+                  let per_winner = Hashtbl.create 8 in
+                  (* Only candidates whose star contains me can span
+                     my incident edges. *)
+                  let mine =
+                    List.filter
+                      (fun (_, _, members) -> Hashtbl.mem members vertex)
+                      candidates
+                  in
+                  if mine <> [] then
+                    Iset.iter
+                      (fun w ->
+                        if vertex < w then begin
+                          (* Lexicographic minimum of (r, src) over the
+                             candidates spanning {vertex, w} — the same
+                             winner the sorted scan used to pick. *)
+                          let winner =
+                            List.fold_left
+                              (fun best (src, r, members) ->
+                                if Hashtbl.mem members w then
+                                  match best with
+                                  | Some (br, bsrc)
+                                    when br < r || (br = r && bsrc < src) ->
+                                      best
+                                  | _ -> Some (r, src)
+                                else best)
+                              None mine
+                          in
+                          match winner with
+                          | None -> ()
+                          | Some (_, winner) ->
+                              Hashtbl.replace per_winner winner
+                                ((vertex, w)
+                                :: Option.value ~default:[]
+                                     (Hashtbl.find_opt per_winner winner))
+                        end)
+                      st.uncovered_inc;
+                  Hashtbl.fold
+                    (fun dst votes acc ->
+                      { Distsim.Engine.dst; payload = Votes votes } :: acc)
+                    per_winner []
+                end
             | 4 ->
                 if st.is_candidate then begin
                   st.is_candidate <- false;
@@ -472,13 +532,14 @@ let collect_result (states, metrics) =
   in
   { spanner = !spanner; iterations; metrics }
 
-let run ?(seed = 0x2D5F1) ?max_rounds g =
+let run ?(seed = 0x2D5F1) ?max_rounds ?sched g =
   let n = Ugraph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 200 * (n + 20)
   in
   collect_result
-    (Distsim.Engine.run ~max_rounds ~model:Distsim.Model.local ~graph:g
+    (Distsim.Engine.run ~max_rounds ?sched ~model:Distsim.Model.local
+       ~graph:g
        (make_spec ~seed ~variant:unweighted_variant g))
 
 (* The weighted variant of Section 4.3.2, mirroring
@@ -486,7 +547,7 @@ let run ?(seed = 0x2D5F1) ?max_rounds g =
    termination floors 1/wmax (wmax over the closed 2-neighborhood) are
    static topology data, precomputed the way vertices' knowledge of
    their neighbors is. *)
-let run_weighted ?(seed = 0x2D5F1) ?max_rounds g w =
+let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched g w =
   let n = Ugraph.n g in
   let own = Array.make n 0.0 in
   for v = 0 to n - 1 do
@@ -514,7 +575,8 @@ let run_weighted ?(seed = 0x2D5F1) ?max_rounds g w =
     match max_rounds with Some r -> r | None -> 400 * (n + 20)
   in
   collect_result
-    (Distsim.Engine.run ~max_rounds ~model:Distsim.Model.local ~graph:g
+    (Distsim.Engine.run ~max_rounds ?sched ~model:Distsim.Model.local
+       ~graph:g
        (make_spec ~seed ~variant g))
 
 (* ------------------------------------------------------------------ *)
@@ -538,10 +600,15 @@ let decode_float hi lo =
 
 let encode_pairs pairs = List.concat_map (fun (a, b) -> [ a; b ]) pairs
 
-let rec decode_pairs = function
-  | [] -> []
-  | a :: b :: rest -> (a, b) :: decode_pairs rest
-  | _ -> invalid_arg "Two_spanner_local: odd pair stream"
+(* Tail-recursive: Votes/Covered_notice payloads can hold an edge set
+   of the whole 2-neighborhood, which must not be stack-bounded. *)
+let decode_pairs chunks =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | a :: b :: rest -> go ((a, b) :: acc) rest
+    | _ -> invalid_arg "Two_spanner_local: odd pair stream"
+  in
+  go [] chunks
 
 let encode = function
   | Uncovered l -> 0 :: l
@@ -578,7 +645,7 @@ let decode chunks =
   in
   (msg, [])
 
-let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round g =
+let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched g =
   let n = Ugraph.n g in
   let delta = Ugraph.max_degree g in
   let chunks_per_round =
@@ -595,6 +662,6 @@ let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round g =
   let c = max 16 ((48 / id_bits) + 1) in
   let model = Distsim.Model.congest ~n:(max n 2) ~c () in
   collect_result
-    (Distsim.Chunked.run ~max_rounds ~model ~graph:g ~chunks_per_round
+    (Distsim.Chunked.run ~max_rounds ?sched ~model ~graph:g ~chunks_per_round
        ~encode ~decode
        (make_spec ~seed ~variant:unweighted_variant g))

@@ -42,13 +42,26 @@ val warmup_rounds : int
     targets that the weighted variant's pre-added weight-zero edges
     already 2-span (a no-op in the unweighted case). *)
 
-val run : ?seed:int -> ?max_rounds:int -> Ugraph.t -> result
+val run :
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?sched:Distsim.Engine.sched ->
+  Ugraph.t ->
+  result
 (** Runs under {!Distsim.Model.local} (messages are neighbor lists,
     hence unbounded, as the paper's algorithm requires). The result is
-    always a valid 2-spanner. *)
+    always a valid 2-spanner. [sched] selects the engine scheduler
+    (default [`Active]); the protocol is quiescent when done, so both
+    schedulers produce bit-identical results — the equivalence suite
+    asserts it. *)
 
 val run_weighted :
-  ?seed:int -> ?max_rounds:int -> Ugraph.t -> Weights.t -> result
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?sched:Distsim.Engine.sched ->
+  Ugraph.t ->
+  Weights.t ->
+  result
 (** The weighted variant of Section 4.3.2 as a message-passing
     protocol, mirroring {!Weighted_two_spanner}'s engine configuration
     (weight-zero edges pre-added, no candidacy floor, per-vertex
@@ -57,7 +70,12 @@ val run_weighted :
     differential tests assert it. *)
 
 val run_congest :
-  ?seed:int -> ?max_rounds:int -> ?chunks_per_round:int -> Ugraph.t -> result
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?chunks_per_round:int ->
+  ?sched:Distsim.Engine.sched ->
+  Ugraph.t ->
+  result
 (** The same protocol compiled to CONGEST with {!Distsim.Chunked}:
     messages fragment into O(log n)-bit chunks, each virtual round
     spending [chunks_per_round] (default [2Δ + 4]) real rounds — the

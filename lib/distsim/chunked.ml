@@ -1,12 +1,18 @@
+(* Per-destination queues and per-source reassembly buffers live in
+   small association lists (degree-bounded), which beats hashing on
+   the per-real-round hot path: no key snapshots, no double lookups,
+   no per-round allocation when idle. *)
 type 's outer_state = {
-  inner : 's;
-  queues : (int, int list) Hashtbl.t;  (* dst -> chunks still to send *)
-  buffers : (int, int list) Hashtbl.t;  (* src -> chunks received (rev) *)
+  mutable inner : 's;
+  mutable queues : (int * int list ref) list;
+      (* dst -> chunks still to send *)
+  mutable buffers : (int * int list ref) list;
+      (* src -> chunks received (rev) *)
   mutable inner_done : bool;
 }
 
-let run ?max_rounds ?strict ~model ~graph ~chunks_per_round ~encode ~decode
-    spec =
+let run ?max_rounds ?strict ?sched ~model ~graph ~chunks_per_round ~encode
+    ~decode spec =
   if chunks_per_round < 2 then
     invalid_arg "Chunked.run: chunks_per_round must be at least 2";
   let c = chunks_per_round in
@@ -26,70 +32,77 @@ let run ?max_rounds ?strict ~model ~graph ~chunks_per_round ~encode ~decode
       (fun { Engine.dst; payload } ->
         (* One inner message per edge per virtual round: anything more
            cannot fit the chunk schedule (and violates the model). *)
-        if Hashtbl.mem st.queues dst then
+        if List.mem_assoc dst st.queues then
           invalid_arg
             "Chunked.run: two messages to one destination in a round";
-        Hashtbl.replace st.queues dst (frame payload))
+        st.queues <- (dst, ref (frame payload)) :: st.queues)
       outbox
   in
-  (* One chunk per destination per real round. (Mutating a Hashtbl
-     under fold is unspecified, so snapshot the keys first.) *)
+  (* One chunk per destination per real round. The common case — an
+     idle vertex with nothing queued — pays only the [[]] match. *)
   let drain st =
-    let keys = Hashtbl.fold (fun dst _ acc -> dst :: acc) st.queues [] in
-    List.filter_map
-      (fun dst ->
-        match Hashtbl.find_opt st.queues dst with
-        | None | Some [] ->
-            Hashtbl.remove st.queues dst;
-            None
-        | Some (chunk :: rest) ->
-            if rest = [] then Hashtbl.remove st.queues dst
-            else Hashtbl.replace st.queues dst rest;
-            Some { Engine.dst; payload = chunk })
-      keys
+    match st.queues with
+    | [] -> []
+    | qs ->
+        let out =
+          List.filter_map
+            (fun (dst, q) ->
+              match !q with
+              | [] -> None
+              | chunk :: rest ->
+                  q := rest;
+                  Some { Engine.dst; payload = chunk })
+            qs
+        in
+        st.queues <- List.filter (fun (_, q) -> !q <> []) qs;
+        out
   in
-  let queues_empty st = Hashtbl.length st.queues = 0 in
+  let queues_empty st = st.queues = [] in
   let absorb st inbox =
     List.iter
       (fun (src, chunk) ->
-        let existing =
-          Option.value ~default:[] (Hashtbl.find_opt st.buffers src)
-        in
-        Hashtbl.replace st.buffers src (chunk :: existing))
+        match List.assoc_opt src st.buffers with
+        | Some r -> r := chunk :: !r
+        | None -> st.buffers <- (src, ref [ chunk ]) :: st.buffers)
       inbox
   in
   let deliverables st =
-    let messages =
-      Hashtbl.fold
-        (fun src rev_chunks acc ->
-          let rec parse stream acc =
-            match stream with
-            | [] -> acc
-            | len :: rest ->
-                let rec take k stream taken =
-                  if k = 0 then (List.rev taken, stream)
-                  else
-                    match stream with
-                    | x :: xs -> take (k - 1) xs (x :: taken)
-                    | [] ->
-                        invalid_arg
-                          (Printf.sprintf
-                             "Chunked.run: truncated chunk stream (src=%d \
-                              need=%d have=%d)"
-                             src k (List.length rev_chunks))
-                in
-                let body, rest = take len rest [] in
-                let msg, leftover = decode body in
-                if leftover <> [] then
-                  invalid_arg "Chunked.run: decoder left residue";
-                parse rest ((src, msg) :: acc)
-          in
-          parse (List.rev rev_chunks) acc)
-        st.buffers []
-    in
-    Hashtbl.reset st.buffers;
-    (* Engine semantics: inboxes sorted by source. *)
-    List.sort (fun (a, _) (b, _) -> compare a b) messages
+    match st.buffers with
+    | [] -> []
+    | buffers ->
+        let messages =
+          List.fold_left
+            (fun acc (src, rev_chunks) ->
+              let rev_chunks = !rev_chunks in
+              let rec parse stream acc =
+                match stream with
+                | [] -> acc
+                | len :: rest ->
+                    let rec take k stream taken =
+                      if k = 0 then (List.rev taken, stream)
+                      else
+                        match stream with
+                        | x :: xs -> take (k - 1) xs (x :: taken)
+                        | [] ->
+                            invalid_arg
+                              (Printf.sprintf
+                                 "Chunked.run: truncated chunk stream (src=%d \
+                                  need=%d have=%d)"
+                                 src k
+                                 (List.length rev_chunks))
+                    in
+                    let body, rest = take len rest [] in
+                    let msg, leftover = decode body in
+                    if leftover <> [] then
+                      invalid_arg "Chunked.run: decoder left residue";
+                    parse rest ((src, msg) :: acc)
+              in
+              parse (List.rev rev_chunks) acc)
+            [] buffers
+        in
+        st.buffers <- [];
+        (* Engine semantics: inboxes sorted by source. *)
+        List.sort (fun (a, _) (b, _) -> compare a b) messages
   in
   let outer =
     {
@@ -97,12 +110,7 @@ let run ?max_rounds ?strict ~model ~graph ~chunks_per_round ~encode ~decode
         (fun ~n ~vertex ~neighbors ->
           let inner, outbox = spec.Engine.init ~n ~vertex ~neighbors in
           let st =
-            {
-              inner;
-              queues = Hashtbl.create 8;
-              buffers = Hashtbl.create 8;
-              inner_done = false;
-            }
+            { inner; queues = []; buffers = []; inner_done = false }
           in
           enqueue st outbox;
           (st, drain st));
@@ -116,7 +124,7 @@ let run ?max_rounds ?strict ~model ~graph ~chunks_per_round ~encode ~decode
             let inner, outbox, status =
               spec.Engine.step ~round:virtual_round ~vertex st.inner delivered
             in
-            let st = { st with inner } in
+            st.inner <- inner;
             st.inner_done <- (status = `Done);
             enqueue st outbox;
             ( st,
@@ -131,5 +139,7 @@ let run ?max_rounds ?strict ~model ~graph ~chunks_per_round ~encode ~decode
       measure = (fun chunk -> 6 + Message.bits_int (abs chunk + 1));
     }
   in
-  let states, metrics = Engine.run ?max_rounds ?strict ~model ~graph outer in
+  let states, metrics =
+    Engine.run ?max_rounds ?strict ?sched ~model ~graph outer
+  in
   (Array.map (fun st -> st.inner) states, metrics)

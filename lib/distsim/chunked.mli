@@ -17,6 +17,7 @@
 val run :
   ?max_rounds:int ->
   ?strict:bool ->
+  ?sched:Engine.sched ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   chunks_per_round:int ->

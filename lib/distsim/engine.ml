@@ -8,6 +8,8 @@ type metrics = {
   congest_violations : int;
 }
 
+type sched = [ `Active | `Naive ]
+
 type ('state, 'msg) spec = {
   init :
     n:int -> vertex:int -> neighbors:int array ->
@@ -20,32 +22,54 @@ type ('state, 'msg) spec = {
 
 exception Congest_violation of { src : int; dst : int; bits : int }
 
-let run ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
-  let n = Grapho.Ugraph.n graph in
-  let max_rounds =
-    match max_rounds with Some r -> r | None -> 50 * (n + 5)
-  in
-  let done_flags = Array.make n false in
-  let inboxes = Array.make n [] in
+(* ------------------------------------------------------------------ *)
+(* Insertion-ordered growable inboxes.
+
+   Vertices are stepped in ascending id order and a vertex emits at
+   most its outbox once per round, so appending each delivery to the
+   destination's buffer yields an inbox already sorted by source — the
+   per-round [List.sort] of the naive path comes for free. Buffers are
+   preallocated once and reused across rounds (two banks, swapped), so
+   the steady state allocates nothing but the inbox lists handed to
+   [step]. *)
+
+type 'msg buf = { mutable data : (int * 'msg) array; mutable len : int }
+
+let buf_make () = { data = [||]; len = 0 }
+
+let buf_push b x =
+  let cap = Array.length b.data in
+  if b.len = cap then begin
+    let data = Array.make (max 4 (2 * cap)) x in
+    Array.blit b.data 0 data 0 b.len;
+    b.data <- data
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let buf_to_list b =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (b.data.(i) :: acc) in
+  go (b.len - 1) []
+
+(* ------------------------------------------------------------------ *)
+
+let make_accounting ?observer ~strict ~graph ~measure () =
   let messages = ref 0 in
   let total_bits = ref 0 in
   let max_message_bits = ref 0 in
   let congest_violations = ref 0 in
-  let bandwidth = Model.bandwidth model in
-  let in_flight = ref 0 in
-  let account src outbox =
+  let account ~bandwidth ~deliver src outbox =
     List.iter
       (fun { dst; payload } ->
         if not (Grapho.Ugraph.mem_edge graph src dst) then
           invalid_arg
             (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src
                dst);
-        let bits = spec.measure payload in
+        let bits = measure payload in
         (match observer with
         | Some f -> f ~src ~dst ~bits
         | None -> ());
         incr messages;
-        incr in_flight;
         total_bits := !total_bits + bits;
         if bits > !max_message_bits then max_message_bits := bits;
         (match bandwidth with
@@ -53,9 +77,40 @@ let run ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
             if strict then raise (Congest_violation { src; dst; bits })
             else incr congest_violations
         | _ -> ());
-        inboxes.(dst) <- (src, payload) :: inboxes.(dst))
+        deliver ~src ~dst payload)
       outbox
   in
+  let finish rounds =
+    {
+      rounds;
+      messages = !messages;
+      total_bits = !total_bits;
+      max_message_bits = !max_message_bits;
+      congest_violations = !congest_violations;
+    }
+  in
+  (account, finish)
+
+(* The retained reference path: step every vertex every round, sort
+   every inbox. Kept verbatim (modulo the shared accounting) so the
+   equivalence suite can diff the active scheduler against it. *)
+let run_naive ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
+  let n = Grapho.Ugraph.n graph in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 50 * (n + 5)
+  in
+  let done_flags = Array.make n false in
+  let inboxes = Array.make n [] in
+  let bandwidth = Model.bandwidth model in
+  let in_flight = ref 0 in
+  let account, finish =
+    make_accounting ?observer ~strict ~graph ~measure:spec.measure ()
+  in
+  let deliver ~src ~dst payload =
+    incr in_flight;
+    inboxes.(dst) <- (src, payload) :: inboxes.(dst)
+  in
+  let account src outbox = account ~bandwidth ~deliver src outbox in
   (* Round 0: init everyone. *)
   let initial =
     Array.init n (fun v ->
@@ -90,11 +145,82 @@ let run ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
     done;
     if all_done () && !in_flight = 0 then finished := true
   done;
-  ( states,
-    {
-      rounds = !round;
-      messages = !messages;
-      total_bits = !total_bits;
-      max_message_bits = !max_message_bits;
-      congest_violations = !congest_violations;
-    } )
+  (states, finish !round)
+
+(* The event-driven path: a vertex is stepped only while it has
+   pending messages or has not signalled [`Done]. Correct whenever the
+   algorithm is *quiescent when done* — a vertex that returned [`Done]
+   and then steps on an empty inbox changes nothing and stays [`Done]
+   (every spec in this repository satisfies this; the equivalence
+   suite checks it on the protocols that matter). *)
+let run_active ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
+  let n = Grapho.Ugraph.n graph in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 50 * (n + 5)
+  in
+  let done_flags = Array.make n false in
+  let bank_a = Array.init n (fun _ -> buf_make ()) in
+  let bank_b = Array.init n (fun _ -> buf_make ()) in
+  let cur = ref bank_a and next = ref bank_b in
+  let bandwidth = Model.bandwidth model in
+  let pending = ref 0 in (* messages sitting in [next] *)
+  let not_done = ref n in
+  let account, finish =
+    make_accounting ?observer ~strict ~graph ~measure:spec.measure ()
+  in
+  let deliver ~src ~dst payload =
+    incr pending;
+    buf_push !next.(dst) (src, payload)
+  in
+  let account src outbox = account ~bandwidth ~deliver src outbox in
+  (* Round 0: init everyone. *)
+  let initial =
+    Array.init n (fun v ->
+        spec.init ~n ~vertex:v ~neighbors:(Grapho.Ugraph.neighbors graph v))
+  in
+  let states = Array.map fst initial in
+  Array.iteri (fun v (_, outbox) -> account v outbox) initial;
+  let round = ref 0 in
+  let finished = ref (n = 0) in
+  while not !finished do
+    incr round;
+    if !round > max_rounds then
+      failwith
+        (Printf.sprintf "Engine.run: no termination within %d rounds"
+           max_rounds);
+    (* Swap banks: this round's sends accumulate in the other bank and
+       arrive next round. *)
+    let t = !cur in
+    cur := !next;
+    next := t;
+    pending := 0;
+    let bank = !cur in
+    for v = 0 to n - 1 do
+      let b = bank.(v) in
+      if b.len > 0 || not done_flags.(v) then begin
+        let inbox = buf_to_list b in
+        b.len <- 0;
+        let state, outbox, status = spec.step ~round:!round ~vertex:v
+            states.(v) inbox
+        in
+        states.(v) <- state;
+        (match status with
+        | `Done -> if not done_flags.(v) then begin
+            done_flags.(v) <- true;
+            decr not_done
+          end
+        | `Continue -> if done_flags.(v) then begin
+            done_flags.(v) <- false;
+            incr not_done
+          end);
+        account v outbox
+      end
+    done;
+    if !not_done = 0 && !pending = 0 then finished := true
+  done;
+  (states, finish !round)
+
+let run ?max_rounds ?strict ?observer ?(sched = `Active) ~model ~graph spec =
+  match sched with
+  | `Naive -> run_naive ?max_rounds ?strict ?observer ~model ~graph spec
+  | `Active -> run_active ?max_rounds ?strict ?observer ~model ~graph spec

@@ -22,6 +22,19 @@ type metrics = {
       (** messages exceeding the CONGEST bandwidth (0 under LOCAL) *)
 }
 
+type sched = [ `Active | `Naive ]
+(** Scheduling strategy. [`Active] (the default) is event-driven: a
+    vertex is stepped in a round only if it has pending inbox messages
+    or has not signalled [`Done]; inboxes are insertion-ordered
+    reusable buffers, so no per-round sorting or copying happens. It
+    is observationally identical to [`Naive] for algorithms that are
+    {e quiescent when done}: once a vertex returns [`Done], stepping
+    it on an empty inbox must leave its state unchanged, emit nothing
+    and return [`Done] again (a woken vertex may of course resume with
+    [`Continue]). [`Naive] retains the original step-everyone loop
+    with sorted inbox lists as a reference for differential testing
+    ([test/test_engine_sched.ml]). *)
+
 type ('state, 'msg) spec = {
   init :
     n:int -> vertex:int -> neighbors:int array ->
@@ -45,6 +58,7 @@ val run :
   ?max_rounds:int ->
   ?strict:bool ->
   ?observer:(src:int -> dst:int -> bits:int -> unit) ->
+  ?sched:sched ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   ('state, 'msg) spec ->
@@ -53,7 +67,8 @@ val run :
     message's endpoints and wire size — the hook the two-party
     simulation harness uses to meter the bits crossing the Alice/Bob
     cut. [strict] (default [false]) raises {!Congest_violation} on the
-    first oversized message instead of merely counting it. Sending to a non-neighbor
-    raises [Invalid_argument]. [max_rounds] defaults to
+    first oversized message instead of merely counting it. [sched]
+    picks the scheduling strategy (default [`Active]). Sending to a
+    non-neighbor raises [Invalid_argument]. [max_rounds] defaults to
     [50 * (n + 5)]. Raises [Failure] if the round limit is hit before
     global termination. *)

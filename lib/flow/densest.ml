@@ -36,15 +36,9 @@ let validate ?weights ?bonuses ~n ~edges () =
    returns the subset (possibly empty) and whether the cut is strictly
    below the trivial cut, i.e. whether a subset of density > g
    exists. *)
-let probe ~n ~edges ~weight ~bonus ~big g =
+let probe ~n ~edges ~deg ~weight ~bonus ~big g =
   let s = n and t = n + 1 in
   let net = Maxflow.create (n + 2) in
-  let deg = Array.make n 0.0 in
-  List.iter
-    (fun (u, v) ->
-      deg.(u) <- deg.(u) +. 1.0;
-      deg.(v) <- deg.(v) +. 1.0)
-    edges;
   for v = 0 to n - 1 do
     Maxflow.add_edge net ~src:s ~dst:v ~cap:big;
     Maxflow.add_edge net ~src:v ~dst:t
@@ -68,7 +62,82 @@ let probe ~n ~edges ~weight ~bonus ~big g =
     (!subset, true)
   end
 
+let solver_calls = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive bitmask search for tiny instances.
+
+   The protocol's per-star subproblems almost always have a handful of
+   paying neighbors; enumerating the 2^n subsets with subset-DP tables
+   (O(2^n) word operations) beats a parametric max-flow binary search
+   by a wide margin there. Duplicate edges would be conflated by the
+   adjacency bitmasks, so those instances fall through to the flow
+   solver. *)
+
+let small_n_limit = 12
+
+(* Per-12-bit-mask popcount and lowest-set-bit-index tables, built
+   once. *)
+let small_tables =
+  lazy
+    (let size = 1 lsl small_n_limit in
+     let pc = Array.make size 0 in
+     let lb = Array.make size 0 in
+     for i = 1 to size - 1 do
+       pc.(i) <- pc.(i lsr 1) + (i land 1);
+       lb.(i) <- (if i land 1 = 1 then 0 else lb.(i lsr 1) + 1)
+     done;
+     (pc, lb))
+
+(* [None] when duplicate edges prevent the bitmask encoding. *)
+let exhaustive_small ?weights ?bonuses ~n ~edges () =
+  let adj = Array.make n 0 in
+  let seen = Hashtbl.create (2 * List.length edges) in
+  let dup = ref false in
+  List.iter
+    (fun (u, v) ->
+      let key = if u < v then (u, v) else (v, u) in
+      if Hashtbl.mem seen key then dup := true
+      else begin
+        Hashtbl.add seen key ();
+        adj.(u) <- adj.(u) lor (1 lsl v);
+        adj.(v) <- adj.(v) lor (1 lsl u)
+      end)
+    edges;
+  if !dup then None
+  else begin
+    let weight v = match weights with None -> 1.0 | Some w -> w.(v) in
+    let bonus v = match bonuses with None -> 0.0 | Some b -> b.(v) in
+    let pc, lb = Lazy.force small_tables in
+    let size = 1 lsl n in
+    let inside = Array.make size 0 in
+    let wsum = Array.make size 0.0 in
+    let bsum = Array.make size 0.0 in
+    let best = ref 0 and best_density = ref neg_infinity in
+    for mask = 1 to size - 1 do
+      let v = lb.(mask) in
+      let rest = mask land (mask - 1) in
+      inside.(mask) <- inside.(rest) + pc.(adj.(v) land rest);
+      wsum.(mask) <- wsum.(rest) +. weight v;
+      bsum.(mask) <- bsum.(rest) +. bonus v;
+      let d = (float_of_int inside.(mask) +. bsum.(mask)) /. wsum.(mask) in
+      if d > !best_density then begin
+        best := mask;
+        best_density := d
+      end
+    done;
+    let subset = ref [] in
+    for v = n - 1 downto 0 do
+      if !best land (1 lsl v) <> 0 then subset := v :: !subset
+    done;
+    (* Report the density with the same summation order as
+       [density_of], so callers that recompute see the identical
+       float. *)
+    Some (!subset, density_of ?weights ?bonuses ~edges !subset)
+  end
+
 let densest_subset ?weights ?bonuses ~n ~edges () =
+  incr solver_calls;
   validate ?weights ?bonuses ~n ~edges ();
   let weight v = match weights with None -> 1.0 | Some w -> w.(v) in
   let bonus v = match bonuses with None -> 0.0 | Some b -> b.(v) in
@@ -91,10 +160,22 @@ let densest_subset ?weights ?bonuses ~n ~edges () =
         done;
         Option.map (fun v -> [ v ]) !best
   in
-  match seed with
-  | None -> None
-  | Some seed ->
+  let fast =
+    if seed <> None && n <= small_n_limit then
+      exhaustive_small ?weights ?bonuses ~n ~edges ()
+    else None
+  in
+  match (fast, seed) with
+  | Some _, _ -> fast
+  | None, None -> None
+  | None, Some seed ->
       let m = List.length edges in
+      let deg = Array.make n 0.0 in
+      List.iter
+        (fun (u, v) ->
+          deg.(u) <- deg.(u) +. 1.0;
+          deg.(v) <- deg.(v) +. 1.0)
+        edges;
       let exact subset = density_of ?weights ?bonuses ~edges subset in
       let best = ref seed in
       let best_density = ref (exact seed) in
@@ -109,9 +190,19 @@ let densest_subset ?weights ?bonuses ~n ~edges () =
         | Some b -> Array.fold_left max 0.0 b
       in
       let big = (2.0 *. float_of_int m) +. (2.0 *. max_bonus) +. 1.0 in
-      let lo = ref 0.0 in
+      (* The incumbent's exact density is a certified lower bound, so
+         the search can start there instead of at zero. *)
+      let lo = ref (Float.max 0.0 !best_density) in
+      (* With unit weights a k-subset spans at most k(k-1)/2 edges and
+         collects at most k*max_bonus, so the density never exceeds
+         (n-1)/2 + max_bonus; otherwise fall back to the coarse
+         (m + B)/min_weight bound. *)
       let hi =
-        ref (((float_of_int m +. !total_bonus) /. min_weight) +. 1.0)
+        ref
+          (match weights with
+          | None -> ((float_of_int n -. 1.0) /. 2.0) +. max_bonus +. 1.0
+          | Some _ ->
+              ((float_of_int m +. !total_bonus) /. min_weight) +. 1.0)
       in
       (* With unit weights (bonuses integral in all our uses) any two
          distinct densities differ by at least 1/(n*(n-1)); with float
@@ -126,14 +217,17 @@ let densest_subset ?weights ?bonuses ~n ~edges () =
       while !hi -. !lo > granularity && !iterations < 200 do
         incr iterations;
         let g = (!lo +. !hi) /. 2.0 in
-        match probe ~n ~edges ~weight ~bonus ~big g with
+        match probe ~n ~edges ~deg ~weight ~bonus ~big g with
         | subset, true when subset <> [] ->
             let d = exact subset in
             if d > !best_density then begin
               best := subset;
               best_density := d
             end;
-            lo := g
+            (* The witness's exact density certifies everything up to
+               [d] as feasible, which skips many probes when the
+               witness is far denser than the guess. *)
+            lo := Float.max g d
         | _ -> hi := g
       done;
       Some (!best, !best_density)

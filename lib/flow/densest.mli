@@ -16,6 +16,11 @@
     edges of [H] joining two neighbors (each chosen neighbor
     contributes its star edge, each induced [H]-edge is 2-spanned). *)
 
+val solver_calls : int ref
+(** Cumulative count of {!densest_subset} invocations in this process.
+    Cheap instrumentation for the bench harness ([bench/main.exe
+    --json] reports it per workload); not meaningful across threads. *)
+
 val densest_subset :
   ?weights:float array ->
   ?bonuses:float array ->

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green.
+#   - full build
+#   - the unit/integration/property suites
+#   - a bench smoke run exercising the --json perf-trajectory path
+# Run from the repository root: scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- e1 --json /dev/null
+
+echo "check.sh: all green"

@@ -1,0 +1,188 @@
+(* The active-set scheduler must be observationally identical to the
+   naive step-everyone reference path that [Distsim.Engine] retains:
+   same states, same spanners, same metrics, bit for bit. The protocol
+   specs are quiescent when done (the contract [Engine.sched]
+   documents), so this is an equality, not an approximation. *)
+
+open Grapho
+module C = Spanner_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_metrics name (a : Distsim.Engine.metrics)
+    (b : Distsim.Engine.metrics) =
+  check_int (name ^ " rounds") a.rounds b.rounds;
+  check_int (name ^ " messages") a.messages b.messages;
+  check_int (name ^ " total_bits") a.total_bits b.total_bits;
+  check_int (name ^ " max_message_bits") a.max_message_bits
+    b.max_message_bits;
+  check_int (name ^ " congest_violations") a.congest_violations
+    b.congest_violations
+
+let rng seed = Rng.create seed
+
+(* Generator families x seeds for the equivalence matrix. *)
+let families =
+  [
+    ("K14", fun _ -> Generators.complete 14);
+    ("path_40", fun _ -> Generators.path 40);
+    ("cycle_31", fun _ -> Generators.cycle 31);
+    ("star_25", fun _ -> Generators.star 25);
+    ("caveman", fun s -> Generators.caveman (rng s) 5 6 0.05);
+    ("gnp_60", fun s -> Generators.gnp_connected (rng s) 60 0.15);
+    ("ladder_80", fun s -> Generators.clique_ladder (rng s) 80);
+    ("pa_70_6", fun s -> Generators.preferential_attachment (rng s) 70 6);
+    ("grid_7x7", fun _ -> Generators.grid 7 7);
+    ("bipartite_8_9", fun _ -> Generators.complete_bipartite 8 9);
+  ]
+
+let seeds = [ 0; 3; 11 ]
+
+let test_local_matrix () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun seed ->
+          let g = make seed in
+          let a = C.Two_spanner_local.run ~seed ~sched:`Active g in
+          let b = C.Two_spanner_local.run ~seed ~sched:`Naive g in
+          let label = Printf.sprintf "%s/seed=%d" name seed in
+          check (label ^ " spanner") true (Edge.Set.equal a.spanner b.spanner);
+          check_int (label ^ " iterations") a.iterations b.iterations;
+          check_metrics label a.metrics b.metrics)
+        seeds)
+    families
+
+let test_congest_matrix () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun seed ->
+          let g = make seed in
+          let a = C.Two_spanner_local.run_congest ~seed ~sched:`Active g in
+          let b = C.Two_spanner_local.run_congest ~seed ~sched:`Naive g in
+          let label = Printf.sprintf "congest:%s/seed=%d" name seed in
+          check (label ^ " spanner") true (Edge.Set.equal a.spanner b.spanner);
+          check_int (label ^ " iterations") a.iterations b.iterations;
+          check_metrics label a.metrics b.metrics)
+        [ 0; 5 ])
+    [
+      ("K10", fun _ -> Generators.complete 10);
+      ("caveman", fun s -> Generators.caveman (rng (s + 1)) 4 6 0.05);
+      ("gnp_30", fun s -> Generators.gnp_connected (rng (s + 2)) 30 0.2);
+      ("grid_5x5", fun _ -> Generators.grid 5 5);
+    ]
+
+let test_weighted_matrix () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun seed ->
+          let g = make seed in
+          let w =
+            Generators.random_weights_with_zeros (rng (seed + 7)) g
+              ~zero_fraction:0.2 ~max_weight:8
+          in
+          let a = C.Two_spanner_local.run_weighted ~seed ~sched:`Active g w in
+          let b = C.Two_spanner_local.run_weighted ~seed ~sched:`Naive g w in
+          let label = Printf.sprintf "weighted:%s/seed=%d" name seed in
+          check (label ^ " spanner") true (Edge.Set.equal a.spanner b.spanner);
+          check_int (label ^ " iterations") a.iterations b.iterations;
+          check_metrics label a.metrics b.metrics)
+        [ 2; 9 ])
+    [
+      ("caveman", fun s -> Generators.caveman (rng (s + 3)) 4 5 0.05);
+      ("gnp_40", fun s -> Generators.gnp_connected (rng (s + 4)) 40 0.2);
+    ]
+
+(* A plain engine spec exercised under both schedulers: flooding the
+   minimum id, a spec whose vertices go quiet at different times (and
+   may wake again when an improvement arrives late). *)
+type flood = { mutable best : int; nbrs : int array }
+
+let flood_spec graph =
+  let n = max 2 (Ugraph.n graph) in
+  let to_all nbrs payload =
+    Array.to_list
+      (Array.map (fun u -> { Distsim.Engine.dst = u; payload }) nbrs)
+  in
+  {
+    Distsim.Engine.init =
+      (fun ~n:_ ~vertex ~neighbors ->
+        ({ best = vertex; nbrs = neighbors }, to_all neighbors vertex));
+    step =
+      (fun ~round:_ ~vertex:_ st inbox ->
+        let prev = st.best in
+        List.iter (fun (_, p) -> if p < st.best then st.best <- p) inbox;
+        if st.best < prev then (st, to_all st.nbrs st.best, `Continue)
+        else (st, [], `Done));
+    measure = (fun _ -> Distsim.Message.bits_for_id ~n);
+  }
+
+let test_flood_min_both_scheds () =
+  List.iter
+    (fun (name, g) ->
+      let run sched =
+        Distsim.Engine.run ~sched ~model:Distsim.Model.local ~graph:g
+          (flood_spec g)
+      in
+      let sa, ma = run `Active in
+      let sb, mb = run `Naive in
+      check (name ^ " minima") true
+        (Array.for_all2 (fun a b -> a.best = b.best) sa sb);
+      check_metrics name ma mb)
+    [
+      ("path_30", Generators.path 30);
+      ("star_20", Generators.star 20);
+      ("gnp_50", Generators.gnp_connected (rng 8) 50 0.1);
+    ]
+
+(* Degenerate graphs: the engine must terminate immediately with no
+   traffic under both schedulers. *)
+let test_empty_and_singleton () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun sched ->
+          let states, metrics =
+            Distsim.Engine.run ~sched ~model:Distsim.Model.local ~graph:g
+              (flood_spec g)
+          in
+          let label =
+            Printf.sprintf "%s/%s" name
+              (match sched with `Active -> "active" | `Naive -> "naive")
+          in
+          check_int (label ^ " states") (Ugraph.n g) (Array.length states);
+          check_int (label ^ " messages") 0 metrics.messages;
+          check_int (label ^ " bits") 0 metrics.total_bits)
+        [ `Active; `Naive ])
+    [ ("empty", Ugraph.empty 0); ("singleton", Ugraph.empty 1) ];
+  (* The full protocol on the same degenerate graphs. *)
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun sched ->
+          let r = C.Two_spanner_local.run ~seed:1 ~sched g in
+          let label = "protocol " ^ name in
+          check_int (label ^ " spanner") 0 (Edge.Set.cardinal r.spanner);
+          check_int (label ^ " messages") 0 r.metrics.messages)
+        [ `Active; `Naive ])
+    [ ("empty", Ugraph.empty 0); ("singleton", Ugraph.empty 1) ]
+
+let () =
+  Alcotest.run "engine_sched"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "local matrix" `Quick test_local_matrix;
+          Alcotest.test_case "congest matrix" `Quick test_congest_matrix;
+          Alcotest.test_case "weighted matrix" `Quick test_weighted_matrix;
+          Alcotest.test_case "flood min" `Quick test_flood_min_both_scheds;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+        ] );
+    ]
