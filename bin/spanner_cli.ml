@@ -4,6 +4,7 @@
      spanner_cli generate --family caveman --n 100 --seed 1 graph.txt
      spanner_cli span graph.txt --algorithm distributed --dot out.dot
      spanner_cli mds graph.txt
+     spanner_cli trace graph.txt --algorithm local --jsonl trace.jsonl
      spanner_cli check graph.txt spanner.txt --k 2
      spanner_cli bounds --n 1000000 --alpha 4 *)
 
@@ -38,7 +39,7 @@ let generate family n p seed out =
     | "grid" ->
         let side = int_of_float (Float.sqrt (float_of_int n)) in
         Generators.grid side side
-    | "caveman" -> Generators.caveman rng (max 1 (n / 8)) 8 0.05
+    | "caveman" -> Generators.caveman_n rng n 0.05
     | "pa" -> Generators.preferential_attachment rng n (max 2 (int_of_float p))
     | "tree" -> Generators.random_tree rng n
     | "ladder" -> Generators.clique_ladder rng n
@@ -49,7 +50,10 @@ let generate family n p seed out =
   | Some path ->
       write_file path text;
       Printf.printf "wrote %s: n=%d m=%d\n" path (Ugraph.n g) (Ugraph.m g)
-  | None -> print_string text);
+  | None ->
+      print_string text;
+      (* the actual size goes to stderr so the edge list stays pipeable *)
+      Printf.eprintf "generated: n=%d m=%d\n" (Ugraph.n g) (Ugraph.m g));
   0
 
 let family_arg =
@@ -211,6 +215,122 @@ let mds_cmd =
     (Cmd.info "mds" ~doc:"Approximate a minimum dominating set in CONGEST.")
     Term.(const mds $ file_arg $ seed_arg)
 
+(* ---- trace ------------------------------------------------------- *)
+
+module T = Distsim.Trace
+
+let trace file algorithm seed jsonl_file weights_file limit =
+  let g = load_graph file in
+  let st = T.stats () in
+  let jsonl_oc = Option.map open_out jsonl_file in
+  let sink =
+    let stats = T.stats_sink st in
+    match jsonl_oc with
+    | None -> stats
+    | Some oc -> T.tee stats (T.jsonl oc)
+  in
+  let metrics =
+    match algorithm with
+    | "local" ->
+        let r = C.Two_spanner_local.run ~seed ~trace:sink g in
+        Printf.printf "local 2-spanner: %d / %d edges, %d iterations\n"
+          (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
+        r.metrics
+    | "congest" ->
+        let r = C.Two_spanner_local.run_congest ~seed ~trace:sink g in
+        Printf.printf "CONGEST 2-spanner: %d / %d edges, %d iterations\n"
+          (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
+        r.metrics
+    | "weighted" ->
+        let w =
+          match weights_file with
+          | Some p -> snd (Graph_io.weighted_of_edge_list (read_file p))
+          | None -> Weights.uniform 1.0
+        in
+        let r = C.Two_spanner_local.run_weighted ~seed ~trace:sink g w in
+        Printf.printf "weighted 2-spanner: %d / %d edges, %d iterations\n"
+          (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
+        r.metrics
+    | "mds" ->
+        let r = C.Mds.run ~rng:(Rng.create seed) ~trace:sink g in
+        Printf.printf "dominating set: %d vertices, %d iterations\n"
+          (List.length r.dominating_set) r.iterations;
+        r.metrics
+    | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  in
+  Option.iter close_out jsonl_oc;
+  let s = T.series st in
+  let rows = s.T.rounds in
+  let total = Array.length rows in
+  Printf.printf "%6s %9s %10s %9s %8s %6s %6s\n" "round" "msgs" "bits"
+    "max-bits" "stepped" "done" "viol";
+  let print_row (r : T.round_stat) =
+    Printf.printf "%6d %9d %10d %9d %8d %6d %6d\n" r.round r.messages r.bits
+      r.max_bits r.vertices_stepped r.vertices_done r.congest_violations
+  in
+  let limit = max 2 limit in
+  if total <= limit then Array.iter print_row rows
+  else begin
+    let head = limit - (limit / 2) in
+    let tail = limit / 2 in
+    Array.iteri (fun i r -> if i < head then print_row r) rows;
+    Printf.printf "  ...  (%d rounds elided)\n" (total - limit);
+    Array.iteri (fun i r -> if i >= total - tail then print_row r) rows
+  end;
+  (match s.T.phases with
+  | [] -> ()
+  | phases ->
+      Printf.printf "phases: %s\n"
+        (String.concat ", "
+           (List.map (fun (name, k) -> Printf.sprintf "%s=%d" name k) phases)));
+  (match s.T.counters with
+  | [] -> ()
+  | counters ->
+      Printf.printf "counters: %s\n"
+        (String.concat ", "
+           (List.map (fun (name, v) -> Printf.sprintf "%s=%g" name v) counters)));
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 rows in
+  let msgs = sum (fun (r : T.round_stat) -> r.messages) in
+  let bits = sum (fun (r : T.round_stat) -> r.bits) in
+  let stepped = sum (fun (r : T.round_stat) -> r.vertices_stepped) in
+  let ok =
+    msgs = metrics.Distsim.Engine.messages
+    && bits = metrics.total_bits
+    && stepped = metrics.steps
+    && total = metrics.rounds + 1
+  in
+  Printf.printf
+    "reconcile: rounds=%d messages=%d bits=%d steps=%d — %s the engine metrics\n"
+    metrics.rounds msgs bits stepped
+    (if ok then "match" else "MISMATCH with");
+  (match jsonl_file with
+  | Some p -> Printf.printf "wrote %s\n" p
+  | None -> ());
+  if ok then 0 else 1
+
+let trace_algorithm_arg =
+  let doc = "Algorithm to trace: local, congest, weighted, mds." in
+  Arg.(value & opt string "local" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+
+let jsonl_arg =
+  Arg.(value & opt (some string) None
+       & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"Also stream the full event trace (JSON Lines) to FILE.")
+
+let limit_arg =
+  Arg.(value & opt int 40
+       & info [ "limit" ] ~docv:"K"
+           ~doc:"Show at most K rows of the per-round table (head and tail).")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a protocol under a structured trace and print per-round \
+             statistics, phase-marker counts and counters; the summary line \
+             cross-checks the per-round sums against the engine metrics.")
+    Term.(const trace $ file_arg $ trace_algorithm_arg $ seed_arg $ jsonl_arg
+          $ weights_arg $ limit_arg)
+
 (* ---- check ------------------------------------------------------- *)
 
 let check file spanner_file k =
@@ -271,4 +391,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; span_cmd; mds_cmd; check_cmd; bounds_cmd ]))
+          [ generate_cmd; span_cmd; mds_cmd; trace_cmd; check_cmd; bounds_cmd ]))

@@ -50,7 +50,9 @@ let measure ~n msg =
 
 type selection = Votes | Coin of float
 
-let run ?rng ?model ?(selection = Votes) g =
+let phase_names = [| "max1"; "candidate"; "vote"; "tally"; "cover"; "restart" |]
+
+let run ?rng ?model ?(selection = Votes) ?(trace = Distsim.Trace.null) g =
   let seed_rng = match rng with Some r -> r | None -> Rng.create 0xD0517 in
   let n = Ugraph.n g in
   let model =
@@ -68,6 +70,16 @@ let run ?rng ?model ?(selection = Votes) g =
   let broadcast st payload =
     Array.to_list
       (Array.map (fun u -> { Distsim.Engine.dst = u; payload }) st.neighbors)
+  in
+  let tracing = not (Distsim.Trace.is_null trace) in
+  let last_marked = ref (-1) in
+  let mark vertex round =
+    if tracing && !last_marked <> round then begin
+      last_marked := round;
+      Distsim.Trace.emit trace
+        (Distsim.Trace.Phase
+           { vertex; name = phase_names.((round - 1) mod 6); round })
+    end
   in
   let spec =
     {
@@ -95,6 +107,7 @@ let run ?rng ?model ?(selection = Votes) g =
         ;
       step =
         (fun ~round ~vertex st inbox ->
+          mark vertex round;
           if st.quiet then (st, [], `Done)
           else begin
             let phase = (round - 1) mod 6 in
@@ -211,7 +224,7 @@ let run ?rng ?model ?(selection = Votes) g =
       measure = measure ~n:(max n 2);
     }
   in
-  let states, metrics = Distsim.Engine.run ~model ~graph:g spec in
+  let states, metrics = Distsim.Engine.run ~model ~graph:g ~trace spec in
   let dominating_set =
     Array.to_list states
     |> List.mapi (fun v st -> (v, st.in_mds))

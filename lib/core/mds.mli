@@ -33,13 +33,24 @@ type selection = Votes | Coin of float
     Rajaraman & Suel [43], whose O(log Δ) holds only in expectation.
     The paper's Section 5 contribution is exactly this difference. *)
 
+val phase_names : string array
+(** The six phase names a traced run stamps on its rounds, in order:
+    [max1], [candidate], [vote], [tally], [cover], [restart]. Round
+    [r >= 1] carries [phase_names.((r - 1) mod 6)]. *)
+
 val run :
-  ?rng:Rng.t -> ?model:Distsim.Model.t -> ?selection:selection -> Ugraph.t ->
+  ?rng:Rng.t ->
+  ?model:Distsim.Model.t ->
+  ?selection:selection ->
+  ?trace:Distsim.Trace.sink ->
+  Ugraph.t ->
   result
 (** [model] defaults to CONGEST with the customary [O(log n)]-bit
     bandwidth; running under {!Distsim.Model.local} merely disables
     the bandwidth check; [selection] defaults to [Votes]. The returned
-    set always dominates the graph. *)
+    set always dominates the graph. [trace] (default
+    {!Distsim.Trace.null}) receives the engine's round and send events
+    plus one {!phase_names} [Phase] marker per round. *)
 
 val is_dominating_set : Ugraph.t -> int list -> bool
 

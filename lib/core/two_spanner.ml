@@ -9,7 +9,7 @@ type result = {
 }
 
 let run ?rng ?seed ?max_iterations ?(selection = Two_spanner_engine.Votes 0.125)
-    ?trace g =
+    ?trace ?sink g =
   let edges = Ugraph.edge_set g in
   let spec =
     {
@@ -24,7 +24,7 @@ let run ?rng ?seed ?max_iterations ?(selection = Two_spanner_engine.Votes 0.125)
       selection;
     }
   in
-  let r = Two_spanner_engine.run ?rng ?seed ?max_iterations ?trace spec in
+  let r = Two_spanner_engine.run ?rng ?seed ?max_iterations ?trace ?sink spec in
   assert (Edge.Set.is_empty r.uncovered);
   {
     spanner = r.spanner;

@@ -20,10 +20,13 @@ val run :
   ?max_iterations:int ->
   ?selection:Two_spanner_engine.selection ->
   ?trace:(Two_spanner_engine.iteration_stats -> unit) ->
+  ?sink:Distsim.Trace.sink ->
   Ugraph.t ->
   result
 (** Runs on a (not necessarily connected) undirected graph; the result
-    is always a valid 2-spanner. *)
+    is always a valid 2-spanner. [sink] (default {!Distsim.Trace.null})
+    receives the engine's structured phase markers and counters — see
+    {!Two_spanner_engine.run}. *)
 
 val ratio_bound : Ugraph.t -> float
 (** The guaranteed bound [c · (log2 (m/n) + 2)] with the paper's

@@ -48,7 +48,17 @@ let log2_ceil x =
   let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
   go 0 x
 
-let run ?rng ?seed ?max_iterations ?trace spec =
+let run ?rng ?seed ?max_iterations ?trace ?(sink = Distsim.Trace.null) spec =
+  let tracing = not (Distsim.Trace.is_null sink) in
+  let mark vertex name round =
+    if tracing then
+      Distsim.Trace.emit sink (Distsim.Trace.Phase { vertex; name; round })
+  in
+  let count name value round =
+    if tracing then
+      Distsim.Trace.emit sink
+        (Distsim.Trace.Counter { name; value = float_of_int value; round })
+  in
   let seed =
     match (seed, rng) with
     | Some s, _ -> s
@@ -156,6 +166,7 @@ let run ?rng ?seed ?max_iterations ?trace spec =
       Array.fold_left (fun acc s -> Float.max acc s.rho) 0.0 st
     in
     let stars_before = !stars_added and cands_before = !candidate_count in
+    count "uncovered" uncovered_before !iterations;
     let dom_exp v =
       if st.(v).terminated && not spec.dominance_includes_terminated then
         neg_infinity
@@ -193,6 +204,7 @@ let run ?rng ?seed ?max_iterations ?trace spec =
               Randomness.vote_value ~seed ~vertex:v ~iteration:!iterations
                 ~bound:n4
             in
+            mark v "candidate" !iterations;
             candidates := (v, r, selection, covered) :: !candidates
           end
         end
@@ -217,6 +229,7 @@ let run ?rng ?seed ?max_iterations ?trace spec =
         Hashtbl.replace votes v
           (1 + Option.value ~default:0 (Hashtbl.find_opt votes v)))
       ballot;
+    count "votes" (Hashtbl.length ballot) !iterations;
     (* Step 5: admit candidate stars per the selection rule (the paper:
        at least |C_v| / 8 votes). *)
     let admitted v covered =
@@ -233,6 +246,7 @@ let run ?rng ?seed ?max_iterations ?trace spec =
       (fun (v, _, selection, covered) ->
         if admitted v covered then begin
           incr stars_added;
+          mark v "commit" !iterations;
           List.iter
             (fun u -> additions := Edge.Set.add (Edge.make v u) !additions)
             selection
@@ -255,6 +269,7 @@ let run ?rng ?seed ?max_iterations ?trace spec =
       then begin
         st.(v).terminated <- true;
         incr terminated_this_iteration;
+        mark v "terminate" !iterations;
         Edge.Set.iter
           (fun e -> if spec.finalize e then finals := Edge.Set.add e !finals)
           (Cover2.uncovered_incident cover v)

@@ -101,6 +101,7 @@ val run :
   ?seed:int ->
   ?max_iterations:int ->
   ?trace:(iteration_stats -> unit) ->
+  ?sink:Distsim.Trace.sink ->
   spec ->
   result
 (** Executes the algorithm to global termination. All vote values are
@@ -110,4 +111,13 @@ val run :
     with the same seed produces the identical spanner.
     [max_iterations] (default [10·(log2 n + 2)·(log2 Δ + 2) + 100])
     guards against the improbable event that the random voting
-    stalls, raising [Failure]. *)
+    stalls, raising [Failure].
+
+    [sink] (default {!Distsim.Trace.null}) receives structured phase
+    markers with [round] = iteration number: [Phase {name =
+    "candidate"}] per candidacy, ["commit"] per admitted star,
+    ["terminate"] per terminating vertex, and [Counter]s ["uncovered"]
+    (uncovered targets entering each iteration, summed across
+    iterations by [Trace.series]) and ["votes"] (ballots cast). The
+    legacy [trace] callback still delivers one {!iteration_stats} row
+    per iteration. *)

@@ -77,9 +77,30 @@ let measure ~n msg =
   | Votes l | Covered_notice l -> 4 + (2 * id * List.length l)
   | Rho _ | Max1_rho _ -> 4 + 65
 
-let make_spec ~seed ~variant g =
+(* Names for the 12 protocol phases, for {!Distsim.Trace.Phase}
+   markers (one marker per engine round, stamped by the first vertex
+   stepped in it). *)
+let phase_names =
+  [|
+    "density"; "max1"; "candidate"; "vote"; "tally"; "accept"; "fresh";
+    "rho"; "max1-rho"; "terminate"; "final"; "restart";
+  |]
+
+let make_spec ~seed ~variant ~sink g =
   let n = Ugraph.n g in
   let n4 = Randomness.vote_bound ~n in
+  let tracing = not (Distsim.Trace.is_null sink) in
+  let last_marked = ref (-1) in
+  let mark vertex round =
+    if tracing && !last_marked <> round then begin
+      last_marked := round;
+      let name =
+        if round < warmup_rounds then "warmup"
+        else phase_names.((round - warmup_rounds) mod rounds_per_iteration)
+      in
+      Distsim.Trace.emit sink (Distsim.Trace.Phase { vertex; name; round })
+    end
+  in
   let broadcast st payload =
     List.map (fun u -> { Distsim.Engine.dst = u; payload }) st.nbr_list
   in
@@ -245,6 +266,7 @@ let make_spec ~seed ~variant g =
         (st, broadcast st (Uncovered (uncovered_list st))));
     step =
       (fun ~round ~vertex st inbox ->
+        mark vertex round;
         if st.quiet then (st, [], `Done)
         else if round < warmup_rounds then begin
           if round = 1 then begin
@@ -532,22 +554,23 @@ let collect_result (states, metrics) =
   in
   { spanner = !spanner; iterations; metrics }
 
-let run ?(seed = 0x2D5F1) ?max_rounds ?sched g =
+let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 200 * (n + 20)
   in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ~model:Distsim.Model.local
+    (Distsim.Engine.run ~max_rounds ?sched ~trace ~model:Distsim.Model.local
        ~graph:g
-       (make_spec ~seed ~variant:unweighted_variant g))
+       (make_spec ~seed ~variant:unweighted_variant ~sink:trace g))
 
 (* The weighted variant of Section 4.3.2, mirroring
    Weighted_two_spanner's engine configuration. The per-vertex
    termination floors 1/wmax (wmax over the closed 2-neighborhood) are
    static topology data, precomputed the way vertices' knowledge of
    their neighbors is. *)
-let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched g w =
+let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched
+    ?(trace = Distsim.Trace.null) g w =
   let n = Ugraph.n g in
   let own = Array.make n 0.0 in
   for v = 0 to n - 1 do
@@ -575,9 +598,9 @@ let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched g w =
     match max_rounds with Some r -> r | None -> 400 * (n + 20)
   in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ~model:Distsim.Model.local
+    (Distsim.Engine.run ~max_rounds ?sched ~trace ~model:Distsim.Model.local
        ~graph:g
-       (make_spec ~seed ~variant g))
+       (make_spec ~seed ~variant ~sink:trace g))
 
 (* ------------------------------------------------------------------ *)
 (* CONGEST compilation: every protocol message is a short list of
@@ -645,7 +668,8 @@ let decode chunks =
   in
   (msg, [])
 
-let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched g =
+let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched
+    ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let delta = Ugraph.max_degree g in
   let chunks_per_round =
@@ -662,6 +686,6 @@ let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched g =
   let c = max 16 ((48 / id_bits) + 1) in
   let model = Distsim.Model.congest ~n:(max n 2) ~c () in
   collect_result
-    (Distsim.Chunked.run ~max_rounds ?sched ~model ~graph:g ~chunks_per_round
-       ~encode ~decode
-       (make_spec ~seed ~variant:unweighted_variant g))
+    (Distsim.Chunked.run ~max_rounds ?sched ~trace ~model ~graph:g
+       ~chunks_per_round ~encode ~decode
+       (make_spec ~seed ~variant:unweighted_variant ~sink:trace g))

@@ -42,10 +42,18 @@ val warmup_rounds : int
     targets that the weighted variant's pre-added weight-zero edges
     already 2-span (a no-op in the unweighted case). *)
 
+val phase_names : string array
+(** The twelve phase names a traced run stamps on its rounds, in
+    order: [density], [max1], [candidate], [vote], [tally], [accept],
+    [fresh], [rho], [max1-rho], [terminate], [final], [restart].
+    Round [r >= warmup_rounds] of iteration [i] carries
+    [phase_names.((r - warmup_rounds) mod rounds_per_iteration)]. *)
+
 val run :
   ?seed:int ->
   ?max_rounds:int ->
   ?sched:Distsim.Engine.sched ->
+  ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result
 (** Runs under {!Distsim.Model.local} (messages are neighbor lists,
@@ -53,12 +61,15 @@ val run :
     always a valid 2-spanner. [sched] selects the engine scheduler
     (default [`Active]); the protocol is quiescent when done, so both
     schedulers produce bit-identical results — the equivalence suite
-    asserts it. *)
+    asserts it. [trace] (default {!Distsim.Trace.null}) receives the
+    engine's round and send events plus one {!phase_names} [Phase]
+    marker per round (warm-up rounds are marked ["warmup"]). *)
 
 val run_weighted :
   ?seed:int ->
   ?max_rounds:int ->
   ?sched:Distsim.Engine.sched ->
+  ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   Weights.t ->
   result
@@ -74,6 +85,7 @@ val run_congest :
   ?max_rounds:int ->
   ?chunks_per_round:int ->
   ?sched:Distsim.Engine.sched ->
+  ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result
 (** The same protocol compiled to CONGEST with {!Distsim.Chunked}:

@@ -17,6 +17,7 @@
 val run :
   ?max_rounds:int ->
   ?strict:bool ->
+  ?trace:Trace.sink ->
   ?sched:Engine.sched ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->

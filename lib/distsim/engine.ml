@@ -6,6 +6,7 @@ type metrics = {
   total_bits : int;
   max_message_bits : int;
   congest_violations : int;
+  steps : int;
 }
 
 type sched = [ `Active | `Naive ]
@@ -53,11 +54,34 @@ let buf_to_list b =
 
 (* ------------------------------------------------------------------ *)
 
-let make_accounting ?observer ~strict ~graph ~measure () =
+(* The legacy [observer] is a thin wrapper over a [Send]-only trace
+   sink; the engine internally folds it into the sink it traces to. *)
+let effective_trace ?observer trace =
+  match observer with
+  | None -> trace
+  | Some f -> Trace.tee (Trace.of_observer f) trace
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Message accounting shared by both schedulers. [round] is the
+   engine's current-round cell (0 during init), read when stamping
+   [Send] events. [take_round] snapshots and resets the per-round
+   deltas for a [Round_end] event; it is only called when tracing, and
+   the per-round counters are only maintained when tracing, so the
+   [Trace.null] path does exactly the work the untraced engine did. *)
+let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
+  let trace = effective_trace ?observer trace in
+  let tracing = not (Trace.is_null trace) in
+  let wants_sends = Trace.wants_sends trace in
   let messages = ref 0 in
   let total_bits = ref 0 in
   let max_message_bits = ref 0 in
   let congest_violations = ref 0 in
+  (* Per-round deltas (tracing only). *)
+  let r_messages = ref 0 in
+  let r_bits = ref 0 in
+  let r_max_bits = ref 0 in
+  let r_violations = ref 0 in
   let account ~bandwidth ~deliver src outbox =
     List.iter
       (fun { dst; payload } ->
@@ -66,35 +90,63 @@ let make_accounting ?observer ~strict ~graph ~measure () =
             (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src
                dst);
         let bits = measure payload in
-        (match observer with
-        | Some f -> f ~src ~dst ~bits
-        | None -> ());
+        if tracing then begin
+          incr r_messages;
+          r_bits := !r_bits + bits;
+          if bits > !r_max_bits then r_max_bits := bits;
+          if wants_sends then
+            Trace.emit trace (Trace.Send { src; dst; bits; round = !round })
+        end;
         incr messages;
         total_bits := !total_bits + bits;
         if bits > !max_message_bits then max_message_bits := bits;
         (match bandwidth with
         | Some limit when bits > limit ->
             if strict then raise (Congest_violation { src; dst; bits })
-            else incr congest_violations
+            else begin
+              incr congest_violations;
+              if tracing then incr r_violations
+            end
         | _ -> ());
         deliver ~src ~dst payload)
       outbox
   in
-  let finish rounds =
+  let finish rounds ~steps =
     {
       rounds;
       messages = !messages;
       total_bits = !total_bits;
       max_message_bits = !max_message_bits;
       congest_violations = !congest_violations;
+      steps;
     }
   in
-  (account, finish)
+  let take_round ~stepped ~vdone ~elapsed_ns r =
+    let stat =
+      {
+        Trace.round = r;
+        messages = !r_messages;
+        bits = !r_bits;
+        max_bits = !r_max_bits;
+        vertices_stepped = stepped;
+        vertices_done = vdone;
+        congest_violations = !r_violations;
+        elapsed_ns;
+      }
+    in
+    r_messages := 0;
+    r_bits := 0;
+    r_max_bits := 0;
+    r_violations := 0;
+    stat
+  in
+  (trace, tracing, account, finish, take_round)
 
 (* The retained reference path: step every vertex every round, sort
    every inbox. Kept verbatim (modulo the shared accounting) so the
    equivalence suite can diff the active scheduler against it. *)
-let run_naive ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
+let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
+    ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 50 * (n + 5)
@@ -103,22 +155,38 @@ let run_naive ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
   let inboxes = Array.make n [] in
   let bandwidth = Model.bandwidth model in
   let in_flight = ref 0 in
-  let account, finish =
-    make_accounting ?observer ~strict ~graph ~measure:spec.measure ()
+  let round = ref 0 in
+  let trace, tracing, account, finish, take_round =
+    make_accounting ?observer ~trace ~round ~strict ~graph
+      ~measure:spec.measure ()
   in
   let deliver ~src ~dst payload =
     incr in_flight;
     inboxes.(dst) <- (src, payload) :: inboxes.(dst)
   in
   let account src outbox = account ~bandwidth ~deliver src outbox in
+  let steps = ref 0 in
+  let count_done () =
+    Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 done_flags
+  in
+  let round_end t0 ~stepped =
+    if tracing then
+      Trace.emit trace
+        (Trace.Round_end
+           (take_round ~stepped ~vdone:(count_done ())
+              ~elapsed_ns:(now_ns () - t0) !round))
+  in
   (* Round 0: init everyone. *)
+  if tracing then Trace.emit trace (Trace.Round_begin 0);
+  let t0 = if tracing then now_ns () else 0 in
   let initial =
     Array.init n (fun v ->
         spec.init ~n ~vertex:v ~neighbors:(Grapho.Ugraph.neighbors graph v))
   in
   let states = Array.map fst initial in
   Array.iteri (fun v (_, outbox) -> account v outbox) initial;
-  let round = ref 0 in
+  steps := n;
+  round_end t0 ~stepped:n;
   let all_done () = Array.for_all (fun f -> f) done_flags in
   let finished = ref (n = 0) in
   while not !finished do
@@ -127,6 +195,8 @@ let run_naive ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
       failwith
         (Printf.sprintf "Engine.run: no termination within %d rounds"
            max_rounds);
+    if tracing then Trace.emit trace (Trace.Round_begin !round);
+    let t0 = if tracing then now_ns () else 0 in
     (* Snapshot and clear inboxes so this round's sends arrive next
        round. *)
     let current = Array.copy inboxes in
@@ -143,9 +213,11 @@ let run_naive ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
       done_flags.(v) <- (status = `Done);
       account v outbox
     done;
+    steps := !steps + n;
+    round_end t0 ~stepped:n;
     if all_done () && !in_flight = 0 then finished := true
   done;
-  (states, finish !round)
+  (states, finish !round ~steps:!steps)
 
 (* The event-driven path: a vertex is stepped only while it has
    pending messages or has not signalled [`Done]. Correct whenever the
@@ -153,7 +225,8 @@ let run_naive ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
    and then steps on an empty inbox changes nothing and stays [`Done]
    (every spec in this repository satisfies this; the equivalence
    suite checks it on the protocols that matter). *)
-let run_active ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
+let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
+    ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 50 * (n + 5)
@@ -165,22 +238,35 @@ let run_active ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
   let bandwidth = Model.bandwidth model in
   let pending = ref 0 in (* messages sitting in [next] *)
   let not_done = ref n in
-  let account, finish =
-    make_accounting ?observer ~strict ~graph ~measure:spec.measure ()
+  let round = ref 0 in
+  let trace, tracing, account, finish, take_round =
+    make_accounting ?observer ~trace ~round ~strict ~graph
+      ~measure:spec.measure ()
   in
   let deliver ~src ~dst payload =
     incr pending;
     buf_push !next.(dst) (src, payload)
   in
   let account src outbox = account ~bandwidth ~deliver src outbox in
+  let steps = ref 0 in
+  let round_end t0 ~stepped =
+    if tracing then
+      Trace.emit trace
+        (Trace.Round_end
+           (take_round ~stepped ~vdone:(n - !not_done)
+              ~elapsed_ns:(now_ns () - t0) !round))
+  in
   (* Round 0: init everyone. *)
+  if tracing then Trace.emit trace (Trace.Round_begin 0);
+  let t0 = if tracing then now_ns () else 0 in
   let initial =
     Array.init n (fun v ->
         spec.init ~n ~vertex:v ~neighbors:(Grapho.Ugraph.neighbors graph v))
   in
   let states = Array.map fst initial in
   Array.iteri (fun v (_, outbox) -> account v outbox) initial;
-  let round = ref 0 in
+  steps := n;
+  round_end t0 ~stepped:n;
   let finished = ref (n = 0) in
   while not !finished do
     incr round;
@@ -188,6 +274,8 @@ let run_active ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
       failwith
         (Printf.sprintf "Engine.run: no termination within %d rounds"
            max_rounds);
+    if tracing then Trace.emit trace (Trace.Round_begin !round);
+    let t0 = if tracing then now_ns () else 0 in
     (* Swap banks: this round's sends accumulate in the other bank and
        arrive next round. *)
     let t = !cur in
@@ -195,9 +283,11 @@ let run_active ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
     next := t;
     pending := 0;
     let bank = !cur in
+    let stepped = ref 0 in
     for v = 0 to n - 1 do
       let b = bank.(v) in
       if b.len > 0 || not done_flags.(v) then begin
+        incr stepped;
         let inbox = buf_to_list b in
         b.len <- 0;
         let state, outbox, status = spec.step ~round:!round ~vertex:v
@@ -216,11 +306,15 @@ let run_active ?max_rounds ?(strict = false) ?observer ~model ~graph spec =
         account v outbox
       end
     done;
+    steps := !steps + !stepped;
+    round_end t0 ~stepped:!stepped;
     if !not_done = 0 && !pending = 0 then finished := true
   done;
-  (states, finish !round)
+  (states, finish !round ~steps:!steps)
 
-let run ?max_rounds ?strict ?observer ?(sched = `Active) ~model ~graph spec =
+let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ~model ~graph
+    spec =
   match sched with
-  | `Naive -> run_naive ?max_rounds ?strict ?observer ~model ~graph spec
-  | `Active -> run_active ?max_rounds ?strict ?observer ~model ~graph spec
+  | `Naive -> run_naive ?max_rounds ?strict ?observer ?trace ~model ~graph spec
+  | `Active ->
+      run_active ?max_rounds ?strict ?observer ?trace ~model ~graph spec

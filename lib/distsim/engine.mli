@@ -20,6 +20,12 @@ type metrics = {
   max_message_bits : int;
   congest_violations : int;
       (** messages exceeding the CONGEST bandwidth (0 under LOCAL) *)
+  steps : int;
+      (** total vertex activations: the [n] inits plus one per
+          [spec.step] invocation. Under [`Naive] this is exactly
+          [n * (rounds + 1)]; under [`Active] it is the work the
+          event-driven scheduler actually did, so the difference is
+          the scheduler's saving, now a first-class number. *)
 }
 
 type sched = [ `Active | `Naive ]
@@ -58,17 +64,23 @@ val run :
   ?max_rounds:int ->
   ?strict:bool ->
   ?observer:(src:int -> dst:int -> bits:int -> unit) ->
+  ?trace:Trace.sink ->
   ?sched:sched ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   ('state, 'msg) spec ->
   'state array * metrics
-(** Runs the algorithm on the given topology. [observer] sees every
-    message's endpoints and wire size — the hook the two-party
-    simulation harness uses to meter the bits crossing the Alice/Bob
-    cut. [strict] (default [false]) raises {!Congest_violation} on the
-    first oversized message instead of merely counting it. [sched]
-    picks the scheduling strategy (default [`Active]). Sending to a
-    non-neighbor raises [Invalid_argument]. [max_rounds] defaults to
-    [50 * (n + 5)]. Raises [Failure] if the round limit is hit before
-    global termination. *)
+(** Runs the algorithm on the given topology. [trace] (default
+    {!Trace.null}, which costs nothing) receives the structured event
+    stream: [Round_begin]/[Round_end] around every round (round 0 is
+    initialization) with per-round message counts, bit volumes,
+    stepped-vertex counts and wall-clock time, plus one [Send] per
+    wire message when the sink wants them. [observer] is the legacy
+    per-message callback — internally a [Send]-only sink tee'd onto
+    [trace] — that the two-party simulation harness uses to meter the
+    bits crossing the Alice/Bob cut. [strict] (default [false]) raises
+    {!Congest_violation} on the first oversized message instead of
+    merely counting it. [sched] picks the scheduling strategy (default
+    [`Active]). Sending to a non-neighbor raises [Invalid_argument].
+    [max_rounds] defaults to [50 * (n + 5)]. Raises [Failure] if the
+    round limit is hit before global termination. *)

@@ -1,0 +1,125 @@
+(** Structured execution traces for the round engine.
+
+    The paper's claims are per-round claims — [O(log n log Δ)] rounds
+    w.h.p. for the LOCAL 2-spanner (Thm 1.3) and the CONGEST MDS
+    (Thm 5.1), and [Ω(√n/(√α log n))] bits across the Alice/Bob cut
+    for the lower bounds — so the engine can narrate an execution as a
+    stream of structured events instead of five scalar counters:
+
+    - {!constructor:Round_begin} / {!constructor:Round_end} bracket
+      every engine round; [Round_end] carries the per-round message
+      count, bit volume, largest message, vertices stepped (the
+      event-driven scheduler's work), vertices done, CONGEST
+      violations and wall-clock nanoseconds;
+    - {!constructor:Send} is one message on the wire (optionally
+      filtered to a vertex set to bound overhead);
+    - {!constructor:Phase} marks a protocol phase (e.g. [candidate],
+      [vote], [commit]) at a vertex;
+    - {!constructor:Counter} is a named numeric sample (e.g. the
+      number of still-uncovered targets entering an iteration).
+
+    Events flow into a {!sink}. Sinks are pay-for-what-you-use:
+    {!null} is free (the engine detects it and skips all event
+    construction), {!stats} accumulates an in-memory per-round
+    {!series}, {!jsonl} streams JSON Lines to a channel, {!tee}
+    duplicates, and {!of_observer} adapts the legacy per-message
+    observer callback as a [Send]-only sink. *)
+
+type round_stat = {
+  round : int;
+  messages : int;  (** messages sent during this round *)
+  bits : int;  (** their total wire size *)
+  max_bits : int;  (** largest single message this round (0 if none) *)
+  vertices_stepped : int;
+      (** vertices activated this round — [n] every round under the
+          naive scheduler; only the awake set under the active one *)
+  vertices_done : int;  (** vertices flagged [`Done] after the round *)
+  congest_violations : int;  (** oversized messages this round *)
+  elapsed_ns : int;  (** wall-clock nanoseconds spent in the round *)
+}
+(** One row of the per-round series. Round 0 is initialization: every
+    vertex runs [init], so [vertices_stepped = n] there. Summing
+    [messages] (resp. [bits]) over a run's [Round_end] events
+    reconciles exactly with [Engine.metrics.messages] (resp.
+    [total_bits]); summing [vertices_stepped] gives
+    [Engine.metrics.steps]. *)
+
+type event =
+  | Round_begin of int
+  | Round_end of round_stat
+  | Send of { src : int; dst : int; bits : int; round : int }
+  | Phase of { vertex : int; name : string; round : int }
+      (** protocol-defined phase marker; [vertex = -1] means a global
+          (whole-network) phase. For protocols compiled through
+          [Chunked], [round] is the inner virtual round. *)
+  | Counter of { name : string; value : float; round : int }
+
+type sink
+
+val null : sink
+(** The zero-cost sink: emitting to it is a no-op, and the engine
+    skips event construction entirely when it detects it. *)
+
+val is_null : sink -> bool
+
+val wants_sends : sink -> bool
+(** Whether the sink cares about per-message {!constructor:Send}
+    events. The engine consults this once per run and skips the
+    per-message event construction when [false] (the {!stats} sink,
+    for instance, only needs round aggregates). *)
+
+val emit : sink -> event -> unit
+
+val custom : ?sends:bool -> (event -> unit) -> sink
+(** An arbitrary callback sink. [sends] (default [true]) declares
+    whether it wants {!constructor:Send} events. *)
+
+val of_observer : (src:int -> dst:int -> bits:int -> unit) -> sink
+(** Adapts the legacy engine observer as a [Send]-only sink — the
+    two-party cut-metering hook is this, underneath. *)
+
+val tee : sink -> sink -> sink
+(** Duplicates every event into both sinks. [tee null s == s]. *)
+
+(** {1 In-memory per-round statistics} *)
+
+type series = {
+  rounds : round_stat array;  (** one row per round, in order, from 0 *)
+  phases : (string * int) list;
+      (** phase-marker name → occurrence count, sorted by name *)
+  counters : (string * float) list;
+      (** counter name → (sum, via {!constructor:Counter}), sorted *)
+}
+
+type stats
+
+val stats : unit -> stats
+val stats_sink : stats -> sink
+(** Accumulates [Round_end], [Phase] and [Counter] events; ignores
+    [Send]s (and reports [wants_sends = false]). *)
+
+val series : stats -> series
+
+(** {1 Streaming JSONL export} *)
+
+val jsonl :
+  ?sends:bool ->
+  ?send_filter:(src:int -> dst:int -> bool) ->
+  out_channel ->
+  sink
+(** Writes one JSON object per event, one per line, in the format of
+    {!event_to_json}. [sends] (default [true]) includes per-message
+    [Send] events; [send_filter] keeps only matching sends (to bound
+    trace size on dense runs). The channel is not closed by the sink;
+    callers flush/close it. *)
+
+(** {1 JSON codec} *)
+
+val event_to_json : event -> string
+(** One-line JSON object, e.g.
+    [{"ev":"round_end","round":3,"messages":12,"bits":480,"max_bits":40,"stepped":7,"done":2,"violations":0,"ns":8125}]. *)
+
+val event_of_json : string -> (event, string) result
+(** Parses exactly the output of {!event_to_json} (a flat JSON object
+    with string and number values); [Error] describes the first
+    offending token. *)

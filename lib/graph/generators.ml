@@ -130,6 +130,45 @@ let caveman rng cliques size p_rewire =
   in
   Ugraph.of_edge_set ~n rewired
 
+let caveman_n rng n p_rewire =
+  if n <= 0 then invalid_arg "Generators.caveman_n: n must be positive";
+  (* k = ceil(n / 8) cliques of near-equal sizes (floor or ceil of
+     n/k), summing to exactly n — so the requested vertex count is
+     honored precisely instead of being rounded to a multiple of 8. *)
+  let k = (n + 7) / 8 in
+  let base_size = n / k and extra = n mod k in
+  let set = ref Edge.Set.empty in
+  let bases = Array.make k 0 in
+  let base = ref 0 in
+  for c = 0 to k - 1 do
+    let size = base_size + if c < extra then 1 else 0 in
+    bases.(c) <- !base;
+    for i = 0 to size - 1 do
+      for j = i + 1 to size - 1 do
+        set := Edge.Set.add (Edge.make (!base + i) (!base + j)) !set
+      done
+    done;
+    base := !base + size
+  done;
+  (* ring of cliques; skipped when a single clique would self-loop *)
+  if k > 1 then
+    for c = 0 to k - 1 do
+      set := Edge.Set.add (Edge.make bases.(c) bases.((c + 1) mod k)) !set
+    done;
+  let rewired =
+    Edge.Set.fold
+      (fun e acc ->
+        if Rng.float rng 1.0 < p_rewire then begin
+          let u, _ = Edge.endpoints e in
+          let w = Rng.int rng n in
+          if w <> u then Edge.Set.add (Edge.make u w) acc
+          else Edge.Set.add e acc
+        end
+        else Edge.Set.add e acc)
+      !set Edge.Set.empty
+  in
+  Ugraph.of_edge_set ~n rewired
+
 let clique_ladder rng n =
   let set = ref Edge.Set.empty in
   let base = ref 0 and size = ref 4 in

@@ -40,6 +40,12 @@ val caveman : Rng.t -> int -> int -> float -> Ugraph.t
     [cliques] cliques of [size] vertices with rewiring probability,
     a locally-dense family where star-based 2-spanners shine. *)
 
+val caveman_n : Rng.t -> int -> float -> Ugraph.t
+(** [caveman_n rng n p_rewire]: connected caveman graph on {e exactly}
+    [n] vertices: [ceil (n / 8)] cliques of near-equal sizes (within
+    one of [n / cliques]) joined in a ring, then rewired as
+    {!caveman}. Raises [Invalid_argument] when [n <= 0]. *)
+
 val clique_ladder : Rng.t -> int -> Ugraph.t
 (** [clique_ladder rng n]: disjoint cliques of growing sizes (4, 6,
     8, ...) plus ~3n random chords. Densities span many scales, which

@@ -2,13 +2,23 @@
 # Tier-1 gate: everything a PR must keep green.
 #   - full build
 #   - the unit/integration/property suites
-#   - a bench smoke run exercising the --json perf-trajectory path
+#   - a bench smoke run exercising the --json perf-trajectory and
+#     --trace event-stream paths
+#   - a tiny spanner_cli trace run (its exit status asserts that the
+#     per-round series reconciles with the engine metrics)
 # Run from the repository root: scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune exec bench/main.exe -- e1 --json /dev/null
+dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
+
+tmpgraph=$(mktemp)
+trap 'rm -f "$tmpgraph"' EXIT
+dune exec bin/spanner_cli.exe -- generate --family caveman -n 24 --seed 1 \
+  "$tmpgraph" > /dev/null
+dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
+  --jsonl /dev/null > /dev/null
 
 echo "check.sh: all green"

@@ -20,6 +20,17 @@ let check_metrics name (a : Distsim.Engine.metrics)
   check_int (name ^ " congest_violations") a.congest_violations
     b.congest_violations
 
+(* [steps] is the one metric the schedulers legitimately disagree on:
+   the naive path activates everyone every round (n inits + n per
+   round), the active path only the awake set — never more. *)
+let check_steps name ~n (active : Distsim.Engine.metrics)
+    (naive : Distsim.Engine.metrics) =
+  check_int (name ^ " naive steps = n*(rounds+1)")
+    (n * (naive.rounds + 1))
+    naive.steps;
+  check (name ^ " active steps <= naive") true (active.steps <= naive.steps);
+  check (name ^ " active steps >= n inits") true (active.steps >= n)
+
 let rng seed = Rng.create seed
 
 (* Generator families x seeds for the equivalence matrix. *)
@@ -50,7 +61,8 @@ let test_local_matrix () =
           let label = Printf.sprintf "%s/seed=%d" name seed in
           check (label ^ " spanner") true (Edge.Set.equal a.spanner b.spanner);
           check_int (label ^ " iterations") a.iterations b.iterations;
-          check_metrics label a.metrics b.metrics)
+          check_metrics label a.metrics b.metrics;
+          check_steps label ~n:(Ugraph.n g) a.metrics b.metrics)
         seeds)
     families
 
@@ -131,11 +143,75 @@ let test_flood_min_both_scheds () =
       let sb, mb = run `Naive in
       check (name ^ " minima") true
         (Array.for_all2 (fun a b -> a.best = b.best) sa sb);
-      check_metrics name ma mb)
+      check_metrics name ma mb;
+      check_steps name ~n:(Ugraph.n g) ma mb)
     [
       ("path_30", Generators.path 30);
       ("star_20", Generators.star 20);
       ("gnp_50", Generators.gnp_connected (rng 8) 50 0.1);
+    ]
+
+(* The per-edge traffic profile — the quantity the two-party
+   cut-metering arguments depend on — must be (1) identical under both
+   schedulers and (2) identical whether collected through the legacy
+   observer callback or through a Send-only trace sink (the observer
+   is now a thin wrapper over such a sink). *)
+let test_observer_vs_send_sink () =
+  let collect run =
+    let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let record ~src ~dst ~bits =
+      Hashtbl.replace tbl (src, dst)
+        (bits + Option.value ~default:0 (Hashtbl.find_opt tbl (src, dst)))
+    in
+    run record;
+    tbl
+  in
+  let equal_tbl a b =
+    Hashtbl.length a = Hashtbl.length b
+    && Hashtbl.fold
+         (fun k v acc -> acc && Hashtbl.find_opt b k = Some v)
+         a true
+  in
+  let send_sink record =
+    Distsim.Trace.custom (function
+      | Distsim.Trace.Send { src; dst; bits; _ } -> record ~src ~dst ~bits
+      | _ -> ())
+  in
+  List.iter
+    (fun (name, g) ->
+      (* Plain engine spec: observer vs sink, Active vs Naive. *)
+      let via_observer sched =
+        collect (fun record ->
+            ignore
+              (Distsim.Engine.run ~sched ~observer:record
+                 ~model:Distsim.Model.local ~graph:g (flood_spec g)))
+      in
+      let via_sink sched =
+        collect (fun record ->
+            ignore
+              (Distsim.Engine.run ~sched ~trace:(send_sink record)
+                 ~model:Distsim.Model.local ~graph:g (flood_spec g)))
+      in
+      let oa = via_observer `Active and on = via_observer `Naive in
+      let sa = via_sink `Active and sn = via_sink `Naive in
+      check (name ^ " observer: active = naive") true (equal_tbl oa on);
+      check (name ^ " sink = observer (active)") true (equal_tbl oa sa);
+      check (name ^ " sink = observer (naive)") true (equal_tbl on sn);
+      check (name ^ " some traffic recorded") true (Hashtbl.length oa > 0);
+      (* The full protocol via its ?trace parameter. *)
+      let protocol sched =
+        collect (fun record ->
+            ignore
+              (C.Two_spanner_local.run ~seed:4 ~sched
+                 ~trace:(send_sink record) g))
+      in
+      let pa = protocol `Active and pn = protocol `Naive in
+      check (name ^ " protocol per-edge bits: active = naive") true
+        (equal_tbl pa pn))
+    [
+      ("path_20", Generators.path 20);
+      ("caveman", Generators.caveman (rng 12) 4 5 0.05);
+      ("gnp_40", Generators.gnp_connected (rng 13) 40 0.15);
     ]
 
 (* Degenerate graphs: the engine must terminate immediately with no
@@ -179,6 +255,8 @@ let () =
           Alcotest.test_case "congest matrix" `Quick test_congest_matrix;
           Alcotest.test_case "weighted matrix" `Quick test_weighted_matrix;
           Alcotest.test_case "flood min" `Quick test_flood_min_both_scheds;
+          Alcotest.test_case "observer vs send sink" `Quick
+            test_observer_vs_send_sink;
         ] );
       ( "degenerate",
         [
