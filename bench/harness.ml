@@ -1,0 +1,399 @@
+(* Shared plumbing for the bench executable: report formatting, the
+   graph families and protocol anchors the perf trajectory tracks
+   across PRs, wall-clock timing helpers, and the --json/--trace
+   writer (schema "spanner-bench/3").
+
+   The experiment functions themselves live in main.ml; everything
+   here is the scaffolding they share so that adding an experiment
+   does not mean growing a thousand-line file. *)
+
+open Grapho
+module C = Spanner_core
+
+let printf = Printf.printf
+
+let section id title =
+  printf "\n==================================================================\n";
+  printf "%s  %s\n" id title;
+  printf "==================================================================\n"
+
+let log2 x = Float.log x /. Float.log 2.0
+let flog2 n = log2 (float_of_int (max 2 n))
+let rng seed = Rng.create seed
+
+(* Shared graph families for upper-bound experiments. *)
+let ratio_families () =
+  [
+    ("complete_40", Generators.complete 40);
+    ("caveman_8x8", Generators.caveman (rng 1) 8 8 0.03);
+    ("gnp_dense_100", Generators.gnp_connected (rng 2) 100 0.35);
+    ("gnp_sparse_200", Generators.gnp_connected (rng 3) 200 0.05);
+    ("pa_200_10", Generators.preferential_attachment (rng 4) 200 10);
+    ("bipartite_15_15", Generators.complete_bipartite 15 15);
+    ("grid_10x10", Generators.grid 10 10);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol anchors.
+
+   The workloads the perf trajectory tracks across PRs. [`Local] runs
+   the LOCAL message-passing protocol, [`Congest] its chunked CONGEST
+   compilation. Gated by the experiment family they belong to. *)
+
+let anchors () =
+  [
+    ("e8_local_caveman", "e8", `Local, Generators.caveman (rng 23) 8 8 0.03);
+    ("e13_local_protocol", "e13", `Local, Generators.caveman (rng 19) 4 6 0.05);
+    ("e15_congest", "e15", `Congest, Generators.caveman (rng 24) 6 6 0.04);
+    ("e15_congest_port", "e15", `Congest, Generators.caveman (rng 21) 4 6 0.05);
+  ]
+
+(* Larger instances for the seq-vs-par A/B section: big enough that a
+   round has real work to split across domains. The small e13-tagged
+   one keeps `bench -- e13 --par 2 --json ...` cheap for CI smoke. *)
+let seq_vs_par_anchors () =
+  [
+    ("sv_local_caveman_4x6", "e13", `Local, Generators.caveman (rng 19) 4 6 0.05);
+    ("sv_local_caveman_8x8", "e8", `Local, Generators.caveman (rng 23) 8 8 0.03);
+    ( "sv_local_gnp_240",
+      "e2",
+      `Local,
+      Generators.gnp_connected (rng 31) 240 0.08 );
+    ("sv_local_ladder_400", "e2", `Local, Generators.clique_ladder (rng 32) 400);
+    ( "sv_congest_caveman_6x6",
+      "e15",
+      `Congest,
+      Generators.caveman (rng 24) 6 6 0.04 );
+  ]
+
+let run_anchor ?(trace = Distsim.Trace.null) ?par kind g :
+    C.Two_spanner_local.result =
+  match kind with
+  | `Local -> C.Two_spanner_local.run ~seed:3 ?par ~trace g
+  | `Congest -> C.Two_spanner_local.run_congest ~seed:3 ?par ~trace g
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock timing. *)
+
+let best_wall_ms ~reps f =
+  f () (* warm-up *);
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  1000.0 *. !best
+
+(* Interleaved A/B: alternate the two variants rep by rep so that
+   drifting machine load hits both sides equally, and report the best
+   wall time of each. *)
+let interleaved_ab_ms ~reps f_a f_b =
+  f_a ();
+  f_b () (* warm-up both *);
+  let best_a = ref infinity and best_b = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f_a ();
+    let t1 = Unix.gettimeofday () in
+    f_b ();
+    let t2 = Unix.gettimeofday () in
+    if t1 -. t0 < !best_a then best_a := t1 -. t0;
+    if t2 -. t1 < !best_b then best_b := t2 -. t1
+  done;
+  (1000.0 *. !best_a, 1000.0 *. !best_b)
+
+(* ------------------------------------------------------------------ *)
+(* Metric and series rows. *)
+
+(* (name, (key, value) list); every value is a JSON number. *)
+let metric_row name g (r : C.Two_spanner_local.result) densest_calls =
+  ( name,
+    [
+      ("n", float_of_int (Ugraph.n g));
+      ("m", float_of_int (Ugraph.m g));
+      ("spanner_edges", float_of_int (Edge.Set.cardinal r.spanner));
+      ("iterations", float_of_int r.iterations);
+      ("rounds", float_of_int r.metrics.rounds);
+      ("steps", float_of_int r.metrics.steps);
+      ("messages", float_of_int r.metrics.messages);
+      ("total_bits", float_of_int r.metrics.total_bits);
+      ("max_message_bits", float_of_int r.metrics.max_message_bits);
+      ("densest_calls", float_of_int densest_calls);
+    ] )
+
+(* Per-round summary of a traced run for the "round_series" section:
+   how hard the busiest round works, and how fast the network
+   quiesces (histogram of vertices stepped per round, bucketed by
+   powers of two: bucket 0 counts rounds with 0 awake vertices,
+   bucket k >= 1 counts rounds with 2^(k-1) <= stepped < 2^k). *)
+let series_summary (s : Distsim.Trace.series) =
+  let rows = s.Distsim.Trace.rounds in
+  let n_rounds = Array.length rows in
+  let msgs_total = ref 0
+  and msgs_max = ref 0
+  and bits_max = ref 0
+  and steps = ref 0 in
+  let bucket stepped =
+    if stepped <= 0 then 0
+    else
+      let rec go k v = if v = 0 then k else go (k + 1) (v lsr 1) in
+      go 0 stepped
+  in
+  let max_bucket =
+    Array.fold_left
+      (fun acc (r : Distsim.Trace.round_stat) ->
+        max acc (bucket r.vertices_stepped))
+      0 rows
+  in
+  let hist = Array.make (max_bucket + 1) 0 in
+  Array.iter
+    (fun (r : Distsim.Trace.round_stat) ->
+      msgs_total := !msgs_total + r.messages;
+      msgs_max := max !msgs_max r.messages;
+      bits_max := max !bits_max r.bits;
+      steps := !steps + r.vertices_stepped;
+      let b = bucket r.vertices_stepped in
+      hist.(b) <- hist.(b) + 1)
+    rows;
+  let mean =
+    float_of_int !msgs_total /. float_of_int (max 1 (n_rounds - 1))
+  in
+  (n_rounds - 1, !steps, !msgs_total, !msgs_max, mean, !bits_max, hist)
+
+(* ------------------------------------------------------------------ *)
+(* seq-vs-par A/B rows.
+
+   For every seq-vs-par anchor, run the protocol sequentially and
+   with [par] domains in interleaved reps; record the best wall time
+   of each plus an [identical] flag asserting that the parallel run
+   produced the same spanner, iteration count and engine metrics as
+   the sequential one (the engine's determinism contract). On a
+   single-core container the speedup is expected to sit at or below
+   1.0; the "cores" field records why. *)
+let seq_vs_par_rows ~par ~reps ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  List.filter_map
+    (fun (name, family, kind, g) ->
+      if not (sel family) then None
+      else begin
+        let seq = run_anchor kind g in
+        let prl = run_anchor ~par kind g in
+        let identical =
+          Edge.Set.equal seq.C.Two_spanner_local.spanner
+            prl.C.Two_spanner_local.spanner
+          && seq.iterations = prl.iterations
+          && seq.metrics = prl.metrics
+        in
+        let seq_ms, par_ms =
+          interleaved_ab_ms ~reps
+            (fun () -> ignore (run_anchor kind g))
+            (fun () -> ignore (run_anchor ~par kind g))
+        in
+        Some
+          ( name,
+            [
+              ("n", float_of_int (Ugraph.n g));
+              ("m", float_of_int (Ugraph.m g));
+              ("rounds", float_of_int seq.metrics.rounds);
+              ("steps", float_of_int seq.metrics.steps);
+              ("seq_ms_best", seq_ms);
+              ("par_ms_best", par_ms);
+              ("speedup", seq_ms /. Float.max 1e-9 par_ms);
+              ("identical", if identical then 1.0 else 0.0);
+            ] )
+      end)
+    (seq_vs_par_anchors ())
+
+(* ------------------------------------------------------------------ *)
+(* Perf trajectory (--json FILE): a machine-readable snapshot of the
+   Bechamel estimates, wall-clock anchors, seq-vs-par A/B and engine
+   metrics, written as BENCH_PR<k>.json at the end of a PR so
+   regressions show up as diffs (see EXPERIMENTS.md,
+   "Performance"). *)
+
+let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
+  let sel id = selected = [] || List.mem id selected in
+  let with_densest_count f =
+    let c0 = !Netflow.Densest.solver_calls in
+    let r = f () in
+    (r, !Netflow.Densest.solver_calls - c0)
+  in
+  let trace_oc = Option.map open_out trace_path in
+  (* Every metric-row run executes under a Stats sink (and, when
+     --trace FILE was given, a tee'd JSONL sink with a
+     "anchor:<name>" counter separating the runs), so the JSON can
+     carry the per-round series of the same executions the engine
+     metrics describe. *)
+  let series_acc = ref [] in
+  let traced name f =
+    let st = Distsim.Trace.stats () in
+    let sink = Distsim.Trace.stats_sink st in
+    let sink =
+      match trace_oc with
+      | None -> sink
+      | Some oc ->
+          let j = Distsim.Trace.jsonl ~sends:false oc in
+          Distsim.Trace.emit j
+            (Distsim.Trace.Counter
+               { name = "anchor:" ^ name; value = 0.0; round = 0 });
+          Distsim.Trace.tee sink j
+    in
+    let r = f sink in
+    series_acc := (name, Distsim.Trace.series st) :: !series_acc;
+    r
+  in
+  (* Engine metrics: the E1 graph families under the LOCAL protocol,
+     plus the protocol anchors. *)
+  let metric_rows =
+    let e1_rows =
+      if not (sel "e1") then []
+      else
+        List.map
+          (fun (name, g) ->
+            let name = "e1_local_" ^ name in
+            let r, calls =
+              with_densest_count (fun () ->
+                  traced name (fun sink ->
+                      C.Two_spanner_local.run ~seed:5 ~trace:sink g))
+            in
+            metric_row name g r calls)
+          (ratio_families ())
+    in
+    let anchor_rows =
+      List.filter_map
+        (fun (name, family, kind, g) ->
+          if not (sel family) then None
+          else
+            let r, calls =
+              with_densest_count (fun () ->
+                  traced name (fun sink -> run_anchor ~trace:sink kind g))
+            in
+            Some (metric_row name g r calls))
+        (anchors ())
+    in
+    e1_rows @ anchor_rows
+  in
+  let series_rows = List.rev !series_acc in
+  Option.iter close_out trace_oc;
+  (* Wall-clock anchors run with the default null sink: comparing
+     these against the previous PR's numbers shows the tracing layer's
+     (absence of) overhead on the untraced path; the stats-sink
+     column quantifies the cost of actually collecting a series. *)
+  let wall_rows =
+    List.filter_map
+      (fun (name, family, kind, g) ->
+        if not (sel family) then None
+        else
+          Some
+            (name, best_wall_ms ~reps:5 (fun () -> ignore (run_anchor kind g))))
+      (anchors ())
+  in
+  let wall_stats_rows =
+    if json_path = None then []
+    else
+      List.filter_map
+        (fun (name, family, kind, g) ->
+          if not (sel family) then None
+          else
+            Some
+              ( name,
+                best_wall_ms ~reps:3 (fun () ->
+                    let st = Distsim.Trace.stats () in
+                    ignore
+                      (run_anchor ~trace:(Distsim.Trace.stats_sink st) kind g))
+              ))
+        (anchors ())
+  in
+  let sv_rows =
+    if json_path = None then [] else seq_vs_par_rows ~par ~reps:3 ~selected
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let buf = Buffer.create 4096 in
+      let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      let sep body items =
+        List.iteri
+          (fun i x ->
+            if i > 0 then out ",\n";
+            body x)
+          items
+      in
+      let num v =
+        (* Integers as integers, everything else with 3 decimals. *)
+        if Float.is_integer v && Float.abs v < 1e15 then
+          Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.3f" v
+      in
+      out "{\n";
+      out "  \"schema\": \"spanner-bench/3\",\n";
+      out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
+        (Domain.recommended_domain_count ());
+      out "  \"micro_ns_per_run\": {\n";
+      sep
+        (fun (name, est) -> out "    %S: %.1f" name est)
+        (match micro_rows with None -> [] | Some rows -> rows);
+      out "\n  },\n";
+      out "  \"wall_clock_ms_best_of_5\": {\n";
+      sep (fun (name, ms) -> out "    %S: %.3f" name ms) wall_rows;
+      out "\n  },\n";
+      out "  \"wall_clock_ms_stats_sink_best_of_3\": {\n";
+      sep (fun (name, ms) -> out "    %S: %.3f" name ms) wall_stats_rows;
+      out "\n  },\n";
+      out "  \"seq_vs_par\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %s" k (num v))
+            fields;
+          out " }")
+        sv_rows;
+      out "\n  },\n";
+      out "  \"round_series\": {\n";
+      sep
+        (fun (name, series) ->
+          let rounds, steps, m_total, m_max, m_mean, b_max, hist =
+            series_summary series
+          in
+          out
+            "    %S: { \"rounds\": %d, \"steps\": %d, \"messages_total\": \
+             %d, \"messages_max_round\": %d, \"messages_mean_round\": %.2f, \
+             \"bits_max_round\": %d, \"stepped_hist\": [%s] }"
+            name rounds steps m_total m_max m_mean b_max
+            (String.concat ", "
+               (Array.to_list (Array.map string_of_int hist))))
+        series_rows;
+      out "\n  },\n";
+      out "  \"engine_metrics\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %.0f" k v)
+            fields;
+          out " }")
+        metric_rows;
+      out "\n  }\n";
+      out "}\n";
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      printf
+        "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
+         seq-vs-par anchors at %d domains)\n"
+        path
+        (List.length metric_rows)
+        (match micro_rows with None -> 0 | Some rows -> List.length rows)
+        (List.length sv_rows) par);
+  match trace_path with
+  | Some path ->
+      printf "event trace (JSON Lines) written to %s (%d runs)\n" path
+        (List.length series_rows)
+  | None -> ()

@@ -80,9 +80,47 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a graph as an edge list.")
     Term.(const generate $ family_arg $ n_arg $ p_arg $ seed_arg $ out_arg)
 
+(* ---- engine knobs (span / mds / trace) --------------------------- *)
+
+let sched_conv : Distsim.Engine.sched Arg.conv =
+  let parse = function
+    | "active" -> Ok `Active
+    | "naive" -> Ok `Naive
+    | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S (active|naive)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with `Active -> "active" | `Naive -> "naive")
+  in
+  Arg.conv (parse, print)
+
+let sched_arg =
+  Arg.(value & opt sched_conv `Active
+       & info [ "sched" ] ~docv:"SCHED"
+           ~doc:"Engine scheduler: active (event-driven, default) or naive \
+                 (step-everyone reference). Results are bit-identical.")
+
+let par_arg =
+  Arg.(value & opt int 1
+       & info [ "par" ] ~docv:"N"
+           ~doc:"Domains used to step each round (active scheduler only). \
+                 Results are bit-identical for any N.")
+
+(* The event-driven scheduler's saving, printed next to the round
+   count: the naive path would have activated every vertex every round
+   ([n * (rounds + 1)] including init). *)
+let steps_line (m : Distsim.Engine.metrics) ~n =
+  let naive = n * (m.rounds + 1) in
+  let saved =
+    if naive > 0 then
+      100.0 *. (1.0 -. (float_of_int m.steps /. float_of_int naive))
+    else 0.0
+  in
+  Printf.printf "steps=%d of naive %d (%.1f%% saved)\n" m.steps naive saved
+
 (* ---- span -------------------------------------------------------- *)
 
-let span file algorithm k seed dot weights_file faults =
+let span file algorithm k seed sched par dot weights_file faults =
   let g = load_graph file in
   let rng = Rng.create seed in
   let weights =
@@ -99,17 +137,19 @@ let span file algorithm k seed dot weights_file faults =
         (r.spanner, "distributed (Thm 1.3)")
     | "local" ->
         if k <> 2 then failwith "the LOCAL protocol targets k=2";
-        let r = C.Two_spanner_local.run ~seed g in
+        let r = C.Two_spanner_local.run ~seed ~sched ~par g in
         Printf.printf "iterations=%d rounds=%d messages=%d\n" r.iterations
           r.metrics.rounds r.metrics.messages;
+        steps_line r.metrics ~n:(Ugraph.n g);
         (r.spanner, "message-passing LOCAL protocol")
     | "congest" ->
         if k <> 2 then failwith "the CONGEST port targets k=2";
-        let r = C.Two_spanner_local.run_congest ~seed g in
+        let r = C.Two_spanner_local.run_congest ~seed ~sched ~par g in
         Printf.printf
           "iterations=%d rounds=%d max-message=%d bits violations=%d\n"
           r.iterations r.metrics.rounds r.metrics.max_message_bits
           r.metrics.congest_violations;
+        steps_line r.metrics ~n:(Ugraph.n g);
         (r.spanner, "chunked CONGEST port (Section 1.3)")
     | "weighted" ->
         if k <> 2 then failwith "the weighted algorithm targets k=2";
@@ -191,14 +231,14 @@ let faults_arg =
 let span_cmd =
   Cmd.v
     (Cmd.info "span" ~doc:"Approximate a minimum k-spanner.")
-    Term.(const span $ file_arg $ algorithm_arg $ k_arg $ seed_arg $ dot_arg
-          $ weights_arg $ faults_arg)
+    Term.(const span $ file_arg $ algorithm_arg $ k_arg $ seed_arg $ sched_arg
+          $ par_arg $ dot_arg $ weights_arg $ faults_arg)
 
 (* ---- mds --------------------------------------------------------- *)
 
-let mds file seed =
+let mds file seed sched par =
   let g = load_graph file in
-  let r = C.Mds.run ~rng:(Rng.create seed) g in
+  let r = C.Mds.run ~rng:(Rng.create seed) ~sched ~par g in
   Printf.printf
     "dominating set of %d vertices (greedy: %d), %d CONGEST rounds,\n\
      max message %d bits, violations %d\n"
@@ -206,6 +246,7 @@ let mds file seed =
     (List.length (C.Mds.greedy g))
     r.metrics.rounds r.metrics.max_message_bits
     r.metrics.congest_violations;
+  steps_line r.metrics ~n:(Ugraph.n g);
   Printf.printf "members: %s\n"
     (String.concat " " (List.map string_of_int r.dominating_set));
   0
@@ -213,13 +254,13 @@ let mds file seed =
 let mds_cmd =
   Cmd.v
     (Cmd.info "mds" ~doc:"Approximate a minimum dominating set in CONGEST.")
-    Term.(const mds $ file_arg $ seed_arg)
+    Term.(const mds $ file_arg $ seed_arg $ sched_arg $ par_arg)
 
 (* ---- trace ------------------------------------------------------- *)
 
 module T = Distsim.Trace
 
-let trace file algorithm seed jsonl_file weights_file limit =
+let trace file algorithm seed sched par jsonl_file weights_file limit =
   let g = load_graph file in
   let st = T.stats () in
   let jsonl_oc = Option.map open_out jsonl_file in
@@ -232,12 +273,14 @@ let trace file algorithm seed jsonl_file weights_file limit =
   let metrics =
     match algorithm with
     | "local" ->
-        let r = C.Two_spanner_local.run ~seed ~trace:sink g in
+        let r = C.Two_spanner_local.run ~seed ~sched ~par ~trace:sink g in
         Printf.printf "local 2-spanner: %d / %d edges, %d iterations\n"
           (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
         r.metrics
     | "congest" ->
-        let r = C.Two_spanner_local.run_congest ~seed ~trace:sink g in
+        let r =
+          C.Two_spanner_local.run_congest ~seed ~sched ~par ~trace:sink g
+        in
         Printf.printf "CONGEST 2-spanner: %d / %d edges, %d iterations\n"
           (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
         r.metrics
@@ -247,12 +290,14 @@ let trace file algorithm seed jsonl_file weights_file limit =
           | Some p -> snd (Graph_io.weighted_of_edge_list (read_file p))
           | None -> Weights.uniform 1.0
         in
-        let r = C.Two_spanner_local.run_weighted ~seed ~trace:sink g w in
+        let r =
+          C.Two_spanner_local.run_weighted ~seed ~sched ~par ~trace:sink g w
+        in
         Printf.printf "weighted 2-spanner: %d / %d edges, %d iterations\n"
           (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
         r.metrics
     | "mds" ->
-        let r = C.Mds.run ~rng:(Rng.create seed) ~trace:sink g in
+        let r = C.Mds.run ~rng:(Rng.create seed) ~sched ~par ~trace:sink g in
         Printf.printf "dominating set: %d vertices, %d iterations\n"
           (List.length r.dominating_set) r.iterations;
         r.metrics
@@ -299,6 +344,7 @@ let trace file algorithm seed jsonl_file weights_file limit =
     && stepped = metrics.steps
     && total = metrics.rounds + 1
   in
+  steps_line metrics ~n:(Ugraph.n g);
   Printf.printf
     "reconcile: rounds=%d messages=%d bits=%d steps=%d — %s the engine metrics\n"
     metrics.rounds msgs bits stepped
@@ -328,8 +374,8 @@ let trace_cmd =
        ~doc:"Run a protocol under a structured trace and print per-round \
              statistics, phase-marker counts and counters; the summary line \
              cross-checks the per-round sums against the engine metrics.")
-    Term.(const trace $ file_arg $ trace_algorithm_arg $ seed_arg $ jsonl_arg
-          $ weights_arg $ limit_arg)
+    Term.(const trace $ file_arg $ trace_algorithm_arg $ seed_arg $ sched_arg
+          $ par_arg $ jsonl_arg $ weights_arg $ limit_arg)
 
 (* ---- check ------------------------------------------------------- *)
 

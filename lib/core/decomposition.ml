@@ -12,13 +12,13 @@ let live_distances g live source cap =
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
     if dist.(u) < cap then
-      Array.iter
+      Ugraph.iter_neighbors
         (fun v ->
           if live.(v) && dist.(v) = max_int then begin
             dist.(v) <- dist.(u) + 1;
             Queue.add v q
           end)
-        (Ugraph.neighbors g u)
+        g u
   done;
   dist
 

@@ -262,13 +262,15 @@ let run ?rng ?max_iterations g =
   let two_hop_max value =
     let one = Array.make n neg_infinity in
     for v = 0 to n - 1 do
-      let m = ref (value v) in
-      Array.iter (fun u -> m := max !m (value u)) (und_neighbors v);
-      one.(v) <- !m
+      one.(v) <-
+        Dgraph.fold_undirected_neighbors
+          (fun m u -> max m (value u))
+          g v (value v)
     done;
     Array.init n (fun v ->
-        Array.fold_left (fun acc u -> max acc one.(u)) one.(v)
-          (und_neighbors v))
+        Dgraph.fold_undirected_neighbors
+          (fun acc u -> max acc one.(u))
+          g v one.(v))
   in
   let orientations v u =
     let s = ref Dset.empty in

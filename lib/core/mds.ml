@@ -52,7 +52,8 @@ type selection = Votes | Coin of float
 
 let phase_names = [| "max1"; "candidate"; "vote"; "tally"; "cover"; "restart" |]
 
-let run ?rng ?model ?(selection = Votes) ?(trace = Distsim.Trace.null) g =
+let run ?rng ?model ?(selection = Votes) ?sched ?par
+    ?(trace = Distsim.Trace.null) g =
   let seed_rng = match rng with Some r -> r | None -> Rng.create 0xD0517 in
   let n = Ugraph.n g in
   let model =
@@ -65,21 +66,21 @@ let run ?rng ?model ?(selection = Votes) ?(trace = Distsim.Trace.null) g =
     if f > 1e15 then 1_000_000_000_000_000 else int_of_float f + 16
   in
   (* Each vertex gets a private random stream, split deterministically
-     from the seed. *)
+     from the seed *before* the engine runs; afterwards a vertex only
+     ever draws from its own [streams.(vertex)], so stepping vertices
+     on concurrent domains (Engine [?par]) touches disjoint RNG state
+     and the draw sequence is identical for any shard count. *)
   let streams = Array.init n (fun _ -> Rng.split seed_rng) in
   let broadcast st payload =
     Array.to_list
       (Array.map (fun u -> { Distsim.Engine.dst = u; payload }) st.neighbors)
   in
-  let tracing = not (Distsim.Trace.is_null trace) in
-  let last_marked = ref (-1) in
-  let mark vertex round =
-    if tracing && !last_marked <> round then begin
-      last_marked := round;
-      Distsim.Trace.emit trace
-        (Distsim.Trace.Phase
-           { vertex; name = phase_names.((round - 1) mod 6); round })
-    end
+  (* One global phase marker per round, stamped from [Round_begin] on
+     the engine's merge thread (race-free under [?par]). *)
+  let trace =
+    Distsim.Trace.with_round_phases
+      (fun r -> if r = 0 then None else Some (phase_names.((r - 1) mod 6), r))
+      trace
   in
   let spec =
     {
@@ -107,7 +108,6 @@ let run ?rng ?model ?(selection = Votes) ?(trace = Distsim.Trace.null) g =
         ;
       step =
         (fun ~round ~vertex st inbox ->
-          mark vertex round;
           if st.quiet then (st, [], `Done)
           else begin
             let phase = (round - 1) mod 6 in
@@ -224,7 +224,9 @@ let run ?rng ?model ?(selection = Votes) ?(trace = Distsim.Trace.null) g =
       measure = measure ~n:(max n 2);
     }
   in
-  let states, metrics = Distsim.Engine.run ~model ~graph:g ~trace spec in
+  let states, metrics =
+    Distsim.Engine.run ?sched ?par ~model ~graph:g ~trace spec
+  in
   let dominating_set =
     Array.to_list states
     |> List.mapi (fun v st -> (v, st.in_mds))
@@ -238,7 +240,7 @@ let is_dominating_set g d =
   List.iter
     (fun v ->
       dominated.(v) <- true;
-      Array.iter (fun u -> dominated.(u) <- true) (Ugraph.neighbors g v))
+      Ugraph.iter_neighbors (fun u -> dominated.(u) <- true) g v)
     d;
   Array.for_all (fun b -> b) dominated
 
@@ -247,10 +249,10 @@ let greedy g =
   let covered = Array.make n false in
   let chosen = ref [] in
   let uncovered_gain v =
-    let gain = if covered.(v) then 0 else 1 in
-    Array.fold_left
+    Ugraph.fold_neighbors
       (fun acc u -> if covered.(u) then acc else acc + 1)
-      gain (Ugraph.neighbors g v)
+      g v
+      (if covered.(v) then 0 else 1)
   in
   let remaining = ref n in
   while !remaining > 0 do
@@ -268,13 +270,13 @@ let greedy g =
       covered.(v) <- true;
       decr remaining
     end;
-    Array.iter
+    Ugraph.iter_neighbors
       (fun u ->
         if not covered.(u) then begin
           covered.(u) <- true;
           decr remaining
         end)
-      (Ugraph.neighbors g v)
+      g v
   done;
   List.sort compare !chosen
 

@@ -42,15 +42,22 @@ val run :
   ?rng:Rng.t ->
   ?model:Distsim.Model.t ->
   ?selection:selection ->
+  ?sched:Distsim.Engine.sched ->
+  ?par:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result
 (** [model] defaults to CONGEST with the customary [O(log n)]-bit
     bandwidth; running under {!Distsim.Model.local} merely disables
     the bandwidth check; [selection] defaults to [Votes]. The returned
-    set always dominates the graph. [trace] (default
+    set always dominates the graph. [sched] and [par] select the
+    engine scheduler and the per-round domain count
+    ({!Distsim.Engine.run}); per-vertex random streams are split from
+    the seed before the engine runs, so results are bit-identical
+    across schedulers and any [par]. [trace] (default
     {!Distsim.Trace.null}) receives the engine's round and send events
-    plus one {!phase_names} [Phase] marker per round. *)
+    plus one global ([vertex = -1]) {!phase_names} [Phase] marker per
+    round. *)
 
 val is_dominating_set : Ugraph.t -> int list -> bool
 

@@ -135,15 +135,12 @@ let run ?rng ?seed ?max_iterations ?trace ?(sink = Distsim.Trace.null) spec =
   let two_hop_max (value : int -> float) =
     let one = Array.make n neg_infinity in
     for v = 0 to n - 1 do
-      let m = ref (value v) in
-      Array.iter (fun u -> m := max !m (value u)) (Ugraph.neighbors g v);
-      one.(v) <- !m
+      one.(v) <-
+        Ugraph.fold_neighbors (fun m u -> max m (value u)) g v (value v)
     done;
     let two = Array.make n neg_infinity in
     for v = 0 to n - 1 do
-      let m = ref one.(v) in
-      Array.iter (fun u -> m := max !m one.(u)) (Ugraph.neighbors g v);
-      two.(v) <- !m
+      two.(v) <- Ugraph.fold_neighbors (fun m u -> max m one.(u)) g v one.(v)
     done;
     two
   in

@@ -78,29 +78,43 @@ let measure ~n msg =
   | Rho _ | Max1_rho _ -> 4 + 65
 
 (* Names for the 12 protocol phases, for {!Distsim.Trace.Phase}
-   markers (one marker per engine round, stamped by the first vertex
-   stepped in it). *)
+   markers (one global marker per protocol round, derived from the
+   round number on the engine's merge thread via
+   {!Distsim.Trace.with_round_phases} — never from inside [step], so
+   phase emission is race-free under parallel stepping). *)
 let phase_names =
   [|
     "density"; "max1"; "candidate"; "vote"; "tally"; "accept"; "fresh";
     "rho"; "max1-rho"; "terminate"; "final"; "restart";
   |]
 
-let make_spec ~seed ~variant ~sink g =
+(* The phase schedule is a pure function of the (virtual) round. *)
+let phase_of_virtual vr =
+  if vr < warmup_rounds then "warmup"
+  else phase_names.((vr - warmup_rounds) mod rounds_per_iteration)
+
+(* LOCAL: engine round = protocol round; round 0 is initialization. *)
+let local_phases r = if r = 0 then None else Some (phase_of_virtual r, r)
+
+(* CONGEST compilation: the inner protocol advances only at real
+   rounds [r = chunks_per_round * vr, vr >= 1]; intermediate rounds
+   carry chunks of the current message and get no marker (exactly the
+   rounds the old in-step stamping skipped). *)
+let congest_phases ~chunks_per_round r =
+  if r > 0 && r mod chunks_per_round = 0 then
+    let vr = r / chunks_per_round in
+    Some (phase_of_virtual vr, vr)
+  else None
+
+(* Parallel-safety note (Engine [?par]): the spec below keeps every
+   piece of mutable state inside the per-vertex [vstate] record, and
+   its randomness is the pure [(seed, vertex, iteration)]-keyed
+   {!Randomness.vote_value} — no shared RNG, no cross-vertex writes —
+   so stepping vertices on concurrent domains is race-free by
+   construction. *)
+let make_spec ~seed ~variant g =
   let n = Ugraph.n g in
   let n4 = Randomness.vote_bound ~n in
-  let tracing = not (Distsim.Trace.is_null sink) in
-  let last_marked = ref (-1) in
-  let mark vertex round =
-    if tracing && !last_marked <> round then begin
-      last_marked := round;
-      let name =
-        if round < warmup_rounds then "warmup"
-        else phase_names.((round - warmup_rounds) mod rounds_per_iteration)
-      in
-      Distsim.Trace.emit sink (Distsim.Trace.Phase { vertex; name; round })
-    end
-  in
   let broadcast st payload =
     List.map (fun u -> { Distsim.Engine.dst = u; payload }) st.nbr_list
   in
@@ -266,7 +280,6 @@ let make_spec ~seed ~variant ~sink g =
         (st, broadcast st (Uncovered (uncovered_list st))));
     step =
       (fun ~round ~vertex st inbox ->
-        mark vertex round;
         if st.quiet then (st, [], `Done)
         else if round < warmup_rounds then begin
           if round = 1 then begin
@@ -554,35 +567,36 @@ let collect_result (states, metrics) =
   in
   { spanner = !spanner; iterations; metrics }
 
-let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?(trace = Distsim.Trace.null) g =
+let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
+    ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 200 * (n + 20)
   in
+  let trace = Distsim.Trace.with_round_phases local_phases trace in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ~trace ~model:Distsim.Model.local
-       ~graph:g
-       (make_spec ~seed ~variant:unweighted_variant ~sink:trace g))
+    (Distsim.Engine.run ~max_rounds ?sched ?par ~trace
+       ~model:Distsim.Model.local ~graph:g
+       (make_spec ~seed ~variant:unweighted_variant g))
 
 (* The weighted variant of Section 4.3.2, mirroring
    Weighted_two_spanner's engine configuration. The per-vertex
    termination floors 1/wmax (wmax over the closed 2-neighborhood) are
    static topology data, precomputed the way vertices' knowledge of
    their neighbors is. *)
-let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched
+let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
     ?(trace = Distsim.Trace.null) g w =
   let n = Ugraph.n g in
   let own = Array.make n 0.0 in
   for v = 0 to n - 1 do
-    Array.iter
-      (fun u -> own.(v) <- Float.max own.(v) (Weights.get w (Edge.make v u)))
-      (Ugraph.neighbors g v)
+    own.(v) <-
+      Ugraph.fold_neighbors
+        (fun acc u -> Float.max acc (Weights.get w (Edge.make v u)))
+        g v 0.0
   done;
   let hop a =
     Array.init n (fun v ->
-        Array.fold_left
-          (fun acc u -> Float.max acc a.(u))
-          a.(v) (Ugraph.neighbors g v))
+        Ugraph.fold_neighbors (fun acc u -> Float.max acc a.(u)) g v a.(v))
   in
   let wmax2 = hop (hop own) in
   let floor_of v = if wmax2.(v) > 0.0 then 1.0 /. wmax2.(v) else infinity in
@@ -597,10 +611,11 @@ let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched
   let max_rounds =
     match max_rounds with Some r -> r | None -> 400 * (n + 20)
   in
+  let trace = Distsim.Trace.with_round_phases local_phases trace in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ~trace ~model:Distsim.Model.local
-       ~graph:g
-       (make_spec ~seed ~variant ~sink:trace g))
+    (Distsim.Engine.run ~max_rounds ?sched ?par ~trace
+       ~model:Distsim.Model.local ~graph:g
+       (make_spec ~seed ~variant g))
 
 (* ------------------------------------------------------------------ *)
 (* CONGEST compilation: every protocol message is a short list of
@@ -668,7 +683,7 @@ let decode chunks =
   in
   (msg, [])
 
-let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched
+let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched ?par
     ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let delta = Ugraph.max_degree g in
@@ -685,7 +700,10 @@ let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched
   let id_bits = Distsim.Message.bits_for_id ~n:(max n 2) in
   let c = max 16 ((48 / id_bits) + 1) in
   let model = Distsim.Model.congest ~n:(max n 2) ~c () in
+  let trace =
+    Distsim.Trace.with_round_phases (congest_phases ~chunks_per_round) trace
+  in
   collect_result
-    (Distsim.Chunked.run ~max_rounds ?sched ~trace ~model ~graph:g
+    (Distsim.Chunked.run ~max_rounds ?sched ?par ~trace ~model ~graph:g
        ~chunks_per_round ~encode ~decode
-       (make_spec ~seed ~variant:unweighted_variant ~sink:trace g))
+       (make_spec ~seed ~variant:unweighted_variant g))

@@ -53,6 +53,7 @@ val run :
   ?seed:int ->
   ?max_rounds:int ->
   ?sched:Distsim.Engine.sched ->
+  ?par:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result
@@ -61,14 +62,20 @@ val run :
     always a valid 2-spanner. [sched] selects the engine scheduler
     (default [`Active]); the protocol is quiescent when done, so both
     schedulers produce bit-identical results — the equivalence suite
-    asserts it. [trace] (default {!Distsim.Trace.null}) receives the
-    engine's round and send events plus one {!phase_names} [Phase]
-    marker per round (warm-up rounds are marked ["warmup"]). *)
+    asserts it. [par] (default 1) steps each round on that many
+    domains ({!Distsim.Engine.run}); the protocol keeps all mutable
+    state per-vertex and draws votes from the pure
+    [(seed, vertex, iteration)]-keyed {!Randomness}, so any [par]
+    yields bit-identical results too. [trace] (default
+    {!Distsim.Trace.null}) receives the engine's round and send events
+    plus one global ([vertex = -1]) {!phase_names} [Phase] marker per
+    round (warm-up rounds are marked ["warmup"]). *)
 
 val run_weighted :
   ?seed:int ->
   ?max_rounds:int ->
   ?sched:Distsim.Engine.sched ->
+  ?par:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   Weights.t ->
@@ -85,6 +92,7 @@ val run_congest :
   ?max_rounds:int ->
   ?chunks_per_round:int ->
   ?sched:Distsim.Engine.sched ->
+  ?par:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result

@@ -15,15 +15,14 @@ let wmax_two_hop g w =
   let n = Ugraph.n g in
   let own = Array.make n 0.0 in
   for v = 0 to n - 1 do
-    Array.iter
-      (fun u -> own.(v) <- max own.(v) (Weights.get w (Edge.make v u)))
-      (Ugraph.neighbors g v)
+    own.(v) <-
+      Ugraph.fold_neighbors
+        (fun acc u -> max acc (Weights.get w (Edge.make v u)))
+        g v 0.0
   done;
   let hop array =
     Array.init n (fun v ->
-        Array.fold_left
-          (fun acc u -> max acc array.(u))
-          array.(v) (Ugraph.neighbors g v))
+        Ugraph.fold_neighbors (fun acc u -> max acc array.(u)) g v array.(v))
   in
   hop (hop own)
 

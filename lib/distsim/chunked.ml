@@ -11,7 +11,7 @@ type 's outer_state = {
   mutable inner_done : bool;
 }
 
-let run ?max_rounds ?strict ?trace ?sched ~model ~graph ~chunks_per_round
+let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
     ~encode ~decode spec =
   if chunks_per_round < 2 then
     invalid_arg "Chunked.run: chunks_per_round must be at least 2";
@@ -140,6 +140,6 @@ let run ?max_rounds ?strict ?trace ?sched ~model ~graph ~chunks_per_round
     }
   in
   let states, metrics =
-    Engine.run ?max_rounds ?strict ?trace ?sched ~model ~graph outer
+    Engine.run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph outer
   in
   (Array.map (fun st -> st.inner) states, metrics)

@@ -19,6 +19,7 @@ val run :
   ?strict:bool ->
   ?trace:Trace.sink ->
   ?sched:Engine.sched ->
+  ?par:int ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   chunks_per_round:int ->
@@ -31,4 +32,7 @@ val run :
     front of a chunk stream and returns the rest. Raises
     [Invalid_argument] if a message encodes to too many chunks. The
     returned metrics are the real (compiled) rounds and chunk
-    traffic. *)
+    traffic. [par] is forwarded to {!Engine.run} — the compiled outer
+    spec keeps all its mutable chunk queues and reassembly buffers
+    inside the per-vertex outer state, so it is parallel-safe whenever
+    the inner spec is. *)

@@ -224,10 +224,35 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
    algorithm is *quiescent when done* — a vertex that returned [`Done]
    and then steps on an empty inbox changes nothing and stays [`Done]
    (every spec in this repository satisfies this; the equivalence
-   suite checks it on the protocols that matter). *)
+   suite checks it on the protocols that matter).
+
+   With [par > 1] the per-round stepping fans out over a persistent
+   domain pool: the vertex range is cut into contiguous shards, each
+   shard steps its vertices and buffers [(vertex, outbox)] pairs
+   locally, and a serial merge then walks the shards in order —
+   i.e. in ascending vertex id — performing every side effect the
+   sequential loop would have performed, in the same order: message
+   delivery into the next bank (so inbox insertion order is
+   preserved), metric accumulation, congestion checks and trace [Send]
+   emission. The parallel phase writes only disjoint per-vertex slots
+   ([states], [done_flags], each vertex's own inbox buffer) plus
+   per-shard scratch, and the pool barrier publishes those writes, so
+   the result is bit-identical to the sequential loop for any shard
+   count. The only observable difference is on error paths: a strict
+   [Congest_violation] or a non-neighbor [Invalid_argument] is raised
+   at merge time, after the whole round has been stepped, rather than
+   mid-round. *)
 let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ~model ~graph spec =
+    ?(par = 1) ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
+  let par = max 1 (min par n) in
+  let pool = if par > 1 then Some (Pool.get par) else None in
+  (* Shard count actually used per round. *)
+  let k = match pool with None -> 1 | Some p -> min par (Pool.size p) in
+  (* Per-shard scratch, allocated once and reused every round. *)
+  let shard_out = Array.init k (fun _ -> buf_make ()) in
+  let shard_stepped = Array.make k 0 in
+  let shard_delta = Array.make k 0 in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 50 * (n + 5)
   in
@@ -284,37 +309,92 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     pending := 0;
     let bank = !cur in
     let stepped = ref 0 in
-    for v = 0 to n - 1 do
-      let b = bank.(v) in
-      if b.len > 0 || not done_flags.(v) then begin
-        incr stepped;
-        let inbox = buf_to_list b in
-        b.len <- 0;
-        let state, outbox, status = spec.step ~round:!round ~vertex:v
-            states.(v) inbox
-        in
-        states.(v) <- state;
-        (match status with
-        | `Done -> if not done_flags.(v) then begin
-            done_flags.(v) <- true;
-            decr not_done
+    (match pool with
+    | None ->
+        for v = 0 to n - 1 do
+          let b = bank.(v) in
+          if b.len > 0 || not done_flags.(v) then begin
+            incr stepped;
+            let inbox = buf_to_list b in
+            b.len <- 0;
+            let state, outbox, status = spec.step ~round:!round ~vertex:v
+                states.(v) inbox
+            in
+            states.(v) <- state;
+            (match status with
+            | `Done -> if not done_flags.(v) then begin
+                done_flags.(v) <- true;
+                decr not_done
+              end
+            | `Continue -> if done_flags.(v) then begin
+                done_flags.(v) <- false;
+                incr not_done
+              end);
+            account v outbox
           end
-        | `Continue -> if done_flags.(v) then begin
-            done_flags.(v) <- false;
-            incr not_done
-          end);
-        account v outbox
-      end
-    done;
+        done
+    | Some pool ->
+        let r = !round in
+        (* Parallel phase: step shards concurrently; touch only
+           disjoint per-vertex slots and per-shard scratch. *)
+        Pool.run pool ~shards:k ~n (fun ~lo ~hi ~shard ->
+            let out = shard_out.(shard) in
+            out.len <- 0;
+            let st = ref 0 in
+            let delta = ref 0 in
+            for v = lo to hi - 1 do
+              let b = bank.(v) in
+              if b.len > 0 || not done_flags.(v) then begin
+                incr st;
+                let inbox = buf_to_list b in
+                b.len <- 0;
+                let state, outbox, status =
+                  spec.step ~round:r ~vertex:v states.(v) inbox
+                in
+                states.(v) <- state;
+                (match status with
+                | `Done ->
+                    if not done_flags.(v) then begin
+                      done_flags.(v) <- true;
+                      decr delta
+                    end
+                | `Continue ->
+                    if done_flags.(v) then begin
+                      done_flags.(v) <- false;
+                      incr delta
+                    end);
+                (* [account v []] is a no-op, so empty outboxes can be
+                   skipped without changing anything observable. *)
+                if outbox <> [] then buf_push out (v, outbox)
+              end
+            done;
+            shard_stepped.(shard) <- !st;
+            shard_delta.(shard) <- !delta);
+        (* Serial merge, in ascending vertex id (shards are contiguous
+           ascending ranges): exactly the side-effect order of the
+           sequential loop. *)
+        for s = 0 to k - 1 do
+          stepped := !stepped + shard_stepped.(s);
+          not_done := !not_done + shard_delta.(s);
+          let out = shard_out.(s) in
+          for i = 0 to out.len - 1 do
+            let v, outbox = out.data.(i) in
+            account v outbox
+          done;
+          out.len <- 0
+        done);
     steps := !steps + !stepped;
     round_end t0 ~stepped:!stepped;
     if !not_done = 0 && !pending = 0 then finished := true
   done;
   (states, finish !round ~steps:!steps)
 
-let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ~model ~graph
-    spec =
+let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ~model
+    ~graph spec =
   match sched with
-  | `Naive -> run_naive ?max_rounds ?strict ?observer ?trace ~model ~graph spec
+  | `Naive ->
+      (* The reference path stays single-domain by design: it is the
+         thing the parallel path is diffed against. *)
+      run_naive ?max_rounds ?strict ?observer ?trace ~model ~graph spec
   | `Active ->
-      run_active ?max_rounds ?strict ?observer ?trace ~model ~graph spec
+      run_active ?max_rounds ?strict ?observer ?trace ?par ~model ~graph spec

@@ -66,6 +66,7 @@ val run :
   ?observer:(src:int -> dst:int -> bits:int -> unit) ->
   ?trace:Trace.sink ->
   ?sched:sched ->
+  ?par:int ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   ('state, 'msg) spec ->
@@ -83,4 +84,25 @@ val run :
     merely counting it. [sched] picks the scheduling strategy (default
     [`Active]). Sending to a non-neighbor raises [Invalid_argument].
     [max_rounds] defaults to [50 * (n + 5)]. Raises [Failure] if the
-    round limit is hit before global termination. *)
+    round limit is hit before global termination.
+
+    [par] (default 1) is the number of domains used to step each
+    round under [`Active]: the vertex range is partitioned into
+    contiguous shards, shards are stepped concurrently on a persistent
+    {!Pool} with per-shard outbox buffers, and a serial merge then
+    replays every side effect — message delivery, metric updates,
+    congestion checks, trace [Send] events — in ascending vertex id,
+    i.e. in exactly the sequential order. The result (states, spanner
+    outputs, all metrics including [steps], and the full trace event
+    stream) is therefore {e bit-identical} to [par = 1] for any value
+    of [par]; see [test/test_engine_sched.ml]. Requirements on the
+    spec under [par > 1]: [step] must touch no mutable state shared
+    between vertices (per-vertex state records and per-vertex RNG
+    streams are fine; every spec in this repository qualifies — see
+    the randomness notes in the protocol modules). Trace sinks need no
+    synchronization: all emission happens on the calling domain.
+    Error-path caveat: under [par > 1], strict {!Congest_violation}
+    and non-neighbor [Invalid_argument] are raised at merge time,
+    after the full round has been stepped. [round 0] (initialization)
+    always runs sequentially. [`Naive] ignores [par]: it is the
+    single-domain reference the parallel path is tested against. *)

@@ -1,0 +1,154 @@
+(* A persistent domain pool: spawn once, barrier per use.
+
+   The protocol benchmarks run hundreds of thousands of engine rounds
+   per second, so the pool is built so that a parallel round costs two
+   condition broadcasts, not a [Domain.spawn] (~250us each). Workers
+   sleep on [start] until the generation counter moves, execute their
+   shard of the published job, and decrement [remaining]; the caller
+   runs shard 0 itself and then sleeps on [finished] until
+   [remaining] hits zero. That mutex-protected rendezvous is also the
+   memory barrier that publishes each shard's writes to the caller. *)
+
+type job = {
+  f : lo:int -> hi:int -> shard:int -> unit;
+  n : int;
+  shards : int;
+}
+
+type t = {
+  total : int;  (* workers + the calling domain *)
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  start : Condition.t;  (* a new job was published (or shutdown) *)
+  finished : Condition.t;  (* a worker finished its part *)
+  mutable job : job option;
+  mutable generation : int;  (* bumped when a job is published *)
+  mutable remaining : int;  (* workers yet to finish the current job *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stopped : bool;
+}
+
+let size t = t.total
+
+(* Contiguous slice [s] of [0, n) split into [shards] near-equal
+   parts. *)
+let bounds n shards s = (s * n / shards, (s + 1) * n / shards)
+
+let exec t job shard =
+  let lo, hi = bounds job.n job.shards shard in
+  try job.f ~lo ~hi ~shard
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Mutex.lock t.m;
+    (match t.failure with
+    | None -> t.failure <- Some (e, bt)
+    | Some _ -> ());
+    Mutex.unlock t.m
+
+let worker t w () =
+  let gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while (not t.stopped) && t.generation = !gen do
+      Condition.wait t.start t.m
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      gen := t.generation;
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.m;
+      (* Workers past the shard count still participate in the
+         barrier; they just have no slice to run. *)
+      if w < job.shards then exec t job w;
+      Mutex.lock t.m;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.m
+    end
+  done
+
+let create d =
+  let total = max 1 d in
+  let t =
+    {
+      total;
+      workers = [||];
+      m = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      failure = None;
+      stopped = false;
+    }
+  in
+  t.workers <- Array.init (total - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let run t ~shards ~n f =
+  let shards = max 1 (min shards (min t.total (max 1 n))) in
+  if shards <= 1 || Array.length t.workers = 0 then f ~lo:0 ~hi:n ~shard:0
+  else begin
+    let job = { f; n; shards } in
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.failure <- None;
+    t.remaining <- Array.length t.workers;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.m;
+    (* The calling domain is shard 0. *)
+    exec t job 0;
+    Mutex.lock t.m;
+    while t.remaining > 0 do
+      Condition.wait t.finished t.m
+    done;
+    let failure = t.failure in
+    t.job <- None;
+    t.failure <- None;
+    Mutex.unlock t.m;
+    match failure with
+    | None -> ()
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  let ws = t.workers in
+  t.workers <- [||];
+  t.stopped <- true;
+  Condition.broadcast t.start;
+  Mutex.unlock t.m;
+  Array.iter Domain.join ws
+
+(* ------------------------------------------------------------------ *)
+(* The process-global pool the engine reaches for. Grown (never
+   shrunk) on demand; joined at exit so the runtime shuts down
+   cleanly. *)
+
+let global = ref None
+let exit_hooked = ref false
+
+let get d =
+  let d = max 1 d in
+  match !global with
+  | Some t when t.total >= d -> t
+  | prev ->
+      (match prev with Some t -> shutdown t | None -> ());
+      let t = create d in
+      global := Some t;
+      if not !exit_hooked then begin
+        exit_hooked := true;
+        at_exit (fun () ->
+            match !global with
+            | Some t ->
+                global := None;
+                shutdown t
+            | None -> ())
+      end;
+      t

@@ -1,0 +1,53 @@
+(** A persistent pool of worker domains for data-parallel loops.
+
+    The round engine's inner loop is embarrassingly parallel within a
+    round — each vertex reads only its own state and inbox — but
+    spawning domains is far too expensive to do per round (about a
+    quarter of a millisecond each, against rounds that often finish in
+    microseconds). This pool spawns its workers {e once} and then
+    hands them index ranges through a mutex/condition barrier, so the
+    steady-state cost of a parallel round is two broadcasts and a few
+    cache-line bounces, not a [Domain.spawn].
+
+    Built on stdlib [Domain] / [Mutex] / [Condition] only; no
+    dependencies beyond what OCaml 5 ships. *)
+
+type t
+
+val create : int -> t
+(** [create d] spawns [d - 1] worker domains (the caller's domain is
+    the [d]-th worker during {!run}), for a total parallelism of
+    [max 1 d]. *)
+
+val size : t -> int
+(** Total parallelism: the number of shards {!run} can execute
+    concurrently, including the calling domain. *)
+
+val run : t -> shards:int -> n:int -> (lo:int -> hi:int -> shard:int -> unit) -> unit
+(** [run pool ~shards ~n f] splits the index range [0, n) into
+    [shards] contiguous slices ([shards] is clamped to
+    [1 .. size pool]) and executes [f ~lo ~hi ~shard] for each slice
+    [\[lo, hi)] concurrently — shard 0 on the calling domain, the rest
+    on pool workers. Returns only once every shard has finished (a
+    full barrier). If any shard raises, the exception is re-raised in
+    the caller after the barrier (if several raise, one of them is
+    reported). With [shards <= 1] the body runs inline on the calling
+    domain with no synchronization at all.
+
+    The body must confine its writes to disjoint data per shard;
+    the barrier provides the happens-before edge that makes each
+    shard's writes visible to the caller afterwards. Not reentrant:
+    [f] must not call {!run} on the same pool. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val get : int -> t
+(** [get d] returns a process-global pool of total parallelism at
+    least [d], creating or growing it on first need and registering an
+    [at_exit] that joins the workers. Repeated calls with
+    non-increasing [d] reuse the same pool, so the engine can say
+    [Pool.get par] on every run without respawning anything. Not
+    thread-safe against concurrent [get] from multiple domains (the
+    engine only calls it from the main domain). *)

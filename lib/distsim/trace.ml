@@ -47,6 +47,32 @@ let tee a b =
               b.emit ev);
         }
 
+(* Round-driven phase stamping. Protocols used to emit [Phase] markers
+   from inside [spec.step], deduplicated through a shared mutable
+   cell — fine sequentially, a data race once rounds step vertices on
+   several domains. Deriving the marker from [Round_begin] instead
+   keeps all emission on the engine's merge thread and is equivalent:
+   every executed round steps at least one vertex (otherwise the
+   engine would have terminated), so "first stepped vertex of round r"
+   and "round r began" mark the same rounds. *)
+let with_round_phases f = function
+  | Null -> Null
+  | Sink { emit; sends } ->
+      Sink
+        {
+          sends;
+          emit =
+            (fun ev ->
+              emit ev;
+              match ev with
+              | Round_begin r -> (
+                  match f r with
+                  | Some (name, round) ->
+                      emit (Phase { vertex = -1; name; round })
+                  | None -> ())
+              | _ -> ());
+        }
+
 (* ------------------------------------------------------------------ *)
 (* In-memory per-round statistics. *)
 

@@ -81,6 +81,18 @@ val of_observer : (src:int -> dst:int -> bits:int -> unit) -> sink
 val tee : sink -> sink -> sink
 (** Duplicates every event into both sinks. [tee null s == s]. *)
 
+val with_round_phases : (int -> (string * int) option) -> sink -> sink
+(** [with_round_phases f sink] forwards every event to [sink] and,
+    immediately after forwarding [Round_begin r], consults [f r]; when
+    it answers [Some (name, round)] a global phase marker
+    [Phase { vertex = -1; name; round }] is emitted ([round] lets
+    chunked protocols stamp the {e virtual} round). This is how the
+    protocols mark their phase schedule: the marker derives from the
+    engine round on the merge thread, never from inside [spec.step],
+    so phase emission is race-free under the parallel stepping path
+    and identical across schedulers and shard counts.
+    [with_round_phases f null == null]. *)
+
 (** {1 In-memory per-round statistics} *)
 
 type series = {

@@ -72,6 +72,27 @@ let out_neighbors g u = g.out_adj.(u)
 let in_neighbors g u = g.in_adj.(u)
 let undirected_neighbors g u = g.und_adj.(u)
 
+(* Direct loops over the adjacency rows, mirroring
+   [Ugraph.iter_neighbors]/[fold_neighbors]. *)
+let iter_row f a =
+  for i = 0 to Array.length a - 1 do
+    f a.(i)
+  done
+
+let fold_row f a init =
+  let acc = ref init in
+  for i = 0 to Array.length a - 1 do
+    acc := f !acc a.(i)
+  done;
+  !acc
+
+let iter_out_neighbors f g u = iter_row f g.out_adj.(u)
+let iter_in_neighbors f g u = iter_row f g.in_adj.(u)
+let iter_undirected_neighbors f g u = iter_row f g.und_adj.(u)
+let fold_out_neighbors f g u init = fold_row f g.out_adj.(u) init
+let fold_in_neighbors f g u init = fold_row f g.in_adj.(u) init
+let fold_undirected_neighbors f g u init = fold_row f g.und_adj.(u) init
+
 let mem_edge g u v =
   if u = v then false
   else

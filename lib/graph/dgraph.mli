@@ -29,6 +29,18 @@ val in_neighbors : t -> int -> int array
 val undirected_neighbors : t -> int -> int array
 (** Sorted, deduplicated union of in- and out-neighbors. *)
 
+val iter_out_neighbors : (int -> unit) -> t -> int -> unit
+val iter_in_neighbors : (int -> unit) -> t -> int -> unit
+
+val iter_undirected_neighbors : (int -> unit) -> t -> int -> unit
+(** Direct loops over the respective adjacency rows in ascending
+    order, mirroring {!Ugraph.iter_neighbors}: nothing escapes, no
+    per-element row re-fetch. *)
+
+val fold_out_neighbors : ('a -> int -> 'a) -> t -> int -> 'a -> 'a
+val fold_in_neighbors : ('a -> int -> 'a) -> t -> int -> 'a -> 'a
+val fold_undirected_neighbors : ('a -> int -> 'a) -> t -> int -> 'a -> 'a
+
 val mem_edge : t -> int -> int -> bool
 (** [mem_edge g u v] tests for the directed edge [u -> v]. *)
 

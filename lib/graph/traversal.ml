@@ -15,7 +15,7 @@ let bfs_generic ~n ~neighbors s =
 
 let bfs_distances g s =
   bfs_generic ~n:(Ugraph.n g)
-    ~neighbors:(fun u f -> Array.iter f (Ugraph.neighbors g u))
+    ~neighbors:(fun u f -> Ugraph.iter_neighbors f g u)
     s
 
 let distance g u v = (bfs_distances g u).(v)
@@ -41,13 +41,13 @@ let components g =
       Queue.add s q;
       while not (Queue.is_empty q) do
         let u = Queue.pop q in
-        Array.iter
+        Ugraph.iter_neighbors
           (fun v ->
             if comp.(v) = -1 then begin
               comp.(v) <- id;
               Queue.add v q
             end)
-          (Ugraph.neighbors g u)
+          g u
       done
     end
   done;
@@ -93,7 +93,7 @@ let girth g =
     Queue.add s q;
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
-      Array.iter
+      Ugraph.iter_neighbors
         (fun v ->
           if dist.(v) = max_int then begin
             dist.(v) <- dist.(u) + 1;
@@ -102,7 +102,7 @@ let girth g =
           end
           else if v <> parent.(u) && dist.(u) + dist.(v) + 1 < !best then
             best := dist.(u) + dist.(v) + 1)
-        (Ugraph.neighbors g u)
+        g u
     done
   done;
   !best
@@ -158,5 +158,5 @@ let directed_set_distance_within ~n set u v ~bound =
 
 let directed_bfs_distances g s =
   bfs_generic ~n:(Dgraph.n g)
-    ~neighbors:(fun u f -> Array.iter f (Dgraph.out_neighbors g u))
+    ~neighbors:(fun u f -> Dgraph.iter_out_neighbors f g u)
     s

@@ -44,6 +44,22 @@ let max_degree g =
 
 let neighbors g u = g.adj.(u)
 
+(* Direct loops over the adjacency row: no array value escapes, so hot
+   paths neither alias nor re-fetch [adj.(u)] per element. *)
+let iter_neighbors f g u =
+  let a = g.adj.(u) in
+  for i = 0 to Array.length a - 1 do
+    f a.(i)
+  done
+
+let fold_neighbors f g u init =
+  let a = g.adj.(u) in
+  let acc = ref init in
+  for i = 0 to Array.length a - 1 do
+    acc := f !acc a.(i)
+  done;
+  !acc
+
 let mem_edge g u v =
   if u = v then false
   else begin

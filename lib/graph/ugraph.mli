@@ -29,6 +29,16 @@ val max_degree : t -> int
 val neighbors : t -> int -> int array
 (** Sorted array of neighbors. The returned array must not be mutated. *)
 
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+(** [iter_neighbors f g u] applies [f] to each neighbor of [u] in
+    ascending order. The hot-path alternative to indexing
+    {!neighbors} in a loop: no array value escapes and the adjacency
+    row is fetched once. *)
+
+val fold_neighbors : ('a -> int -> 'a) -> t -> int -> 'a -> 'a
+(** [fold_neighbors f g u init] folds [f] over the neighbors of [u]
+    in ascending order. *)
+
 val mem_edge : t -> int -> int -> bool
 val edges : t -> Edge.t list
 val edge_set : t -> Edge.Set.t

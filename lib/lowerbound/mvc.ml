@@ -27,10 +27,10 @@ let greedy g =
   let n = Ugraph.n g in
   let covered = Hashtbl.create 64 in
   let uncovered_degree v =
-    Array.fold_left
+    Ugraph.fold_neighbors
       (fun acc u ->
         if Hashtbl.mem covered (Edge.make v u) then acc else acc + 1)
-      0 (Ugraph.neighbors g v)
+      g v 0
   in
   let remaining = ref (Ugraph.m g) in
   let cover = ref [] in
@@ -45,13 +45,13 @@ let greedy g =
     done;
     let v = !best in
     cover := v :: !cover;
-    Array.iter
+    Ugraph.iter_neighbors
       (fun u ->
         let e = Edge.make v u in
         if not (Hashtbl.mem covered e) then begin
           Hashtbl.replace covered e ();
           decr remaining
         end)
-      (Ugraph.neighbors g v)
+      g v
   done;
   List.sort compare !cover

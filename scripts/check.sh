@@ -3,9 +3,11 @@
 #   - full build
 #   - the unit/integration/property suites
 #   - a bench smoke run exercising the --json perf-trajectory and
-#     --trace event-stream paths
+#     --trace event-stream paths, plus the --par 2 seq-vs-par A/B path
 #   - a tiny spanner_cli trace run (its exit status asserts that the
-#     per-round series reconciles with the engine metrics)
+#     per-round series reconciles with the engine metrics), run both
+#     sequentially and with --par 2: the two reports must be
+#     byte-identical (the round engine's determinism contract)
 # Run from the repository root: scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -13,12 +15,21 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
+dune exec bench/main.exe -- e13 --par 2 --json /dev/null
 
 tmpgraph=$(mktemp)
-trap 'rm -f "$tmpgraph"' EXIT
+seqrep=$(mktemp)
+parrep=$(mktemp)
+trap 'rm -f "$tmpgraph" "$seqrep" "$parrep"' EXIT
 dune exec bin/spanner_cli.exe -- generate --family caveman -n 24 --seed 1 \
   "$tmpgraph" > /dev/null
+# Both runs must reconcile (exit 0) and agree byte for byte: the trace
+# report contains no wall-clock columns, so any divergence is a real
+# determinism break in the parallel stepping path.
 dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
-  --jsonl /dev/null > /dev/null
+  --jsonl /dev/null > "$seqrep"
+dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
+  --par 2 --jsonl /dev/null > "$parrep"
+diff "$seqrep" "$parrep"
 
 echo "check.sh: all green"

@@ -214,6 +214,203 @@ let test_observer_vs_send_sink () =
       ("gnp_40", Generators.gnp_connected (rng 13) 40 0.15);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel stepping must be *bit-identical* to the sequential
+   [`Active] path: the shards only write disjoint per-vertex slots and
+   the merge replays every side effect in ascending vertex id, so this
+   is an equality on everything — final states, spanner edge sets, all
+   metrics including [steps], and the full Stats-sink round series.
+   The one field legitimately allowed to differ is [elapsed_ns]
+   (wall-clock time inside the round). *)
+
+let pars = [ 1; 2; 4 ]
+
+let check_steps_eq name (a : Distsim.Engine.metrics)
+    (b : Distsim.Engine.metrics) =
+  check_metrics name a b;
+  check_int (name ^ " steps") a.steps b.steps
+
+let check_series name (a : Distsim.Trace.series) (b : Distsim.Trace.series) =
+  check_int
+    (name ^ " series length")
+    (Array.length a.rounds)
+    (Array.length b.rounds);
+  Array.iteri
+    (fun i (ra : Distsim.Trace.round_stat) ->
+      let rb = b.rounds.(i) in
+      let lab = Printf.sprintf "%s round %d" name i in
+      check_int (lab ^ " round") ra.round rb.round;
+      check_int (lab ^ " messages") ra.messages rb.messages;
+      check_int (lab ^ " bits") ra.bits rb.bits;
+      check_int (lab ^ " max_bits") ra.max_bits rb.max_bits;
+      check_int (lab ^ " stepped") ra.vertices_stepped rb.vertices_stepped;
+      check_int (lab ^ " done") ra.vertices_done rb.vertices_done;
+      check_int (lab ^ " violations") ra.congest_violations
+        rb.congest_violations
+      (* [elapsed_ns] is wall-clock and excluded by design. *))
+    a.rounds;
+  check (name ^ " phases") true (a.phases = b.phases);
+  check (name ^ " counters") true (a.counters = b.counters)
+
+(* Run [f] with a fresh stats sink; return the result and the series. *)
+let with_stats f =
+  let st = Distsim.Trace.stats () in
+  let r = f (Distsim.Trace.stats_sink st) in
+  (r, Distsim.Trace.series st)
+
+let check_protocol_par name base bs (r : C.Two_spanner_local.result) s =
+  let b : C.Two_spanner_local.result = base in
+  check (name ^ " spanner") true (Edge.Set.equal b.spanner r.spanner);
+  check_int (name ^ " iterations") b.iterations r.iterations;
+  check_steps_eq name b.metrics r.metrics;
+  check_series name bs s
+
+let test_par_local_matrix () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun seed ->
+          let g = make seed in
+          let base, bs =
+            with_stats (fun sink ->
+                C.Two_spanner_local.run ~seed ~trace:sink g)
+          in
+          List.iter
+            (fun par ->
+              let label = Printf.sprintf "par%d:%s/seed=%d" par name seed in
+              let r, s =
+                with_stats (fun sink ->
+                    C.Two_spanner_local.run ~seed ~par ~trace:sink g)
+              in
+              check_protocol_par label base bs r s)
+            pars)
+        seeds)
+    families
+
+let test_par_congest_matrix () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun seed ->
+          let g = make seed in
+          let base, bs =
+            with_stats (fun sink ->
+                C.Two_spanner_local.run_congest ~seed ~trace:sink g)
+          in
+          List.iter
+            (fun par ->
+              let label =
+                Printf.sprintf "par%d:congest:%s/seed=%d" par name seed
+              in
+              let r, s =
+                with_stats (fun sink ->
+                    C.Two_spanner_local.run_congest ~seed ~par ~trace:sink g)
+              in
+              check_protocol_par label base bs r s)
+            pars)
+        [ 0; 5 ])
+    [
+      ("K10", fun _ -> Generators.complete 10);
+      ("caveman", fun s -> Generators.caveman (rng (s + 1)) 4 6 0.05);
+      ("gnp_30", fun s -> Generators.gnp_connected (rng (s + 2)) 30 0.2);
+      ("grid_5x5", fun _ -> Generators.grid 5 5);
+    ]
+
+let test_par_weighted_matrix () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun seed ->
+          let g = make seed in
+          let w =
+            Generators.random_weights_with_zeros (rng (seed + 7)) g
+              ~zero_fraction:0.2 ~max_weight:8
+          in
+          let base, bs =
+            with_stats (fun sink ->
+                C.Two_spanner_local.run_weighted ~seed ~trace:sink g w)
+          in
+          List.iter
+            (fun par ->
+              let label =
+                Printf.sprintf "par%d:weighted:%s/seed=%d" par name seed
+              in
+              let r, s =
+                with_stats (fun sink ->
+                    C.Two_spanner_local.run_weighted ~seed ~par ~trace:sink g w)
+              in
+              check_protocol_par label base bs r s)
+            pars)
+        [ 2; 9 ])
+    [
+      ("caveman", fun s -> Generators.caveman (rng (s + 3)) 4 5 0.05);
+      ("gnp_40", fun s -> Generators.gnp_connected (rng (s + 4)) 40 0.2);
+    ]
+
+let test_par_mds () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun seed ->
+          let g = make seed in
+          let base, bs =
+            with_stats (fun sink ->
+                C.Mds.run ~rng:(rng seed) ~trace:sink g)
+          in
+          List.iter
+            (fun par ->
+              let label = Printf.sprintf "par%d:mds:%s/seed=%d" par name seed in
+              let r, s =
+                with_stats (fun sink ->
+                    C.Mds.run ~rng:(rng seed) ~par ~trace:sink g)
+              in
+              let b : C.Mds.result = base in
+              check (label ^ " dominating set") true
+                (b.dominating_set = r.dominating_set);
+              check_int (label ^ " iterations") b.iterations r.iterations;
+              check_steps_eq label b.metrics r.metrics;
+              check_series label bs s)
+            pars)
+        [ 0; 5 ])
+    [
+      ("K10", fun _ -> Generators.complete 10);
+      ("caveman", fun s -> Generators.caveman (rng (s + 1)) 4 6 0.05);
+      ("gnp_40", fun s -> Generators.gnp_connected (rng (s + 6)) 40 0.15);
+      ("star_25", fun _ -> Generators.star 25);
+    ]
+
+let test_par_flood () =
+  List.iter
+    (fun (name, g) ->
+      let run ?par sink =
+        Distsim.Engine.run ?par ~trace:sink ~model:Distsim.Model.local
+          ~graph:g (flood_spec g)
+      in
+      let (sa, ma), bs = with_stats (fun sink -> run sink) in
+      List.iter
+        (fun par ->
+          let label = Printf.sprintf "par%d:%s" par name in
+          let (sp, mp), s = with_stats (fun sink -> run ~par sink) in
+          check (label ^ " minima") true
+            (Array.for_all2 (fun a b -> a.best = b.best) sa sp);
+          check_steps_eq label ma mp;
+          check_series label bs s)
+        pars;
+      (* Degenerate shard counts: more domains than vertices, and the
+         untraced fast path. *)
+      let sp, mp =
+        Distsim.Engine.run ~par:64 ~model:Distsim.Model.local ~graph:g
+          (flood_spec g)
+      in
+      check (name ^ " par=64 minima") true
+        (Array.for_all2 (fun a b -> a.best = b.best) sa sp);
+      check_steps_eq (name ^ " par=64") ma mp)
+    [
+      ("path_30", Generators.path 30);
+      ("star_20", Generators.star 20);
+      ("gnp_50", Generators.gnp_connected (rng 8) 50 0.1);
+    ]
+
 (* Degenerate graphs: the engine must terminate immediately with no
    traffic under both schedulers. *)
 let test_empty_and_singleton () =
@@ -257,6 +454,14 @@ let () =
           Alcotest.test_case "flood min" `Quick test_flood_min_both_scheds;
           Alcotest.test_case "observer vs send sink" `Quick
             test_observer_vs_send_sink;
+        ] );
+      ( "parallel determinism",
+        [
+          Alcotest.test_case "local matrix" `Quick test_par_local_matrix;
+          Alcotest.test_case "congest matrix" `Quick test_par_congest_matrix;
+          Alcotest.test_case "weighted matrix" `Quick test_par_weighted_matrix;
+          Alcotest.test_case "mds" `Quick test_par_mds;
+          Alcotest.test_case "flood" `Quick test_par_flood;
         ] );
       ( "degenerate",
         [
