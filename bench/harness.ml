@@ -1,7 +1,7 @@
 (* Shared plumbing for the bench executable: report formatting, the
    graph families and protocol anchors the perf trajectory tracks
    across PRs, wall-clock timing helpers, and the --json/--trace
-   writer (schema "spanner-bench/3").
+   writer (schema "spanner-bench/4").
 
    The experiment functions themselves live in main.ml; everything
    here is the scaffolding they share so that adding an experiment
@@ -66,11 +66,11 @@ let seq_vs_par_anchors () =
       Generators.caveman (rng 24) 6 6 0.04 );
   ]
 
-let run_anchor ?(trace = Distsim.Trace.null) ?par kind g :
+let run_anchor ?(trace = Distsim.Trace.null) ?par ?sched kind g :
     C.Two_spanner_local.result =
   match kind with
-  | `Local -> C.Two_spanner_local.run ~seed:3 ?par ~trace g
-  | `Congest -> C.Two_spanner_local.run_congest ~seed:3 ?par ~trace g
+  | `Local -> C.Two_spanner_local.run ~seed:3 ?par ?sched ~trace g
+  | `Congest -> C.Two_spanner_local.run_congest ~seed:3 ?par ?sched ~trace g
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock timing. *)
@@ -184,7 +184,9 @@ let seq_vs_par_rows ~par ~reps ~selected =
           Edge.Set.equal seq.C.Two_spanner_local.spanner
             prl.C.Two_spanner_local.spanner
           && seq.iterations = prl.iterations
-          && seq.metrics = prl.metrics
+          (* GC-pressure floats vary per run and per domain count;
+             equality is stated on the deterministic fields. *)
+          && Distsim.Engine.metrics_deterministic_eq seq.metrics prl.metrics
         in
         let seq_ms, par_ms =
           interleaved_ab_ms ~reps
@@ -205,6 +207,72 @@ let seq_vs_par_rows ~par ~reps ~selected =
             ] )
       end)
     (seq_vs_par_anchors ())
+
+(* ------------------------------------------------------------------ *)
+(* Allocation A/B rows (schema "spanner-bench/4").
+
+   For the E1 families and every protocol anchor, run the protocol
+   under the mailbox engine and under the legacy-cost shim
+   ([`Active_legacy_cost]): the same event-driven scheduler with the
+   pre-mailbox per-message allocation profile (list inbox + sorted
+   copy per step, send-record list per emit batch) interposed. The
+   deterministic metrics are asserted equal, so the row isolates the
+   cost of the message plumbing: minor words and allocated bytes per
+   run from [Engine.metrics], and interleaved best wall times. *)
+let alloc_rows ~reps ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  let entries =
+    (if not (sel "e1") then []
+     else
+       List.map
+         (fun (name, g) ->
+           ( "e1_local_" ^ name,
+             g,
+             fun ?sched () -> C.Two_spanner_local.run ~seed:5 ?sched g ))
+         (ratio_families ()))
+    @ List.filter_map
+        (fun (name, family, kind, g) ->
+          if not (sel family) then None
+          else Some (name, g, fun ?sched () -> run_anchor ?sched kind g))
+        (anchors ())
+  in
+  List.map
+    (fun
+      ( name,
+        g,
+        (run :
+          ?sched:Distsim.Engine.sched -> unit -> C.Two_spanner_local.result)
+      )
+    ->
+      let a = run () in
+      let b = run ~sched:`Active_legacy_cost () in
+      if not (Distsim.Engine.metrics_deterministic_eq a.metrics b.metrics)
+      then
+        failwith
+          (Printf.sprintf
+             "alloc A/B: legacy-cost shim diverged on %s (deterministic \
+              metrics differ)"
+             name);
+      let mailbox_ms, legacy_ms =
+        interleaved_ab_ms ~reps
+          (fun () -> ignore (run ()))
+          (fun () -> ignore (run ~sched:`Active_legacy_cost ()))
+      in
+      ( name,
+        [
+          ("n", float_of_int (Ugraph.n g));
+          ("m", float_of_int (Ugraph.m g));
+          ("minor_words", a.metrics.minor_words);
+          ("allocated_bytes", a.metrics.allocated_bytes);
+          ("legacy_minor_words", b.metrics.minor_words);
+          ("legacy_allocated_bytes", b.metrics.allocated_bytes);
+          ( "minor_words_ratio",
+            b.metrics.minor_words /. Float.max 1.0 a.metrics.minor_words );
+          ("mailbox_ms_best", mailbox_ms);
+          ("legacy_ms_best", legacy_ms);
+          ("speedup_vs_legacy", legacy_ms /. Float.max 1e-9 mailbox_ms);
+        ] ))
+    entries
 
 (* ------------------------------------------------------------------ *)
 (* Perf trajectory (--json FILE): a machine-readable snapshot of the
@@ -309,6 +377,9 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
   let sv_rows =
     if json_path = None then [] else seq_vs_par_rows ~par ~reps:3 ~selected
   in
+  let al_rows =
+    if json_path = None then [] else alloc_rows ~reps:3 ~selected
+  in
   (match json_path with
   | None -> ()
   | Some path ->
@@ -329,7 +400,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
         else Printf.sprintf "%.3f" v
       in
       out "{\n";
-      out "  \"schema\": \"spanner-bench/3\",\n";
+      out "  \"schema\": \"spanner-bench/4\",\n";
       out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
         (Domain.recommended_domain_count ());
       out "  \"micro_ns_per_run\": {\n";
@@ -354,6 +425,18 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
             fields;
           out " }")
         sv_rows;
+      out "\n  },\n";
+      out "  \"alloc\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %s" k (num v))
+            fields;
+          out " }")
+        al_rows;
       out "\n  },\n";
       out "  \"round_series\": {\n";
       sep
@@ -387,11 +470,11 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
       close_out oc;
       printf
         "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
-         seq-vs-par anchors at %d domains)\n"
+         seq-vs-par anchors at %d domains, %d alloc rows)\n"
         path
         (List.length metric_rows)
         (match micro_rows with None -> 0 | Some rows -> List.length rows)
-        (List.length sv_rows) par);
+        (List.length sv_rows) par (List.length al_rows));
   match trace_path with
   | Some path ->
       printf "event trace (JSON Lines) written to %s (%d runs)\n" path

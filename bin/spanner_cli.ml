@@ -86,11 +86,19 @@ let sched_conv : Distsim.Engine.sched Arg.conv =
   let parse = function
     | "active" -> Ok `Active
     | "naive" -> Ok `Naive
-    | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S (active|naive)" s))
+    | "legacy-cost" -> Ok `Active_legacy_cost
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scheduler %S (active|naive|legacy-cost)"
+               s))
   in
   let print ppf s =
     Format.pp_print_string ppf
-      (match s with `Active -> "active" | `Naive -> "naive")
+      (match s with
+      | `Active -> "active"
+      | `Naive -> "naive"
+      | `Active_legacy_cost -> "legacy-cost")
   in
   Arg.conv (parse, print)
 
@@ -260,7 +268,7 @@ let mds_cmd =
 
 module T = Distsim.Trace
 
-let trace file algorithm seed sched par jsonl_file weights_file limit =
+let trace file algorithm seed sched par jsonl_file weights_file limit gc =
   let g = load_graph file in
   let st = T.stats () in
   let jsonl_oc = Option.map open_out jsonl_file in
@@ -307,11 +315,18 @@ let trace file algorithm seed sched par jsonl_file weights_file limit =
   let s = T.series st in
   let rows = s.T.rounds in
   let total = Array.length rows in
-  Printf.printf "%6s %9s %10s %9s %8s %6s %6s\n" "round" "msgs" "bits"
-    "max-bits" "stepped" "done" "viol";
+  (* [--gc] appends a minor-words column; off by default because GC
+     pressure is per-run/per-domain noise, and the default output must
+     stay byte-identical between seq and --par runs (scripts/check.sh
+     diffs them). *)
+  Printf.printf "%6s %9s %10s %9s %8s %6s %6s%s\n" "round" "msgs" "bits"
+    "max-bits" "stepped" "done" "viol"
+    (if gc then "   minor-w" else "");
   let print_row (r : T.round_stat) =
-    Printf.printf "%6d %9d %10d %9d %8d %6d %6d\n" r.round r.messages r.bits
-      r.max_bits r.vertices_stepped r.vertices_done r.congest_violations
+    Printf.printf "%6d %9d %10d %9d %8d %6d %6d" r.round r.messages r.bits
+      r.max_bits r.vertices_stepped r.vertices_done r.congest_violations;
+    if gc then Printf.printf " %9d" r.minor_words;
+    print_newline ()
   in
   let limit = max 2 limit in
   if total <= limit then Array.iter print_row rows
@@ -345,6 +360,10 @@ let trace file algorithm seed sched par jsonl_file weights_file limit =
     && total = metrics.rounds + 1
   in
   steps_line metrics ~n:(Ugraph.n g);
+  if gc then
+    Printf.printf "gc: minor_words=%.0f allocated_bytes=%.0f\n"
+      metrics.Distsim.Engine.minor_words
+      metrics.Distsim.Engine.allocated_bytes;
   Printf.printf
     "reconcile: rounds=%d messages=%d bits=%d steps=%d — %s the engine metrics\n"
     metrics.rounds msgs bits stepped
@@ -368,6 +387,14 @@ let limit_arg =
        & info [ "limit" ] ~docv:"K"
            ~doc:"Show at most K rows of the per-round table (head and tail).")
 
+let gc_arg =
+  Arg.(value & flag
+       & info [ "gc" ]
+           ~doc:"Append a per-round minor-words column and print the run's \
+                 GC totals. Off by default: GC pressure varies run to run \
+                 (and per domain under --par), so the default output stays \
+                 byte-comparable across schedulers and domain counts.")
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
@@ -375,7 +402,7 @@ let trace_cmd =
              statistics, phase-marker counts and counters; the summary line \
              cross-checks the per-round sums against the engine metrics.")
     Term.(const trace $ file_arg $ trace_algorithm_arg $ seed_arg $ sched_arg
-          $ par_arg $ jsonl_arg $ weights_arg $ limit_arg)
+          $ par_arg $ jsonl_arg $ weights_arg $ limit_arg $ gc_arg)
 
 (* ---- check ------------------------------------------------------- *)
 

@@ -40,23 +40,21 @@ let run ?(seed = 0xE171) ~k g =
   let spec =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex ~neighbors ->
+        (fun ~n:_ ~vertex ~neighbors ~out ->
           let table = Hashtbl.create 8 in
           Hashtbl.replace table vertex { value = radii.(vertex); via = -1 };
           let st = { table; fresh = [] } in
-          ( st,
-            Array.to_list
-              (Array.map
-                 (fun u ->
-                   { Distsim.Engine.dst = u;
-                     payload = (vertex, radii.(vertex)) })
-                 neighbors) ));
+          Array.iter
+            (fun u ->
+              Distsim.Engine.emit out ~dst:u (vertex, radii.(vertex)))
+            neighbors;
+          st);
       step =
-        (fun ~round:_ ~vertex st inbox ->
+        (fun ~round:_ ~vertex st inbox ~out ->
           ignore vertex;
           st.fresh <- [];
-          List.iter
-            (fun (nb, (src, value)) ->
+          Distsim.Engine.inbox_iter
+            (fun ~src:nb (src, value) ->
               let candidate = value -. 1.0 in
               (* Entries down to -1 still matter locally (they can sit
                  within 1 of the maximum); only non-negative ones can
@@ -74,20 +72,16 @@ let run ?(seed = 0xE171) ~k g =
                 end
               end)
             inbox;
-          if st.fresh = [] then (st, [], `Done)
+          if st.fresh = [] then (st, `Done)
           else begin
             let neighbors = Ugraph.neighbors g vertex in
-            let out =
-              List.concat_map
-                (fun (src, value) ->
-                  Array.to_list
-                    (Array.map
-                       (fun u ->
-                         { Distsim.Engine.dst = u; payload = (src, value) })
-                       neighbors))
-                st.fresh
-            in
-            (st, out, `Continue)
+            List.iter
+              (fun (src, value) ->
+                Array.iter
+                  (fun u -> Distsim.Engine.emit out ~dst:u (src, value))
+                  neighbors)
+              st.fresh;
+            (st, `Continue)
           end);
       measure;
     }

@@ -71,9 +71,11 @@ let run ?rng ?model ?(selection = Votes) ?sched ?par
      on concurrent domains (Engine [?par]) touches disjoint RNG state
      and the draw sequence is identical for any shard count. *)
   let streams = Array.init n (fun _ -> Rng.split seed_rng) in
-  let broadcast st payload =
-    Array.to_list
-      (Array.map (fun u -> { Distsim.Engine.dst = u; payload }) st.neighbors)
+  let broadcast st out payload =
+    let nbrs = st.neighbors in
+    for i = 0 to Array.length nbrs - 1 do
+      Distsim.Engine.emit out ~dst:nbrs.(i) payload
+    done
   in
   (* One global phase marker per round, stamped from [Round_begin] on
      the engine's merge thread (race-free under [?par]). *)
@@ -85,7 +87,7 @@ let run ?rng ?model ?(selection = Votes) ?sched ?par
   let spec =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex ~neighbors ->
+        (fun ~n:_ ~vertex ~neighbors ~out ->
           let st =
             {
               neighbors;
@@ -104,122 +106,119 @@ let run ?rng ?model ?(selection = Votes) ?sched ?par
               nbr_candidates = [];
             }
           in
-          (st, broadcast st (Density (exponent_of (density_count st)))))
-        ;
+          broadcast st out (Density (exponent_of (density_count st)));
+          st);
       step =
-        (fun ~round ~vertex st inbox ->
-          if st.quiet then (st, [], `Done)
+        (fun ~round ~vertex st inbox ~out ->
+          if st.quiet then (st, `Done)
           else begin
             let phase = (round - 1) mod 6 in
-            let out =
-              match phase with
-              | 0 ->
-                  (* Received neighbor densities; relay the local max. *)
-                  let own = exponent_of (density_count st) in
-                  let m =
-                    List.fold_left
-                      (fun acc (_, msg) ->
-                        match msg with Density e -> max acc e | _ -> acc)
-                      own inbox
+            (match phase with
+            | 0 ->
+                (* Received neighbor densities; relay the local max. *)
+                let own = exponent_of (density_count st) in
+                let m =
+                  Distsim.Engine.inbox_fold
+                    (fun acc ~src:_ msg ->
+                      match msg with Density e -> max acc e | _ -> acc)
+                    own inbox
+                in
+                st.max1 <- m;
+                broadcast st out (Max_density m)
+            | 1 ->
+                (* Know the 2-neighborhood max; decide candidacy or
+                   quiescence. *)
+                let m2 =
+                  Distsim.Engine.inbox_fold
+                    (fun acc ~src:_ msg ->
+                      match msg with Max_density e -> max acc e | _ -> acc)
+                    st.max1 inbox
+                in
+                let count = density_count st in
+                let own = exponent_of count in
+                if m2 = 0 then st.quiet <- true
+                else if count >= 1 && own >= m2 then begin
+                  st.is_candidate <- true;
+                  st.cv_size <- count;
+                  st.r_value <- 1 + Rng.int st.rng n4;
+                  st.self_vote <- false;
+                  broadcast st out (Candidate st.r_value)
+                end
+                else st.is_candidate <- false
+            | 2 ->
+                (* Received candidacies; uncovered vertices vote. *)
+                st.nbr_candidates <-
+                  List.rev
+                    (Distsim.Engine.inbox_fold
+                       (fun acc ~src msg ->
+                         match msg with
+                         | Candidate r -> (r, src) :: acc
+                         | _ -> acc)
+                       [] inbox);
+                if not st.covered_self then begin
+                  let options =
+                    if st.is_candidate then
+                      (st.r_value, vertex) :: st.nbr_candidates
+                    else st.nbr_candidates
                   in
-                  st.max1 <- m;
-                  broadcast st (Max_density m)
-              | 1 ->
-                  (* Know the 2-neighborhood max; decide candidacy or
-                     quiescence. *)
-                  let m2 =
-                    List.fold_left
-                      (fun acc (_, msg) ->
-                        match msg with Max_density e -> max acc e | _ -> acc)
-                      st.max1 inbox
+                  let sorted =
+                    List.sort
+                      (fun (r1, v1) (r2, v2) ->
+                        if r1 <> r2 then Int.compare r1 r2
+                        else Int.compare v1 v2)
+                      options
                   in
-                  let count = density_count st in
-                  let own = exponent_of count in
-                  if m2 = 0 then begin
-                    st.quiet <- true;
-                    []
-                  end
-                  else if count >= 1 && own >= m2 then begin
-                    st.is_candidate <- true;
-                    st.cv_size <- count;
-                    st.r_value <- 1 + Rng.int st.rng n4;
-                    st.self_vote <- false;
-                    broadcast st (Candidate st.r_value)
-                  end
-                  else begin
-                    st.is_candidate <- false;
-                    []
-                  end
-              | 2 ->
-                  (* Received candidacies; uncovered vertices vote. *)
-                  st.nbr_candidates <-
-                    List.filter_map
-                      (fun (src, msg) ->
-                        match msg with
-                        | Candidate r -> Some (r, src)
-                        | _ -> None)
-                      inbox;
-                  if st.covered_self then []
-                  else begin
-                    let options =
-                      if st.is_candidate then
-                        (st.r_value, vertex) :: st.nbr_candidates
-                      else st.nbr_candidates
-                    in
-                    match List.sort compare options with
-                    | [] -> []
-                    | (_, winner) :: _ ->
-                        if winner = vertex then begin
-                          st.self_vote <- true;
-                          []
-                        end
-                        else [ { Distsim.Engine.dst = winner; payload = Vote } ]
-                  end
-              | 3 ->
-                  (* Candidates tally votes and join on an eighth --- or
-                     flip the Jia-et-al-style coin instead. *)
-                  if st.is_candidate then begin
-                    let votes =
-                      List.length
-                        (List.filter (fun (_, msg) -> msg = Vote) inbox)
-                      + if st.self_vote then 1 else 0
-                    in
-                    st.is_candidate <- false;
-                    let joins =
-                      match selection with
-                      | Votes -> 8 * votes >= st.cv_size
-                      | Coin p -> Rng.float st.rng 1.0 < p
-                    in
-                    if joins then begin
-                      st.in_mds <- true;
-                      st.covered_self <- true;
-                      broadcast st Joined
-                    end
-                    else []
-                  end
-                  else []
-              | 4 ->
-                  (* Joins cover the neighborhood; announce new cover
-                     status once. *)
-                  let nbr_joined =
-                    List.exists (fun (_, msg) -> msg = Joined) inbox
+                  match sorted with
+                  | [] -> ()
+                  | (_, winner) :: _ ->
+                      if winner = vertex then st.self_vote <- true
+                      else Distsim.Engine.emit out ~dst:winner Vote
+                end
+            | 3 ->
+                (* Candidates tally votes and join on an eighth --- or
+                   flip the Jia-et-al-style coin instead. *)
+                if st.is_candidate then begin
+                  let votes =
+                    Distsim.Engine.inbox_fold
+                      (fun acc ~src:_ msg ->
+                        if msg = Vote then acc + 1 else acc)
+                      (if st.self_vote then 1 else 0)
+                      inbox
                   in
-                  if nbr_joined then st.covered_self <- true;
-                  if st.covered_self && not st.announced_covered then begin
-                    st.announced_covered <- true;
-                    broadcast st Covered
+                  st.is_candidate <- false;
+                  let joins =
+                    match selection with
+                    | Votes -> 8 * votes >= st.cv_size
+                    | Coin p -> Rng.float st.rng 1.0 < p
+                  in
+                  if joins then begin
+                    st.in_mds <- true;
+                    st.covered_self <- true;
+                    broadcast st out Joined
                   end
-                  else []
-              | _ ->
-                  (* Absorb cover updates; restart with fresh densities. *)
-                  List.iter
-                    (fun (src, msg) ->
-                      if msg = Covered then
-                        st.uncovered_nbrs <- Iset.remove src st.uncovered_nbrs)
-                    inbox;
-                  broadcast st (Density (exponent_of (density_count st)))
-            in
-            (st, out, if st.quiet then `Done else `Continue)
+                end
+            | 4 ->
+                (* Joins cover the neighborhood; announce new cover
+                   status once. *)
+                let nbr_joined =
+                  Distsim.Engine.inbox_fold
+                    (fun acc ~src:_ msg -> acc || msg = Joined)
+                    false inbox
+                in
+                if nbr_joined then st.covered_self <- true;
+                if st.covered_self && not st.announced_covered then begin
+                  st.announced_covered <- true;
+                  broadcast st out Covered
+                end
+            | _ ->
+                (* Absorb cover updates; restart with fresh densities. *)
+                Distsim.Engine.inbox_iter
+                  (fun ~src msg ->
+                    if msg = Covered then
+                      st.uncovered_nbrs <- Iset.remove src st.uncovered_nbrs)
+                  inbox;
+                broadcast st out (Density (exponent_of (density_count st))));
+            (st, if st.quiet then `Done else `Continue)
           end);
       measure = measure ~n:(max n 2);
     }

@@ -4,7 +4,7 @@ type spec = {
   graph : Ugraph.t;
   targets : Edge.Set.t;
   usable : Edge.Set.t;
-  weight : Edge.t -> float;
+  weight : int -> int -> float;
   candidate_ok : int -> float -> bool;
   terminate_ok : int -> float -> bool;
   finalize : Edge.t -> bool;
@@ -89,7 +89,13 @@ let run ?rng ?seed ?max_iterations ?trace ?(sink = Distsim.Trace.null) spec =
   let mark_dirty v = st.(v).dirty <- true in
   (* Weight-zero usable edges enter the spanner before the first
      iteration (weighted variant; a no-op otherwise). *)
-  let zero_edges = Edge.Set.filter (fun e -> spec.weight e = 0.0) spec.usable in
+  let zero_edges =
+    Edge.Set.filter
+      (fun e ->
+        let u, v = Edge.endpoints e in
+        spec.weight u v = 0.0)
+      spec.usable
+  in
   if not (Edge.Set.is_empty zero_edges) then
     Cover2.add cover zero_edges ~dirty:mark_dirty;
   (* Split eligible neighbors into paying and free once; weights are
@@ -100,7 +106,7 @@ let run ?rng ?seed ?max_iterations ?trace ?(sink = Distsim.Trace.null) spec =
     let nb = Cover2.usable_neighbors cover v in
     Array.iter
       (fun u ->
-        if spec.weight (Edge.make v u) = 0.0 then fr := u :: !fr
+        if spec.weight v u = 0.0 then fr := u :: !fr
         else pay := u :: !pay)
       nb;
     paying.(v) <- Array.of_list (List.rev !pay);
@@ -108,7 +114,7 @@ let run ?rng ?seed ?max_iterations ?trace ?(sink = Distsim.Trace.null) spec =
   done;
   let problem v =
     Star_pick.make ~center:v ~nodes:paying.(v) ~free:free.(v)
-      ~weight:(fun u -> spec.weight (Edge.make v u))
+      ~weight:(fun u -> spec.weight v u)
       ~hv_edges:(Cover2.hv cover v) ()
   in
   let refresh_densities () =

@@ -33,8 +33,10 @@ type spec = {
   graph : Ugraph.t;  (** communication topology *)
   targets : Edge.Set.t;  (** edges that must be covered *)
   usable : Edge.Set.t;  (** edges the spanner may use *)
-  weight : Edge.t -> float;
-      (** cost of a usable edge; weight-zero edges are added to the
+  weight : int -> int -> float;
+      (** cost of a usable edge, queried by endpoints so hot loops
+          never allocate an [Edge.t] per probe (see
+          [Grapho.Weights.get_uv]); weight-zero edges are added to the
           spanner up front, as the weighted variant prescribes *)
   candidate_ok : int -> float -> bool;
       (** [candidate_ok v rho]: may [v] (true density [rho]) stand as

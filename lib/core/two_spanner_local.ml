@@ -16,7 +16,6 @@ type msg =
 
 type vstate = {
   neighbors : int array;
-  nbr_list : int list;  (* [neighbors] as a list, for cheap broadcasts *)
   nbr_set : (int, unit) Hashtbl.t;  (* static membership index *)
   paying : int array;  (* neighbors across positive-weight edges *)
   free : int array;  (* neighbors across weight-zero edges *)
@@ -49,7 +48,8 @@ type result = {
 
 (* The variant knobs, mirroring Two_spanner_engine.spec. *)
 type variant = {
-  weight : Edge.t -> float;
+  weight : int -> int -> float;
+      (* endpoint-keyed so weight probes allocate no [Edge.t] *)
   candidate_ok : int -> float -> bool;
   terminate_ok : int -> float -> bool;
   dominance_includes_terminated : bool;
@@ -57,7 +57,7 @@ type variant = {
 
 let unweighted_variant =
   {
-    weight = (fun _ -> 1.0);
+    weight = (fun _ _ -> 1.0);
     candidate_ok = (fun _ rho -> rho >= 1.0);
     terminate_ok = (fun _ max_rho -> max_rho <= 1.0);
     dominance_includes_terminated = true;
@@ -115,8 +115,13 @@ let congest_phases ~chunks_per_round r =
 let make_spec ~seed ~variant g =
   let n = Ugraph.n g in
   let n4 = Randomness.vote_bound ~n in
-  let broadcast st payload =
-    List.map (fun u -> { Distsim.Engine.dst = u; payload }) st.nbr_list
+  (* Broadcast = push one message per neighbor into the engine's
+     reused outbox; no send records, no cons cells. *)
+  let broadcast st out payload =
+    let nbrs = st.neighbors in
+    for i = 0 to Array.length nbrs - 1 do
+      Distsim.Engine.emit out ~dst:nbrs.(i) payload
+    done
   in
   let exponent_of rho =
     match Star_pick.rounded_exponent rho with
@@ -125,7 +130,7 @@ let make_spec ~seed ~variant g =
   in
   let problem vertex st =
     Star_pick.make ~center:vertex ~nodes:st.paying ~free:st.free
-      ~weight:(fun u -> variant.weight (Edge.make vertex u))
+      ~weight:(fun u -> variant.weight vertex u)
       ~hv_edges:st.hv ()
   in
   let compute_density vertex st =
@@ -151,22 +156,26 @@ let make_spec ~seed ~variant g =
           st.exp <- exponent_of rho
     end
   in
-  let rebuild_hv vertex st lists =
-    (* lists: (neighbor u, u's uncovered incident endpoints). An edge
-       {u,w} belongs to H_v iff both u and w are neighbors of v and
-       either reports it uncovered (they agree, so one suffices).
-       Neighbor membership is the static [nbr_set] index built once in
-       [init]. *)
+  let rebuild_hv vertex st inbox =
+    (* Each [Uncovered]/[Fresh_uncovered] message is (neighbor u, u's
+       uncovered incident endpoints). An edge {u,w} belongs to H_v iff
+       both u and w are neighbors of v and either reports it uncovered
+       (they agree, so one suffices). Neighbor membership is the
+       static [nbr_set] index built once in [init]; the inbox is
+       folded directly — no intermediate (src, list) pairs. *)
     let hv' =
-      List.fold_left
-        (fun acc (u, ws) ->
-          List.fold_left
-            (fun acc w ->
-              if w <> u && w <> vertex && Hashtbl.mem st.nbr_set w then
-                Edge.Set.add (Edge.make u w) acc
-              else acc)
-            acc ws)
-        Edge.Set.empty lists
+      Distsim.Engine.inbox_fold
+        (fun acc ~src:u m ->
+          match m with
+          | Uncovered ws | Fresh_uncovered ws ->
+              List.fold_left
+                (fun acc w ->
+                  if w <> u && w <> vertex && Hashtbl.mem st.nbr_set w then
+                    Edge.Set.add (Edge.make u w) acc
+                  else acc)
+                acc ws
+          | _ -> acc)
+        Edge.Set.empty inbox
     in
     (* Keep the cached problem (and with it the cached density) alive
        across iterations in which nothing near this vertex changed —
@@ -176,9 +185,9 @@ let make_spec ~seed ~variant g =
       st.prob <- None
     end
   in
-  (* H_v edges newly 2-spanned through this vertex; returns the notices
-     to send and prunes them from hv. *)
-  let via_me_notices st =
+  (* H_v edges newly 2-spanned through this vertex; emits the notices
+     and prunes them from hv. *)
+  let via_me_notices st out =
     let covered =
       Edge.Set.filter
         (fun e ->
@@ -187,9 +196,8 @@ let make_spec ~seed ~variant g =
         st.hv
     in
     st.hv <- Edge.Set.diff st.hv covered;
-    if not (Edge.Set.is_empty covered) then st.prob <- None;
-    if Edge.Set.is_empty covered then []
-    else begin
+    if not (Edge.Set.is_empty covered) then begin
+      st.prob <- None;
       let per_endpoint = Hashtbl.create 8 in
       Edge.Set.iter
         (fun e ->
@@ -201,15 +209,15 @@ let make_spec ~seed ~variant g =
                 :: Option.value ~default:[] (Hashtbl.find_opt per_endpoint x)))
             [ u; w ])
         covered;
-      Hashtbl.fold
-        (fun dst pairs acc ->
-          { Distsim.Engine.dst; payload = Covered_notice pairs } :: acc)
-        per_endpoint []
+      Hashtbl.iter
+        (fun dst pairs ->
+          Distsim.Engine.emit out ~dst (Covered_notice pairs))
+        per_endpoint
     end
   in
   let absorb_notices vertex st inbox =
-    List.iter
-      (fun (_, m) ->
+    Distsim.Engine.inbox_iter
+      (fun ~src:_ m ->
         match m with
         | Covered_notice pairs ->
             List.iter
@@ -223,22 +231,13 @@ let make_spec ~seed ~variant g =
       inbox
   in
   let uncovered_list st = Iset.elements st.uncovered_inc in
-  let absorb_uncovered_lists inbox =
-    List.filter_map
-      (fun (src, m) ->
-        match m with
-        | Uncovered l | Fresh_uncovered l -> Some (src, l)
-        | _ -> None)
-      inbox
-  in
   {
     Distsim.Engine.init =
-      (fun ~n:_ ~vertex ~neighbors ->
+      (fun ~n:_ ~vertex ~neighbors ~out ->
         let paying = ref [] and free = ref [] in
         Array.iter
           (fun u ->
-            if variant.weight (Edge.make vertex u) = 0.0 then
-              free := u :: !free
+            if variant.weight vertex u = 0.0 then free := u :: !free
             else paying := u :: !paying)
           neighbors;
         (* Weight-zero edges enter the spanner before the first
@@ -249,7 +248,6 @@ let make_spec ~seed ~variant g =
         let st =
           {
             neighbors;
-            nbr_list = Array.to_list neighbors;
             nbr_set;
             paying = Array.of_list (List.rev !paying);
             free;
@@ -257,8 +255,7 @@ let make_spec ~seed ~variant g =
             uncovered_inc =
               Array.fold_left
                 (fun s u ->
-                  if variant.weight (Edge.make vertex u) = 0.0 then s
-                  else Iset.add u s)
+                  if variant.weight vertex u = 0.0 then s else Iset.add u s)
                 Iset.empty neighbors;
             h_adj = Array.fold_left (fun s u -> Iset.add u s) Iset.empty free;
             hv = Edge.Set.empty;
@@ -277,279 +274,265 @@ let make_spec ~seed ~variant g =
           }
         in
         (* Warm-up round W0 payload. *)
-        (st, broadcast st (Uncovered (uncovered_list st))));
+        broadcast st out (Uncovered (uncovered_list st));
+        st);
     step =
-      (fun ~round ~vertex st inbox ->
-        if st.quiet then (st, [], `Done)
+      (fun ~round ~vertex st inbox ~out ->
+        if st.quiet then (st, `Done)
         else if round < warmup_rounds then begin
           if round = 1 then begin
             (* W1: pre-added weight-zero 2-paths already cover some
                targets; notify their endpoints. A no-op when there are
                no zero-weight edges. *)
-            rebuild_hv vertex st (absorb_uncovered_lists inbox);
-            (st, via_me_notices st, `Continue)
+            rebuild_hv vertex st inbox;
+            via_me_notices st out;
+            (st, `Continue)
           end
           else begin
             (* W2: absorb and launch the main loop's first iteration. *)
             absorb_notices vertex st inbox;
-            (st, broadcast st (Uncovered (uncovered_list st)), `Continue)
+            broadcast st out (Uncovered (uncovered_list st));
+            (st, `Continue)
           end
         end
         else begin
           let phase = (round - warmup_rounds) mod rounds_per_iteration in
-          let out =
-            match phase with
-            | 0 ->
-                (* Uncovered lists -> H_v -> density. *)
-                rebuild_hv vertex st (absorb_uncovered_lists inbox);
-                compute_density vertex st;
-                broadcast st (Density (st.exp, st.terminated))
-            | 1 ->
-                let own =
-                  if
-                    st.terminated
-                    && not variant.dominance_includes_terminated
-                  then min_int
-                  else st.exp
+          (match phase with
+          | 0 ->
+              (* Uncovered lists -> H_v -> density. *)
+              rebuild_hv vertex st inbox;
+              compute_density vertex st;
+              broadcast st out (Density (st.exp, st.terminated))
+          | 1 ->
+              let own =
+                if st.terminated && not variant.dominance_includes_terminated
+                then min_int
+                else st.exp
+              in
+              let m =
+                Distsim.Engine.inbox_fold
+                  (fun acc ~src:_ msg ->
+                    match msg with
+                    | Density (e, t) ->
+                        if t && not variant.dominance_includes_terminated
+                        then acc
+                        else max acc e
+                    | _ -> acc)
+                  own inbox
+              in
+              st.max1 <- m;
+              broadcast st out (Max1 m)
+          | 2 ->
+              let max2 =
+                Distsim.Engine.inbox_fold
+                  (fun acc ~src:_ msg ->
+                    match msg with Max1 e -> max acc e | _ -> acc)
+                  st.max1 inbox
+              in
+              st.is_candidate <- false;
+              if
+                (not st.terminated)
+                && st.exp <> min_int
+                && st.exp >= max2
+                && variant.candidate_ok vertex st.rho
+              then begin
+                (* hv is untouched since phase 0, so the problem
+                   built by [compute_density] is still valid. *)
+                let prob =
+                  match st.prob with
+                  | Some p -> p
+                  | None -> problem vertex st
                 in
-                let m =
-                  List.fold_left
-                    (fun acc (_, msg) ->
-                      match msg with
-                      | Density (e, t) ->
-                          if t && not variant.dominance_includes_terminated
-                          then acc
-                          else max acc e
-                      | _ -> acc)
-                    own inbox
+                let selection =
+                  Star_pick.section_4_1_choice prob
+                    ~stored:(Some (st.star, st.star_exp))
+                    ~level:st.exp ~divisor:4.0
                 in
-                st.max1 <- m;
-                broadcast st (Max1 m)
-            | 2 ->
-                let max2 =
-                  List.fold_left
-                    (fun acc (_, msg) ->
-                      match msg with Max1 e -> max acc e | _ -> acc)
-                    st.max1 inbox
+                if selection <> [] then begin
+                  st.star <- selection;
+                  st.star_exp <- st.exp;
+                  let covered = Star_pick.spanned prob selection in
+                  if not (Edge.Set.is_empty covered) then begin
+                    st.is_candidate <- true;
+                    st.covered_set <- covered;
+                    let r =
+                      Randomness.vote_value ~seed ~vertex
+                        ~iteration:st.iteration ~bound:n4
+                    in
+                    (* Voters must see the star as Section 4.3.2
+                       defines it: the paying selection plus the
+                       implicit weight-zero edges. *)
+                    broadcast st out
+                      (Candidate (r, selection @ Array.to_list st.free))
+                  end
+                end
+              end
+          | 3 ->
+              (* The smaller endpoint of each uncovered edge casts
+                 its vote; votes to the same candidate are batched
+                 into one message (one message per edge per round).
+                 Each candidate's star is indexed into a hash set
+                 once, so an edge costs O(1) per candidate instead
+                 of two O(|star|) scans. *)
+              let candidates =
+                Distsim.Engine.inbox_fold
+                  (fun acc ~src m ->
+                    match m with
+                    | Candidate (r, star) ->
+                        let members =
+                          Hashtbl.create (2 * List.length star)
+                        in
+                        List.iter
+                          (fun u -> Hashtbl.replace members u ())
+                          star;
+                        (src, r, members) :: acc
+                    | _ -> acc)
+                  [] inbox
+              in
+              let candidates = List.rev candidates in
+              if candidates <> [] then begin
+                let per_winner = Hashtbl.create 8 in
+                (* Only candidates whose star contains me can span
+                   my incident edges. *)
+                let mine =
+                  List.filter
+                    (fun (_, _, members) -> Hashtbl.mem members vertex)
+                    candidates
                 in
+                if mine <> [] then
+                  Iset.iter
+                    (fun w ->
+                      if vertex < w then begin
+                        (* Lexicographic minimum of (r, src) over the
+                           candidates spanning {vertex, w} — the same
+                           winner the sorted scan used to pick. *)
+                        let winner =
+                          List.fold_left
+                            (fun best (src, r, members) ->
+                              if Hashtbl.mem members w then
+                                match best with
+                                | Some (br, bsrc)
+                                  when br < r || (br = r && bsrc < src) ->
+                                    best
+                                | _ -> Some (r, src)
+                              else best)
+                            None mine
+                        in
+                        match winner with
+                        | None -> ()
+                        | Some (_, winner) ->
+                            Hashtbl.replace per_winner winner
+                              ((vertex, w)
+                              :: Option.value ~default:[]
+                                   (Hashtbl.find_opt per_winner winner))
+                      end)
+                    st.uncovered_inc;
+                Hashtbl.iter
+                  (fun dst votes ->
+                    Distsim.Engine.emit out ~dst (Votes votes))
+                  per_winner
+              end
+          | 4 ->
+              if st.is_candidate then begin
                 st.is_candidate <- false;
-                if
-                  (not st.terminated)
-                  && st.exp <> min_int
-                  && st.exp >= max2
-                  && variant.candidate_ok vertex st.rho
-                then begin
-                  (* hv is untouched since phase 0, so the problem
-                     built by [compute_density] is still valid. *)
-                  let prob =
-                    match st.prob with
-                    | Some p -> p
-                    | None -> problem vertex st
-                  in
-                  let selection =
-                    Star_pick.section_4_1_choice prob
-                      ~stored:(Some (st.star, st.star_exp))
-                      ~level:st.exp ~divisor:4.0
-                  in
-                  if selection <> [] then begin
-                    st.star <- selection;
-                    st.star_exp <- st.exp;
-                    let covered = Star_pick.spanned prob selection in
-                    if not (Edge.Set.is_empty covered) then begin
-                      st.is_candidate <- true;
-                      st.covered_set <- covered;
-                      let r =
-                        Randomness.vote_value ~seed ~vertex
-                          ~iteration:st.iteration ~bound:n4
-                      in
-                      (* Voters must see the star as Section 4.3.2
-                         defines it: the paying selection plus the
-                         implicit weight-zero edges. *)
-                      broadcast st
-                        (Candidate (r, selection @ Array.to_list st.free))
-                    end
-                    else []
-                  end
-                  else []
-                end
-                else []
-            | 3 ->
-                (* The smaller endpoint of each uncovered edge casts
-                   its vote; votes to the same candidate are batched
-                   into one message (one message per edge per round).
-                   Each candidate's star is indexed into a hash set
-                   once, so an edge costs O(1) per candidate instead
-                   of two O(|star|) scans. *)
-                let candidates =
-                  List.filter_map
-                    (fun (src, m) ->
+                let votes =
+                  Distsim.Engine.inbox_fold
+                    (fun acc ~src:_ m ->
                       match m with
-                      | Candidate (r, star) ->
-                          let members =
-                            Hashtbl.create (2 * List.length star)
-                          in
-                          List.iter
-                            (fun u -> Hashtbl.replace members u ())
-                            star;
-                          Some (src, r, members)
-                      | _ -> None)
-                    inbox
+                      | Votes l -> acc + List.length l
+                      | _ -> acc)
+                    0 inbox
                 in
-                if candidates = [] then []
-                else begin
-                  let per_winner = Hashtbl.create 8 in
-                  (* Only candidates whose star contains me can span
-                     my incident edges. *)
-                  let mine =
-                    List.filter
-                      (fun (_, _, members) -> Hashtbl.mem members vertex)
-                      candidates
-                  in
-                  if mine <> [] then
-                    Iset.iter
-                      (fun w ->
-                        if vertex < w then begin
-                          (* Lexicographic minimum of (r, src) over the
-                             candidates spanning {vertex, w} — the same
-                             winner the sorted scan used to pick. *)
-                          let winner =
-                            List.fold_left
-                              (fun best (src, r, members) ->
-                                if Hashtbl.mem members w then
-                                  match best with
-                                  | Some (br, bsrc)
-                                    when br < r || (br = r && bsrc < src) ->
-                                      best
-                                  | _ -> Some (r, src)
-                                else best)
-                              None mine
-                          in
-                          match winner with
-                          | None -> ()
-                          | Some (_, winner) ->
-                              Hashtbl.replace per_winner winner
-                                ((vertex, w)
-                                :: Option.value ~default:[]
-                                     (Hashtbl.find_opt per_winner winner))
-                        end)
-                      st.uncovered_inc;
-                  Hashtbl.fold
-                    (fun dst votes acc ->
-                      { Distsim.Engine.dst; payload = Votes votes } :: acc)
-                    per_winner []
+                if
+                  float_of_int votes
+                  >= 0.125 *. float_of_int (Edge.Set.cardinal st.covered_set)
+                then begin
+                  (* The star joins the spanner. *)
+                  List.iter
+                    (fun u ->
+                      st.h_adj <- Iset.add u st.h_adj;
+                      st.uncovered_inc <- Iset.remove u st.uncovered_inc)
+                    st.star;
+                  broadcast st out (Accepted st.star)
                 end
-            | 4 ->
-                if st.is_candidate then begin
-                  st.is_candidate <- false;
-                  let votes =
-                    List.fold_left
-                      (fun acc (_, m) ->
-                        match m with
-                        | Votes l -> acc + List.length l
-                        | _ -> acc)
-                      0 inbox
-                  in
-                  if
-                    float_of_int votes
-                    >= 0.125
-                       *. float_of_int (Edge.Set.cardinal st.covered_set)
-                  then begin
-                    (* The star joins the spanner. *)
-                    List.iter
-                      (fun u ->
-                        st.h_adj <- Iset.add u st.h_adj;
-                        st.uncovered_inc <- Iset.remove u st.uncovered_inc)
-                      st.star;
-                    broadcast st (Accepted st.star)
-                  end
-                  else []
-                end
-                else []
-            | 5 ->
-                (* Neighbors' accepted stars update the spanner
-                   incidence; report edges 2-spanned through me. *)
+              end
+          | 5 ->
+              (* Neighbors' accepted stars update the spanner
+                 incidence; report edges 2-spanned through me. *)
+              Distsim.Engine.inbox_iter
+                (fun ~src m ->
+                  match m with
+                  | Accepted star when List.mem vertex star ->
+                      st.h_adj <- Iset.add src st.h_adj;
+                      st.uncovered_inc <- Iset.remove src st.uncovered_inc
+                  | _ -> ())
+                inbox;
+              via_me_notices st out
+          | 6 ->
+              absorb_notices vertex st inbox;
+              broadcast st out (Fresh_uncovered (uncovered_list st))
+          | 7 ->
+              rebuild_hv vertex st inbox;
+              compute_density vertex st;
+              broadcast st out (Rho (st.rho, st.terminated))
+          | 8 ->
+              let exclude t =
+                t && not variant.dominance_includes_terminated
+              in
+              let own_rho = if exclude st.terminated then 0.0 else st.rho in
+              let m = ref own_rho in
+              let a = ref st.terminated in
+              Distsim.Engine.inbox_iter
+                (fun ~src:_ msg ->
+                  match msg with
+                  | Rho (r, t) ->
+                      m := Float.max !m (if exclude t then 0.0 else r);
+                      a := !a && t
+                  | _ -> ())
+                inbox;
+              st.max1_rho <- !m;
+              st.all1 <- !a;
+              broadcast st out (Max1_rho (!m, !a))
+          | 9 ->
+              let max2_rho = ref st.max1_rho in
+              let all2 = ref st.all1 in
+              Distsim.Engine.inbox_iter
+                (fun ~src:_ msg ->
+                  match msg with
+                  | Max1_rho (r, t) ->
+                      max2_rho := Float.max !max2_rho r;
+                      all2 := !all2 && t
+                  | _ -> ())
+                inbox;
+              if
+                (not st.terminated)
+                && variant.terminate_ok vertex (Float.max !max2_rho 0.0)
+              then begin
+                st.terminated <- true;
+                let finals = uncovered_list st in
                 List.iter
-                  (fun (src, m) ->
-                    match m with
-                    | Accepted star when List.mem vertex star ->
-                        st.h_adj <- Iset.add src st.h_adj;
-                        st.uncovered_inc <- Iset.remove src st.uncovered_inc
-                    | _ -> ())
-                  inbox;
-                via_me_notices st
-            | 6 ->
-                absorb_notices vertex st inbox;
-                broadcast st (Fresh_uncovered (uncovered_list st))
-            | 7 ->
-                rebuild_hv vertex st (absorb_uncovered_lists inbox);
-                compute_density vertex st;
-                broadcast st (Rho (st.rho, st.terminated))
-            | 8 ->
-                let exclude t =
-                  t && not variant.dominance_includes_terminated
-                in
-                let own_rho =
-                  if exclude st.terminated then 0.0 else st.rho
-                in
-                let m, a =
-                  List.fold_left
-                    (fun (acc, all) (_, msg) ->
-                      match msg with
-                      | Rho (r, t) ->
-                          ( Float.max acc (if exclude t then 0.0 else r),
-                            all && t )
-                      | _ -> (acc, all))
-                    (own_rho, st.terminated)
-                    inbox
-                in
-                st.max1_rho <- m;
-                st.all1 <- a;
-                broadcast st (Max1_rho (m, a))
-            | 9 ->
-                let max2_rho, all2 =
-                  List.fold_left
-                    (fun (acc, all) (_, msg) ->
-                      match msg with
-                      | Max1_rho (r, t) -> (Float.max acc r, all && t)
-                      | _ -> (acc, all))
-                    (st.max1_rho, st.all1)
-                    inbox
-                in
-                let out =
-                  if
-                    (not st.terminated)
-                    && variant.terminate_ok vertex (Float.max max2_rho 0.0)
-                  then begin
-                    st.terminated <- true;
-                    let finals = uncovered_list st in
-                    List.iter
-                      (fun w ->
-                        st.h_adj <- Iset.add w st.h_adj;
-                        st.uncovered_inc <- Iset.remove w st.uncovered_inc)
-                      finals;
-                    if finals <> [] then broadcast st (Final_added finals)
-                    else []
-                  end
-                  else []
-                in
-                if all2 && st.terminated then st.quiet <- true;
-                out
-            | 10 ->
-                List.iter
-                  (fun (src, m) ->
-                    match m with
-                    | Final_added l when List.mem vertex l ->
-                        st.h_adj <- Iset.add src st.h_adj;
-                        st.uncovered_inc <- Iset.remove src st.uncovered_inc
-                    | _ -> ())
-                  inbox;
-                via_me_notices st
-            | _ ->
-                absorb_notices vertex st inbox;
-                st.iteration <- st.iteration + 1;
-                broadcast st (Uncovered (uncovered_list st))
-          in
-          (st, out, if st.quiet then `Done else `Continue)
+                  (fun w ->
+                    st.h_adj <- Iset.add w st.h_adj;
+                    st.uncovered_inc <- Iset.remove w st.uncovered_inc)
+                  finals;
+                if finals <> [] then broadcast st out (Final_added finals)
+              end;
+              if !all2 && st.terminated then st.quiet <- true
+          | 10 ->
+              Distsim.Engine.inbox_iter
+                (fun ~src m ->
+                  match m with
+                  | Final_added l when List.mem vertex l ->
+                      st.h_adj <- Iset.add src st.h_adj;
+                      st.uncovered_inc <- Iset.remove src st.uncovered_inc
+                  | _ -> ())
+                inbox;
+              via_me_notices st out
+          | _ ->
+              absorb_notices vertex st inbox;
+              st.iteration <- st.iteration + 1;
+              broadcast st out (Uncovered (uncovered_list st)));
+          (st, if st.quiet then `Done else `Continue)
         end);
     measure = measure ~n:(max n 2);
   }
@@ -591,7 +574,7 @@ let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
   for v = 0 to n - 1 do
     own.(v) <-
       Ugraph.fold_neighbors
-        (fun acc u -> Float.max acc (Weights.get w (Edge.make v u)))
+        (fun acc u -> Float.max acc (Weights.get_uv w v u))
         g v 0.0
   done;
   let hop a =
@@ -602,7 +585,7 @@ let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
   let floor_of v = if wmax2.(v) > 0.0 then 1.0 /. wmax2.(v) else infinity in
   let variant =
     {
-      weight = Weights.get w;
+      weight = Weights.get_uv w;
       candidate_ok = (fun _ rho -> rho > 0.0);
       terminate_ok = (fun v max_rho -> max_rho <= floor_of v);
       dominance_includes_terminated = false;

@@ -17,7 +17,7 @@ let wmax_two_hop g w =
   for v = 0 to n - 1 do
     own.(v) <-
       Ugraph.fold_neighbors
-        (fun acc u -> max acc (Weights.get w (Edge.make v u)))
+        (fun acc u -> Float.max acc (Weights.get_uv w v u))
         g v 0.0
   done;
   let hop array =
@@ -35,7 +35,7 @@ let run ?rng ?seed ?max_iterations ?(selection = Two_spanner_engine.Votes 0.125)
       Two_spanner_engine.graph = g;
       targets = edges;
       usable = edges;
-      weight = Weights.get w;
+      weight = Weights.get_uv w;
       (* The weighted variant places no density floor on candidacy
          (stars of density below 1 are expressly allowed, §4.3.2). *)
       candidate_ok = (fun _ rho -> rho > 0.0);

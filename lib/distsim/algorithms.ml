@@ -1,5 +1,13 @@
 type 'a state = { mutable value : 'a }
 
+(* Broadcast by pushing straight into the engine's reused outbox — no
+   send-record lists anywhere in this module. *)
+let broadcast_arr out neighbors payload =
+  Array.iter (fun u -> Engine.emit out ~dst:u payload) neighbors
+
+let broadcast_list out targets payload =
+  List.iter (fun u -> Engine.emit out ~dst:u payload) targets
+
 (* Shared shape: each vertex holds a value, rebroadcasts it whenever it
    improves, and is done while no improvement arrives. Messages carry
    values of the same type as the state. *)
@@ -9,33 +17,29 @@ let improving ~initial ~announces_first ~improve ~measure ?model graph =
     | Some m -> m
     | None -> Model.congest ~n:(max 2 (Grapho.Ugraph.n graph)) ()
   in
-  let broadcast neighbors payload =
-    Array.to_list
-      (Array.map (fun u -> { Engine.dst = u; payload }) neighbors)
-  in
   let spec =
     {
       Engine.init =
-        (fun ~n:_ ~vertex ~neighbors ->
+        (fun ~n:_ ~vertex ~neighbors ~out ->
           let v = initial vertex in
-          let out = if announces_first vertex then broadcast neighbors v else [] in
-          ({ value = v }, out));
+          if announces_first vertex then broadcast_arr out neighbors v;
+          { value = v });
       step =
-        (fun ~round:_ ~vertex st inbox ->
+        (fun ~round:_ ~vertex st inbox ~out ->
           let improved = ref false in
-          List.iter
-            (fun (_, msg) ->
+          Engine.inbox_iter
+            (fun ~src:_ msg ->
               match improve st.value msg with
               | Some better ->
                   st.value <- better;
                   improved := true
               | None -> ())
             inbox;
-          if !improved then
-            ( st,
-              broadcast (Grapho.Ugraph.neighbors graph vertex) st.value,
-              `Continue )
-          else (st, [], `Done));
+          if !improved then begin
+            broadcast_arr out (Grapho.Ugraph.neighbors graph vertex) st.value;
+            (st, `Continue)
+          end
+          else (st, `Done));
       measure;
     }
   in
@@ -84,16 +88,10 @@ let luby_mis ?(seed = 0x715B) ?model graph =
     Array.init (Grapho.Ugraph.n graph) (fun _ -> Grapho.Rng.split master)
   in
   let bound = n * n * n in
-  let broadcast st payload =
-    ignore st;
-    fun neighbors ->
-      Array.to_list
-        (Array.map (fun u -> { Engine.dst = u; payload }) neighbors)
-  in
   let spec =
     {
       Engine.init =
-        (fun ~n:_ ~vertex ~neighbors ->
+        (fun ~n:_ ~vertex ~neighbors ~out ->
           let st =
             {
               rng = streams.(vertex);
@@ -104,46 +102,48 @@ let luby_mis ?(seed = 0x715B) ?model graph =
             }
           in
           st.my_value <- Grapho.Rng.int st.rng bound;
-          (st, broadcast st (Value st.my_value) neighbors));
+          broadcast_arr out neighbors (Value st.my_value);
+          st);
       step =
-        (fun ~round ~vertex st inbox ->
-          if st.dead || st.in_mis then (st, [], `Done)
+        (fun ~round ~vertex st inbox ~out ->
+          if st.dead || st.in_mis then (st, `Done)
           else begin
             let neighbors = Grapho.Ugraph.neighbors graph vertex in
             let phase = (round - 1) mod 3 in
-            let out =
-              match phase with
-              | 0 ->
-                  (* Received live neighbor values; join if strictly
-                     first in (value, id) order. *)
-                  let mine = (st.my_value, vertex) in
-                  let beaten =
-                    List.exists
-                      (fun (src, m) ->
-                        match m with
-                        | Value v -> (v, src) < mine
-                        | _ -> false)
-                      inbox
-                  in
-                  if not beaten then begin
-                    st.in_mis <- true;
-                    broadcast st Joined_mis neighbors
-                  end
-                  else []
-              | 1 ->
-                  (* Neighbors joining kill this vertex. *)
-                  if List.exists (fun (_, m) -> m = Joined_mis) inbox then
-                    st.dead <- true;
-                  []
-              | _ ->
-                  (* Start the next phase with a fresh value. *)
-                  st.my_value <- Grapho.Rng.int st.rng bound;
-                  broadcast st (Value st.my_value) neighbors
-            in
+            (match phase with
+            | 0 ->
+                (* Received live neighbor values; join if strictly
+                   first in (value, id) order — monomorphic compare. *)
+                let beaten =
+                  Engine.inbox_fold
+                    (fun acc ~src m ->
+                      acc
+                      ||
+                      match m with
+                      | Value v ->
+                          v < st.my_value || (v = st.my_value && src < vertex)
+                      | _ -> false)
+                    false inbox
+                in
+                if not beaten then begin
+                  st.in_mis <- true;
+                  broadcast_arr out neighbors Joined_mis
+                end
+            | 1 ->
+                (* Neighbors joining kill this vertex. *)
+                if
+                  Engine.inbox_fold
+                    (fun acc ~src:_ m -> acc || m = Joined_mis)
+                    false inbox
+                then st.dead <- true
+            | _ ->
+                (* Start the next phase with a fresh value. *)
+                st.my_value <- Grapho.Rng.int st.rng bound;
+                broadcast_arr out neighbors (Value st.my_value));
             let status =
               if st.dead || st.in_mis then `Done else `Continue
             in
-            (st, out, status)
+            (st, status)
           end);
       measure =
         (fun m ->
@@ -181,14 +181,10 @@ let maximal_matching ?(seed = 0x7A7E) ?model graph =
   let streams =
     Array.init (Grapho.Ugraph.n graph) (fun _ -> Grapho.Rng.split master)
   in
-  let send dst payload = { Engine.dst; payload } in
-  let broadcast_to targets payload =
-    List.map (fun u -> send u payload) targets
-  in
   let spec =
     {
       Engine.init =
-        (fun ~n:_ ~vertex ~neighbors ->
+        (fun ~n:_ ~vertex ~neighbors ~out ->
           let st =
             {
               mm_rng = streams.(vertex);
@@ -200,83 +196,76 @@ let maximal_matching ?(seed = 0x7A7E) ?model graph =
             }
           in
           st.is_head <- Grapho.Rng.bool st.mm_rng;
-          (st, broadcast_to st.live_nbrs (Mm_coin st.is_head)));
+          broadcast_list out st.live_nbrs (Mm_coin st.is_head);
+          st);
       step =
-        (fun ~round ~vertex st inbox ->
+        (fun ~round ~vertex st inbox ~out ->
           ignore vertex;
           (* Matched neighbors leave the pool, whatever the phase. *)
-          List.iter
-            (fun (src, m) ->
+          Engine.inbox_iter
+            (fun ~src m ->
               if m = Mm_matched then
                 st.live_nbrs <- List.filter (fun u -> u <> src) st.live_nbrs)
             inbox;
           let finished () = st.mate >= 0 || st.live_nbrs = [] in
           let phase = (round - 1) mod 4 in
-          let out =
-            match phase with
-            | 0 ->
-                (* Coins in hand: heads court a random active tail. *)
-                if st.mate >= 0 then []
-                else begin
-                  st.tails <-
-                    List.filter_map
-                      (fun (src, m) ->
-                        match m with
-                        | Mm_coin false
-                          when List.mem src st.live_nbrs ->
-                            Some src
-                        | _ -> None)
-                      inbox;
-                  if st.is_head && st.tails <> [] then begin
-                    let pick =
-                      List.nth st.tails
-                        (Grapho.Rng.int st.mm_rng (List.length st.tails))
-                    in
-                    [ send pick Mm_propose ]
-                  end
-                  else []
-                end
-            | 1 ->
-                (* Tails accept the smallest-id proposer. *)
-                if st.mate >= 0 then []
-                else begin
-                  let proposers =
-                    List.filter_map
-                      (fun (src, m) ->
-                        match m with Mm_propose -> Some src | _ -> None)
-                      inbox
+          (match phase with
+          | 0 ->
+              (* Coins in hand: heads court a random active tail. *)
+              if st.mate < 0 then begin
+                st.tails <-
+                  List.rev
+                    (Engine.inbox_fold
+                       (fun acc ~src m ->
+                         match m with
+                         | Mm_coin false when List.mem src st.live_nbrs ->
+                             src :: acc
+                         | _ -> acc)
+                       [] inbox);
+                if st.is_head && st.tails <> [] then begin
+                  let pick =
+                    List.nth st.tails
+                      (Grapho.Rng.int st.mm_rng (List.length st.tails))
                   in
-                  match List.sort compare proposers with
-                  | [] -> []
-                  | u :: _ ->
-                      st.mate <- u;
-                      st.announced <- true;
-                      send u Mm_accept
-                      :: broadcast_to st.live_nbrs Mm_matched
+                  Engine.emit out ~dst:pick Mm_propose
                 end
-            | 2 ->
-                (* Heads learn their fate: an accept can only come from
-                   the single tail they proposed to. *)
-                if st.mate < 0 then
-                  (match
-                     List.find_opt (fun (_, m) -> m = Mm_accept) inbox
-                   with
-                  | Some (src, _) -> st.mate <- src
-                  | None -> ());
-                if st.mate >= 0 && not st.announced then begin
-                  st.announced <- true;
-                  broadcast_to st.live_nbrs Mm_matched
-                end
-                else []
-            | _ ->
-                (* Fresh coins for the next phase. *)
-                if finished () then []
-                else begin
-                  st.is_head <- Grapho.Rng.bool st.mm_rng;
-                  broadcast_to st.live_nbrs (Mm_coin st.is_head)
-                end
-          in
-          (st, out, if finished () then `Done else `Continue));
+              end
+          | 1 ->
+              (* Tails accept the smallest-id proposer. *)
+              if st.mate < 0 then begin
+                let proposers =
+                  Engine.inbox_fold
+                    (fun acc ~src m ->
+                      match m with Mm_propose -> src :: acc | _ -> acc)
+                    [] inbox
+                in
+                match List.sort Int.compare proposers with
+                | [] -> ()
+                | u :: _ ->
+                    st.mate <- u;
+                    st.announced <- true;
+                    Engine.emit out ~dst:u Mm_accept;
+                    broadcast_list out st.live_nbrs Mm_matched
+              end
+          | 2 ->
+              (* Heads learn their fate: an accept can only come from
+                 the single tail they proposed to. *)
+              if st.mate < 0 then
+                Engine.inbox_iter
+                  (fun ~src m ->
+                    if m = Mm_accept && st.mate < 0 then st.mate <- src)
+                  inbox;
+              if st.mate >= 0 && not st.announced then begin
+                st.announced <- true;
+                broadcast_list out st.live_nbrs Mm_matched
+              end
+          | _ ->
+              (* Fresh coins for the next phase. *)
+              if not (finished ()) then begin
+                st.is_head <- Grapho.Rng.bool st.mm_rng;
+                broadcast_list out st.live_nbrs (Mm_coin st.is_head)
+              end);
+          (st, if finished () then `Done else `Continue));
       measure = (fun _ -> 3);
     }
   in

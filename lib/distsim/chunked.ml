@@ -1,14 +1,21 @@
 (* Per-destination queues and per-source reassembly buffers live in
    small association lists (degree-bounded), which beats hashing on
    the per-real-round hot path: no key snapshots, no double lookups,
-   no per-round allocation when idle. *)
-type 's outer_state = {
+   no per-round allocation when idle. The inner algorithm's mailbox is
+   virtualized through two reused per-vertex views: [inner_in] is
+   refilled with the reassembled messages at each virtual-round
+   boundary and [inner_out] collects the inner step's emissions before
+   they are framed into chunk queues — so the outer (real-round) hot
+   path never materializes send lists. *)
+type ('s, 'm) outer_state = {
   mutable inner : 's;
   mutable queues : (int * int list ref) list;
       (* dst -> chunks still to send *)
   mutable buffers : (int * int list ref) list;
       (* src -> chunks received (rev) *)
   mutable inner_done : bool;
+  inner_in : 'm Engine.inbox;  (* reused reassembled-message view *)
+  inner_out : 'm Engine.outbox;  (* reused inner-step push handle *)
 }
 
 let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
@@ -27,48 +34,50 @@ let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
            (c - 1));
     len :: chunks
   in
-  let enqueue st outbox =
-    List.iter
-      (fun { Engine.dst; payload } ->
+  (* Move the inner step's emissions into the chunk queues. *)
+  let enqueue st =
+    Engine.outbox_iter
+      (fun ~dst payload ->
         (* One inner message per edge per virtual round: anything more
            cannot fit the chunk schedule (and violates the model). *)
         if List.mem_assoc dst st.queues then
           invalid_arg
             "Chunked.run: two messages to one destination in a round";
         st.queues <- (dst, ref (frame payload)) :: st.queues)
-      outbox
+      st.inner_out;
+    Engine.outbox_clear st.inner_out
   in
-  (* One chunk per destination per real round. The common case — an
-     idle vertex with nothing queued — pays only the [[]] match. *)
-  let drain st =
+  (* One chunk per destination per real round, pushed straight into
+     the real outbox. The common case — an idle vertex with nothing
+     queued — pays only the [[]] match. *)
+  let drain st ~out =
     match st.queues with
-    | [] -> []
+    | [] -> ()
     | qs ->
-        let out =
-          List.filter_map
-            (fun (dst, q) ->
-              match !q with
-              | [] -> None
-              | chunk :: rest ->
-                  q := rest;
-                  Some { Engine.dst; payload = chunk })
-            qs
-        in
-        st.queues <- List.filter (fun (_, q) -> !q <> []) qs;
-        out
+        List.iter
+          (fun (dst, q) ->
+            match !q with
+            | [] -> ()
+            | chunk :: rest ->
+                q := rest;
+                Engine.emit out ~dst chunk)
+          qs;
+        st.queues <- List.filter (fun (_, q) -> !q <> []) qs
   in
   let queues_empty st = st.queues = [] in
   let absorb st inbox =
-    List.iter
-      (fun (src, chunk) ->
+    Engine.inbox_iter
+      (fun ~src chunk ->
         match List.assoc_opt src st.buffers with
         | Some r -> r := chunk :: !r
         | None -> st.buffers <- (src, ref [ chunk ]) :: st.buffers)
       inbox
   in
+  (* Reassemble complete inner messages into [st.inner_in]. *)
   let deliverables st =
+    Engine.inbox_clear st.inner_in;
     match st.buffers with
-    | [] -> []
+    | [] -> ()
     | buffers ->
         let messages =
           List.fold_left
@@ -101,41 +110,55 @@ let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
             [] buffers
         in
         st.buffers <- [];
-        (* Engine semantics: inboxes sorted by source. *)
-        List.sort (fun (a, _) (b, _) -> compare a b) messages
+        (* Engine semantics: inboxes sorted by source (monomorphic
+           key — sources are ints). *)
+        List.iter
+          (fun (src, msg) -> Engine.inbox_push st.inner_in ~src msg)
+          (List.sort (fun (a, _) (b, _) -> Int.compare a b) messages)
+  in
+  let status_of st =
+    if st.inner_done && queues_empty st then `Done else `Continue
   in
   let outer =
     {
       Engine.init =
-        (fun ~n ~vertex ~neighbors ->
-          let inner, outbox = spec.Engine.init ~n ~vertex ~neighbors in
+        (fun ~n ~vertex ~neighbors ~out ->
+          let inner_out = Engine.outbox_create () in
+          let inner = spec.Engine.init ~n ~vertex ~neighbors ~out:inner_out in
           let st =
-            { inner; queues = []; buffers = []; inner_done = false }
+            {
+              inner;
+              queues = [];
+              buffers = [];
+              inner_done = false;
+              inner_in = Engine.inbox_create ();
+              inner_out;
+            }
           in
-          enqueue st outbox;
-          (st, drain st));
+          enqueue st;
+          drain st ~out;
+          st);
       step =
-        (fun ~round ~vertex st inbox ->
+        (fun ~round ~vertex st inbox ~out ->
           absorb st inbox;
           if round mod c = 0 then begin
             (* Virtual round boundary: deliver and run the inner step. *)
             let virtual_round = round / c in
-            let delivered = deliverables st in
-            let inner, outbox, status =
-              spec.Engine.step ~round:virtual_round ~vertex st.inner delivered
+            deliverables st;
+            let inner, status =
+              spec.Engine.step ~round:virtual_round ~vertex st.inner
+                st.inner_in ~out:st.inner_out
             in
             st.inner <- inner;
             st.inner_done <- (status = `Done);
-            enqueue st outbox;
-            ( st,
-              drain st,
-              if st.inner_done && queues_empty st then `Done else `Continue )
+            enqueue st;
+            drain st ~out;
+            (st, status_of st)
           end
-          else
-            ( st,
-              drain st,
-              if st.inner_done && queues_empty st then `Done else `Continue ))
-        ;
+          else begin
+            drain st ~out;
+            (st, status_of st)
+          end);
       measure = (fun chunk -> 6 + Message.bits_int (abs chunk + 1));
     }
   in

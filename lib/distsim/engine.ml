@@ -1,4 +1,121 @@
-type 'msg send = { dst : int; payload : 'msg }
+(* ------------------------------------------------------------------ *)
+(* The mailbox API: reused inbox views and outbox push handles.
+
+   Both sides are growable parallel arrays (an [int array] of endpoints
+   next to a ['msg array] of payloads) so that neither delivery nor
+   reading materializes tuples, cons cells or send records. Growth
+   seeds the fresh payload array with the element being pushed, which
+   sidesteps the need for a ['msg] dummy without [Obj.magic]; arrays
+   only ever grow, so the steady state of a run allocates nothing in
+   the message plumbing. *)
+
+type 'msg inbox = {
+  mutable i_src : int array;
+  mutable i_msg : 'msg array;
+  mutable i_len : int;
+  i_hint : int;
+      (* First growth jumps straight to this capacity: the engine
+         hints each bank buffer with its vertex's degree, so a run
+         allocates each buffer once instead of walking a doubling
+         chain. *)
+}
+
+type 'msg outbox = {
+  mutable o_dst : int array;
+  mutable o_msg : 'msg array;
+  mutable o_len : int;
+  o_hint : int;
+}
+
+let inbox_create ?(hint = 0) () =
+  { i_src = [||]; i_msg = [||]; i_len = 0; i_hint = hint }
+
+let inbox_clear ib = ib.i_len <- 0
+let inbox_length ib = ib.i_len
+let inbox_src ib i = ib.i_src.(i)
+let inbox_payload ib i = ib.i_msg.(i)
+
+let inbox_push ib ~src msg =
+  let cap = Array.length ib.i_msg in
+  if ib.i_len = cap then begin
+    let ncap = max (max 8 ib.i_hint) (2 * cap) in
+    let msgs = Array.make ncap msg in
+    Array.blit ib.i_msg 0 msgs 0 ib.i_len;
+    ib.i_msg <- msgs;
+    let srcs = Array.make ncap 0 in
+    Array.blit ib.i_src 0 srcs 0 ib.i_len;
+    ib.i_src <- srcs
+  end;
+  ib.i_src.(ib.i_len) <- src;
+  ib.i_msg.(ib.i_len) <- msg;
+  ib.i_len <- ib.i_len + 1
+
+let inbox_iter f ib =
+  for i = 0 to ib.i_len - 1 do
+    f ~src:ib.i_src.(i) ib.i_msg.(i)
+  done
+
+let inbox_fold f acc ib =
+  let acc = ref acc in
+  for i = 0 to ib.i_len - 1 do
+    acc := f !acc ~src:ib.i_src.(i) ib.i_msg.(i)
+  done;
+  !acc
+
+let outbox_create ?(hint = 0) () =
+  { o_dst = [||]; o_msg = [||]; o_len = 0; o_hint = hint }
+
+let outbox_clear ob = ob.o_len <- 0
+let outbox_length ob = ob.o_len
+
+let emit ob ~dst msg =
+  let cap = Array.length ob.o_msg in
+  if ob.o_len = cap then begin
+    let ncap = max (max 8 ob.o_hint) (2 * cap) in
+    let msgs = Array.make ncap msg in
+    Array.blit ob.o_msg 0 msgs 0 ob.o_len;
+    ob.o_msg <- msgs;
+    let dsts = Array.make ncap 0 in
+    Array.blit ob.o_dst 0 dsts 0 ob.o_len;
+    ob.o_dst <- dsts
+  end;
+  ob.o_dst.(ob.o_len) <- dst;
+  ob.o_msg.(ob.o_len) <- msg;
+  ob.o_len <- ob.o_len + 1
+
+let outbox_iter f ob =
+  for i = 0 to ob.o_len - 1 do
+    f ~dst:ob.o_dst.(i) ob.o_msg.(i)
+  done
+
+(* Per-shard [(vertex, send-count)] segment index for the parallel
+   merge: shard outboxes are contiguous concatenations of their
+   vertices' sends, so the merge replays [cnt] messages per recorded
+   vertex at a running offset — no per-vertex lists. *)
+type seg = {
+  mutable s_v : int array;
+  mutable s_cnt : int array;
+  mutable s_len : int;
+}
+
+let seg_make () = { s_v = [||]; s_cnt = [||]; s_len = 0 }
+
+let seg_push s v c =
+  let cap = Array.length s.s_v in
+  if s.s_len = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nv = Array.make ncap 0 in
+    let nc = Array.make ncap 0 in
+    Array.blit s.s_v 0 nv 0 s.s_len;
+    Array.blit s.s_cnt 0 nc 0 s.s_len;
+    s.s_v <- nv;
+    s.s_cnt <- nc
+  end;
+  s.s_v.(s.s_len) <- v;
+  s.s_cnt.(s.s_len) <- c;
+  s.s_len <- s.s_len + 1
+
+(* ------------------------------------------------------------------ *)
 
 type metrics = {
   rounds : int;
@@ -7,52 +124,30 @@ type metrics = {
   max_message_bits : int;
   congest_violations : int;
   steps : int;
+  minor_words : float;
+  allocated_bytes : float;
 }
 
-type sched = [ `Active | `Naive ]
+let metrics_deterministic_eq a b =
+  a.rounds = b.rounds && a.messages = b.messages
+  && a.total_bits = b.total_bits
+  && a.max_message_bits = b.max_message_bits
+  && a.congest_violations = b.congest_violations
+  && a.steps = b.steps
+
+type sched = [ `Active | `Active_legacy_cost | `Naive ]
 
 type ('state, 'msg) spec = {
   init :
-    n:int -> vertex:int -> neighbors:int array ->
-    'state * 'msg send list;
+    n:int -> vertex:int -> neighbors:int array -> out:'msg outbox ->
+    'state;
   step :
-    round:int -> vertex:int -> 'state -> (int * 'msg) list ->
-    'state * 'msg send list * [ `Continue | `Done ];
+    round:int -> vertex:int -> 'state -> 'msg inbox -> out:'msg outbox ->
+    'state * [ `Continue | `Done ];
   measure : 'msg -> int;
 }
 
 exception Congest_violation of { src : int; dst : int; bits : int }
-
-(* ------------------------------------------------------------------ *)
-(* Insertion-ordered growable inboxes.
-
-   Vertices are stepped in ascending id order and a vertex emits at
-   most its outbox once per round, so appending each delivery to the
-   destination's buffer yields an inbox already sorted by source — the
-   per-round [List.sort] of the naive path comes for free. Buffers are
-   preallocated once and reused across rounds (two banks, swapped), so
-   the steady state allocates nothing but the inbox lists handed to
-   [step]. *)
-
-type 'msg buf = { mutable data : (int * 'msg) array; mutable len : int }
-
-let buf_make () = { data = [||]; len = 0 }
-
-let buf_push b x =
-  let cap = Array.length b.data in
-  if b.len = cap then begin
-    let data = Array.make (max 4 (2 * cap)) x in
-    Array.blit b.data 0 data 0 b.len;
-    b.data <- data
-  end;
-  b.data.(b.len) <- x;
-  b.len <- b.len + 1
-
-let buf_to_list b =
-  let rec go i acc = if i < 0 then acc else go (i - 1) (b.data.(i) :: acc) in
-  go (b.len - 1) []
-
-(* ------------------------------------------------------------------ *)
 
 (* The legacy [observer] is a thin wrapper over a [Send]-only trace
    sink; the engine internally folds it into the sink it traces to. *)
@@ -63,12 +158,15 @@ let effective_trace ?observer trace =
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-(* Message accounting shared by both schedulers. [round] is the
-   engine's current-round cell (0 during init), read when stamping
-   [Send] events. [take_round] snapshots and resets the per-round
-   deltas for a [Round_end] event; it is only called when tracing, and
-   the per-round counters are only maintained when tracing, so the
-   [Trace.null] path does exactly the work the untraced engine did. *)
+(* Message accounting shared by both schedulers, one message at a
+   time. [round] is the engine's current-round cell (0 during init),
+   read when stamping [Send] events. [take_round] snapshots and resets
+   the per-round deltas for a [Round_end] event; it is only called
+   when tracing, and the per-round counters are only maintained when
+   tracing, so the [Trace.null] path does exactly the work the
+   untraced engine did. GC pressure is metered from [Gc] counters on
+   the calling domain: run totals always (two float reads at the
+   boundaries), per-round deltas only when tracing. *)
 let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
   let trace = effective_trace ?observer trace in
   let tracing = not (Trace.is_null trace) in
@@ -77,39 +175,38 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
   let total_bits = ref 0 in
   let max_message_bits = ref 0 in
   let congest_violations = ref 0 in
+  let minor0 = Gc.minor_words () in
+  let alloc0 = Gc.allocated_bytes () in
   (* Per-round deltas (tracing only). *)
   let r_messages = ref 0 in
   let r_bits = ref 0 in
   let r_max_bits = ref 0 in
   let r_violations = ref 0 in
-  let account ~bandwidth ~deliver src outbox =
-    List.iter
-      (fun { dst; payload } ->
-        if not (Grapho.Ugraph.mem_edge graph src dst) then
-          invalid_arg
-            (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src
-               dst);
-        let bits = measure payload in
-        if tracing then begin
-          incr r_messages;
-          r_bits := !r_bits + bits;
-          if bits > !r_max_bits then r_max_bits := bits;
-          if wants_sends then
-            Trace.emit trace (Trace.Send { src; dst; bits; round = !round })
-        end;
-        incr messages;
-        total_bits := !total_bits + bits;
-        if bits > !max_message_bits then max_message_bits := bits;
-        (match bandwidth with
-        | Some limit when bits > limit ->
-            if strict then raise (Congest_violation { src; dst; bits })
-            else begin
-              incr congest_violations;
-              if tracing then incr r_violations
-            end
-        | _ -> ());
-        deliver ~src ~dst payload)
-      outbox
+  let r_minor_base = ref minor0 in
+  let account ~bandwidth ~deliver src dst payload =
+    if not (Grapho.Ugraph.mem_edge graph src dst) then
+      invalid_arg
+        (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src dst);
+    let bits = measure payload in
+    if tracing then begin
+      incr r_messages;
+      r_bits := !r_bits + bits;
+      if bits > !r_max_bits then r_max_bits := bits;
+      if wants_sends then
+        Trace.emit trace (Trace.Send { src; dst; bits; round = !round })
+    end;
+    incr messages;
+    total_bits := !total_bits + bits;
+    if bits > !max_message_bits then max_message_bits := bits;
+    (match bandwidth with
+    | Some limit when bits > limit ->
+        if strict then raise (Congest_violation { src; dst; bits })
+        else begin
+          incr congest_violations;
+          if tracing then incr r_violations
+        end
+    | _ -> ());
+    deliver ~src ~dst payload
   in
   let finish rounds ~steps =
     {
@@ -119,9 +216,24 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
       max_message_bits = !max_message_bits;
       congest_violations = !congest_violations;
       steps;
+      minor_words = (Gc.minor_words () -. minor0);
+      allocated_bytes =
+        (* [Gc.minor_words] is precise (it adds the unflushed young
+           region), but on this runtime [Gc.allocated_bytes] only
+           advances when the minor heap is flushed, so for runs that
+           fit inside one minor heap the raw delta undercounts —
+           while still being the only counter that sees direct
+           major-heap allocations (blocks over 256 words, e.g. big
+           arrays). Take the max of both views: a conservative lower
+           bound on total allocation that is never below the minor
+           activity actually measured. *)
+        (let raw = Gc.allocated_bytes () -. alloc0 in
+         let word_bytes = float_of_int (Sys.word_size / 8) in
+         Float.max (word_bytes *. (Gc.minor_words () -. minor0)) raw);
     }
   in
   let take_round ~stepped ~vdone ~elapsed_ns r =
+    let minor_now = Gc.minor_words () in
     let stat =
       {
         Trace.round = r;
@@ -132,8 +244,10 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
         vertices_done = vdone;
         congest_violations = !r_violations;
         elapsed_ns;
+        minor_words = int_of_float (minor_now -. !r_minor_base);
       }
     in
+    r_minor_base := minor_now;
     r_messages := 0;
     r_bits := 0;
     r_max_bits := 0;
@@ -142,9 +256,34 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
   in
   (trace, tracing, account, finish, take_round)
 
-(* The retained reference path: step every vertex every round, sort
-   every inbox. Kept verbatim (modulo the shared accounting) so the
-   equivalence suite can diff the active scheduler against it. *)
+(* Round 0 shared by both schedulers: initialize vertices in ascending
+   id order, draining the shared outbox after each init so delivery,
+   metric and trace side effects happen in exactly per-vertex ascending
+   order. The first vertex's state seeds the states array (no dummy
+   ['state] exists). *)
+let init_states ~n ~graph ~(spec : _ spec) ~out ~drain =
+  if n = 0 then [||]
+  else begin
+    let s0 =
+      spec.init ~n ~vertex:0
+        ~neighbors:(Grapho.Ugraph.neighbors graph 0) ~out
+    in
+    let states = Array.make n s0 in
+    drain 0;
+    for v = 1 to n - 1 do
+      states.(v) <-
+        spec.init ~n ~vertex:v
+          ~neighbors:(Grapho.Ugraph.neighbors graph v) ~out;
+      drain v
+    done;
+    states
+  end
+
+(* The retained reference path: step every vertex every round, rebuild
+   and sort every inbox from a per-round list. Kept deliberately
+   list-based (modulo the mailbox calling convention) so the
+   equivalence suite can diff the zero-allocation active scheduler
+   against an independently-structured implementation. *)
 let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
@@ -164,7 +303,15 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     incr in_flight;
     inboxes.(dst) <- (src, payload) :: inboxes.(dst)
   in
-  let account src outbox = account ~bandwidth ~deliver src outbox in
+  let account src dst payload = account ~bandwidth ~deliver src dst payload in
+  let out = outbox_create () in
+  let drain src =
+    for i = 0 to out.o_len - 1 do
+      account src out.o_dst.(i) out.o_msg.(i)
+    done;
+    out.o_len <- 0
+  in
+  let scratch = inbox_create () in
   let steps = ref 0 in
   let count_done () =
     Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 done_flags
@@ -179,12 +326,7 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   (* Round 0: init everyone. *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
   let t0 = if tracing then now_ns () else 0 in
-  let initial =
-    Array.init n (fun v ->
-        spec.init ~n ~vertex:v ~neighbors:(Grapho.Ugraph.neighbors graph v))
-  in
-  let states = Array.map fst initial in
-  Array.iteri (fun v (_, outbox) -> account v outbox) initial;
+  let states = init_states ~n ~graph ~spec ~out ~drain in
   steps := n;
   round_end t0 ~stepped:n;
   let all_done () = Array.for_all (fun f -> f) done_flags in
@@ -203,15 +345,19 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     Array.fill inboxes 0 n [];
     in_flight := 0;
     for v = 0 to n - 1 do
-      let inbox =
-        List.sort (fun (a, _) (b, _) -> compare a b) current.(v)
+      (* Monomorphic sort key: sources are ints, so the polymorphic
+         [compare] the original loop used is pure overhead here. *)
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) current.(v)
       in
-      let state, outbox, status = spec.step ~round:!round ~vertex:v
-          states.(v) inbox
+      inbox_clear scratch;
+      List.iter (fun (s, m) -> inbox_push scratch ~src:s m) sorted;
+      let state, status =
+        spec.step ~round:!round ~vertex:v states.(v) scratch ~out
       in
       states.(v) <- state;
       done_flags.(v) <- (status = `Done);
-      account v outbox
+      drain v
     done;
     steps := !steps + n;
     round_end t0 ~stepped:n;
@@ -226,22 +372,31 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
    (every spec in this repository satisfies this; the equivalence
    suite checks it on the protocols that matter).
 
+   Zero-allocation plumbing: two preallocated banks of per-vertex
+   inbox buffers are swapped each round (this round's sends accumulate
+   in the other bank), the vertex's own buffer is passed to [step]
+   directly as its inbox view, and sends land in a reused outbox that
+   is drained — validated, metered, traced, delivered — right after
+   the step returns. Steady-state rounds therefore allocate nothing in
+   the engine.
+
    With [par > 1] the per-round stepping fans out over a persistent
    domain pool: the vertex range is cut into contiguous shards, each
-   shard steps its vertices and buffers [(vertex, outbox)] pairs
-   locally, and a serial merge then walks the shards in order —
-   i.e. in ascending vertex id — performing every side effect the
-   sequential loop would have performed, in the same order: message
-   delivery into the next bank (so inbox insertion order is
-   preserved), metric accumulation, congestion checks and trace [Send]
-   emission. The parallel phase writes only disjoint per-vertex slots
-   ([states], [done_flags], each vertex's own inbox buffer) plus
-   per-shard scratch, and the pool barrier publishes those writes, so
-   the result is bit-identical to the sequential loop for any shard
-   count. The only observable difference is on error paths: a strict
-   [Congest_violation] or a non-neighbor [Invalid_argument] is raised
-   at merge time, after the whole round has been stepped, rather than
-   mid-round. *)
+   shard steps its vertices appending sends to a per-shard outbox and
+   a [(vertex, count)] segment index, and a serial merge then walks
+   the shards in order — i.e. in ascending vertex id — performing
+   every side effect the sequential loop would have performed, in the
+   same order: message delivery into the next bank (so inbox insertion
+   order is preserved), metric accumulation, congestion checks and
+   trace [Send] emission. The parallel phase writes only disjoint
+   per-vertex slots ([states], [done_flags], each vertex's own inbox
+   buffer) plus per-shard scratch, and the pool barrier publishes
+   those writes, so the result is bit-identical to the sequential loop
+   for any shard count (GC-pressure metrics excepted: each domain owns
+   its minor heap). The only observable difference is on error paths:
+   a strict [Congest_violation] or a non-neighbor [Invalid_argument]
+   is raised at merge time, after the whole round has been stepped,
+   rather than mid-round. *)
 let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     ?(par = 1) ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
@@ -250,15 +405,22 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   (* Shard count actually used per round. *)
   let k = match pool with None -> 1 | Some p -> min par (Pool.size p) in
   (* Per-shard scratch, allocated once and reused every round. *)
-  let shard_out = Array.init k (fun _ -> buf_make ()) in
+  let shard_out = Array.init k (fun _ -> outbox_create ()) in
+  let shard_seg = Array.init k (fun _ -> seg_make ()) in
   let shard_stepped = Array.make k 0 in
   let shard_delta = Array.make k 0 in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 50 * (n + 5)
   in
   let done_flags = Array.make n false in
-  let bank_a = Array.init n (fun _ -> buf_make ()) in
-  let bank_b = Array.init n (fun _ -> buf_make ()) in
+  let bank_a =
+    Array.init n (fun v ->
+        inbox_create ~hint:(Grapho.Ugraph.degree graph v) ())
+  in
+  let bank_b =
+    Array.init n (fun v ->
+        inbox_create ~hint:(Grapho.Ugraph.degree graph v) ())
+  in
   let cur = ref bank_a and next = ref bank_b in
   let bandwidth = Model.bandwidth model in
   let pending = ref 0 in (* messages sitting in [next] *)
@@ -270,9 +432,16 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   in
   let deliver ~src ~dst payload =
     incr pending;
-    buf_push !next.(dst) (src, payload)
+    inbox_push !next.(dst) ~src payload
   in
-  let account src outbox = account ~bandwidth ~deliver src outbox in
+  let account src dst payload = account ~bandwidth ~deliver src dst payload in
+  let out = outbox_create ~hint:(Grapho.Ugraph.max_degree graph) () in
+  let drain src =
+    for i = 0 to out.o_len - 1 do
+      account src out.o_dst.(i) out.o_msg.(i)
+    done;
+    out.o_len <- 0
+  in
   let steps = ref 0 in
   let round_end t0 ~stepped =
     if tracing then
@@ -281,15 +450,10 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
            (take_round ~stepped ~vdone:(n - !not_done)
               ~elapsed_ns:(now_ns () - t0) !round))
   in
-  (* Round 0: init everyone. *)
+  (* Round 0: init everyone (always sequential). *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
   let t0 = if tracing then now_ns () else 0 in
-  let initial =
-    Array.init n (fun v ->
-        spec.init ~n ~vertex:v ~neighbors:(Grapho.Ugraph.neighbors graph v))
-  in
-  let states = Array.map fst initial in
-  Array.iteri (fun v (_, outbox) -> account v outbox) initial;
+  let states = init_states ~n ~graph ~spec ~out ~drain in
   steps := n;
   round_end t0 ~stepped:n;
   let finished = ref (n = 0) in
@@ -313,13 +477,12 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     | None ->
         for v = 0 to n - 1 do
           let b = bank.(v) in
-          if b.len > 0 || not done_flags.(v) then begin
+          if b.i_len > 0 || not done_flags.(v) then begin
             incr stepped;
-            let inbox = buf_to_list b in
-            b.len <- 0;
-            let state, outbox, status = spec.step ~round:!round ~vertex:v
-                states.(v) inbox
+            let state, status =
+              spec.step ~round:!round ~vertex:v states.(v) b ~out
             in
+            b.i_len <- 0;
             states.(v) <- state;
             (match status with
             | `Done -> if not done_flags.(v) then begin
@@ -330,7 +493,7 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
                 done_flags.(v) <- false;
                 incr not_done
               end);
-            account v outbox
+            drain v
           end
         done
     | Some pool ->
@@ -338,19 +501,21 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         (* Parallel phase: step shards concurrently; touch only
            disjoint per-vertex slots and per-shard scratch. *)
         Pool.run pool ~shards:k ~n (fun ~lo ~hi ~shard ->
-            let out = shard_out.(shard) in
-            out.len <- 0;
+            let sout = shard_out.(shard) in
+            sout.o_len <- 0;
+            let seg = shard_seg.(shard) in
+            seg.s_len <- 0;
             let st = ref 0 in
             let delta = ref 0 in
             for v = lo to hi - 1 do
               let b = bank.(v) in
-              if b.len > 0 || not done_flags.(v) then begin
+              if b.i_len > 0 || not done_flags.(v) then begin
                 incr st;
-                let inbox = buf_to_list b in
-                b.len <- 0;
-                let state, outbox, status =
-                  spec.step ~round:r ~vertex:v states.(v) inbox
+                let before = sout.o_len in
+                let state, status =
+                  spec.step ~round:r ~vertex:v states.(v) b ~out:sout
                 in
+                b.i_len <- 0;
                 states.(v) <- state;
                 (match status with
                 | `Done ->
@@ -363,31 +528,82 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
                       done_flags.(v) <- false;
                       incr delta
                     end);
-                (* [account v []] is a no-op, so empty outboxes can be
-                   skipped without changing anything observable. *)
-                if outbox <> [] then buf_push out (v, outbox)
+                (* Draining an empty outbox is a no-op, so vertices
+                   that sent nothing can be skipped in the merge. *)
+                let cnt = sout.o_len - before in
+                if cnt > 0 then seg_push seg v cnt
               end
             done;
             shard_stepped.(shard) <- !st;
             shard_delta.(shard) <- !delta);
         (* Serial merge, in ascending vertex id (shards are contiguous
-           ascending ranges): exactly the side-effect order of the
-           sequential loop. *)
+           ascending ranges and each shard outbox is the in-order
+           concatenation of its vertices' sends): exactly the
+           side-effect order of the sequential loop. *)
         for s = 0 to k - 1 do
           stepped := !stepped + shard_stepped.(s);
           not_done := !not_done + shard_delta.(s);
-          let out = shard_out.(s) in
-          for i = 0 to out.len - 1 do
-            let v, outbox = out.data.(i) in
-            account v outbox
+          let sout = shard_out.(s) in
+          let seg = shard_seg.(s) in
+          let off = ref 0 in
+          for i = 0 to seg.s_len - 1 do
+            let v = seg.s_v.(i) in
+            let stop = !off + seg.s_cnt.(i) in
+            for j = !off to stop - 1 do
+              account v sout.o_dst.(j) sout.o_msg.(j)
+            done;
+            off := stop
           done;
-          out.len <- 0
+          sout.o_len <- 0;
+          seg.s_len <- 0
         done);
     steps := !steps + !stepped;
     round_end t0 ~stepped:!stepped;
     if !not_done = 0 && !pending = 0 then finished := true
   done;
   (states, finish !round ~steps:!steps)
+
+(* Benchmarking shim: identical results and scheduling, pre-mailbox
+   allocation profile. Each step first materializes the [(src, msg)]
+   list inbox the pre-mailbox engine handed to protocols (one tuple
+   and one cons cell per delivered message, plus the per-step sort),
+   and every send goes through a send-record list rebuilt from a
+   scratch outbox (one 2-field record and one cons cell per message)
+   before being replayed into the engine's real outbox. This is the
+   "before" side of the allocation A/B in the perf trajectory. *)
+type 'msg legacy_send = { ls_dst : int; ls_payload : 'msg }
+
+let legacy_cost_spec (spec : ('s, 'm) spec) : ('s, 'm) spec =
+  let scratch = outbox_create () in
+  let collect () =
+    let acc = ref [] in
+    outbox_iter
+      (fun ~dst m -> acc := { ls_dst = dst; ls_payload = m } :: !acc)
+      scratch;
+    outbox_clear scratch;
+    List.rev !acc
+  in
+  let replay out sends =
+    List.iter (fun s -> emit out ~dst:s.ls_dst s.ls_payload) sends
+  in
+  {
+    init =
+      (fun ~n ~vertex ~neighbors ~out ->
+        let st = spec.init ~n ~vertex ~neighbors ~out:scratch in
+        replay out (collect ());
+        st);
+    step =
+      (fun ~round ~vertex st inbox ~out ->
+        let lst =
+          inbox_fold (fun acc ~src m -> (src, m) :: acc) [] inbox
+        in
+        let lst = List.sort (fun (a, _) (b, _) -> compare a b) lst in
+        ignore (Sys.opaque_identity lst);
+        let st', status = spec.step ~round ~vertex st inbox ~out:scratch in
+        replay out (collect ());
+        (st', status));
+    measure = spec.measure;
+  }
 
 let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ~model
     ~graph spec =
@@ -398,3 +614,9 @@ let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ~model
       run_naive ?max_rounds ?strict ?observer ?trace ~model ~graph spec
   | `Active ->
       run_active ?max_rounds ?strict ?observer ?trace ?par ~model ~graph spec
+  | `Active_legacy_cost ->
+      (* [scratch] in the shim is shared across vertices, so this
+         variant must stay single-domain; it exists for the bench
+         binary's allocation A/B, not for parallel runs. *)
+      run_active ?max_rounds ?strict ?observer ?trace ~model ~graph
+        (legacy_cost_spec spec)

@@ -9,9 +9,65 @@
 
     The engine never lets a vertex observe anything but its own state
     and inbox, so an algorithm that type-checks against [spec] is
-    honestly distributed; global knowledge must travel in messages. *)
+    honestly distributed; global knowledge must travel in messages.
 
-type 'msg send = { dst : int; payload : 'msg }
+    {1 The mailbox API}
+
+    Message plumbing is {e zero-allocation} in the steady state: a
+    vertex reads its inbox through a reused {!type:inbox} view (length
+    + indexed access + iter/fold over the engine's internal buffer
+    bank — no list is ever materialized) and sends by pushing into a
+    reused {!type:outbox} via {!emit} instead of returning a list of
+    send records. The engine preallocates the inbox banks and outboxes
+    once and recycles them every round, so a protocol whose [step]
+    itself does not allocate runs without minor-GC traffic; the
+    [minor_words]/[allocated_bytes] fields of {!metrics} (and the
+    per-round [minor_words] of {!Trace.round_stat}) make that
+    measurable. *)
+
+type 'msg inbox
+(** Read-only view of the messages a vertex received last round,
+    backed by a buffer the engine reuses across rounds. Valid only for
+    the duration of the [step] call it is passed to — do not stash it
+    in vertex state. Entries appear in ascending source id (sources
+    are stepped in ascending order and each appends in turn). *)
+
+type 'msg outbox
+(** Push handle for this round's sends, backed by a buffer the engine
+    drains and reuses. Valid only for the duration of the [init]/[step]
+    call it is passed to. *)
+
+val inbox_length : 'msg inbox -> int
+val inbox_src : 'msg inbox -> int -> int
+(** [inbox_src ib i] is the sender of the [i]-th message, [0 <= i <
+    inbox_length ib]. No bounds check beyond the array's own. *)
+
+val inbox_payload : 'msg inbox -> int -> 'msg
+val inbox_iter : (src:int -> 'msg -> unit) -> 'msg inbox -> unit
+val inbox_fold : ('a -> src:int -> 'msg -> 'a) -> 'a -> 'msg inbox -> 'a
+
+val emit : 'msg outbox -> dst:int -> 'msg -> unit
+(** Queue one message to neighbor [dst]. The engine validates the
+    edge, meters the payload and delivers when the emitting vertex's
+    step completes (sequential) or at the deterministic merge
+    (parallel). *)
+
+(** Constructors and mutators, exposed so the LOCAL→CONGEST compiler
+    ({!Chunked}) and the test suites can build views of their own;
+    protocol code should never need them. *)
+
+val inbox_create : ?hint:int -> unit -> 'msg inbox
+(** [?hint] sizes the first growth of the backing arrays (the engine
+    passes each vertex's degree), so a buffer reaches steady-state
+    capacity in one allocation instead of a doubling chain. *)
+
+val inbox_clear : 'msg inbox -> unit
+val inbox_push : 'msg inbox -> src:int -> 'msg -> unit
+
+val outbox_create : ?hint:int -> unit -> 'msg outbox
+val outbox_clear : 'msg outbox -> unit
+val outbox_length : 'msg outbox -> int
+val outbox_iter : (dst:int -> 'msg -> unit) -> 'msg outbox -> unit
 
 type metrics = {
   rounds : int;  (** rounds executed *)
@@ -26,35 +82,68 @@ type metrics = {
           [n * (rounds + 1)]; under [`Active] it is the work the
           event-driven scheduler actually did, so the difference is
           the scheduler's saving, now a first-class number. *)
+  minor_words : float;
+      (** [Gc.minor_words] delta over the run, measured on the calling
+          domain. Under [par > 1] the pool domains' own allocations
+          are not included (each domain has its own minor heap), so
+          this is the {e coordination} cost; under [par = 1] it is the
+          whole simulation's minor-heap traffic. Not deterministic
+          across schedulers/domains — excluded from the determinism
+          contract, see {!metrics_deterministic_eq}. *)
+  allocated_bytes : float;
+      (** Conservative lower bound on bytes allocated over the run
+          (calling domain): the max of the [Gc.allocated_bytes] delta
+          (which also sees direct major-heap allocations but only
+          advances at minor-heap flushes) and the byte equivalent of
+          the precise [minor_words] delta. Same caveats as
+          [minor_words]. *)
 }
 
-type sched = [ `Active | `Naive ]
+val metrics_deterministic_eq : metrics -> metrics -> bool
+(** Equality on the deterministic projection of {!metrics} — every
+    field except the GC-pressure floats ([minor_words],
+    [allocated_bytes]), which legitimately vary across schedulers,
+    domain counts and runs. This is the equality the determinism
+    contract (seq vs [par], [`Active] vs [`Naive]) is stated in. *)
+
+type sched = [ `Active | `Active_legacy_cost | `Naive ]
 (** Scheduling strategy. [`Active] (the default) is event-driven: a
     vertex is stepped in a round only if it has pending inbox messages
     or has not signalled [`Done]; inboxes are insertion-ordered
-    reusable buffers, so no per-round sorting or copying happens. It
-    is observationally identical to [`Naive] for algorithms that are
+    reusable buffers exposed directly as the {!type:inbox} view, so the
+    steady state neither sorts, copies nor allocates. It is
+    observationally identical to [`Naive] for algorithms that are
     {e quiescent when done}: once a vertex returns [`Done], stepping
     it on an empty inbox must leave its state unchanged, emit nothing
     and return [`Done] again (a woken vertex may of course resume with
     [`Continue]). [`Naive] retains the original step-everyone loop
-    with sorted inbox lists as a reference for differential testing
-    ([test/test_engine_sched.ml]). *)
+    with per-round rebuilt-and-sorted inboxes as a reference for
+    differential testing ([test/test_engine_sched.ml]).
+
+    [`Active_legacy_cost] is the [`Active] scheduler with a
+    benchmarking shim interposed that reproduces the pre-mailbox
+    allocation profile — every step materializes a sorted
+    [(src, msg) list] inbox and routes sends through a send-record
+    list before replaying them. Identical results and deterministic
+    metrics; exists as the "before" side of the allocation A/B in the
+    bench binary. Single-domain only ([par] is ignored). *)
 
 type ('state, 'msg) spec = {
   init :
-    n:int -> vertex:int -> neighbors:int array ->
-    'state * 'msg send list;
-      (** Round 0: initial state and first outbox. Vertices know [n]
-          (or a polynomial bound on it) and the identifiers of their
-          neighbors, per the paper's input convention. *)
+    n:int -> vertex:int -> neighbors:int array -> out:'msg outbox ->
+    'state;
+      (** Round 0: initial state; first sends go through [out].
+          Vertices know [n] (or a polynomial bound on it) and the
+          identifiers of their neighbors, per the paper's input
+          convention. *)
   step :
-    round:int -> vertex:int -> 'state -> (int * 'msg) list ->
-    'state * 'msg send list * [ `Continue | `Done ];
-      (** One round: current state and inbox (pairs [(src, payload)],
-          sorted by [src]) to new state, outbox and halting flag. A
-          vertex that returned [`Done] keeps being stepped (it may
-          serve as a relay) and may return to [`Continue]. *)
+    round:int -> vertex:int -> 'state -> 'msg inbox -> out:'msg outbox ->
+    'state * [ `Continue | `Done ];
+      (** One round: current state and inbox view (entries sorted by
+          source) to new state and halting flag; sends go through
+          [out]. A vertex that returned [`Done] keeps being stepped
+          (it may serve as a relay) and may return to [`Continue].
+          The inbox and outbox are only valid during the call. *)
   measure : 'msg -> int;  (** wire size of a payload, in bits *)
 }
 
@@ -75,31 +164,35 @@ val run :
     {!Trace.null}, which costs nothing) receives the structured event
     stream: [Round_begin]/[Round_end] around every round (round 0 is
     initialization) with per-round message counts, bit volumes,
-    stepped-vertex counts and wall-clock time, plus one [Send] per
-    wire message when the sink wants them. [observer] is the legacy
-    per-message callback — internally a [Send]-only sink tee'd onto
-    [trace] — that the two-party simulation harness uses to meter the
-    bits crossing the Alice/Bob cut. [strict] (default [false]) raises
-    {!Congest_violation} on the first oversized message instead of
-    merely counting it. [sched] picks the scheduling strategy (default
-    [`Active]). Sending to a non-neighbor raises [Invalid_argument].
-    [max_rounds] defaults to [50 * (n + 5)]. Raises [Failure] if the
-    round limit is hit before global termination.
+    stepped-vertex counts, wall-clock time and minor-words allocated,
+    plus one [Send] per wire message when the sink wants them.
+    [observer] is the legacy per-message callback — internally a
+    [Send]-only sink tee'd onto [trace] — that the two-party
+    simulation harness uses to meter the bits crossing the Alice/Bob
+    cut. [strict] (default [false]) raises {!Congest_violation} on the
+    first oversized message instead of merely counting it. [sched]
+    picks the scheduling strategy (default [`Active]). Sending to a
+    non-neighbor raises [Invalid_argument]. [max_rounds] defaults to
+    [50 * (n + 5)]. Raises [Failure] if the round limit is hit before
+    global termination.
 
     [par] (default 1) is the number of domains used to step each
     round under [`Active]: the vertex range is partitioned into
     contiguous shards, shards are stepped concurrently on a persistent
-    {!Pool} with per-shard outbox buffers, and a serial merge then
-    replays every side effect — message delivery, metric updates,
-    congestion checks, trace [Send] events — in ascending vertex id,
-    i.e. in exactly the sequential order. The result (states, spanner
-    outputs, all metrics including [steps], and the full trace event
-    stream) is therefore {e bit-identical} to [par = 1] for any value
-    of [par]; see [test/test_engine_sched.ml]. Requirements on the
-    spec under [par > 1]: [step] must touch no mutable state shared
-    between vertices (per-vertex state records and per-vertex RNG
-    streams are fine; every spec in this repository qualifies — see
-    the randomness notes in the protocol modules). Trace sinks need no
+    {!Pool}, each shard appending its sends to a per-shard outbox plus
+    a [(vertex, count)] segment index, and a serial merge then replays
+    every side effect — message delivery, metric updates, congestion
+    checks, trace [Send] events — in ascending vertex id, i.e. in
+    exactly the sequential order. The result (states, spanner outputs,
+    all deterministic metrics including [steps], and the full trace
+    event stream) is therefore {e bit-identical} to [par = 1] for any
+    value of [par] — GC-pressure fields excepted, see
+    {!metrics_deterministic_eq} — as checked by
+    [test/test_engine_sched.ml]. Requirements on the spec under
+    [par > 1]: [step] must touch no mutable state shared between
+    vertices (per-vertex state records and per-vertex RNG streams are
+    fine; every spec in this repository qualifies — see the randomness
+    notes in the protocol modules). Trace sinks need no
     synchronization: all emission happens on the calling domain.
     Error-path caveat: under [par > 1], strict {!Congest_violation}
     and non-neighbor [Invalid_argument] are raised at merge time,

@@ -7,6 +7,7 @@ type round_stat = {
   vertices_done : int;
   congest_violations : int;
   elapsed_ns : int;
+  minor_words : int;
 }
 
 type event =
@@ -131,6 +132,7 @@ let zero_stat =
     vertices_done = 0;
     congest_violations = 0;
     elapsed_ns = 0;
+    minor_words = 0;
   }
 
 let series st =
@@ -180,9 +182,9 @@ let event_to_json ev =
       out
         "{\"ev\":\"round_end\",\"round\":%d,\"messages\":%d,\"bits\":%d,\
          \"max_bits\":%d,\"stepped\":%d,\"done\":%d,\"violations\":%d,\
-         \"ns\":%d}"
+         \"ns\":%d,\"minor_words\":%d}"
         s.round s.messages s.bits s.max_bits s.vertices_stepped
-        s.vertices_done s.congest_violations s.elapsed_ns
+        s.vertices_done s.congest_violations s.elapsed_ns s.minor_words
   | Send { src; dst; bits; round } ->
       out "{\"ev\":\"send\",\"round\":%d,\"src\":%d,\"dst\":%d,\"bits\":%d}"
         round src dst bits
@@ -320,6 +322,14 @@ let event_of_json line =
       | None -> raise (Parse ("missing field " ^ key))
     in
     let int key = int_of_float (num key) in
+    (* Absent-tolerant variant, for fields added after the codec
+       shipped (pre-PR4 streams have no "minor_words"). *)
+    let int_opt key ~default =
+      match List.assoc_opt key fields with
+      | Some (Jnum f) -> int_of_float f
+      | Some (Jstr _) -> raise (Parse (key ^ ": expected a number"))
+      | None -> default
+    in
     let ev =
       match str "ev" with
       | "round_begin" -> Round_begin (int "round")
@@ -334,6 +344,7 @@ let event_of_json line =
               vertices_done = int "done";
               congest_violations = int "violations";
               elapsed_ns = int "ns";
+              minor_words = int_opt "minor_words" ~default:0;
             }
       | "send" ->
           Send

@@ -36,6 +36,13 @@ type round_stat = {
   vertices_done : int;  (** vertices flagged [`Done] after the round *)
   congest_violations : int;  (** oversized messages this round *)
   elapsed_ns : int;  (** wall-clock nanoseconds spent in the round *)
+  minor_words : int;
+      (** minor-heap words allocated during the round on the engine's
+          calling domain ([Gc.minor_words] delta — under [par > 1] the
+          pool domains' own allocations are not included). Like
+          [elapsed_ns] this is a measurement of the simulator, not the
+          simulated protocol, so it is nondeterministic and excluded
+          from the cross-scheduler equality contracts. *)
 }
 (** One row of the per-round series. Round 0 is initialization: every
     vertex runs [init], so [vertices_stepped = n] there. Summing
@@ -129,7 +136,7 @@ val jsonl :
 
 val event_to_json : event -> string
 (** One-line JSON object, e.g.
-    [{"ev":"round_end","round":3,"messages":12,"bits":480,"max_bits":40,"stepped":7,"done":2,"violations":0,"ns":8125}]. *)
+    [{"ev":"round_end","round":3,"messages":12,"bits":480,"max_bits":40,"stepped":7,"done":2,"violations":0,"ns":8125,"minor_words":96}]. *)
 
 val event_of_json : string -> (event, string) result
 (** Parses exactly the output of {!event_to_json} (a flat JSON object

@@ -24,7 +24,10 @@ let of_edge_set ~n set =
       adj.(v).(fill.(v)) <- u;
       fill.(v) <- fill.(v) + 1)
     set;
-  Array.iter (fun a -> Array.sort compare a) adj;
+  (* Monomorphic comparator: rows are int arrays, and the polymorphic
+     [compare] costs a C call per comparison on the construction path
+     of every generated graph. *)
+  Array.iter (fun a -> Array.sort (fun (x : int) y -> Int.compare x y) a) adj;
   { n; m = Edge.Set.cardinal set; adj }
 
 let of_edges ~n edges =
@@ -64,20 +67,22 @@ let mem_edge g u v =
   if u = v then false
   else begin
     (* Binary search in the sorted neighbor array of the lower-degree
-       endpoint. *)
-    let a, x =
-      if Array.length g.adj.(u) <= Array.length g.adj.(v) then (g.adj.(u), v)
-      else (g.adj.(v), u)
-    in
-    let rec search lo hi =
-      if lo >= hi then false
-      else
-        let mid = (lo + hi) / 2 in
-        if a.(mid) = x then true
-        else if a.(mid) < x then search (mid + 1) hi
-        else search lo mid
-    in
-    search 0 (Array.length a)
+       endpoint. Iterative: the engine probes this once per delivered
+       message, and an inner recursive closure would allocate on every
+       call. *)
+    let swap = Array.length g.adj.(u) > Array.length g.adj.(v) in
+    let a = if swap then g.adj.(v) else g.adj.(u) in
+    let x = if swap then u else v in
+    let lo = ref 0 and hi = ref (Array.length a) in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let y = a.(mid) in
+      if y = x then found := true
+      else if y < x then lo := mid + 1
+      else hi := mid
+    done;
+    !found
   end
 
 let iter_edges f g =

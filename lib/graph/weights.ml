@@ -2,13 +2,35 @@ let check w =
   if w < 0.0 then invalid_arg "Weights: negative weight";
   w
 
-type t = { table : float Edge.Map.t; default : float }
+type t = {
+  table : float Edge.Map.t;
+  default : float;
+  fast : (int, float) Hashtbl.t;
+      (* packed (lo, hi) -> weight mirror of [table], built once at
+         construction so hot loops can probe a weight without
+         allocating an [Edge.t] per lookup. *)
+}
 
-let uniform w = { table = Edge.Map.empty; default = check w }
+(* Vertex ids are non-negative and well below 2^31 in this code base,
+   so an unordered pair packs losslessly into one immediate int. *)
+let pack u v = if u < v then (u lsl 31) lor v else (v lsl 31) lor u
+
+let fast_of_table table =
+  let h = Hashtbl.create (max 16 (2 * Edge.Map.cardinal table)) in
+  Edge.Map.iter
+    (fun e w ->
+      let u, v = Edge.endpoints e in
+      Hashtbl.replace h (pack u v) w)
+    table;
+  h
+
+let uniform w =
+  let table = Edge.Map.empty in
+  { table; default = check w; fast = fast_of_table table }
 
 let of_map ?(default = 1.0) table =
   Edge.Map.iter (fun _ w -> ignore (check w)) table;
-  { table; default = check default }
+  { table; default = check default; fast = fast_of_table table }
 
 let of_list ?(default = 1.0) l =
   let table =
@@ -16,7 +38,11 @@ let of_list ?(default = 1.0) l =
       (fun m (u, v, w) -> Edge.Map.add (Edge.make u v) (check w) m)
       Edge.Map.empty l
   in
-  { table; default = check default }
+  { table; default = check default; fast = fast_of_table table }
+
+let get_uv t u v =
+  if u = v then invalid_arg "Weights.get_uv: self-loop";
+  try Hashtbl.find t.fast (pack u v) with Not_found -> t.default
 
 let get t e =
   match Edge.Map.find_opt e t.table with Some w -> w | None -> t.default

@@ -17,6 +17,15 @@ val of_list : ?default:float -> (int * int * float) list -> t
 
 val of_map : ?default:float -> float Edge.Map.t -> t
 val get : t -> Edge.t -> float
+
+val get_uv : t -> int -> int -> float
+(** [get_uv t u v] is [get t (Edge.make u v)] without allocating the
+    edge: lookups go through an int-packed hash mirror built at
+    construction, so per-probe cost is one immediate-key hash lookup.
+    This is the accessor hot loops (e.g. [wmax_two_hop], the protocol
+    variants' weight probes) should use. Raises [Invalid_argument] on
+    [u = v], like [Edge.make]. *)
+
 val cost : t -> Edge.Set.t -> float
 (** Total weight of an edge set. *)
 

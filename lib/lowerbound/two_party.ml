@@ -50,30 +50,30 @@ let meter_flood ?model ~graph ~bob () =
     match model with Some m -> m | None -> Distsim.Model.congest ~n ()
   in
   let bits = Distsim.Message.bits_for_id ~n in
-  let broadcast neighbors payload =
-    Array.to_list
-      (Array.map (fun u -> { Distsim.Engine.dst = u; payload }) neighbors)
+  let broadcast out neighbors payload =
+    Array.iter (fun u -> Distsim.Engine.emit out ~dst:u payload) neighbors
   in
   let spec =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex ~neighbors ->
-          ({ best = vertex }, broadcast neighbors vertex));
+        (fun ~n:_ ~vertex ~neighbors ~out ->
+          broadcast out neighbors vertex;
+          { best = vertex });
       step =
-        (fun ~round:_ ~vertex st inbox ->
+        (fun ~round:_ ~vertex st inbox ~out ->
           let improved = ref false in
-          List.iter
-            (fun (_, v) ->
+          Distsim.Engine.inbox_iter
+            (fun ~src:_ v ->
               if v < st.best then begin
                 st.best <- v;
                 improved := true
               end)
             inbox;
-          if !improved then
-            ( st,
-              broadcast (Ugraph.neighbors graph vertex) st.best,
-              `Continue )
-          else (st, [], `Done));
+          if !improved then begin
+            broadcast out (Ugraph.neighbors graph vertex) st.best;
+            (st, `Continue)
+          end
+          else (st, `Done));
       measure = (fun _ -> bits);
     }
   in

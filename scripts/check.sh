@@ -1,9 +1,12 @@
 #!/bin/sh
 # Tier-1 gate: everything a PR must keep green.
 #   - full build
-#   - the unit/integration/property suites
+#   - the unit/integration/property suites (includes the GC-regression
+#     allocation guard, also run below by name so a suite filter can't
+#     silently drop it)
 #   - a bench smoke run exercising the --json perf-trajectory and
-#     --trace event-stream paths, plus the --par 2 seq-vs-par A/B path
+#     --trace event-stream paths, plus the --par 2 seq-vs-par A/B path;
+#     the emitted JSON must carry the spanner-bench/4 "alloc" rows
 #   - a tiny spanner_cli trace run (its exit status asserts that the
 #     per-round series reconciles with the engine metrics), run both
 #     sequentially and with --par 2: the two reports must be
@@ -14,7 +17,19 @@ cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+# The zero-allocation mailbox guard, explicitly.
+dune exec test/test_engine_sched.exe -- test allocation > /dev/null
+
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
+benchjson=$(mktemp)
+dune exec bench/main.exe -- e13 --json "$benchjson" --trace /dev/null
+# The perf trajectory must be schema 4 and expose the allocation A/B.
+grep -q '"schema": "spanner-bench/4"' "$benchjson"
+grep -q '"alloc"' "$benchjson"
+grep -q '"minor_words"' "$benchjson"
+grep -q '"allocated_bytes"' "$benchjson"
+grep -q '"legacy_minor_words"' "$benchjson"
+rm -f "$benchjson"
 dune exec bench/main.exe -- e13 --par 2 --json /dev/null
 
 tmpgraph=$(mktemp)

@@ -11,16 +11,21 @@ type echo_state = { mutable seen : (int * int) list }
 let echo_spec graph =
   {
     Distsim.Engine.init =
-      (fun ~n:_ ~vertex ~neighbors ->
-        ( { seen = [] },
-          Array.to_list
-            (Array.map
-               (fun u -> { Distsim.Engine.dst = u; payload = vertex })
-               neighbors) ));
+      (fun ~n:_ ~vertex ~neighbors ~out ->
+        Array.iter
+          (fun u -> Distsim.Engine.emit out ~dst:u vertex)
+          neighbors;
+        { seen = [] });
     step =
-      (fun ~round:_ ~vertex:_ st inbox ->
-        st.seen <- st.seen @ inbox;
-        (st, [], `Done));
+      (fun ~round:_ ~vertex:_ st inbox ~out:_ ->
+        let heard =
+          List.rev
+            (Distsim.Engine.inbox_fold
+               (fun acc ~src msg -> (src, msg) :: acc)
+               [] inbox)
+        in
+        st.seen <- st.seen @ heard;
+        (st, `Done));
     measure =
       (fun _ -> Distsim.Message.bits_for_id ~n:(max 2 (Ugraph.n graph)));
   }
@@ -57,10 +62,9 @@ let test_send_to_non_neighbor_rejected () =
   let bad =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex ~neighbors:_ ->
-          if vertex = 0 then ((), [ { Distsim.Engine.dst = 2; payload = 0 } ])
-          else ((), []));
-      step = (fun ~round:_ ~vertex:_ () _ -> ((), [], `Done));
+        (fun ~n:_ ~vertex ~neighbors:_ ~out ->
+          if vertex = 0 then Distsim.Engine.emit out ~dst:2 0);
+      step = (fun ~round:_ ~vertex:_ () _ ~out:_ -> ((), `Done));
       measure = (fun _ -> 1);
     }
   in
@@ -76,20 +80,14 @@ let test_max_rounds_guard () =
   let forever =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex:_ ~neighbors ->
-          ( (),
-            Array.to_list
-              (Array.map
-                 (fun u -> { Distsim.Engine.dst = u; payload = 0 })
-                 neighbors) ));
+        (fun ~n:_ ~vertex:_ ~neighbors ~out ->
+          Array.iter (fun u -> Distsim.Engine.emit out ~dst:u 0) neighbors);
       step =
-        (fun ~round:_ ~vertex st _ ->
-          ( st,
-            Array.to_list
-              (Array.map
-                 (fun u -> { Distsim.Engine.dst = u; payload = 0 })
-                 (Ugraph.neighbors g vertex)),
-            `Continue ));
+        (fun ~round:_ ~vertex st _ ~out ->
+          Array.iter
+            (fun u -> Distsim.Engine.emit out ~dst:u 0)
+            (Ugraph.neighbors g vertex);
+          (st, `Continue));
       measure = (fun _ -> 1);
     }
   in
@@ -106,13 +104,9 @@ let test_congest_violation_counted () =
   let fat =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex:_ ~neighbors ->
-          ( (),
-            Array.to_list
-              (Array.map
-                 (fun u -> { Distsim.Engine.dst = u; payload = 0 })
-                 neighbors) ));
-      step = (fun ~round:_ ~vertex:_ st _ -> (st, [], `Done));
+        (fun ~n:_ ~vertex:_ ~neighbors ~out ->
+          Array.iter (fun u -> Distsim.Engine.emit out ~dst:u 0) neighbors);
+      step = (fun ~round:_ ~vertex:_ st _ ~out:_ -> (st, `Done));
       measure = (fun _ -> 10_000);
     }
   in
@@ -310,20 +304,24 @@ let prop_matching_valid =
 
 type chk_state = { mutable heard : (int * int list) list }
 
+let inbox_to_list inbox =
+  List.rev
+    (Distsim.Engine.inbox_fold
+       (fun acc ~src msg -> (src, msg) :: acc)
+       [] inbox)
+
 let chunk_echo_spec payload_of =
   {
     Distsim.Engine.init =
-      (fun ~n:_ ~vertex ~neighbors ->
-        ( { heard = [] },
-          Array.to_list
-            (Array.map
-               (fun u ->
-                 { Distsim.Engine.dst = u; payload = payload_of vertex })
-               neighbors) ));
+      (fun ~n:_ ~vertex ~neighbors ~out ->
+        Array.iter
+          (fun u -> Distsim.Engine.emit out ~dst:u (payload_of vertex))
+          neighbors;
+        { heard = [] });
     step =
-      (fun ~round:_ ~vertex:_ st inbox ->
-        st.heard <- inbox;
-        (st, [], `Done));
+      (fun ~round:_ ~vertex:_ st inbox ~out:_ ->
+        st.heard <- inbox_to_list inbox;
+        (st, `Done));
     measure = (fun l -> 8 * (1 + List.length l));
   }
 
@@ -365,12 +363,11 @@ let test_chunked_rejects_double_send () =
   let double =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex:_ ~neighbors ->
+        (fun ~n:_ ~vertex:_ ~neighbors ~out ->
           let u = neighbors.(0) in
-          ( (),
-            [ { Distsim.Engine.dst = u; payload = [ 1 ] };
-              { Distsim.Engine.dst = u; payload = [ 2 ] } ] ));
-      step = (fun ~round:_ ~vertex:_ () _ -> ((), [], `Done));
+          Distsim.Engine.emit out ~dst:u [ 1 ];
+          Distsim.Engine.emit out ~dst:u [ 2 ]);
+      step = (fun ~round:_ ~vertex:_ () _ ~out:_ -> ((), `Done));
       measure = (fun _ -> 4);
     }
   in
@@ -392,27 +389,26 @@ let test_chunked_multi_round () =
   let spec =
     {
       Distsim.Engine.init =
-        (fun ~n:_ ~vertex ~neighbors ->
-          ( { heard = [] },
-            Array.to_list
-              (Array.map
-                 (fun u -> { Distsim.Engine.dst = u; payload = [ vertex ] })
-                 neighbors) ));
+        (fun ~n:_ ~vertex ~neighbors ~out ->
+          Array.iter
+            (fun u -> Distsim.Engine.emit out ~dst:u [ vertex ])
+            neighbors;
+          { heard = [] });
       step =
-        (fun ~round ~vertex:_ st inbox ->
+        (fun ~round ~vertex:_ st inbox ~out ->
           if round = 1 then begin
             let ids =
-              List.sort compare (List.concat_map (fun (_, l) -> l) inbox)
+              List.sort compare
+                (List.concat_map (fun (_, l) -> l) (inbox_to_list inbox))
             in
-            ( st,
-              List.map
-                (fun (src, _) -> { Distsim.Engine.dst = src; payload = ids })
-                inbox,
-              `Continue )
+            Distsim.Engine.inbox_iter
+              (fun ~src _ -> Distsim.Engine.emit out ~dst:src ids)
+              inbox;
+            (st, `Continue)
           end
           else begin
-            st.heard <- inbox;
-            (st, [], `Done)
+            st.heard <- inbox_to_list inbox;
+            (st, `Done)
           end);
       measure = (fun l -> 8 * (1 + List.length l));
     }

@@ -184,6 +184,7 @@ let test_codec_cases () =
          vertices_done = 2;
          congest_violations = 0;
          elapsed_ns = 8125;
+         minor_words = 2048;
        });
   roundtrip (T.Send { src = 0; dst = 41; bits = 17; round = 2 });
   roundtrip (T.Phase { vertex = -1; name = "global"; round = 0 });
