@@ -1,7 +1,7 @@
 (* Shared plumbing for the bench executable: report formatting, the
    graph families and protocol anchors the perf trajectory tracks
    across PRs, wall-clock timing helpers, and the --json/--trace
-   writer (schema "spanner-bench/4").
+   writer (schema "spanner-bench/5").
 
    The experiment functions themselves live in main.ml; everything
    here is the scaffolding they share so that adding an experiment
@@ -275,6 +275,114 @@ let alloc_rows ~reps ~selected =
     entries
 
 (* ------------------------------------------------------------------ *)
+(* Fault-sweep rows (new in schema "spanner-bench/5").
+
+   For every fault anchor, run the protocol under a drop-[p] adversary
+   for p in {0, 0.01, 0.05, 0.1} (plus one crash schedule for the
+   LOCAL anchors) through {!Spanner_core.Resilience.run} and record
+   the survivor-quality report: round/message/drop counts, how much of
+   the output survived, and whether the surviving output still spans
+   (resp. dominates) the surviving subgraph. The p = 0 row doubles as
+   the Null-adversary overhead baseline: its rounds/messages must
+   match the fault-free anchor exactly. *)
+
+let fault_drop_rates = [ 0.0; 0.01; 0.05; 0.1 ]
+
+(* (name, family, protocol, retry at p > 0, max_rounds, graph). CONGEST
+   needs retransmits even at low p (one lost chunk corrupts its
+   reassembly stream) and a generous round budget: its rounds are the
+   compiled chunk rounds. *)
+let fault_anchors () =
+  [
+    ( "ft_local_caveman_8x8",
+      "e17",
+      C.Resilience.Spanner_local,
+      3,
+      2_000,
+      Generators.caveman (rng 23) 8 8 0.03 );
+    ( "ft_local_gnp_100",
+      "e17",
+      C.Resilience.Spanner_local,
+      3,
+      2_000,
+      Generators.gnp_connected (rng 2) 100 0.1 );
+    ( "ft_mds_caveman_6x6",
+      "e17",
+      C.Resilience.Mds,
+      3,
+      2_000,
+      Generators.caveman (rng 24) 6 6 0.04 );
+    ( "ft_congest_caveman_4x6",
+      "e17",
+      C.Resilience.Spanner_congest,
+      3,
+      60_000,
+      Generators.caveman (rng 21) 4 6 0.05 );
+  ]
+
+let fault_row_of_report name g (r : C.Resilience.report) ~drop_p ~retry =
+  ( name,
+    [
+      ("n", float_of_int (Ugraph.n g));
+      ("m", float_of_int (Ugraph.m g));
+      ("drop_p", drop_p);
+      ("retry", float_of_int retry);
+      ("terminated", if r.C.Resilience.terminated then 1.0 else 0.0);
+      ("rounds", float_of_int r.C.Resilience.rounds);
+      ("messages", float_of_int r.C.Resilience.messages);
+      ("dropped", float_of_int r.C.Resilience.dropped);
+      ("crashed", float_of_int (List.length r.C.Resilience.crashed));
+      ("survivors", float_of_int r.C.Resilience.survivors);
+      ("output_size", float_of_int r.C.Resilience.output_size);
+      ("surviving_output", float_of_int r.C.Resilience.surviving_output);
+      ("valid", if r.C.Resilience.valid then 1.0 else 0.0);
+      ("stretch", float_of_int r.C.Resilience.stretch);
+    ] )
+
+let fault_rows ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  List.concat_map
+    (fun (name, family, protocol, retry, max_rounds, g) ->
+      if not (sel family) then []
+      else
+        let drop_rows =
+          List.map
+            (fun p ->
+              let schedule =
+                { Distsim.Faults.empty with drop_p = p; seed = 42 }
+              in
+              let retry = if p = 0.0 then 1 else retry in
+              let r =
+                C.Resilience.run ~seed:3 ~retry ~max_rounds ~protocol
+                  ~schedule g
+              in
+              fault_row_of_report
+                (Printf.sprintf "%s@drop%g" name p)
+                g r ~drop_p:p ~retry)
+            fault_drop_rates
+        in
+        let crash_rows =
+          match protocol with
+          | C.Resilience.Spanner_local ->
+              let schedule =
+                match Distsim.Faults.parse "crash=0.1@r3,seed=42" with
+                | Ok s -> s
+                | Error e -> failwith e
+              in
+              let r =
+                C.Resilience.run ~seed:3 ~retry:1 ~max_rounds ~protocol
+                  ~schedule g
+              in
+              [
+                fault_row_of_report (name ^ "@crash0.1r3") g r ~drop_p:0.0
+                  ~retry:1;
+              ]
+          | _ -> []
+        in
+        drop_rows @ crash_rows)
+    (fault_anchors ())
+
+(* ------------------------------------------------------------------ *)
 (* Perf trajectory (--json FILE): a machine-readable snapshot of the
    Bechamel estimates, wall-clock anchors, seq-vs-par A/B and engine
    metrics, written as BENCH_PR<k>.json at the end of a PR so
@@ -380,6 +488,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
   let al_rows =
     if json_path = None then [] else alloc_rows ~reps:3 ~selected
   in
+  let ft_rows = if json_path = None then [] else fault_rows ~selected in
   (match json_path with
   | None -> ()
   | Some path ->
@@ -400,7 +509,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
         else Printf.sprintf "%.3f" v
       in
       out "{\n";
-      out "  \"schema\": \"spanner-bench/4\",\n";
+      out "  \"schema\": \"spanner-bench/5\",\n";
       out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
         (Domain.recommended_domain_count ());
       out "  \"micro_ns_per_run\": {\n";
@@ -438,6 +547,18 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
           out " }")
         al_rows;
       out "\n  },\n";
+      out "  \"faults\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %s" k (num v))
+            fields;
+          out " }")
+        ft_rows;
+      out "\n  },\n";
       out "  \"round_series\": {\n";
       sep
         (fun (name, series) ->
@@ -470,11 +591,12 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
       close_out oc;
       printf
         "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
-         seq-vs-par anchors at %d domains, %d alloc rows)\n"
+         seq-vs-par anchors at %d domains, %d alloc rows, %d fault rows)\n"
         path
         (List.length metric_rows)
         (match micro_rows with None -> 0 | Some rows -> List.length rows)
-        (List.length sv_rows) par (List.length al_rows));
+        (List.length sv_rows) par (List.length al_rows)
+        (List.length ft_rows));
   match trace_path with
   | Some path ->
       printf "event trace (JSON Lines) written to %s (%d runs)\n" path

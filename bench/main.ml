@@ -658,6 +658,24 @@ let e16 () =
     "\nthe voting rule's spread is the paper's point: its O(log m/n) ratio\n\
      holds on every run, not merely in expectation (Section 1.1.2).\n"
 
+let e17 () =
+  section "E17"
+    "Fault injection: survivor quality under message loss and crashes";
+  printf "%-32s %6s %6s %7s %9s %8s %7s %6s %7s\n" "anchor" "drop" "retry"
+    "rounds" "messages" "dropped" "crashed" "valid" "stretch";
+  List.iter
+    (fun (name, fields) ->
+      let f k = List.assoc k fields in
+      printf "%-32s %6g %6.0f %7.0f %9.0f %8.0f %7.0f %6.0f %7.0f\n" name
+        (f "drop_p") (f "retry") (f "rounds") (f "messages") (f "dropped")
+        (f "crashed") (f "valid") (f "stretch"))
+    (fault_rows ~selected:[ "e17" ]);
+  printf
+    "\nretransmit wrapper: every message sent retry times, receivers keep\n\
+     the first copy per source; a drop-p adversary then loses a message\n\
+     with probability p^retry. valid=1 means the surviving output still\n\
+     2-spans (resp. dominates) the surviving subgraph (Resilience.run).\n"
+
 let e14 () =
   section "E14" "Lemma 4.5 in action: per-iteration convergence trace";
   let g = Generators.clique_ladder (rng 7) 300 in
@@ -873,7 +891,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("a1", a1); ("a2", a2); ("a3", a3);
+    ("e17", e17); ("a1", a1); ("a2", a2); ("a3", a3);
   ]
 
 let () =

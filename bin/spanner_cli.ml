@@ -114,6 +114,33 @@ let par_arg =
            ~doc:"Domains used to step each round (active scheduler only). \
                  Results are bit-identical for any N.")
 
+let schedule_conv : Distsim.Faults.schedule Arg.conv =
+  let parse s =
+    match Distsim.Faults.parse s with
+    | Ok sch -> Ok sch
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf s = Format.pp_print_string ppf (Distsim.Faults.to_string s) in
+  Arg.conv (parse, print)
+
+let schedule_arg =
+  Arg.(value & opt schedule_conv Distsim.Faults.empty
+       & info [ "schedule" ] ~docv:"DSL"
+           ~doc:"Deterministic fault schedule, comma-separated clauses: \
+                 drop=P (per-message loss), dup=P (duplication), \
+                 crash=F\\@rR (crash-stop a fraction F of the vertices at \
+                 round R) or crash=vID\\@rR (a specific vertex), \
+                 cut=U-V\\@rA..B (link down during rounds A..B; omit ..B \
+                 for permanent), seed=S. Same schedule + seed = the same \
+                 faulted execution, for any scheduler and --par.")
+
+let retry_arg =
+  Arg.(value & opt int 1
+       & info [ "retry" ] ~docv:"K"
+           ~doc:"Bounded retransmit: send every message K times, keep the \
+                 first copy per source (1 = off). A drop-p adversary then \
+                 loses a message only with probability p^K.")
+
 (* The event-driven scheduler's saving, printed next to the round
    count: the naive path would have activated every vertex every round
    ([n * (rounds + 1)] including init). *)
@@ -264,11 +291,43 @@ let mds_cmd =
     (Cmd.info "mds" ~doc:"Approximate a minimum dominating set in CONGEST.")
     Term.(const mds $ file_arg $ seed_arg $ sched_arg $ par_arg)
 
+(* ---- faults ------------------------------------------------------ *)
+
+let faults file protocol schedule retry seed sched par =
+  let g = load_graph file in
+  let protocol =
+    match protocol with
+    | "local" -> C.Resilience.Spanner_local
+    | "congest" -> C.Resilience.Spanner_congest
+    | "mds" -> C.Resilience.Mds
+    | other ->
+        failwith (Printf.sprintf "unknown protocol %S (local|congest|mds)" other)
+  in
+  let r = C.Resilience.run ~seed ~retry ~sched ~par ~protocol ~schedule g in
+  Format.printf "%a@." C.Resilience.pp_report r;
+  if r.C.Resilience.valid then 0 else 1
+
+let fault_protocol_arg =
+  let doc = "Protocol to stress: local, congest, mds." in
+  Arg.(value & opt string "local" & info [ "protocol"; "P" ] ~docv:"PROTO" ~doc)
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a protocol under a deterministic fault schedule (crashes, \
+             link cuts, message loss/duplication) and grade the survivors: \
+             rounds to termination, message/drop counts, and whether the \
+             surviving output still 2-spans (resp. dominates) the surviving \
+             subgraph, at what stretch. Exits 0 iff the survivors pass.")
+    Term.(const faults $ file_arg $ fault_protocol_arg $ schedule_arg
+          $ retry_arg $ seed_arg $ sched_arg $ par_arg)
+
 (* ---- trace ------------------------------------------------------- *)
 
 module T = Distsim.Trace
 
-let trace file algorithm seed sched par jsonl_file weights_file limit gc =
+let trace file algorithm seed sched par schedule retry jsonl_file weights_file
+    limit gc =
   let g = load_graph file in
   let st = T.stats () in
   let jsonl_oc = Option.map open_out jsonl_file in
@@ -278,16 +337,24 @@ let trace file algorithm seed sched par jsonl_file weights_file limit gc =
     | None -> stats
     | Some oc -> T.tee stats (T.jsonl oc)
   in
+  let adversary =
+    if Distsim.Faults.is_empty schedule then None
+    else Some (Distsim.Faults.compile ~n:(Ugraph.n g) schedule)
+  in
   let metrics =
     match algorithm with
     | "local" ->
-        let r = C.Two_spanner_local.run ~seed ~sched ~par ~trace:sink g in
+        let r =
+          C.Two_spanner_local.run ~seed ~sched ~par ?adversary ~retry
+            ~trace:sink g
+        in
         Printf.printf "local 2-spanner: %d / %d edges, %d iterations\n"
           (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
         r.metrics
     | "congest" ->
         let r =
-          C.Two_spanner_local.run_congest ~seed ~sched ~par ~trace:sink g
+          C.Two_spanner_local.run_congest ~seed ~sched ~par ?adversary ~retry
+            ~trace:sink g
         in
         Printf.printf "CONGEST 2-spanner: %d / %d edges, %d iterations\n"
           (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
@@ -299,13 +366,17 @@ let trace file algorithm seed sched par jsonl_file weights_file limit gc =
           | None -> Weights.uniform 1.0
         in
         let r =
-          C.Two_spanner_local.run_weighted ~seed ~sched ~par ~trace:sink g w
+          C.Two_spanner_local.run_weighted ~seed ~sched ~par ?adversary ~retry
+            ~trace:sink g w
         in
         Printf.printf "weighted 2-spanner: %d / %d edges, %d iterations\n"
           (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
         r.metrics
     | "mds" ->
-        let r = C.Mds.run ~rng:(Rng.create seed) ~sched ~par ~trace:sink g in
+        let r =
+          C.Mds.run ~rng:(Rng.create seed) ~sched ~par ?adversary ~retry
+            ~trace:sink g
+        in
         Printf.printf "dominating set: %d vertices, %d iterations\n"
           (List.length r.dominating_set) r.iterations;
         r.metrics
@@ -319,12 +390,13 @@ let trace file algorithm seed sched par jsonl_file weights_file limit gc =
      pressure is per-run/per-domain noise, and the default output must
      stay byte-identical between seq and --par runs (scripts/check.sh
      diffs them). *)
-  Printf.printf "%6s %9s %10s %9s %8s %6s %6s%s\n" "round" "msgs" "bits"
-    "max-bits" "stepped" "done" "viol"
+  Printf.printf "%6s %9s %10s %9s %8s %6s %6s %7s %6s%s\n" "round" "msgs"
+    "bits" "max-bits" "stepped" "done" "viol" "dropped" "crash"
     (if gc then "   minor-w" else "");
   let print_row (r : T.round_stat) =
-    Printf.printf "%6d %9d %10d %9d %8d %6d %6d" r.round r.messages r.bits
-      r.max_bits r.vertices_stepped r.vertices_done r.congest_violations;
+    Printf.printf "%6d %9d %10d %9d %8d %6d %6d %7d %6d" r.round r.messages
+      r.bits r.max_bits r.vertices_stepped r.vertices_done
+      r.congest_violations r.dropped r.crashed;
     if gc then Printf.printf " %9d" r.minor_words;
     print_newline ()
   in
@@ -402,7 +474,8 @@ let trace_cmd =
              statistics, phase-marker counts and counters; the summary line \
              cross-checks the per-round sums against the engine metrics.")
     Term.(const trace $ file_arg $ trace_algorithm_arg $ seed_arg $ sched_arg
-          $ par_arg $ jsonl_arg $ weights_arg $ limit_arg $ gc_arg)
+          $ par_arg $ schedule_arg $ retry_arg $ jsonl_arg $ weights_arg
+          $ limit_arg $ gc_arg)
 
 (* ---- check ------------------------------------------------------- *)
 
@@ -464,4 +537,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; span_cmd; mds_cmd; trace_cmd; check_cmd; bounds_cmd ]))
+          [
+            generate_cmd;
+            span_cmd;
+            mds_cmd;
+            faults_cmd;
+            trace_cmd;
+            check_cmd;
+            bounds_cmd;
+          ]))

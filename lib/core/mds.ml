@@ -52,7 +52,7 @@ type selection = Votes | Coin of float
 
 let phase_names = [| "max1"; "candidate"; "vote"; "tally"; "cover"; "restart" |]
 
-let run ?rng ?model ?(selection = Votes) ?sched ?par
+let run ?rng ?model ?(selection = Votes) ?sched ?par ?adversary ?(retry = 1)
     ?(trace = Distsim.Trace.null) g =
   let seed_rng = match rng with Some r -> r | None -> Rng.create 0xD0517 in
   let n = Ugraph.n g in
@@ -224,7 +224,8 @@ let run ?rng ?model ?(selection = Votes) ?sched ?par
     }
   in
   let states, metrics =
-    Distsim.Engine.run ?sched ?par ~model ~graph:g ~trace spec
+    Distsim.Engine.run ?sched ?par ?adversary ~model ~graph:g ~trace
+      (Distsim.Faults.with_retry ~attempts:retry spec)
   in
   let dominating_set =
     Array.to_list states

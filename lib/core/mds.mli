@@ -44,6 +44,8 @@ val run :
   ?selection:selection ->
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
+  ?adversary:Distsim.Adversary.t ->
+  ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result
@@ -57,7 +59,10 @@ val run :
     across schedulers and any [par]. [trace] (default
     {!Distsim.Trace.null}) receives the engine's round and send events
     plus one global ([vertex = -1]) {!phase_names} [Phase] marker per
-    round. *)
+    round. [adversary] injects deterministic faults
+    ({!Distsim.Engine.run}); [retry] (default 1 = off) retransmits
+    every message that many times and dedups the receive side
+    ({!Distsim.Faults.with_retry}). *)
 
 val is_dominating_set : Ugraph.t -> int list -> bool
 

@@ -1,0 +1,90 @@
+(** Survivor-quality analysis: what is the paper's output worth after
+    the network misbehaved?
+
+    Every guarantee the repository reproduces is proved on a perfectly
+    reliable synchronous network. This module runs a protocol under a
+    {!Distsim.Faults.schedule} and then grades what is left:
+
+    - the {e surviving subgraph} [G'] — the input minus crash-stopped
+      vertices (their incident edges die with them) and permanently
+      cut links;
+    - the {e surviving output} — the protocol's output restricted to
+      the survivors (spanner edges with both endpoints alive and the
+      link uncut; dominating-set members still standing);
+    - a verdict: does the surviving output still 2-span [G']
+      ({!Spanner_check.is_spanner}), resp. dominate it, and at what
+      stretch?
+
+    A lossy run may also simply fail — the engine's round limit under
+    persistent loss, or a corrupted chunk-reassembly stream under
+    CONGEST — so the report carries a [terminated]/[failure] pair
+    instead of raising, and its round/message/drop counts are
+    recovered from a {!Distsim.Trace.stats} sink, which survives
+    mid-run exceptions. *)
+
+open Grapho
+
+type protocol =
+  | Spanner_local  (** {!Two_spanner_local.run} (Thm 1.3, LOCAL) *)
+  | Spanner_congest
+      (** {!Two_spanner_local.run_congest} — chunked, so a single
+          lost chunk can corrupt a reassembly stream; pair with
+          [retry] *)
+  | Mds  (** {!Mds.run} (Thm 5.1, CONGEST) *)
+
+type report = {
+  protocol : protocol;
+  schedule : string;  (** canonical DSL form of the schedule run *)
+  n : int;
+  m : int;
+  terminated : bool;  (** the protocol reached global termination *)
+  failure : string option;
+      (** why it did not (round limit, chunk-stream corruption, ...) *)
+  rounds : int;
+  messages : int;
+  dropped : int;
+  crashed : int list;  (** vertices crash-stopped, ascending *)
+  survivors : int;  (** [n - |crashed|] *)
+  surviving_m : int;  (** edges of the surviving subgraph *)
+  output_size : int;
+      (** spanner edges resp. dominating-set members produced *)
+  surviving_output : int;  (** of those, how many survived *)
+  valid : bool;
+      (** the surviving spanner 2-spans the surviving subgraph, resp.
+          the surviving set dominates it; [false] whenever
+          [terminated] is [false] (a run that died produced no output
+          worth grading) *)
+  stretch : int;
+      (** spanner protocols: max stretch of the surviving spanner on
+          the surviving subgraph, [-1] if some surviving edge is not
+          spanned at all; always [0] for {!constructor:Mds} *)
+}
+
+val surviving_subgraph :
+  Ugraph.t -> crashed:int list -> schedule:Distsim.Faults.schedule -> Ugraph.t
+(** The input minus the crashed vertices' incident edges and the
+    schedule's {e permanent} cuts (a transient cut heals, so its edge
+    survives). Vertex ids are preserved; crashed vertices remain as
+    isolated vertices. *)
+
+val surviving_edges : Edge.Set.t -> graph:Ugraph.t -> Edge.Set.t
+(** Restrict an edge set to the edges present in (surviving sub)graph
+    [graph]. *)
+
+val run :
+  ?seed:int ->
+  ?retry:int ->
+  ?sched:Distsim.Engine.sched ->
+  ?par:int ->
+  ?max_rounds:int ->
+  protocol:protocol ->
+  schedule:Distsim.Faults.schedule ->
+  Ugraph.t ->
+  report
+(** Compile the schedule for the graph, run the protocol under it,
+    and grade the survivors. [seed] is the {e protocol} seed (the
+    schedule carries its own); [retry] is forwarded to the protocol's
+    retransmit wrapper. Deterministic: same arguments, same report,
+    any scheduler/[par]. *)
+
+val pp_report : Format.formatter -> report -> unit

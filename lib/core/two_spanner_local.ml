@@ -550,7 +550,7 @@ let collect_result (states, metrics) =
   in
   { spanner = !spanner; iterations; metrics }
 
-let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
+let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary ?(retry = 1)
     ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let max_rounds =
@@ -558,17 +558,18 @@ let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
   in
   let trace = Distsim.Trace.with_round_phases local_phases trace in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ?par ~trace
+    (Distsim.Engine.run ~max_rounds ?sched ?par ?adversary ~trace
        ~model:Distsim.Model.local ~graph:g
-       (make_spec ~seed ~variant:unweighted_variant g))
+       (Distsim.Faults.with_retry ~attempts:retry
+          (make_spec ~seed ~variant:unweighted_variant g)))
 
 (* The weighted variant of Section 4.3.2, mirroring
    Weighted_two_spanner's engine configuration. The per-vertex
    termination floors 1/wmax (wmax over the closed 2-neighborhood) are
    static topology data, precomputed the way vertices' knowledge of
    their neighbors is. *)
-let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
-    ?(trace = Distsim.Trace.null) g w =
+let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary
+    ?(retry = 1) ?(trace = Distsim.Trace.null) g w =
   let n = Ugraph.n g in
   let own = Array.make n 0.0 in
   for v = 0 to n - 1 do
@@ -596,9 +597,9 @@ let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par
   in
   let trace = Distsim.Trace.with_round_phases local_phases trace in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ?par ~trace
+    (Distsim.Engine.run ~max_rounds ?sched ?par ?adversary ~trace
        ~model:Distsim.Model.local ~graph:g
-       (make_spec ~seed ~variant g))
+       (Distsim.Faults.with_retry ~attempts:retry (make_spec ~seed ~variant g)))
 
 (* ------------------------------------------------------------------ *)
 (* CONGEST compilation: every protocol message is a short list of
@@ -667,7 +668,7 @@ let decode chunks =
   (msg, [])
 
 let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched ?par
-    ?(trace = Distsim.Trace.null) g =
+    ?adversary ?retry ?audit ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let delta = Ugraph.max_degree g in
   let chunks_per_round =
@@ -687,6 +688,6 @@ let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched ?par
     Distsim.Trace.with_round_phases (congest_phases ~chunks_per_round) trace
   in
   collect_result
-    (Distsim.Chunked.run ~max_rounds ?sched ?par ~trace ~model ~graph:g
-       ~chunks_per_round ~encode ~decode
+    (Distsim.Chunked.run ~max_rounds ?sched ?par ?adversary ?retry ?audit
+       ~trace ~model ~graph:g ~chunks_per_round ~encode ~decode
        (make_spec ~seed ~variant:unweighted_variant g))

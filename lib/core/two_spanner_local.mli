@@ -54,6 +54,8 @@ val run :
   ?max_rounds:int ->
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
+  ?adversary:Distsim.Adversary.t ->
+  ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result
@@ -69,13 +71,24 @@ val run :
     yields bit-identical results too. [trace] (default
     {!Distsim.Trace.null}) receives the engine's round and send events
     plus one global ([vertex = -1]) {!phase_names} [Phase] marker per
-    round (warm-up rounds are marked ["warmup"]). *)
+    round (warm-up rounds are marked ["warmup"]).
+
+    [adversary] (default none) injects faults into the run
+    ({!Distsim.Engine.run}); under message loss the output may no
+    longer be a valid 2-spanner — {!Resilience} measures how far off
+    it lands. [retry] (default 1 = off) wraps the protocol in
+    {!Distsim.Faults.with_retry}: every message is sent [retry] times
+    and receivers keep the first copy per source, which costs
+    bandwidth but survives a drop-[p] adversary with per-message loss
+    [p^retry]. *)
 
 val run_weighted :
   ?seed:int ->
   ?max_rounds:int ->
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
+  ?adversary:Distsim.Adversary.t ->
+  ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   Weights.t ->
@@ -93,6 +106,9 @@ val run_congest :
   ?chunks_per_round:int ->
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
+  ?adversary:Distsim.Adversary.t ->
+  ?retry:int ->
+  ?audit:bool ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   result
@@ -103,4 +119,11 @@ val run_congest :
     under an O(log n)-bit CONGEST model (c = 16, raised on tiny graphs
     so the 33-bit density halves always fit); produces the same spanner as {!run} and the
     engine for equal seeds, and its metrics expose the genuine
-    compiled round count and chunk traffic. *)
+    compiled round count and chunk traffic.
+
+    [adversary]/[retry]/[audit] are forwarded to
+    {!Distsim.Chunked.run}: faults hit the chunk traffic (a single
+    lost chunk corrupts its reassembly stream, so pair a lossy
+    adversary with [retry]); [audit] raises
+    {!Distsim.Chunked.Bandwidth_exceeded} on the first
+    over-budget chunk instead of counting a violation. *)

@@ -1,0 +1,136 @@
+(* Seeded deterministic network adversary. See adversary.mli. *)
+
+module Rng = Grapho.Rng
+
+type verdict = Deliver | Duplicate | Drop of Trace.drop_reason
+
+type t = {
+  seed : int;
+  drop_p : float;
+  dup_p : float;
+  crash_rounds : (int * int list) list;
+      (* round -> vertices to crash there; rounds ascending, vertex
+         lists ascending and duplicate-free. *)
+  cut_list : ((int * int) * (int * int)) list;
+      (* ((u, v) with u < v, (from_round, upto_round)). *)
+  schedule_empty : bool;
+  (* --- per-run mutable state, rebuilt by [reset] --- *)
+  mutable n : int;
+  mutable crashed : bool array;
+  mutable crashed_count : int;
+  mutable rng : Rng.t;
+  mutable cuts : (int, int * int) Hashtbl.t;
+      (* key [min*n + max] -> (from_round, upto_round). Empty when the
+         schedule has no cuts, so [consult] can skip the lookup. *)
+  mutable cuts_any : bool;
+  mutable round : int;
+}
+
+let norm_edge (u, v) = if u <= v then (u, v) else (v, u)
+
+let make ?(seed = 0) ?(drop_p = 0.0) ?(dup_p = 0.0) ?(crashes = [])
+    ?(cuts = []) () =
+  if not (drop_p >= 0.0 && drop_p < 1.0) then
+    invalid_arg "Adversary.make: drop_p must lie in [0, 1)";
+  if not (dup_p >= 0.0 && dup_p < 1.0) then
+    invalid_arg "Adversary.make: dup_p must lie in [0, 1)";
+  (* Group crashes by round (clamped >= 1), dedup vertices. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r, v) ->
+      let r = max 1 r in
+      let cur = try Hashtbl.find tbl r with Not_found -> [] in
+      if not (List.mem v cur) then Hashtbl.replace tbl r (v :: cur))
+    crashes;
+  let crash_rounds =
+    Hashtbl.fold (fun r vs acc -> (r, List.sort compare vs) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let cut_list =
+    List.map
+      (fun (e, (from_r, upto_r)) -> (norm_edge e, (max 1 from_r, upto_r)))
+      cuts
+  in
+  let schedule_empty =
+    drop_p = 0.0 && dup_p = 0.0 && crash_rounds = [] && cut_list = []
+  in
+  {
+    seed;
+    drop_p;
+    dup_p;
+    crash_rounds;
+    cut_list;
+    schedule_empty;
+    n = 0;
+    crashed = [||];
+    crashed_count = 0;
+    rng = Rng.create seed;
+    cuts = Hashtbl.create 1;
+    cuts_any = cut_list <> [];
+    round = 0;
+  }
+
+let has_faults t = not t.schedule_empty
+
+let reset t ~n =
+  t.n <- n;
+  t.crashed <- Array.make (max n 1) false;
+  t.crashed_count <- 0;
+  t.rng <- Rng.create t.seed;
+  t.round <- 0;
+  let cuts = Hashtbl.create (max 1 (List.length t.cut_list)) in
+  List.iter
+    (fun ((u, v), window) ->
+      if u >= 0 && v < n then Hashtbl.replace cuts ((u * n) + v) window)
+    t.cut_list;
+  t.cuts <- cuts;
+  t.cuts_any <- Hashtbl.length cuts > 0
+
+let begin_round t ~round f =
+  t.round <- round;
+  (match List.assoc_opt round t.crash_rounds with
+  | None -> ()
+  | Some vs ->
+      List.iter
+        (fun v ->
+          if v >= 0 && v < t.n && not t.crashed.(v) then begin
+            t.crashed.(v) <- true;
+            t.crashed_count <- t.crashed_count + 1;
+            f (Trace.Crash v)
+          end)
+        vs);
+  if t.cuts_any then
+    List.iter
+      (fun ((u, v), (from_r, upto_r)) ->
+        if u >= 0 && v < t.n then begin
+          if from_r = round then f (Trace.Cut (u, v));
+          if upto_r <> max_int && upto_r + 1 = round then
+            f (Trace.Restore (u, v))
+        end)
+      t.cut_list
+
+let cut_active t ~src ~dst =
+  t.cuts_any
+  &&
+  let u, v = norm_edge (src, dst) in
+  match Hashtbl.find_opt t.cuts ((u * t.n) + v) with
+  | None -> false
+  | Some (from_r, upto_r) -> t.round >= from_r && t.round <= upto_r
+
+let consult t ~src ~dst =
+  if t.crashed.(src) || t.crashed.(dst) then Drop Trace.Dropped_crashed
+  else if cut_active t ~src ~dst then Drop Trace.Dropped_cut
+  else if t.drop_p > 0.0 && Rng.float t.rng 1.0 < t.drop_p then
+    Drop Trace.Dropped_random
+  else if t.dup_p > 0.0 && Rng.float t.rng 1.0 < t.dup_p then Duplicate
+  else Deliver
+
+let is_crashed t v = v >= 0 && v < t.n && t.crashed.(v)
+let crashed_count t = t.crashed_count
+
+let crashed_list t =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    if t.crashed.(v) then acc := v :: !acc
+  done;
+  !acc

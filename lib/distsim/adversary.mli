@@ -1,0 +1,78 @@
+(** The adversarial network hook the round engine consults.
+
+    Every theorem the repository reproduces is stated for a perfectly
+    reliable synchronous network; this module is the other half of the
+    story — a {e seeded, fully deterministic} adversary that
+    crash-stops vertices at scheduled rounds, cuts links (permanently
+    or for a round window), destroys messages with a fixed per-message
+    probability, and duplicates them. The engine consults it in two
+    places, both on the calling (merge) domain:
+
+    - {!begin_round} at the start of every round, to activate the
+      faults scheduled there (crashes, cut transitions);
+    - {!consult} once per wire message, {e in delivery order} — which
+      the engine's deterministic merge makes identical for sequential
+      and [--par N] runs — so the drop/duplicate coin stream, and
+      therefore the whole faulted execution, is bit-identical for any
+      shard count.
+
+    Values of this type are stateful per run; the engine calls
+    {!reset} before round 0, so one adversary can be reused across
+    runs and always replays the same fault sequence. Schedules are
+    normally built from the {!Faults} DSL ({!Faults.compile}) rather
+    than with {!make} directly. *)
+
+type verdict =
+  | Deliver  (** pass the message through untouched *)
+  | Duplicate  (** deliver two copies (both are metered) *)
+  | Drop of Trace.drop_reason  (** destroy the message *)
+
+type t
+
+val make :
+  ?seed:int ->
+  ?drop_p:float ->
+  ?dup_p:float ->
+  ?crashes:(int * int) list ->
+  ?cuts:((int * int) * (int * int)) list ->
+  unit ->
+  t
+(** [make ()] builds an adversary. [drop_p] (default 0) and [dup_p]
+    (default 0) are per-message probabilities in [[0, 1)], drawn from a
+    private SplitMix64 stream seeded by [seed] (default 0). [crashes]
+    is a list of [(round, vertex)] crash-stop events (rounds are
+    clamped to [>= 1]; round 0 is initialization). [cuts] is a list of
+    [((u, v), (from_round, upto_round))] link failures, active during
+    rounds [from_round .. upto_round] inclusive ([max_int] for a
+    permanent cut); both directions of the link are cut. Raises
+    [Invalid_argument] on probabilities outside [[0, 1)]. *)
+
+val reset : t -> n:int -> unit
+(** Rewind to the pre-run state for a graph on [n] vertices: nobody
+    crashed, the coin stream back at its seed. The engine calls this
+    at the start of every run. Scheduled crash vertices [>= n] are
+    ignored. *)
+
+val begin_round : t -> round:int -> (Trace.fault_kind -> unit) -> unit
+(** Activate the faults scheduled at [round], invoking the callback
+    once per activation ([Crash v] exactly once per vertex over a
+    run; [Cut]/[Restore] at a cut's window boundaries) in a
+    deterministic order. The engine performs the crash-stop
+    bookkeeping and trace emission in the callback. *)
+
+val consult : t -> src:int -> dst:int -> verdict
+(** The per-message verdict at the current round. Checks, in order:
+    crashed endpoint, cut link, random drop, duplication. Advances the
+    coin stream only when the corresponding probability is positive,
+    so a [drop_p = 0] adversary with no scheduled faults is
+    observationally identical to no adversary at all. *)
+
+val is_crashed : t -> int -> bool
+val crashed_count : t -> int
+
+val crashed_list : t -> int list
+(** Vertices crash-stopped so far, ascending. *)
+
+val has_faults : t -> bool
+(** Whether the schedule contains anything at all — [false] means
+    every verdict is [Deliver] and no fault will ever activate. *)

@@ -18,13 +18,32 @@ type ('s, 'm) outer_state = {
   inner_out : 'm Engine.outbox;  (* reused inner-step push handle *)
 }
 
-let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
-    ~encode ~decode spec =
+exception
+  Bandwidth_exceeded of {
+    vertex : int;
+    round : int;
+    bits : int;
+    budget : int;
+  }
+
+let measure_chunk chunk = 6 + Message.bits_int (abs chunk + 1)
+
+let run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?(retry = 1)
+    ?(audit = false) ~model ~graph ~chunks_per_round ~encode ~decode spec =
   if chunks_per_round < 2 then
     invalid_arg "Chunked.run: chunks_per_round must be at least 2";
   let c = chunks_per_round in
+  (* The audit budget: the model's own bandwidth under CONGEST, the
+     customary O(log n) otherwise. *)
+  let budget =
+    match Model.bandwidth model with
+    | Some b -> b
+    | None ->
+        let n = Grapho.Ugraph.n graph in
+        6 + (4 * Message.bits_int (n + 1))
+  in
   (* Frame a message as [length; chunk1; ...; chunkL]. *)
-  let frame msg =
+  let frame ~vertex ~round msg =
     let chunks = encode msg in
     let len = List.length chunks in
     if len > c - 1 then
@@ -32,10 +51,19 @@ let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
         (Printf.sprintf
            "Chunked.run: a message encoded to %d chunks, budget is %d" len
            (c - 1));
+    if audit then
+      List.iter
+        (fun chunk ->
+          let bits = measure_chunk chunk in
+          if bits > budget then
+            raise (Bandwidth_exceeded { vertex; round; bits; budget }))
+        chunks;
     len :: chunks
   in
-  (* Move the inner step's emissions into the chunk queues. *)
-  let enqueue st =
+  (* Move the inner step's emissions into the chunk queues. [vertex]
+     and [round] (the {e real} engine round) identify the offender
+     when the audit trips. *)
+  let enqueue ~vertex ~round st =
     Engine.outbox_iter
       (fun ~dst payload ->
         (* One inner message per edge per virtual round: anything more
@@ -43,7 +71,7 @@ let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
         if List.mem_assoc dst st.queues then
           invalid_arg
             "Chunked.run: two messages to one destination in a round";
-        st.queues <- (dst, ref (frame payload)) :: st.queues)
+        st.queues <- (dst, ref (frame ~vertex ~round payload)) :: st.queues)
       st.inner_out;
     Engine.outbox_clear st.inner_out
   in
@@ -135,7 +163,7 @@ let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
               inner_out;
             }
           in
-          enqueue st;
+          enqueue ~vertex ~round:0 st;
           drain st ~out;
           st);
       step =
@@ -151,7 +179,7 @@ let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
             in
             st.inner <- inner;
             st.inner_done <- (status = `Done);
-            enqueue st;
+            enqueue ~vertex ~round st;
             drain st ~out;
             (st, status_of st)
           end
@@ -159,10 +187,16 @@ let run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph ~chunks_per_round
             drain st ~out;
             (st, status_of st)
           end);
-      measure = (fun chunk -> 6 + Message.bits_int (abs chunk + 1));
+      measure = measure_chunk;
     }
   in
+  (* The retransmit wrapper goes around the {e outer} (chunk-level)
+     spec: the compiled protocol sends at most one chunk per
+     (src, dst) per real round, which is exactly the shape
+     [Faults.with_retry] requires. *)
+  let outer = Faults.with_retry ~attempts:retry outer in
   let states, metrics =
-    Engine.run ?max_rounds ?strict ?trace ?sched ?par ~model ~graph outer
+    Engine.run ?max_rounds ?strict ?trace ?sched ?par ?adversary ~model ~graph
+      outer
   in
   (Array.map (fun st -> st.inner) states, metrics)

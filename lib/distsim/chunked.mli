@@ -14,12 +14,24 @@
     overhead: its messages are neighbor lists of at most Δ
     identifiers, so [chunks_per_round = Θ(Δ)]. *)
 
+exception
+  Bandwidth_exceeded of {
+    vertex : int;  (** the sender whose chunk blew the budget *)
+    round : int;  (** the {e real} (compiled) round it was framed in *)
+    bits : int;  (** the offending chunk's wire size *)
+    budget : int;  (** the budget it was audited against *)
+  }
+(** Raised by the [audit] mode below. *)
+
 val run :
   ?max_rounds:int ->
   ?strict:bool ->
   ?trace:Trace.sink ->
   ?sched:Engine.sched ->
   ?par:int ->
+  ?adversary:Adversary.t ->
+  ?retry:int ->
+  ?audit:bool ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   chunks_per_round:int ->
@@ -35,4 +47,20 @@ val run :
     traffic. [par] is forwarded to {!Engine.run} — the compiled outer
     spec keeps all its mutable chunk queues and reassembly buffers
     inside the per-vertex outer state, so it is parallel-safe whenever
-    the inner spec is. *)
+    the inner spec is.
+
+    [adversary] is forwarded to {!Engine.run}: faults apply to the
+    {e chunk} traffic (each real-round wire message is consulted
+    individually). [retry] (default 1 = off) wraps the compiled
+    chunk-level spec in {!Faults.with_retry}, retransmitting every
+    chunk [retry] times — the natural hardening, since a single lost
+    chunk corrupts its (src, dst) reassembly stream
+    ([Invalid_argument] at [decode] time).
+
+    [audit] (default [false]) is the strict bandwidth audit: every
+    chunk is checked at frame time against the model's bandwidth (or
+    the customary [6 + 4 log n] bits when the model is [Local]), and
+    an oversized one raises {!Bandwidth_exceeded} naming the offending
+    vertex and real round — instead of the engine silently counting a
+    congest violation after the oversize chunk is already on the
+    wire. *)

@@ -88,6 +88,36 @@ let outbox_iter f ob =
     f ~dst:ob.o_dst.(i) ob.o_msg.(i)
   done
 
+let outbox_dst ob i = ob.o_dst.(i)
+let outbox_payload ob i = ob.o_msg.(i)
+
+(* In-place dedup keeping the first message of every source, for the
+   retransmit wrapper: duplicates (retransmitted copies, adversarial
+   [Duplicate]s) arrive as extra entries sharing a [src], and protocols
+   that send at most one message per (src, dst) per round can restore
+   their expected inbox shape with this. Quadratic in the inbox length,
+   which is degree-bounded; allocates nothing. *)
+let inbox_keep_first_per_src ib =
+  let len = ib.i_len in
+  if len > 1 then begin
+    let w = ref 1 in
+    for i = 1 to len - 1 do
+      let s = ib.i_src.(i) in
+      let dup = ref false in
+      let j = ref 0 in
+      while (not !dup) && !j < !w do
+        if ib.i_src.(!j) = s then dup := true;
+        incr j
+      done;
+      if not !dup then begin
+        ib.i_src.(!w) <- s;
+        ib.i_msg.(!w) <- ib.i_msg.(i);
+        incr w
+      end
+    done;
+    ib.i_len <- !w
+  end
+
 (* Per-shard [(vertex, send-count)] segment index for the parallel
    merge: shard outboxes are contiguous concatenations of their
    vertices' sends, so the merge replays [cnt] messages per recorded
@@ -124,6 +154,8 @@ type metrics = {
   max_message_bits : int;
   congest_violations : int;
   steps : int;
+  dropped : int;
+  crashed : int;
   minor_words : float;
   allocated_bytes : float;
 }
@@ -133,7 +165,7 @@ let metrics_deterministic_eq a b =
   && a.total_bits = b.total_bits
   && a.max_message_bits = b.max_message_bits
   && a.congest_violations = b.congest_violations
-  && a.steps = b.steps
+  && a.steps = b.steps && a.dropped = b.dropped && a.crashed = b.crashed
 
 type sched = [ `Active | `Active_legacy_cost | `Naive ]
 
@@ -167,7 +199,8 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
    untraced engine did. GC pressure is metered from [Gc] counters on
    the calling domain: run totals always (two float reads at the
    boundaries), per-round deltas only when tracing. *)
-let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
+let make_accounting ?observer ?adversary ~trace ~round ~strict ~graph ~measure
+    () =
   let trace = effective_trace ?observer trace in
   let tracing = not (Trace.is_null trace) in
   let wants_sends = Trace.wants_sends trace in
@@ -175,19 +208,21 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
   let total_bits = ref 0 in
   let max_message_bits = ref 0 in
   let congest_violations = ref 0 in
+  let dropped = ref 0 in
   let minor0 = Gc.minor_words () in
   let alloc0 = Gc.allocated_bytes () in
-  (* Per-round deltas (tracing only). *)
+  (* Per-round deltas (tracing only, except [r_dropped] which also
+     feeds the per-round [dropped] column and costs nothing when no
+     adversary is installed). *)
   let r_messages = ref 0 in
   let r_bits = ref 0 in
   let r_max_bits = ref 0 in
   let r_violations = ref 0 in
+  let r_dropped = ref 0 in
   let r_minor_base = ref minor0 in
-  let account ~bandwidth ~deliver src dst payload =
-    if not (Grapho.Ugraph.mem_edge graph src dst) then
-      invalid_arg
-        (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src dst);
-    let bits = measure payload in
+  (* Meter one wire message (it {e was} sent, delivered or not):
+     run totals, per-round deltas, [Send] event, congestion check. *)
+  let meter ~bandwidth src dst bits =
     if tracing then begin
       incr r_messages;
       r_bits := !r_bits + bits;
@@ -198,17 +233,52 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
     incr messages;
     total_bits := !total_bits + bits;
     if bits > !max_message_bits then max_message_bits := bits;
-    (match bandwidth with
+    match bandwidth with
     | Some limit when bits > limit ->
         if strict then raise (Congest_violation { src; dst; bits })
         else begin
           incr congest_violations;
           if tracing then incr r_violations
         end
-    | _ -> ());
-    deliver ~src ~dst payload
+    | _ -> ()
   in
-  let finish rounds ~steps =
+  let check_edge src dst =
+    if not (Grapho.Ugraph.mem_edge graph src dst) then
+      invalid_arg
+        (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src dst)
+  in
+  (* The adversary branch is resolved {e once} here, so the no-adversary
+     account path is exactly the pre-fault-injection code. *)
+  let account =
+    match adversary with
+    | None ->
+        fun ~bandwidth ~deliver src dst payload ->
+          check_edge src dst;
+          meter ~bandwidth src dst (measure payload);
+          deliver ~src ~dst payload
+    | Some adv -> (
+        fun ~bandwidth ~deliver src dst payload ->
+          check_edge src dst;
+          let bits = measure payload in
+          match Adversary.consult adv ~src ~dst with
+          | Adversary.Deliver ->
+              meter ~bandwidth src dst bits;
+              deliver ~src ~dst payload
+          | Adversary.Duplicate ->
+              meter ~bandwidth src dst bits;
+              deliver ~src ~dst payload;
+              meter ~bandwidth src dst bits;
+              deliver ~src ~dst payload
+          | Adversary.Drop reason ->
+              meter ~bandwidth src dst bits;
+              incr dropped;
+              incr r_dropped;
+              if tracing && wants_sends then
+                Trace.emit trace
+                  (Trace.Message_dropped
+                     { src; dst; round = !round; reason }))
+  in
+  let finish rounds ~steps ~crashed =
     {
       rounds;
       messages = !messages;
@@ -216,6 +286,8 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
       max_message_bits = !max_message_bits;
       congest_violations = !congest_violations;
       steps;
+      dropped = !dropped;
+      crashed;
       minor_words = (Gc.minor_words () -. minor0);
       allocated_bytes =
         (* [Gc.minor_words] is precise (it adds the unflushed young
@@ -232,7 +304,7 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
          Float.max (word_bytes *. (Gc.minor_words () -. minor0)) raw);
     }
   in
-  let take_round ~stepped ~vdone ~elapsed_ns r =
+  let take_round ~stepped ~vdone ~crashed ~elapsed_ns r =
     let minor_now = Gc.minor_words () in
     let stat =
       {
@@ -243,6 +315,8 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
         vertices_stepped = stepped;
         vertices_done = vdone;
         congest_violations = !r_violations;
+        dropped = !r_dropped;
+        crashed;
         elapsed_ns;
         minor_words = int_of_float (minor_now -. !r_minor_base);
       }
@@ -252,6 +326,7 @@ let make_accounting ?observer ~trace ~round ~strict ~graph ~measure () =
     r_bits := 0;
     r_max_bits := 0;
     r_violations := 0;
+    r_dropped := 0;
     stat
   in
   (trace, tracing, account, finish, take_round)
@@ -284,9 +359,18 @@ let init_states ~n ~graph ~(spec : _ spec) ~out ~drain =
    list-based (modulo the mailbox calling convention) so the
    equivalence suite can diff the zero-allocation active scheduler
    against an independently-structured implementation. *)
+(* Normalizing an empty-schedule adversary away keeps the [None] hot
+   path byte-for-byte what it was before fault injection existed — the
+   drop-p=0 ≡ no-adversary identity holds trivially. *)
+let normalize_adversary = function
+  | Some a when not (Adversary.has_faults a) -> None
+  | a -> a
+
 let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ~model ~graph spec =
+    ?adversary ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
+  let adversary = normalize_adversary adversary in
+  (match adversary with Some a -> Adversary.reset a ~n | None -> ());
   let max_rounds =
     match max_rounds with Some r -> r | None -> 50 * (n + 5)
   in
@@ -296,8 +380,16 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let in_flight = ref 0 in
   let round = ref 0 in
   let trace, tracing, account, finish, take_round =
-    make_accounting ?observer ~trace ~round ~strict ~graph
+    make_accounting ?observer ?adversary ~trace ~round ~strict ~graph
       ~measure:spec.measure ()
+  in
+  let crashed_now () =
+    match adversary with None -> 0 | Some a -> Adversary.crashed_count a
+  in
+  let is_crashed =
+    match adversary with
+    | None -> fun _ -> false
+    | Some a -> fun v -> Adversary.is_crashed a v
   in
   let deliver ~src ~dst payload =
     incr in_flight;
@@ -321,7 +413,7 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
       Trace.emit trace
         (Trace.Round_end
            (take_round ~stepped ~vdone:(count_done ())
-              ~elapsed_ns:(now_ns () - t0) !round))
+              ~crashed:(crashed_now ()) ~elapsed_ns:(now_ns () - t0) !round))
   in
   (* Round 0: init everyone. *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
@@ -339,31 +431,51 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
            max_rounds);
     if tracing then Trace.emit trace (Trace.Round_begin !round);
     let t0 = if tracing then now_ns () else 0 in
+    (* Activate scheduled faults for this round before the inbox
+       snapshot: a vertex crash-stopped at round [r] loses the
+       messages that were about to arrive at [r] and never steps
+       again (deliveries to it are dropped at [consult] time, so it
+       stays quiet forever). *)
+    (match adversary with
+    | None -> ()
+    | Some adv ->
+        Adversary.begin_round adv ~round:!round (fun kind ->
+            (match kind with
+            | Trace.Crash v ->
+                inboxes.(v) <- [];
+                done_flags.(v) <- true
+            | Trace.Cut _ | Trace.Restore _ -> ());
+            if tracing then
+              Trace.emit trace (Trace.Fault_injected { round = !round; kind })));
     (* Snapshot and clear inboxes so this round's sends arrive next
        round. *)
     let current = Array.copy inboxes in
     Array.fill inboxes 0 n [];
     in_flight := 0;
+    let stepped = ref 0 in
     for v = 0 to n - 1 do
-      (* Monomorphic sort key: sources are ints, so the polymorphic
-         [compare] the original loop used is pure overhead here. *)
-      let sorted =
-        List.sort (fun (a, _) (b, _) -> Int.compare a b) current.(v)
-      in
-      inbox_clear scratch;
-      List.iter (fun (s, m) -> inbox_push scratch ~src:s m) sorted;
-      let state, status =
-        spec.step ~round:!round ~vertex:v states.(v) scratch ~out
-      in
-      states.(v) <- state;
-      done_flags.(v) <- (status = `Done);
-      drain v
+      if not (is_crashed v) then begin
+        incr stepped;
+        (* Monomorphic sort key: sources are ints, so the polymorphic
+           [compare] the original loop used is pure overhead here. *)
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> Int.compare a b) current.(v)
+        in
+        inbox_clear scratch;
+        List.iter (fun (s, m) -> inbox_push scratch ~src:s m) sorted;
+        let state, status =
+          spec.step ~round:!round ~vertex:v states.(v) scratch ~out
+        in
+        states.(v) <- state;
+        done_flags.(v) <- (status = `Done);
+        drain v
+      end
     done;
-    steps := !steps + n;
-    round_end t0 ~stepped:n;
+    steps := !steps + !stepped;
+    round_end t0 ~stepped:!stepped;
     if all_done () && !in_flight = 0 then finished := true
   done;
-  (states, finish !round ~steps:!steps)
+  (states, finish !round ~steps:!steps ~crashed:(crashed_now ()))
 
 (* The event-driven path: a vertex is stepped only while it has
    pending messages or has not signalled [`Done]. Correct whenever the
@@ -398,8 +510,10 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
    is raised at merge time, after the whole round has been stepped,
    rather than mid-round. *)
 let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ?(par = 1) ~model ~graph spec =
+    ?(par = 1) ?adversary ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
+  let adversary = normalize_adversary adversary in
+  (match adversary with Some a -> Adversary.reset a ~n | None -> ());
   let par = max 1 (min par n) in
   let pool = if par > 1 then Some (Pool.get par) else None in
   (* Shard count actually used per round. *)
@@ -427,8 +541,11 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let not_done = ref n in
   let round = ref 0 in
   let trace, tracing, account, finish, take_round =
-    make_accounting ?observer ~trace ~round ~strict ~graph
+    make_accounting ?observer ?adversary ~trace ~round ~strict ~graph
       ~measure:spec.measure ()
+  in
+  let crashed_now () =
+    match adversary with None -> 0 | Some a -> Adversary.crashed_count a
   in
   let deliver ~src ~dst payload =
     incr pending;
@@ -448,7 +565,7 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
       Trace.emit trace
         (Trace.Round_end
            (take_round ~stepped ~vdone:(n - !not_done)
-              ~elapsed_ns:(now_ns () - t0) !round))
+              ~crashed:(crashed_now ()) ~elapsed_ns:(now_ns () - t0) !round))
   in
   (* Round 0: init everyone (always sequential). *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
@@ -472,6 +589,27 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     next := t;
     pending := 0;
     let bank = !cur in
+    (* Fault activation happens on the calling domain, before any
+       stepping (sequential or parallel): a crash-stopped vertex's
+       pending inbox is destroyed and it is flagged done, so the step
+       condition below never wakes it again (deliveries to it are
+       dropped at [consult] time). The pool barrier publishes these
+       writes to the shards, and the order is identical for any shard
+       count. *)
+    (match adversary with
+    | None -> ()
+    | Some adv ->
+        Adversary.begin_round adv ~round:!round (fun kind ->
+            (match kind with
+            | Trace.Crash v ->
+                bank.(v).i_len <- 0;
+                if not done_flags.(v) then begin
+                  done_flags.(v) <- true;
+                  decr not_done
+                end
+            | Trace.Cut _ | Trace.Restore _ -> ());
+            if tracing then
+              Trace.emit trace (Trace.Fault_injected { round = !round; kind })));
     let stepped = ref 0 in
     (match pool with
     | None ->
@@ -561,7 +699,7 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     round_end t0 ~stepped:!stepped;
     if !not_done = 0 && !pending = 0 then finished := true
   done;
-  (states, finish !round ~steps:!steps)
+  (states, finish !round ~steps:!steps ~crashed:(crashed_now ()))
 
 (* Benchmarking shim: identical results and scheduling, pre-mailbox
    allocation profile. Each step first materializes the [(src, msg)]
@@ -605,18 +743,20 @@ let legacy_cost_spec (spec : ('s, 'm) spec) : ('s, 'm) spec =
     measure = spec.measure;
   }
 
-let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ~model
-    ~graph spec =
+let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ?adversary
+    ~model ~graph spec =
   match sched with
   | `Naive ->
       (* The reference path stays single-domain by design: it is the
          thing the parallel path is diffed against. *)
-      run_naive ?max_rounds ?strict ?observer ?trace ~model ~graph spec
+      run_naive ?max_rounds ?strict ?observer ?trace ?adversary ~model ~graph
+        spec
   | `Active ->
-      run_active ?max_rounds ?strict ?observer ?trace ?par ~model ~graph spec
+      run_active ?max_rounds ?strict ?observer ?trace ?par ?adversary ~model
+        ~graph spec
   | `Active_legacy_cost ->
       (* [scratch] in the shim is shared across vertices, so this
          variant must stay single-domain; it exists for the bench
          binary's allocation A/B, not for parallel runs. *)
-      run_active ?max_rounds ?strict ?observer ?trace ~model ~graph
+      run_active ?max_rounds ?strict ?observer ?trace ?adversary ~model ~graph
         (legacy_cost_spec spec)

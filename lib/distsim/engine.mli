@@ -69,6 +69,24 @@ val outbox_clear : 'msg outbox -> unit
 val outbox_length : 'msg outbox -> int
 val outbox_iter : (dst:int -> 'msg -> unit) -> 'msg outbox -> unit
 
+val outbox_dst : 'msg outbox -> int -> int
+(** [outbox_dst ob i] is the destination of the [i]-th queued message,
+    [0 <= i < outbox_length ob]. Indexed reads stay valid across
+    subsequent {!emit}s (growth copies), which is what lets the
+    retransmit wrapper ({!Faults.with_retry}) re-emit a step's own
+    sends while iterating them. *)
+
+val outbox_payload : 'msg outbox -> int -> 'msg
+
+val inbox_keep_first_per_src : 'msg inbox -> unit
+(** In-place dedup keeping the {e first} message of every source —
+    the receive side of the retransmit wrapper: retransmitted copies
+    and adversarial [Duplicate]s arrive as extra entries sharing a
+    [src]. Only meaningful for protocols that send at most one message
+    per (src, dst) per round (every protocol in this repository).
+    Quadratic in the inbox length (degree-bounded); allocates
+    nothing. *)
+
 type metrics = {
   rounds : int;  (** rounds executed *)
   messages : int;  (** total messages delivered *)
@@ -79,9 +97,18 @@ type metrics = {
   steps : int;
       (** total vertex activations: the [n] inits plus one per
           [spec.step] invocation. Under [`Naive] this is exactly
-          [n * (rounds + 1)]; under [`Active] it is the work the
-          event-driven scheduler actually did, so the difference is
-          the scheduler's saving, now a first-class number. *)
+          [n * (rounds + 1)] on a fault-free run (crash-stopped
+          vertices are no longer stepped); under [`Active] it is the
+          work the event-driven scheduler actually did, so the
+          difference is the scheduler's saving, now a first-class
+          number. *)
+  dropped : int;
+      (** messages the adversary destroyed (random drop, crashed
+          endpoint, or cut link). Dropped messages still count in
+          [messages]/[total_bits] — they were sent, they just never
+          arrived. 0 when no adversary is installed. *)
+  crashed : int;
+      (** vertices crash-stopped over the run. 0 without adversary. *)
   minor_words : float;
       (** [Gc.minor_words] delta over the run, measured on the calling
           domain. Under [par > 1] the pool domains' own allocations
@@ -156,6 +183,7 @@ val run :
   ?trace:Trace.sink ->
   ?sched:sched ->
   ?par:int ->
+  ?adversary:Adversary.t ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   ('state, 'msg) spec ->
@@ -198,4 +226,20 @@ val run :
     and non-neighbor [Invalid_argument] are raised at merge time,
     after the full round has been stepped. [round 0] (initialization)
     always runs sequentially. [`Naive] ignores [par]: it is the
-    single-domain reference the parallel path is tested against. *)
+    single-domain reference the parallel path is tested against.
+
+    [adversary] (default none) installs a deterministic fault
+    injector (see {!Adversary} and the {!Faults} DSL). The engine
+    calls {!Adversary.reset} before round 0, activates the faults
+    scheduled at each round on the calling domain {e before} any
+    stepping (a crash-stopped vertex loses its pending inbox, is
+    flagged done, and never steps again — deliveries to it are
+    dropped), and consults the adversary once per wire message in
+    delivery order — which is the sequential vertex order under every
+    scheduler and shard count, so a faulted run is {e bit-identical}
+    across seq/[par]/[`Naive] exactly like a fault-free one. Dropped
+    messages are metered as sent but not delivered ([dropped] in
+    {!metrics} and {!Trace.round_stat}); duplicated messages are
+    metered twice. An adversary with an empty schedule
+    ({!Adversary.has_faults}[ = false]) is normalized away, so it is
+    byte-identical to passing no adversary at all. *)

@@ -1,0 +1,270 @@
+(* Fault-schedule DSL and the retransmit wrapper. See faults.mli. *)
+
+module Rng = Grapho.Rng
+
+type crash_spec = Crash_vertex of int * int | Crash_frac of float * int
+
+type schedule = {
+  seed : int;
+  drop_p : float;
+  dup_p : float;
+  crashes : crash_spec list;
+  cuts : ((int * int) * (int * int)) list;
+}
+
+let empty = { seed = 0; drop_p = 0.0; dup_p = 0.0; crashes = []; cuts = [] }
+
+let is_empty s =
+  s.drop_p = 0.0 && s.dup_p = 0.0 && s.crashes = [] && s.cuts = []
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax. *)
+
+let to_string s =
+  let b = Buffer.create 64 in
+  let sep () = if Buffer.length b > 0 then Buffer.add_char b ',' in
+  if s.drop_p > 0.0 then (
+    sep ();
+    Buffer.add_string b (Printf.sprintf "drop=%g" s.drop_p));
+  if s.dup_p > 0.0 then (
+    sep ();
+    Buffer.add_string b (Printf.sprintf "dup=%g" s.dup_p));
+  List.iter
+    (fun c ->
+      sep ();
+      match c with
+      | Crash_vertex (v, r) ->
+          Buffer.add_string b (Printf.sprintf "crash=v%d@r%d" v r)
+      | Crash_frac (f, r) ->
+          Buffer.add_string b (Printf.sprintf "crash=%g@r%d" f r))
+    s.crashes;
+  List.iter
+    (fun ((u, v), (from_r, upto_r)) ->
+      sep ();
+      if upto_r = max_int then
+        if from_r <= 1 then
+          Buffer.add_string b (Printf.sprintf "cut=%d-%d" u v)
+        else Buffer.add_string b (Printf.sprintf "cut=%d-%d@r%d" u v from_r)
+      else
+        Buffer.add_string b
+          (Printf.sprintf "cut=%d-%d@r%d..%d" u v from_r upto_r))
+    s.cuts;
+  if s.seed <> 0 then (
+    sep ();
+    Buffer.add_string b (Printf.sprintf "seed=%d" s.seed));
+  Buffer.contents b
+
+let parse_error clause msg = Error (Printf.sprintf "%s (in %S)" msg clause)
+
+let parse_prob clause what v =
+  match float_of_string_opt v with
+  | Some p when p >= 0.0 && p < 1.0 -> Ok p
+  | Some _ -> parse_error clause (what ^ " must lie in [0, 1)")
+  | None -> parse_error clause ("malformed " ^ what ^ " probability")
+
+(* "X@rR" -> (X, R); missing "@rR" -> (X, default_round). *)
+let split_at_round clause ~default v =
+  match String.index_opt v '@' with
+  | None -> Ok (v, default)
+  | Some i ->
+      let body = String.sub v 0 i in
+      let tail = String.sub v (i + 1) (String.length v - i - 1) in
+      if String.length tail < 2 || tail.[0] <> 'r' then
+        parse_error clause "expected @r<round>"
+      else begin
+        match int_of_string_opt (String.sub tail 1 (String.length tail - 1)) with
+        | Some r when r >= 1 -> Ok (body, r)
+        | Some _ -> parse_error clause "round must be >= 1"
+        | None -> parse_error clause "malformed round"
+      end
+
+let parse_crash clause v =
+  match split_at_round clause ~default:1 v with
+  | Error _ as e -> e
+  | Ok (body, r) ->
+      if String.length body > 1 && body.[0] = 'v' then begin
+        match int_of_string_opt (String.sub body 1 (String.length body - 1))
+        with
+        | Some id when id >= 0 -> Ok (Crash_vertex (id, r))
+        | _ -> parse_error clause "malformed crash vertex id"
+      end
+      else begin
+        match float_of_string_opt body with
+        | Some f when f >= 0.0 && f <= 1.0 -> Ok (Crash_frac (f, r))
+        | Some _ -> parse_error clause "crash fraction must lie in [0, 1]"
+        | None ->
+            parse_error clause
+              "expected crash=<fraction>@r<round> or crash=v<id>@r<round>"
+      end
+
+let parse_cut clause v =
+  (* U-V[@rA[..B]] *)
+  let edge, window =
+    match String.index_opt v '@' with
+    | None -> (v, None)
+    | Some i ->
+        ( String.sub v 0 i,
+          Some (String.sub v (i + 1) (String.length v - i - 1)) )
+  in
+  let edge_result =
+    match String.index_opt edge '-' with
+    | None -> parse_error clause "expected cut=<u>-<v>"
+    | Some i -> (
+        let u = String.sub edge 0 i in
+        let w = String.sub edge (i + 1) (String.length edge - i - 1) in
+        match (int_of_string_opt u, int_of_string_opt w) with
+        | Some u, Some w when u >= 0 && w >= 0 && u <> w -> Ok (u, w)
+        | Some u, Some w when u = w ->
+            parse_error clause "cut endpoints must differ"
+        | _ -> parse_error clause "malformed cut endpoints")
+  in
+  match edge_result with
+  | Error _ as e -> e
+  | Ok (u, w) -> (
+      match window with
+      | None -> Ok ((u, w), (1, max_int))
+      | Some tail ->
+          if String.length tail < 2 || tail.[0] <> 'r' then
+            parse_error clause "expected @r<round>[..<round>]"
+          else
+            let tail = String.sub tail 1 (String.length tail - 1) in
+            let parse_r s =
+              match int_of_string_opt s with
+              | Some r when r >= 1 -> Ok r
+              | _ -> parse_error clause "malformed cut round"
+            in
+            let idx =
+              (* find ".." *)
+              let rec go i =
+                if i + 1 >= String.length tail then None
+                else if tail.[i] = '.' && tail.[i + 1] = '.' then Some i
+                else go (i + 1)
+              in
+              go 0
+            in
+            (match idx with
+            | None -> (
+                match parse_r tail with
+                | Ok r -> Ok ((u, w), (r, max_int))
+                | Error e -> Error e)
+            | Some i -> (
+                let a = String.sub tail 0 i in
+                let b = String.sub tail (i + 2) (String.length tail - i - 2) in
+                match (parse_r a, parse_r b) with
+                | Ok a, Ok b when a <= b -> Ok ((u, w), (a, b))
+                | Ok _, Ok _ ->
+                    parse_error clause "cut window must be ascending"
+                | (Error _ as e), _ | _, (Error _ as e) -> e)))
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Ok empty
+  else
+    let clauses = String.split_on_char ',' s in
+    (* Re-join "a..b" windows that the comma split cannot break (".."
+       contains no comma) — nothing to do; just fold the clauses. *)
+    let rec go acc = function
+      | [] ->
+          Ok
+            {
+              acc with
+              crashes = List.rev acc.crashes;
+              cuts = List.rev acc.cuts;
+            }
+      | clause :: rest -> (
+          let clause = String.trim clause in
+          if clause = "" then go acc rest
+          else
+            match String.index_opt clause '=' with
+            | None ->
+                parse_error clause "expected <key>=<value>"
+            | Some i -> (
+                let key = String.sub clause 0 i in
+                let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+                match key with
+                | "drop" -> (
+                    match parse_prob clause "drop" v with
+                    | Ok p -> go { acc with drop_p = p } rest
+                    | Error e -> Error e)
+                | "dup" -> (
+                    match parse_prob clause "dup" v with
+                    | Ok p -> go { acc with dup_p = p } rest
+                    | Error e -> Error e)
+                | "seed" -> (
+                    match int_of_string_opt v with
+                    | Some seed -> go { acc with seed } rest
+                    | None -> parse_error clause "malformed seed")
+                | "crash" -> (
+                    match parse_crash clause v with
+                    | Ok c -> go { acc with crashes = c :: acc.crashes } rest
+                    | Error e -> Error e)
+                | "cut" -> (
+                    match parse_cut clause v with
+                    | Ok c -> go { acc with cuts = c :: acc.cuts } rest
+                    | Error e -> Error e)
+                | _ ->
+                    parse_error clause
+                      "unknown key (expected drop/dup/crash/cut/seed)"))
+    in
+    go empty clauses
+
+(* ------------------------------------------------------------------ *)
+(* Compilation. *)
+
+(* Fraction crashes draw their victim sets from a stream derived from
+   the seed but distinct from the adversary's drop/dup coin stream
+   (which [Adversary.make] seeds with [seed] directly). *)
+let crashed_of ~n schedule =
+  let rng = lazy (Rng.create (schedule.seed lxor 0x9E3779B9)) in
+  List.concat_map
+    (function
+      | Crash_vertex (v, r) -> if v < n then [ (r, v) ] else []
+      | Crash_frac (f, r) ->
+          let k =
+            min n (int_of_float (Float.round (f *. float_of_int n)))
+          in
+          if k <= 0 then []
+          else
+            let perm = Rng.permutation (Lazy.force rng) n in
+            List.init k (fun i -> (r, perm.(i))))
+    schedule.crashes
+
+let compile ~n schedule =
+  Adversary.make ~seed:schedule.seed ~drop_p:schedule.drop_p
+    ~dup_p:schedule.dup_p
+    ~crashes:(crashed_of ~n schedule)
+    ~cuts:schedule.cuts ()
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission. *)
+
+let with_retry ~attempts (spec : ('s, 'm) Engine.spec) : ('s, 'm) Engine.spec =
+  if attempts < 1 then
+    invalid_arg "Faults.with_retry: attempts must be >= 1";
+  if attempts = 1 then spec
+  else
+    let re_emit out before =
+      let stop = Engine.outbox_length out in
+      for _copy = 2 to attempts do
+        for i = before to stop - 1 do
+          Engine.emit out ~dst:(Engine.outbox_dst out i)
+            (Engine.outbox_payload out i)
+        done
+      done
+    in
+    {
+      Engine.init =
+        (fun ~n ~vertex ~neighbors ~out ->
+          let before = Engine.outbox_length out in
+          let st = spec.init ~n ~vertex ~neighbors ~out in
+          re_emit out before;
+          st);
+      step =
+        (fun ~round ~vertex st inbox ~out ->
+          Engine.inbox_keep_first_per_src inbox;
+          let before = Engine.outbox_length out in
+          let result = spec.step ~round ~vertex st inbox ~out in
+          re_emit out before;
+          result);
+      measure = spec.measure;
+    }

@@ -1,0 +1,83 @@
+(** Fault schedules: a small declarative layer over {!Adversary}.
+
+    A {!schedule} is a graph-size-independent description of what goes
+    wrong during a run — message loss and duplication probabilities,
+    crash-stop events (by vertex id or as a fraction of the network),
+    and link cuts (permanent or windowed). {!compile} instantiates it
+    for an [n]-vertex graph as the {!Adversary.t} hook that
+    [Engine.run ?adversary] consults; {!parse}/{!to_string} give it a
+    concrete syntax for the CLI and the bench harness:
+
+    {v drop=0.05,dup=0.01,crash=0.1@r3,crash=v7@r5,cut=2-9@r4..8,seed=42 v}
+
+    - [drop=P] — destroy each wire message independently with
+      probability [P] (in [[0, 1)]);
+    - [dup=P] — deliver two copies with probability [P];
+    - [crash=F@rR] — crash-stop [round(F·n)] vertices (chosen
+      deterministically from the seed) at the start of round [R];
+      [crash=vID@rR] crash-stops the specific vertex [ID]. [@rR]
+      defaults to round 1;
+    - [cut=U-V] — cut the link [{U,V}] (both directions) from round 1
+      forever; [cut=U-V@rR] from round [R] forever; [cut=U-V@rA..B]
+      during rounds [A..B] inclusive;
+    - [seed=S] — the seed for the drop/dup coin stream and the
+      fraction-crash vertex choice (default 0).
+
+    Same schedule + same seed + same [n] ⇒ the same faulted execution,
+    bit-for-bit, for any scheduler and shard count (see {!Engine.run}).
+
+    {!with_retry} is the protocol-side counterpart: a spec wrapper that
+    retransmits every message [attempts] times and dedups the receive
+    side, trading bandwidth for loss resilience. *)
+
+type crash_spec =
+  | Crash_vertex of int * int  (** [Crash_vertex (v, r)]: vertex [v] at round [r] *)
+  | Crash_frac of float * int
+      (** [Crash_frac (f, r)]: [round (f * n)] seed-chosen vertices at
+          round [r]; [f] in [[0, 1]] *)
+
+type schedule = {
+  seed : int;
+  drop_p : float;
+  dup_p : float;
+  crashes : crash_spec list;
+  cuts : ((int * int) * (int * int)) list;
+      (** [((u, v), (from_round, upto_round))], [max_int] = forever *)
+}
+
+val empty : schedule
+(** No faults: [compile ~n empty] is normalized away by the engine. *)
+
+val is_empty : schedule -> bool
+
+val parse : string -> (schedule, string) result
+(** Parses the comma-separated DSL above. The empty string (or only
+    whitespace) is {!empty}. [Error] pinpoints the offending clause. *)
+
+val to_string : schedule -> string
+(** Canonical DSL form; [parse (to_string s)] round-trips every field
+    ([Ok s] up to clause order, which [to_string] fixes). *)
+
+val compile : n:int -> schedule -> Adversary.t
+(** Instantiate for an [n]-vertex graph. Fraction crashes are resolved
+    to concrete vertex ids here, by a private RNG stream derived from
+    [seed] (distinct from the drop/dup coin stream), so the same
+    schedule on the same [n] always crashes the same vertices. *)
+
+val crashed_of : n:int -> schedule -> (int * int) list
+(** The concrete [(round, vertex)] crash list {!compile} resolves to —
+    exposed so survivor-analysis code can know who will die without
+    running anything. *)
+
+val with_retry :
+  attempts:int -> ('s, 'm) Engine.spec -> ('s, 'm) Engine.spec
+(** [with_retry ~attempts spec] sends every message [attempts] times
+    (metered: bandwidth is really spent) and collapses the receive
+    side to the first copy per source
+    ({!Engine.inbox_keep_first_per_src}), so a message survives a
+    random-drop adversary with probability [1 - p^attempts] instead of
+    [1 - p]. Requires the wrapped protocol to send at most one message
+    per (src, dst) per round — true of every protocol here.
+    [attempts = 1] returns [spec] unchanged; raises [Invalid_argument]
+    on [attempts < 1]. Par-safe: the wrapper only appends to the
+    step's own outbox and compacts the step's own inbox view. *)

@@ -6,9 +6,15 @@ type round_stat = {
   vertices_stepped : int;
   vertices_done : int;
   congest_violations : int;
+  dropped : int;
+  crashed : int;
   elapsed_ns : int;
   minor_words : int;
 }
+
+type drop_reason = Dropped_random | Dropped_crashed | Dropped_cut
+
+type fault_kind = Crash of int | Cut of int * int | Restore of int * int
 
 type event =
   | Round_begin of int
@@ -16,6 +22,13 @@ type event =
   | Send of { src : int; dst : int; bits : int; round : int }
   | Phase of { vertex : int; name : string; round : int }
   | Counter of { name : string; value : float; round : int }
+  | Fault_injected of { round : int; kind : fault_kind }
+  | Message_dropped of {
+      src : int;
+      dst : int;
+      round : int;
+      reason : drop_reason;
+    }
 
 type sink = Null | Sink of { emit : event -> unit; sends : bool }
 
@@ -115,7 +128,8 @@ let stats_sink st =
         | Phase { name; _ } -> bump st.phase_tbl 0 ( + ) name 1
         | Counter { name; value; _ } ->
             bump st.counter_tbl 0.0 ( +. ) name value
-        | Round_begin _ | Send _ -> ());
+        | Fault_injected _ -> bump st.counter_tbl 0.0 ( +. ) "faults" 1.0
+        | Round_begin _ | Send _ | Message_dropped _ -> ());
     }
 
 let sorted_bindings tbl =
@@ -131,6 +145,8 @@ let zero_stat =
     vertices_stepped = 0;
     vertices_done = 0;
     congest_violations = 0;
+    dropped = 0;
+    crashed = 0;
     elapsed_ns = 0;
     minor_words = 0;
   }
@@ -182,9 +198,10 @@ let event_to_json ev =
       out
         "{\"ev\":\"round_end\",\"round\":%d,\"messages\":%d,\"bits\":%d,\
          \"max_bits\":%d,\"stepped\":%d,\"done\":%d,\"violations\":%d,\
-         \"ns\":%d,\"minor_words\":%d}"
+         \"dropped\":%d,\"crashed\":%d,\"ns\":%d,\"minor_words\":%d}"
         s.round s.messages s.bits s.max_bits s.vertices_stepped
-        s.vertices_done s.congest_violations s.elapsed_ns s.minor_words
+        s.vertices_done s.congest_violations s.dropped s.crashed s.elapsed_ns
+        s.minor_words
   | Send { src; dst; bits; round } ->
       out "{\"ev\":\"send\",\"round\":%d,\"src\":%d,\"dst\":%d,\"bits\":%d}"
         round src dst bits
@@ -196,7 +213,31 @@ let event_to_json ev =
   | Counter { name; value; round } ->
       out "{\"ev\":\"counter\",\"round\":%d,\"name\":\"" round;
       escape_into buf name;
-      out "\",\"value\":%s}" (json_float value));
+      out "\",\"value\":%s}" (json_float value)
+  | Fault_injected { round; kind } -> (
+      match kind with
+      | Crash v ->
+          out "{\"ev\":\"fault\",\"round\":%d,\"kind\":\"crash\",\"v\":%d}"
+            round v
+      | Cut (u, w) ->
+          out
+            "{\"ev\":\"fault\",\"round\":%d,\"kind\":\"cut\",\"u\":%d,\
+             \"w\":%d}"
+            round u w
+      | Restore (u, w) ->
+          out
+            "{\"ev\":\"fault\",\"round\":%d,\"kind\":\"restore\",\"u\":%d,\
+             \"w\":%d}"
+            round u w)
+  | Message_dropped { src; dst; round; reason } ->
+      out
+        "{\"ev\":\"drop\",\"round\":%d,\"src\":%d,\"dst\":%d,\
+         \"reason\":\"%s\"}"
+        round src dst
+        (match reason with
+        | Dropped_random -> "random"
+        | Dropped_crashed -> "crashed"
+        | Dropped_cut -> "cut"));
   Buffer.contents buf
 
 (* A minimal parser for the flat objects above. *)
@@ -343,6 +384,10 @@ let event_of_json line =
               vertices_stepped = int "stepped";
               vertices_done = int "done";
               congest_violations = int "violations";
+              (* Absent-tolerant: pre-PR5 streams have no fault
+                 counters (and pre-PR4 no "minor_words"). *)
+              dropped = int_opt "dropped" ~default:0;
+              crashed = int_opt "crashed" ~default:0;
               elapsed_ns = int "ns";
               minor_words = int_opt "minor_words" ~default:0;
             }
@@ -359,6 +404,25 @@ let event_of_json line =
       | "counter" ->
           Counter
             { name = str "name"; value = num "value"; round = int "round" }
+      | "fault" ->
+          let kind =
+            match str "kind" with
+            | "crash" -> Crash (int "v")
+            | "cut" -> Cut (int "u", int "w")
+            | "restore" -> Restore (int "u", int "w")
+            | other -> raise (Parse ("unknown fault kind " ^ other))
+          in
+          Fault_injected { round = int "round"; kind }
+      | "drop" ->
+          let reason =
+            match str "reason" with
+            | "random" -> Dropped_random
+            | "crashed" -> Dropped_crashed
+            | "cut" -> Dropped_cut
+            | other -> raise (Parse ("unknown drop reason " ^ other))
+          in
+          Message_dropped
+            { src = int "src"; dst = int "dst"; round = int "round"; reason }
       | other -> raise (Parse ("unknown event kind " ^ other))
     in
     Ok ev
@@ -378,7 +442,7 @@ let jsonl ?(sends = true) ?send_filter oc =
             output_char oc '\n'
           in
           match ev with
-          | Send { src; dst; _ } ->
+          | Send { src; dst; _ } | Message_dropped { src; dst; _ } ->
               if sends && keep_send src dst then write ()
           | _ -> write ());
     }

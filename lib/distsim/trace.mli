@@ -35,6 +35,13 @@ type round_stat = {
           naive scheduler; only the awake set under the active one *)
   vertices_done : int;  (** vertices flagged [`Done] after the round *)
   congest_violations : int;  (** oversized messages this round *)
+  dropped : int;
+      (** messages the adversary destroyed this round (always 0 on a
+          fault-free run). Dropped messages still count in [messages]
+          and [bits]: they were sent — they just never arrived. *)
+  crashed : int;
+      (** vertices crash-stopped after the round, cumulatively (like
+          [vertices_done]); 0 on a fault-free run *)
   elapsed_ns : int;  (** wall-clock nanoseconds spent in the round *)
   minor_words : int;
       (** minor-heap words allocated during the round on the engine's
@@ -51,6 +58,16 @@ type round_stat = {
     [total_bits]); summing [vertices_stepped] gives
     [Engine.metrics.steps]. *)
 
+type drop_reason =
+  | Dropped_random  (** lost to the per-message drop probability *)
+  | Dropped_crashed  (** an endpoint had crash-stopped *)
+  | Dropped_cut  (** the link was cut when the message crossed it *)
+
+type fault_kind =
+  | Crash of int  (** vertex crash-stops at the start of the round *)
+  | Cut of int * int  (** link goes down at the start of the round *)
+  | Restore of int * int  (** a transient cut comes back up *)
+
 type event =
   | Round_begin of int
   | Round_end of round_stat
@@ -60,6 +77,20 @@ type event =
           (whole-network) phase. For protocols compiled through
           [Chunked], [round] is the inner virtual round. *)
   | Counter of { name : string; value : float; round : int }
+  | Fault_injected of { round : int; kind : fault_kind }
+      (** the adversary activated a scheduled fault at the start of
+          [round] (emitted on the engine's merge thread, so fault
+          streams are identical across schedulers and shard counts) *)
+  | Message_dropped of {
+      src : int;
+      dst : int;
+      round : int;
+      reason : drop_reason;
+    }
+      (** one destroyed wire message. Send-class: only emitted when the
+          sink {!wants_sends}, like {!constructor:Send}; the per-round
+          [dropped] counter of {!round_stat} is maintained engine-side
+          and does not require these events. *)
 
 type sink
 

@@ -8,28 +8,79 @@ let to_edge_list g =
     g;
   Buffer.contents buf
 
-let parse_lines s =
+(* Parsing keeps the 1-based line number of every retained line so
+   that a rejected edge can name the exact offending line of the
+   original input, comments and blanks included. *)
+let numbered_lines s =
   String.split_on_char '\n' s
-  |> List.map String.trim
-  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
 
-let parse_pair line =
-  match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-  | [ a; b ] -> (int_of_string a, int_of_string b)
-  | _ -> failwith (Printf.sprintf "Graph_io: malformed line %S" line)
+let fail_line lineno fmt =
+  Printf.ksprintf
+    (fun msg -> failwith (Printf.sprintf "Graph_io: line %d: %s" lineno msg))
+    fmt
 
-let parse_edge_list s =
-  match parse_lines s with
+let int_field lineno s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail_line lineno "%S is not an integer" s
+
+let fields line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let parse_pair (lineno, line) =
+  match fields line with
+  | [ a; b ] -> (int_field lineno a, int_field lineno b)
+  | _ ->
+      fail_line lineno "expected two fields %S, got %S" "u v" line
+
+(* Shared validation for the undirected, directed and weighted
+   readers: endpoints in range, no self-loops, no duplicate edges
+   ([directed] distinguishes (u,v) from (v,u); antiparallel pairs are
+   two distinct directed edges). Every rejection names the input line
+   that carries the offending edge. *)
+let check_edges ~n ~directed rows =
+  let seen = Hashtbl.create (List.length rows * 2) in
+  List.iter
+    (fun (lineno, u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        fail_line lineno "edge (%d, %d) out of range for n = %d" u v n;
+      if u = v then fail_line lineno "self-loop at vertex %d" u;
+      let key =
+        if directed then (u, v) else if u < v then (u, v) else (v, u)
+      in
+      match Hashtbl.find_opt seen key with
+      | Some first ->
+          fail_line lineno "duplicate edge (%d, %d), first seen on line %d"
+            u v first
+      | None -> Hashtbl.add seen key lineno)
+    rows
+
+let parse_edge_list ~directed s =
+  match numbered_lines s with
   | [] -> failwith "Graph_io: empty input"
   | header :: rest ->
       let n, m = parse_pair header in
-      let edges = List.map parse_pair rest in
-      if List.length edges <> m then
-        failwith "Graph_io: edge count does not match header";
-      (n, edges)
+      if n < 0 then
+        fail_line (fst header) "negative vertex count %d" n;
+      let rows =
+        List.map
+          (fun (lineno, line) ->
+            let u, v = parse_pair (lineno, line) in
+            (lineno, u, v))
+          rest
+      in
+      if List.length rows <> m then
+        failwith
+          (Printf.sprintf
+             "Graph_io: edge count does not match header (header says %d, \
+              found %d)"
+             m (List.length rows));
+      check_edges ~n ~directed rows;
+      (n, List.map (fun (_, u, v) -> (u, v)) rows)
 
 let of_edge_list s =
-  let n, edges = parse_edge_list s in
+  let n, edges = parse_edge_list ~directed:false s in
   Ugraph.of_edges ~n edges
 
 let directed_to_edge_list g =
@@ -41,7 +92,7 @@ let directed_to_edge_list g =
   Buffer.contents buf
 
 let directed_of_edge_list s =
-  let n, edges = parse_edge_list s in
+  let n, edges = parse_edge_list ~directed:true s in
   Dgraph.of_edges ~n edges
 
 let to_dot ?(highlight = Edge.Set.empty) g =
@@ -92,20 +143,34 @@ let weighted_to_edge_list g w =
   Buffer.contents buf
 
 let weighted_of_edge_list s =
-  match parse_lines s with
+  match numbered_lines s with
   | [] -> failwith "Graph_io: empty input"
   | header :: rest ->
       let n, m = parse_pair header in
+      if n < 0 then fail_line (fst header) "negative vertex count %d" n;
       let rows =
         List.map
-          (fun line ->
-            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-            | [ a; b; w ] ->
-                (int_of_string a, int_of_string b, float_of_string w)
-            | _ -> failwith (Printf.sprintf "Graph_io: malformed line %S" line))
+          (fun (lineno, line) ->
+            match fields line with
+            | [ a; b; w ] -> (
+                let u = int_field lineno a and v = int_field lineno b in
+                match float_of_string_opt w with
+                | Some w -> (lineno, u, v, w)
+                | None -> fail_line lineno "%S is not a weight" w)
+            | _ -> fail_line lineno "expected three fields %S, got %S" "u v w" line)
           rest
       in
       if List.length rows <> m then
-        failwith "Graph_io: edge count does not match header";
-      let g = Ugraph.of_edges ~n (List.map (fun (u, v, _) -> (u, v)) rows) in
-      (g, Weights.of_list ~default:1.0 rows)
+        failwith
+          (Printf.sprintf
+             "Graph_io: edge count does not match header (header says %d, \
+              found %d)"
+             m (List.length rows));
+      check_edges ~n ~directed:false
+        (List.map (fun (lineno, u, v, _) -> (lineno, u, v)) rows);
+      let g =
+        Ugraph.of_edges ~n (List.map (fun (_, u, v, _) -> (u, v)) rows)
+      in
+      ( g,
+        Weights.of_list ~default:1.0
+          (List.map (fun (_, u, v, w) -> (u, v, w)) rows) )

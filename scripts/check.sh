@@ -6,11 +6,17 @@
 #     silently drop it)
 #   - a bench smoke run exercising the --json perf-trajectory and
 #     --trace event-stream paths, plus the --par 2 seq-vs-par A/B path;
-#     the emitted JSON must carry the spanner-bench/4 "alloc" rows
+#     the emitted JSON must carry the spanner-bench/5 "alloc" and
+#     "faults" rows
 #   - a tiny spanner_cli trace run (its exit status asserts that the
 #     per-round series reconciles with the engine metrics), run both
 #     sequentially and with --par 2: the two reports must be
-#     byte-identical (the round engine's determinism contract)
+#     byte-identical (the round engine's determinism contract) — and
+#     the same byte-diff again under a fault schedule, where the
+#     adversary's coin stream joins the determinism contract
+#   - a spanner_cli faults smoke run: the survivor-quality report must
+#     come back VALID (exit 0) for a LOCAL run under drops+crashes
+#     with retransmission
 # Run from the repository root: scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -23,14 +29,24 @@ dune exec test/test_engine_sched.exe -- test allocation > /dev/null
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
 benchjson=$(mktemp)
 dune exec bench/main.exe -- e13 --json "$benchjson" --trace /dev/null
-# The perf trajectory must be schema 4 and expose the allocation A/B.
-grep -q '"schema": "spanner-bench/4"' "$benchjson"
+# The perf trajectory must be schema 5 and expose the allocation A/B.
+grep -q '"schema": "spanner-bench/5"' "$benchjson"
 grep -q '"alloc"' "$benchjson"
 grep -q '"minor_words"' "$benchjson"
 grep -q '"allocated_bytes"' "$benchjson"
 grep -q '"legacy_minor_words"' "$benchjson"
 rm -f "$benchjson"
 dune exec bench/main.exe -- e13 --par 2 --json /dev/null
+# The fault sweep: e17 selects the fault anchors, whose JSON rows must
+# carry the survivor-quality fields.
+benchjson=$(mktemp)
+dune exec bench/main.exe -- e17 --json "$benchjson" > /dev/null
+grep -q '"faults"' "$benchjson"
+grep -q '"drop_p"' "$benchjson"
+grep -q '"surviving_output"' "$benchjson"
+grep -q '"dropped"' "$benchjson"
+grep -q '"crashed"' "$benchjson"
+rm -f "$benchjson"
 
 tmpgraph=$(mktemp)
 seqrep=$(mktemp)
@@ -46,5 +62,21 @@ dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
 dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
   --par 2 --jsonl /dev/null > "$parrep"
 diff "$seqrep" "$parrep"
+
+# The same determinism contract under a fault schedule: the adversary's
+# coin stream is consulted on the serial merge path, so the faulted
+# traces must also be byte-identical across shard counts.
+sched='drop=0.08,crash=0.1@r3,seed=13'
+dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
+  --schedule "$sched" --retry 3 > "$seqrep"
+dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
+  --schedule "$sched" --retry 3 --par 2 > "$parrep"
+diff "$seqrep" "$parrep"
+grep -q 'dropped' "$seqrep"
+
+# Survivor-quality smoke: LOCAL under drops+crashes with retransmission
+# must grade VALID (the subcommand exits non-zero otherwise).
+dune exec bin/spanner_cli.exe -- faults "$tmpgraph" \
+  --schedule "$sched" --retry 3 > /dev/null
 
 echo "check.sh: all green"

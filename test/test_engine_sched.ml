@@ -469,6 +469,50 @@ let test_empty_and_singleton () =
         [ `Active; `Naive ])
     [ ("empty", Ugraph.empty 0); ("singleton", Ugraph.empty 1) ]
 
+(* Pool edge cases: shard counts beyond [n], the empty range, and the
+   single-vertex graph must all behave — the pool clamps shards, never
+   calls the body on an empty range, and the engine produces the same
+   result at any [par]. *)
+let test_pool_edge_cases () =
+  (* Direct pool use: n = 0 hands the body nothing but empty ranges. *)
+  let pool = Distsim.Pool.get 4 in
+  let indices = Atomic.make 0 in
+  Distsim.Pool.run pool ~shards:4 ~n:0 (fun ~lo ~hi ~shard:_ ->
+      for _ = lo to hi - 1 do
+        Atomic.incr indices
+      done);
+  check_int "n=0 processes no indices" 0 (Atomic.get indices);
+  (* shards > n: the slices still partition [0, n) exactly once. *)
+  let n = 3 in
+  let hit = Array.make n 0 in
+  Distsim.Pool.run pool ~shards:4 ~n (fun ~lo ~hi ~shard:_ ->
+      for i = lo to hi - 1 do
+        hit.(i) <- hit.(i) + 1
+      done);
+  check "shards>n covers each index once" true
+    (Array.for_all (fun c -> c = 1) hit);
+  (* Engine on degenerate graphs at par = 4 (more domains than
+     vertices for the singleton, any domains for the empty graph). *)
+  List.iter
+    (fun (name, g) ->
+      let states, metrics =
+        Distsim.Engine.run ~par:4 ~model:Distsim.Model.local ~graph:g
+          (flood_spec g)
+      in
+      check_int (name ^ " par=4 states") (Ugraph.n g) (Array.length states);
+      check_int (name ^ " par=4 messages") 0 metrics.messages;
+      let r = C.Two_spanner_local.run ~seed:1 ~par:4 g in
+      check_int (name ^ " par=4 spanner") 0 (Edge.Set.cardinal r.spanner))
+    [ ("empty", Ugraph.empty 0); ("singleton", Ugraph.empty 1) ];
+  (* par far beyond n on a tiny but nonempty graph agrees with seq. *)
+  let g = Generators.path 2 in
+  let seq = C.Two_spanner_local.run ~seed:1 g in
+  let par = C.Two_spanner_local.run ~seed:1 ~par:4 g in
+  check "path_2 par=4 spanner" true
+    (Edge.Set.equal seq.spanner par.spanner);
+  check "path_2 par=4 metrics" true
+    (Distsim.Engine.metrics_deterministic_eq seq.metrics par.metrics)
+
 (* ------------------------------------------------------------------ *)
 (* GC-regression guard: the mailbox hot path must not allocate per
    message. After a warm-up run (which grows the reused inbox/outbox
@@ -549,6 +593,7 @@ let () =
         [
           Alcotest.test_case "empty and singleton" `Quick
             test_empty_and_singleton;
+          Alcotest.test_case "pool edge cases" `Quick test_pool_edge_cases;
         ] );
       ( "allocation",
         [

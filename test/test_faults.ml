@@ -1,0 +1,466 @@
+(* The adversarial-network subsystem: the fault DSL round-trips, a
+   compiled schedule is deterministic across schedulers and shard
+   counts, the empty schedule is byte-identical to no adversary at
+   all, the retransmit wrapper multiplies traffic but not delivery,
+   and the survivor-quality harness grades crash schedules the way
+   [Fault_tolerant]'s offline guarantee promises. *)
+
+open Grapho
+module C = Spanner_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let rng seed = Rng.create seed
+
+let compile ~n s =
+  match Distsim.Faults.parse s with
+  | Ok schedule -> Distsim.Faults.compile ~n schedule
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let schedule_of s =
+  match Distsim.Faults.parse s with
+  | Ok schedule -> schedule
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* DSL *)
+
+let test_dsl_roundtrip () =
+  (* Canonical strings survive parse-then-print unchanged. *)
+  List.iter
+    (fun s ->
+      check_string ("roundtrip " ^ s) s
+        (Distsim.Faults.to_string (schedule_of s)))
+    [
+      "drop=0.05";
+      "drop=0.05,dup=0.01";
+      "crash=v7@r5";
+      "crash=0.1@r3,crash=v7@r5";
+      "cut=2-9";
+      "cut=2-9@r4";
+      "cut=2-9@r4..8";
+      "drop=0.05,dup=0.01,crash=0.1@r3,crash=v7@r5,cut=2-9@r4..8,seed=42";
+      "";
+    ];
+  (* Parsing is forgiving about clause order; printing is canonical. *)
+  check_string "canonical order" "drop=0.1,crash=v2@r3,seed=9"
+    (Distsim.Faults.to_string (schedule_of "seed=9,crash=v2@r3,drop=0.1"));
+  (* A crash clause without a round defaults to round 1. *)
+  check_string "crash round defaults to 1" "crash=0.5@r1"
+    (Distsim.Faults.to_string (schedule_of "crash=0.5"));
+  check "empty is empty" true
+    (Distsim.Faults.is_empty (schedule_of ""));
+  check "nonempty" false
+    (Distsim.Faults.is_empty (schedule_of "drop=0.01"))
+
+let test_dsl_errors () =
+  List.iter
+    (fun s ->
+      match Distsim.Faults.parse s with
+      | Ok _ -> Alcotest.failf "parse %S should have failed" s
+      | Error msg ->
+          check ("error names clause " ^ s) true (String.length msg > 0))
+    [
+      "drop=1.5";
+      "drop=-0.1";
+      "drop=x";
+      "dup=2";
+      "wat=3";
+      "crash=1.5@r2";
+      "crash=vx@r2";
+      "crash=v3@r0";
+      (* rounds are 1-based *)
+      "cut=5";
+      "cut=1-2@r3..1";
+      (* descending window *)
+      "seed=abc";
+      "=";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: same schedule, same run — across schedulers and
+   shard counts, with fault metrics included in the equality. *)
+
+let test_determinism_matrix () =
+  let graphs =
+    [
+      ("caveman", Generators.caveman (rng 3) 4 6 0.05);
+      ("gnp_40", Generators.gnp_connected (rng 5) 40 0.15);
+    ]
+  in
+  let schedules =
+    [
+      "drop=0.1,seed=7";
+      "drop=0.05,dup=0.05,seed=3";
+      "crash=0.1@r3,seed=5";
+      "cut=0-1@r2..6,drop=0.02,seed=9";
+    ]
+  in
+  List.iter
+    (fun (gname, g) ->
+      let n = Ugraph.n g in
+      List.iter
+        (fun sstr ->
+          let run ?sched ?par () =
+            C.Two_spanner_local.run ~seed:11 ~retry:3 ?sched ?par
+              ~adversary:(compile ~n sstr) g
+          in
+          let base = run () in
+          let label = gname ^ "/" ^ sstr in
+          (* Same seed and schedule twice: identical. *)
+          let again = run () in
+          check (label ^ " rerun spanner") true
+            (Edge.Set.equal base.spanner again.spanner);
+          check (label ^ " rerun metrics") true
+            (Distsim.Engine.metrics_deterministic_eq base.metrics
+               again.metrics);
+          (* Across shard counts and schedulers. *)
+          List.iter
+            (fun (vlabel, r) ->
+              check (label ^ " " ^ vlabel ^ " spanner") true
+                (Edge.Set.equal base.spanner r.C.Two_spanner_local.spanner);
+              check (label ^ " " ^ vlabel ^ " metrics") true
+                (Distsim.Engine.metrics_deterministic_eq base.metrics
+                   r.C.Two_spanner_local.metrics);
+              check_int
+                (label ^ " " ^ vlabel ^ " dropped")
+                base.metrics.dropped r.C.Two_spanner_local.metrics.dropped;
+              check_int
+                (label ^ " " ^ vlabel ^ " crashed")
+                base.metrics.crashed r.C.Two_spanner_local.metrics.crashed)
+            [
+              ("par2", run ~par:2 ());
+              ("par4", run ~par:4 ());
+              ("naive", run ~sched:`Naive ());
+            ])
+        schedules)
+    graphs
+
+(* The per-round dropped counters reconcile with the run totals, and
+   the fault-free prefix of the series carries zeros. *)
+let test_series_reconciles () =
+  let g = Generators.gnp_connected (rng 6) 50 0.12 in
+  let n = Ugraph.n g in
+  let st = Distsim.Trace.stats () in
+  let r =
+    C.Two_spanner_local.run ~seed:2 ~retry:2
+      ~adversary:(compile ~n "drop=0.08,crash=0.05@r4,seed=13")
+      ~trace:(Distsim.Trace.stats_sink st) g
+  in
+  let series = Distsim.Trace.series st in
+  let dropped_sum =
+    Array.fold_left
+      (fun acc row -> acc + row.Distsim.Trace.dropped)
+      0 series.Distsim.Trace.rounds
+  in
+  check_int "series dropped reconciles" r.metrics.dropped dropped_sum;
+  check "dropped some" true (r.metrics.dropped > 0);
+  check "crashed some" true (r.metrics.crashed > 0);
+  let final =
+    series.Distsim.Trace.rounds.(Array.length series.Distsim.Trace.rounds - 1)
+  in
+  check_int "final row cumulative crashed" r.metrics.crashed
+    final.Distsim.Trace.crashed
+
+(* ------------------------------------------------------------------ *)
+(* The empty schedule is not merely equivalent to no adversary — it is
+   normalized away, so the runs are identical in every metric. *)
+
+let test_drop_zero_identity () =
+  let g = Generators.caveman (rng 8) 5 6 0.05 in
+  let n = Ugraph.n g in
+  let adv = compile ~n "drop=0,seed=3" in
+  check "empty schedule has no faults" false (Distsim.Adversary.has_faults adv);
+  let plain = C.Two_spanner_local.run ~seed:4 g in
+  let under = C.Two_spanner_local.run ~seed:4 ~adversary:adv g in
+  check "spanner identical" true (Edge.Set.equal plain.spanner under.spanner);
+  check "metrics identical" true
+    (Distsim.Engine.metrics_deterministic_eq plain.metrics under.metrics);
+  check_int "nothing dropped" 0 under.metrics.dropped;
+  check_int "nothing crashed" 0 under.metrics.crashed
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission: [with_retry ~attempts:k] sends everything k times;
+   receivers keep the first copy per source, so on a fault-free
+   network the output is untouched and traffic is exactly k-fold. *)
+
+let test_retry_multiplies_traffic_only () =
+  let g = Generators.gnp_connected (rng 9) 40 0.15 in
+  let base = C.Two_spanner_local.run ~seed:6 g in
+  let r3 = C.Two_spanner_local.run ~seed:6 ~retry:3 g in
+  check "same spanner" true (Edge.Set.equal base.spanner r3.spanner);
+  check_int "3x messages" (3 * base.metrics.messages) r3.metrics.messages;
+  check_int "3x bits" (3 * base.metrics.total_bits) r3.metrics.total_bits;
+  check_int "same rounds" base.metrics.rounds r3.metrics.rounds
+
+(* The receiver-side dedup, observed from inside a protocol: each
+   vertex broadcasts once; under attempts = 3 every receiver still
+   sees exactly one copy per neighbor. *)
+let test_retry_dedup_inbox () =
+  let g = Generators.complete 7 in
+  let seen = Array.make (Ugraph.n g) (-1) in
+  let spec =
+    {
+      Distsim.Engine.init =
+        (fun ~n:_ ~vertex ~neighbors ~out ->
+          Array.iter (fun dst -> Distsim.Engine.emit out ~dst vertex) neighbors;
+          vertex);
+      step =
+        (fun ~round:_ ~vertex st inbox ~out:_ ->
+          let count =
+            Distsim.Engine.inbox_fold
+              (fun acc ~src:_ _msg -> acc + 1)
+              0 inbox
+          in
+          seen.(vertex) <- count;
+          (st, `Done));
+      measure = (fun _ -> 8);
+    }
+  in
+  let _, metrics =
+    Distsim.Engine.run ~model:Distsim.Model.local ~graph:g
+      (Distsim.Faults.with_retry ~attempts:3 spec)
+  in
+  Array.iteri
+    (fun v count ->
+      check_int (Printf.sprintf "vertex %d sees each neighbor once" v) 6 count)
+    seen;
+  (* n * (n-1) wire messages per attempt. *)
+  check_int "wire traffic tripled" (3 * 7 * 6) metrics.messages;
+  check "attempts must be positive" true
+    (try
+       ignore (Distsim.Faults.with_retry ~attempts:0 spec);
+       false
+     with Invalid_argument _ -> true)
+
+(* Under a drop-p adversary the retransmit wrapper keeps the LOCAL
+   protocol terminating (p^retry residual loss), where a bare run may
+   lose protocol-critical traffic. *)
+let test_retry_survives_drops () =
+  let g = Generators.caveman (rng 12) 5 6 0.05 in
+  let n = Ugraph.n g in
+  let r =
+    C.Two_spanner_local.run ~seed:3 ~retry:4 ~max_rounds:2000
+      ~adversary:(compile ~n "drop=0.15,seed=21") g
+  in
+  check "terminated" true (r.metrics.rounds < 2000);
+  check "dropped plenty" true (r.metrics.dropped > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary mechanics *)
+
+let test_crash_schedule_exact () =
+  let g = Generators.complete 8 in
+  let n = Ugraph.n g in
+  let adv = compile ~n "crash=v2@r3,crash=v5@r3,crash=v0@r6" in
+  let r = C.Two_spanner_local.run ~seed:1 ~adversary:adv g in
+  check "listed crashes" true
+    (Distsim.Adversary.crashed_list adv = [ 0; 2; 5 ]);
+  check_int "metrics crashed" 3 r.metrics.crashed;
+  check "crashed vertices flagged" true
+    (Distsim.Adversary.is_crashed adv 2
+    && Distsim.Adversary.is_crashed adv 5
+    && not (Distsim.Adversary.is_crashed adv 1))
+
+let test_surviving_subgraph () =
+  let g = Generators.path 4 in
+  (* edges 0-1, 1-2, 2-3 *)
+  (* A permanent cut removes its edge; a transient one heals. *)
+  let permanent =
+    { Distsim.Faults.empty with cuts = [ ((0, 1), (1, max_int)) ] }
+  in
+  let transient =
+    { Distsim.Faults.empty with cuts = [ ((0, 1), (1, 5)) ] }
+  in
+  let g1 = C.Resilience.surviving_subgraph g ~crashed:[] ~schedule:permanent in
+  check "permanent cut removed" false (Ugraph.mem_edge g1 0 1);
+  check "others stay" true (Ugraph.mem_edge g1 1 2 && Ugraph.mem_edge g1 2 3);
+  let g2 = C.Resilience.surviving_subgraph g ~crashed:[] ~schedule:transient in
+  check "transient cut heals" true (Ugraph.mem_edge g2 0 1);
+  (* A crashed vertex takes its incident edges with it. *)
+  let g3 =
+    C.Resilience.surviving_subgraph g ~crashed:[ 1 ]
+      ~schedule:Distsim.Faults.empty
+  in
+  check "crash removes incident edges" false
+    (Ugraph.mem_edge g3 0 1 || Ugraph.mem_edge g3 1 2);
+  check "far edge stays" true (Ugraph.mem_edge g3 2 3);
+  check_int "ids preserved" (Ugraph.n g) (Ugraph.n g3)
+
+(* ------------------------------------------------------------------ *)
+(* Fault_tolerant.greedy's offline guarantee meets the fault harness:
+   an f-fault-tolerant 2-spanner must 2-span the surviving subgraph
+   under every crash schedule with at most f crashes. *)
+
+let test_ft_greedy_survives_crashes () =
+  let g = Generators.gnp_connected (rng 14) 24 0.35 in
+  let f = 2 in
+  let s = (C.Fault_tolerant.greedy g ~f).C.Fault_tolerant.spanner in
+  check "offline promise" true (C.Fault_tolerant.is_ft_2_spanner g ~f s);
+  let n = Ugraph.n g in
+  let crash_sets =
+    [ [ 0 ]; [ 3; 7 ]; [ n - 1; n - 2 ]; [ 5 ]; [ 1; 11 ] ]
+  in
+  List.iter
+    (fun crashed ->
+      let g' =
+        C.Resilience.surviving_subgraph g ~crashed
+          ~schedule:Distsim.Faults.empty
+      in
+      let s' = C.Resilience.surviving_edges s ~graph:g' in
+      check
+        (Printf.sprintf "survives crashes [%s]"
+           (String.concat ";" (List.map string_of_int crashed)))
+        true
+        (C.Spanner_check.is_spanner g' s' ~k:2))
+    crash_sets
+
+(* ------------------------------------------------------------------ *)
+(* The resilience report end to end, including MDS and the CONGEST
+   compilation, and the bandwidth audit satellite. *)
+
+let test_resilience_report () =
+  let g = Generators.caveman (rng 15) 5 6 0.05 in
+  let schedule = schedule_of "drop=0.05,crash=0.1@r3,seed=5" in
+  let r =
+    C.Resilience.run ~seed:7 ~retry:3 ~protocol:C.Resilience.Spanner_local
+      ~schedule g
+  in
+  check "terminated" true r.C.Resilience.terminated;
+  check "valid on survivors" true r.C.Resilience.valid;
+  check "crashes recorded" true (r.C.Resilience.crashed <> []);
+  check_int "survivors" (Ugraph.n g - List.length r.C.Resilience.crashed)
+    r.C.Resilience.survivors;
+  check "output restricted" true
+    (r.C.Resilience.surviving_output <= r.C.Resilience.output_size);
+  check_string "schedule echoed" (Distsim.Faults.to_string schedule)
+    r.C.Resilience.schedule;
+  (* MDS under duplication only: the retransmit wrapper's
+     keep-first-per-source dedup also swallows adversarial duplicates,
+     so nothing is lost and the run grades clean. *)
+  let rm =
+    C.Resilience.run ~seed:7 ~retry:2 ~protocol:C.Resilience.Mds
+      ~schedule:(schedule_of "dup=0.3,seed=5") g
+  in
+  check "mds terminated" true rm.C.Resilience.terminated;
+  check "mds valid" true rm.C.Resilience.valid;
+  check_int "mds stretch" 0 rm.C.Resilience.stretch;
+  (* MDS under residual loss can jam: a vertex whose one-shot Covered
+     announcement is destroyed leaves a neighbor's density stale
+     forever. The harness must grade that as a recorded failure, not
+     an exception. *)
+  let rj =
+    C.Resilience.run ~seed:7 ~retry:1 ~max_rounds:600
+      ~protocol:C.Resilience.Mds ~schedule:(schedule_of "drop=0.2,seed=3") g
+  in
+  if not rj.C.Resilience.terminated then begin
+    check "jammed run records failure" true
+      (rj.C.Resilience.failure <> None);
+    check "jammed run is invalid" false rj.C.Resilience.valid
+  end
+
+let test_congest_chunk_corruption_reported () =
+  (* Heavy loss with no retransmission corrupts a CONGEST chunk
+     stream or starves termination; either way the report records a
+     failure instead of raising. *)
+  let g = Generators.caveman (rng 16) 4 6 0.05 in
+  let schedule = schedule_of "drop=0.3,seed=2" in
+  let r =
+    C.Resilience.run ~seed:7 ~retry:1 ~max_rounds:300
+      ~protocol:C.Resilience.Spanner_congest ~schedule g
+  in
+  check "did not terminate cleanly" true
+    ((not r.C.Resilience.terminated) || not r.C.Resilience.valid);
+  (match r.C.Resilience.failure with
+  | Some msg -> check "failure nonempty" true (String.length msg > 0)
+  | None -> check "no failure only if terminated" true r.C.Resilience.terminated);
+  check "counts recovered" true (r.C.Resilience.messages > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chunked bandwidth audit: a chunk that exceeds the model budget
+   raises with the offender's identity in audit mode, and is merely
+   counted otherwise. *)
+
+let test_chunked_bandwidth_audit () =
+  let g = Generators.path 2 in
+  let spec =
+    {
+      Distsim.Engine.init = (fun ~n:_ ~vertex ~neighbors:_ ~out:_ -> vertex);
+      step =
+        (fun ~round ~vertex st _inbox ~out ->
+          if round = 1 && vertex = 0 then
+            Distsim.Engine.emit out ~dst:1 0;
+          if round < 2 then (st, `Continue) else (st, `Done));
+      measure = (fun _ -> 8);
+    }
+  in
+  (* Encode the message into one chunk far above the O(log n) budget
+     of a 3-vertex CONGEST model. *)
+  let huge = 1 lsl 40 in
+  let encode _ = [ huge ] in
+  let decode body = (0, List.tl body) in
+  let model = Distsim.Model.congest ~n:2 ~c:1 () in
+  let raised =
+    try
+      ignore
+        (Distsim.Chunked.run ~audit:true ~model ~graph:g ~chunks_per_round:4
+           ~encode ~decode spec);
+      None
+    with Distsim.Chunked.Bandwidth_exceeded { vertex; round; bits; budget } ->
+      Some (vertex, round, bits, budget)
+  in
+  (match raised with
+  | None -> Alcotest.fail "audit did not trip"
+  | Some (vertex, _round, bits, budget) ->
+      check_int "offender vertex" 0 vertex;
+      check "bits over budget" true (bits > budget));
+  (* Without audit the run completes; the engine counts violations. *)
+  let _, m =
+    Distsim.Chunked.run ~model ~graph:g ~chunks_per_round:4 ~encode ~decode
+      spec
+  in
+  check "violations counted" true (m.congest_violations > 0)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "dsl",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dsl_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dsl_errors;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "matrix" `Quick test_determinism_matrix;
+          Alcotest.test_case "series reconciles" `Quick test_series_reconciles;
+          Alcotest.test_case "drop zero identity" `Quick
+            test_drop_zero_identity;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "traffic only" `Quick
+            test_retry_multiplies_traffic_only;
+          Alcotest.test_case "inbox dedup" `Quick test_retry_dedup_inbox;
+          Alcotest.test_case "survives drops" `Quick test_retry_survives_drops;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "crash schedule" `Quick test_crash_schedule_exact;
+          Alcotest.test_case "surviving subgraph" `Quick
+            test_surviving_subgraph;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "ft greedy survives" `Quick
+            test_ft_greedy_survives_crashes;
+          Alcotest.test_case "report" `Quick test_resilience_report;
+          Alcotest.test_case "congest corruption" `Quick
+            test_congest_chunk_corruption_reported;
+        ] );
+      ( "chunked",
+        [
+          Alcotest.test_case "bandwidth audit" `Quick
+            test_chunked_bandwidth_audit;
+        ] );
+    ]

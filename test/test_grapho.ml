@@ -288,6 +288,52 @@ let test_io_malformed_rejected () =
     (try ignore (Graph_io.of_edge_list "   \n"); false
      with Failure _ -> true)
 
+(* The parser rejects bad edges at parse time, naming the 1-based
+   input line (comments and blanks counted) that carries them. *)
+let test_io_line_numbered_rejection () =
+  let contains msg needle =
+    let nl = String.length needle and ml = String.length msg in
+    let rec go i =
+      if i + nl > ml then false
+      else String.sub msg i nl = needle || go (i + 1)
+    in
+    go 0
+  in
+  let rejects name needle reader input =
+    check name true
+      (try
+         ignore (reader input);
+         false
+       with Failure msg ->
+         if contains msg needle then true
+         else Alcotest.failf "%s: expected %S in %S" name needle msg)
+  in
+  let undirected s = Graph_io.of_edge_list s in
+  rejects "self-loop" "line 3: self-loop at vertex 1" undirected
+    "3 2\n0 1\n1 1\n";
+  rejects "duplicate" "line 4: duplicate edge (1, 0), first seen on line 2"
+    undirected "3 3\n0 1\n1 2\n1 0\n";
+  rejects "duplicate after comment" "line 5: duplicate edge" undirected
+    "3 2\n0 1\n# a comment\n\n0 1\n";
+  rejects "out of range" "line 3: edge (1, 7) out of range for n = 3"
+    undirected "3 2\n0 1\n1 7\n";
+  rejects "non-integer" "line 2: \"x\" is not an integer" undirected
+    "2 1\n0 x\n";
+  (* Directed: an antiparallel pair is two distinct edges... *)
+  let d = Graph_io.directed_of_edge_list "2 2\n0 1\n1 0\n" in
+  check "antiparallel ok" true (Dgraph.m d = 2);
+  (* ...but a repeated ordered pair is not. *)
+  rejects "directed duplicate" "line 3: duplicate edge (0, 1)"
+    (fun s -> ignore (Graph_io.directed_of_edge_list s))
+    "2 2\n0 1\n0 1\n";
+  (* The weighted reader shares the validation. *)
+  rejects "weighted self-loop" "line 2: self-loop at vertex 1"
+    (fun s -> ignore (Graph_io.weighted_of_edge_list s))
+    "2 1\n1 1 2.5\n";
+  rejects "weighted bad weight" "line 2: \"heavy\" is not a weight"
+    (fun s -> ignore (Graph_io.weighted_of_edge_list s))
+    "2 1\n0 1 heavy\n"
+
 let test_dot_mentions_highlight () =
   let g = Generators.path 3 in
   let dot = Graph_io.to_dot ~highlight:(Edge.Set.singleton (Edge.make 0 1)) g in
@@ -420,6 +466,8 @@ let () =
             test_io_weighted_roundtrip;
           Alcotest.test_case "malformed rejected" `Quick
             test_io_malformed_rejected;
+          Alcotest.test_case "line-numbered rejection" `Quick
+            test_io_line_numbered_rejection;
           Alcotest.test_case "dot highlight" `Quick test_dot_mentions_highlight;
         ] );
       ("properties", qsuite);

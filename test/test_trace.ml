@@ -183,10 +183,36 @@ let test_codec_cases () =
          vertices_stepped = 7;
          vertices_done = 2;
          congest_violations = 0;
+         dropped = 0;
+         crashed = 0;
          elapsed_ns = 8125;
          minor_words = 2048;
        });
+  roundtrip
+    (T.Round_end
+       {
+         T.round = 5;
+         messages = 9;
+         bits = 90;
+         max_bits = 10;
+         vertices_stepped = 4;
+         vertices_done = 4;
+         congest_violations = 1;
+         dropped = 3;
+         crashed = 2;
+         elapsed_ns = 17;
+         minor_words = 0;
+       });
   roundtrip (T.Send { src = 0; dst = 41; bits = 17; round = 2 });
+  roundtrip (T.Fault_injected { round = 3; kind = T.Crash 7 });
+  roundtrip (T.Fault_injected { round = 1; kind = T.Cut (2, 9) });
+  roundtrip (T.Fault_injected { round = 8; kind = T.Restore (2, 9) });
+  roundtrip
+    (T.Message_dropped { src = 4; dst = 5; round = 6; reason = T.Dropped_random });
+  roundtrip
+    (T.Message_dropped { src = 0; dst = 1; round = 2; reason = T.Dropped_crashed });
+  roundtrip
+    (T.Message_dropped { src = 9; dst = 3; round = 4; reason = T.Dropped_cut });
   roundtrip (T.Phase { vertex = -1; name = "global"; round = 0 });
   roundtrip (T.Phase { vertex = 3; name = "with \"quotes\" \\ and\nnewline"; round = 9 });
   roundtrip (T.Counter { name = "uncovered"; value = 347.0; round = 1 });
