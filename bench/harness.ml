@@ -1,7 +1,7 @@
 (* Shared plumbing for the bench executable: report formatting, the
    graph families and protocol anchors the perf trajectory tracks
    across PRs, wall-clock timing helpers, and the --json/--trace
-   writer (schema "spanner-bench/5").
+   writer (schema "spanner-bench/6").
 
    The experiment functions themselves live in main.ml; everything
    here is the scaffolding they share so that adding an experiment
@@ -383,6 +383,99 @@ let fault_rows ~selected =
     (fault_anchors ())
 
 (* ------------------------------------------------------------------ *)
+(* CSR scale anchors (new in schema "spanner-bench/6").
+
+   The large-n re-baseline that the Bigarray CSR core exists for:
+   build a graph of up to 10^6 vertices through the streaming
+   generators, then time BFS (centralized traversal) and flood-min-id
+   (the distributed engine end to end, sequential and with [par]
+   domains) on it. Rows record the CSR's exact resident bytes
+   (8 * (n + 1 + 2m)) next to the wall times, so memory regressions
+   show up in the same diff as time regressions.
+
+   The "e18" family is the small anchor check.sh smokes; "e18big" adds
+   the 10^5- and 10^6-vertex instances, which only run in full
+   (unselected) BENCH_PR*.json sweeps. Each measurement is a single
+   timed run — at these sizes a best-of-k loop would multiply minutes
+   of wall clock for noise reduction the ~100x PR-over-PR deltas don't
+   need. The LOCAL 2-spanner rides on the largest anchor where the
+   protocol itself is feasible (gnp_10k: ~2 s; at 10^5 the densest-
+   subgraph oracle dominates and the row would time out CI). *)
+
+let csr_anchors () =
+  [
+    ( "csr_gnp_10k",
+      "e18",
+      (fun () -> Generators.gnp_connected (rng 51) 10_000 0.0015),
+      true );
+    ( "csr_gnp_100k",
+      "e18big",
+      (fun () -> Generators.gnp_connected (rng 52) 100_000 0.0002),
+      false );
+    ( "csr_pa_1e6",
+      "e18big",
+      (fun () -> Generators.preferential_attachment (rng 53) 1_000_000 3),
+      false );
+  ]
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, 1000.0 *. (Unix.gettimeofday () -. t0))
+
+let csr_rows ~par ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  List.filter_map
+    (fun (name, family, gen, with_spanner) ->
+      if not (sel family) then None
+      else begin
+        let g, build_ms = time_once gen in
+        let _, bfs_ms = time_once (fun () -> Traversal.bfs_distances g 0) in
+        let (seq_vals, seq_metrics), flood_seq_ms =
+          time_once (fun () -> Distsim.Algorithms.flood_min_id g)
+        in
+        let (par_vals, par_metrics), flood_par_ms =
+          time_once (fun () -> Distsim.Algorithms.flood_min_id ~par g)
+        in
+        let identical =
+          seq_vals = par_vals
+          && Distsim.Engine.metrics_deterministic_eq seq_metrics par_metrics
+        in
+        let spanner_fields =
+          if not with_spanner then []
+          else begin
+            let r, spanner_ms =
+              time_once (fun () -> C.Two_spanner_local.run ~seed:3 g)
+            in
+            [
+              ("spanner_ms", spanner_ms);
+              ( "spanner_edges",
+                float_of_int (Edge.Set.cardinal r.C.Two_spanner_local.spanner)
+              );
+              ("spanner_rounds", float_of_int r.metrics.rounds);
+            ]
+          end
+        in
+        Some
+          ( name,
+            [
+              ("n", float_of_int (Ugraph.n g));
+              ("m", float_of_int (Ugraph.m g));
+              ("resident_bytes", float_of_int (Ugraph.resident_bytes g));
+              ("build_ms", build_ms);
+              ("bfs_ms", bfs_ms);
+              ("flood_seq_ms", flood_seq_ms);
+              ("flood_par_ms", flood_par_ms);
+              ("flood_rounds", float_of_int seq_metrics.Distsim.Engine.rounds);
+              ( "flood_messages",
+                float_of_int seq_metrics.Distsim.Engine.messages );
+              ("flood_identical", if identical then 1.0 else 0.0);
+            ]
+            @ spanner_fields )
+      end)
+    (csr_anchors ())
+
+(* ------------------------------------------------------------------ *)
 (* Perf trajectory (--json FILE): a machine-readable snapshot of the
    Bechamel estimates, wall-clock anchors, seq-vs-par A/B and engine
    metrics, written as BENCH_PR<k>.json at the end of a PR so
@@ -489,6 +582,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
     if json_path = None then [] else alloc_rows ~reps:3 ~selected
   in
   let ft_rows = if json_path = None then [] else fault_rows ~selected in
+  let cs_rows = if json_path = None then [] else csr_rows ~par ~selected in
   (match json_path with
   | None -> ()
   | Some path ->
@@ -509,7 +603,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
         else Printf.sprintf "%.3f" v
       in
       out "{\n";
-      out "  \"schema\": \"spanner-bench/5\",\n";
+      out "  \"schema\": \"spanner-bench/6\",\n";
       out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
         (Domain.recommended_domain_count ());
       out "  \"micro_ns_per_run\": {\n";
@@ -559,6 +653,18 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
           out " }")
         ft_rows;
       out "\n  },\n";
+      out "  \"csr\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %s" k (num v))
+            fields;
+          out " }")
+        cs_rows;
+      out "\n  },\n";
       out "  \"round_series\": {\n";
       sep
         (fun (name, series) ->
@@ -591,12 +697,13 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
       close_out oc;
       printf
         "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
-         seq-vs-par anchors at %d domains, %d alloc rows, %d fault rows)\n"
+         seq-vs-par anchors at %d domains, %d alloc rows, %d fault rows, %d \
+         csr rows)\n"
         path
         (List.length metric_rows)
         (match micro_rows with None -> 0 | Some rows -> List.length rows)
         (List.length sv_rows) par (List.length al_rows)
-        (List.length ft_rows));
+        (List.length ft_rows) (List.length cs_rows));
   match trace_path with
   | Some path ->
       printf "event trace (JSON Lines) written to %s (%d runs)\n" path

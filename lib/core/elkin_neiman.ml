@@ -74,12 +74,11 @@ let run ?(seed = 0xE171) ~k g =
             inbox;
           if st.fresh = [] then (st, `Done)
           else begin
-            let neighbors = Ugraph.neighbors g vertex in
             List.iter
               (fun (src, value) ->
-                Array.iter
+                Ugraph.iter_neighbors
                   (fun u -> Distsim.Engine.emit out ~dst:u (src, value))
-                  neighbors)
+                  g vertex)
               st.fresh;
             (st, `Continue)
           end);

@@ -253,9 +253,7 @@ let min_directed_k_spanner ?weights g ~k =
 let min_dominating_set g =
   let n = Ugraph.n g in
   let closed v =
-    Iset.add v
-      (Array.fold_left (fun s u -> Iset.add u s) Iset.empty
-         (Ugraph.neighbors g v))
+    Iset.add v (Ugraph.fold_neighbors (fun s u -> Iset.add u s) g v Iset.empty)
   in
   let max_cover = 1 + Ugraph.max_degree g in
   let best = ref (List.init n (fun i -> i)) in

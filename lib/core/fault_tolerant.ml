@@ -55,8 +55,7 @@ let greedy g ~f =
      middle. *)
   let hv_of v =
     let nset =
-      Array.fold_left (fun s u -> Iset.add u s) Iset.empty
-        (Ugraph.neighbors g v)
+      Ugraph.fold_neighbors (fun s u -> Iset.add u s) g v Iset.empty
     in
     Ugraph.fold_edges
       (fun e acc ->
@@ -85,11 +84,11 @@ let greedy g ~f =
         let hv = hv_of v in
         if not (Edge.Set.is_empty hv) then begin
           let paying = ref [] and free = ref [] in
-          Array.iter
+          Ugraph.iter_neighbors
             (fun u ->
               if Iset.mem u h_adj.(v) then free := u :: !free
               else paying := u :: !paying)
-            (Ugraph.neighbors g v);
+            g v;
           let prob =
             Star_pick.make ~center:v
               ~nodes:(Array.of_list (List.rev !paying))

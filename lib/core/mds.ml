@@ -293,7 +293,7 @@ let reference ?rng ?(selection = Votes) g =
   let streams = Array.init n (fun _ -> Rng.split seed_rng) in
   let covered = Array.make n false in
   let in_mds = Array.make n false in
-  let closed v = v :: Array.to_list (Ugraph.neighbors g v) in
+  let closed v = v :: Ugraph.fold_neighbors (fun acc u -> u :: acc) g v [] in
   let count v =
     List.length (List.filter (fun u -> not covered.(u)) (closed v))
   in
@@ -310,8 +310,7 @@ let reference ?rng ?(selection = Votes) g =
     in
     let two =
       Array.init n (fun v ->
-          List.fold_left (fun acc u -> max acc one.(u)) one.(v)
-            (Array.to_list (Ugraph.neighbors g v)))
+          Ugraph.fold_neighbors (fun acc u -> max acc one.(u)) g v one.(v))
     in
     (* Candidates draw their values. *)
     let candidate = Array.make n false in

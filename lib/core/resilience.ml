@@ -38,14 +38,10 @@ let surviving_subgraph g ~crashed ~schedule =
         upto = max_int && ((a = u && b = v) || (a = v && b = u)))
       schedule.Distsim.Faults.cuts
   in
-  let edges =
-    Ugraph.fold_edges
-      (fun e acc ->
-        let u, v = Edge.endpoints e in
-        if dead.(u) || dead.(v) || cut u v then acc else (u, v) :: acc)
-      g []
-  in
-  Ugraph.of_edges ~n edges
+  Ugraph.of_edge_iter ~expected_edges:(Ugraph.m g) ~n (fun emit ->
+      Ugraph.iter_edges_uv
+        (fun u v -> if not (dead.(u) || dead.(v) || cut u v) then emit u v)
+        g)
 
 let surviving_edges s ~graph =
   Edge.Set.filter

@@ -9,85 +9,98 @@ type t = {
   stretch_histogram : (int * int) list;
 }
 
-let from_stretches ~edges ~graph_edges stretches =
-  let histogram = Hashtbl.create 8 in
-  List.iter
-    (fun s ->
-      Hashtbl.replace histogram s
-        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram s)))
-    stretches;
-  let finite = List.filter (fun s -> s < max_int) stretches in
+(* Streaming accumulator: histogram, count, running sum and max — so
+   computing stats over an m-edge graph never materializes an m-long
+   stretch list. *)
+type acc = {
+  histogram : (int, int) Hashtbl.t;
+  mutable finite_sum : int;
+  mutable finite_count : int;
+  mutable max_stretch : int;
+}
+
+let acc_create () =
+  {
+    histogram = Hashtbl.create 8;
+    finite_sum = 0;
+    finite_count = 0;
+    max_stretch = 0;
+  }
+
+let acc_add a s =
+  Hashtbl.replace a.histogram s
+    (1 + Option.value ~default:0 (Hashtbl.find_opt a.histogram s));
+  if s < max_int then begin
+    a.finite_sum <- a.finite_sum + s;
+    a.finite_count <- a.finite_count + 1
+  end;
+  if s > a.max_stretch then a.max_stretch <- s
+
+let acc_finish a ~edges ~graph_edges =
   let mean =
-    if finite = [] then 0.0
-    else
-      float_of_int (List.fold_left ( + ) 0 finite)
-      /. float_of_int (List.length finite)
+    if a.finite_count = 0 then 0.0
+    else float_of_int a.finite_sum /. float_of_int a.finite_count
   in
   {
     edges;
     graph_edges;
-    compression =
-      float_of_int edges /. float_of_int (max 1 graph_edges);
-    max_stretch = List.fold_left max 0 stretches;
+    compression = float_of_int edges /. float_of_int (max 1 graph_edges);
+    max_stretch = a.max_stretch;
     mean_stretch = mean;
     stretch_histogram =
       List.sort compare
-        (Hashtbl.fold (fun s c acc -> (s, c) :: acc) histogram []);
+        (Hashtbl.fold (fun s c acc -> (s, c) :: acc) a.histogram []);
   }
 
 let compute g s =
   let n = Ugraph.n g in
   let adj = Traversal.adjacency_of_set ~n s in
-  let stretches =
-    Ugraph.fold_edges
-      (fun e acc ->
-        let u, v = Edge.endpoints e in
-        let dist = Array.make n (-1) in
-        let q = Queue.create () in
-        dist.(u) <- 0;
-        Queue.add u q;
-        while not (Queue.is_empty q) do
-          let x = Queue.pop q in
-          List.iter
-            (fun y ->
-              if dist.(y) = -1 then begin
-                dist.(y) <- dist.(x) + 1;
-                Queue.add y q
-              end)
-            adj.(x)
-        done;
-        (if dist.(v) = -1 then max_int else dist.(v)) :: acc)
-      g []
-  in
-  from_stretches ~edges:(Edge.Set.cardinal s) ~graph_edges:(Ugraph.m g)
-    stretches
+  let a = acc_create () in
+  Ugraph.iter_edges_uv
+    (fun u v ->
+      let dist = Array.make n (-1) in
+      let q = Queue.create () in
+      dist.(u) <- 0;
+      Queue.add u q;
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        List.iter
+          (fun y ->
+            if dist.(y) = -1 then begin
+              dist.(y) <- dist.(x) + 1;
+              Queue.add y q
+            end)
+          adj.(x)
+      done;
+      acc_add a (if dist.(v) = -1 then max_int else dist.(v)))
+    g;
+  acc_finish a ~edges:(Edge.Set.cardinal s) ~graph_edges:(Ugraph.m g)
 
 let directed_compute g s =
   let n = Dgraph.n g in
   let adj = Traversal.directed_adjacency_of_set ~n s in
-  let stretches =
-    Dgraph.fold_edges
-      (fun (u, v) acc ->
-        let dist = Array.make n (-1) in
-        let q = Queue.create () in
-        dist.(u) <- 0;
-        Queue.add u q;
-        while not (Queue.is_empty q) do
-          let x = Queue.pop q in
-          List.iter
-            (fun y ->
-              if dist.(y) = -1 then begin
-                dist.(y) <- dist.(x) + 1;
-                Queue.add y q
-              end)
-            adj.(x)
-        done;
-        (if dist.(v) = -1 then max_int else dist.(v)) :: acc)
-      g []
-  in
-  from_stretches
+  let a = acc_create () in
+  Dgraph.iter_edges_uv
+    (fun u v ->
+      let dist = Array.make n (-1) in
+      let q = Queue.create () in
+      dist.(u) <- 0;
+      Queue.add u q;
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        List.iter
+          (fun y ->
+            if dist.(y) = -1 then begin
+              dist.(y) <- dist.(x) + 1;
+              Queue.add y q
+            end)
+          adj.(x)
+      done;
+      acc_add a (if dist.(v) = -1 then max_int else dist.(v)))
+    g;
+  acc_finish a
     ~edges:(Edge.Directed.Set.cardinal s)
-    ~graph_edges:(Dgraph.m g) stretches
+    ~graph_edges:(Dgraph.m g)
 
 let pp ppf t =
   Format.fprintf ppf

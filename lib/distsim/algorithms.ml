@@ -8,10 +8,18 @@ let broadcast_arr out neighbors payload =
 let broadcast_list out targets payload =
   List.iter (fun u -> Engine.emit out ~dst:u payload) targets
 
+(* Step-time broadcast straight off the CSR row: [Ugraph.neighbors]
+   copies the row into a fresh array on every call, which would be
+   per-vertex-per-round garbage in the hot loop. *)
+let broadcast_nbrs out graph vertex payload =
+  Grapho.Ugraph.iter_neighbors
+    (fun u -> Engine.emit out ~dst:u payload)
+    graph vertex
+
 (* Shared shape: each vertex holds a value, rebroadcasts it whenever it
    improves, and is done while no improvement arrives. Messages carry
    values of the same type as the state. *)
-let improving ~initial ~announces_first ~improve ~measure ?model graph =
+let improving ~initial ~announces_first ~improve ~measure ?model ?par graph =
   let model =
     match model with
     | Some m -> m
@@ -36,28 +44,28 @@ let improving ~initial ~announces_first ~improve ~measure ?model graph =
               | None -> ())
             inbox;
           if !improved then begin
-            broadcast_arr out (Grapho.Ugraph.neighbors graph vertex) st.value;
+            broadcast_nbrs out graph vertex st.value;
             (st, `Continue)
           end
           else (st, `Done));
       measure;
     }
   in
-  let states, metrics = Engine.run ~model ~graph spec in
+  let states, metrics = Engine.run ?par ~model ~graph spec in
   (Array.map (fun s -> s.value) states, metrics)
 
-let flood_min_id ?model graph =
+let flood_min_id ?model ?par graph =
   let bits = Message.bits_for_id ~n:(max 2 (Grapho.Ugraph.n graph)) in
-  improving ?model graph
+  improving ?model ?par graph
     ~initial:(fun v -> v)
     ~announces_first:(fun _ -> true)
     ~improve:(fun current incoming ->
       if incoming < current then Some incoming else None)
     ~measure:(fun _ -> bits)
 
-let bfs_distances ?model ~root graph =
+let bfs_distances ?model ?par ~root graph =
   let bits = Message.bits_for_id ~n:(max 2 (Grapho.Ugraph.n graph)) in
-  improving ?model graph
+  improving ?model ?par graph
     ~initial:(fun v -> if v = root then 0 else max_int)
     ~announces_first:(fun v -> v = root)
     ~improve:(fun current incoming ->
@@ -108,7 +116,6 @@ let luby_mis ?(seed = 0x715B) ?model graph =
         (fun ~round ~vertex st inbox ~out ->
           if st.dead || st.in_mis then (st, `Done)
           else begin
-            let neighbors = Grapho.Ugraph.neighbors graph vertex in
             let phase = (round - 1) mod 3 in
             (match phase with
             | 0 ->
@@ -127,7 +134,7 @@ let luby_mis ?(seed = 0x715B) ?model graph =
                 in
                 if not beaten then begin
                   st.in_mis <- true;
-                  broadcast_arr out neighbors Joined_mis
+                  broadcast_nbrs out graph vertex Joined_mis
                 end
             | 1 ->
                 (* Neighbors joining kill this vertex. *)
@@ -139,7 +146,7 @@ let luby_mis ?(seed = 0x715B) ?model graph =
             | _ ->
                 (* Start the next phase with a fresh value. *)
                 st.my_value <- Grapho.Rng.int st.rng bound;
-                broadcast_arr out neighbors (Value st.my_value));
+                broadcast_nbrs out graph vertex (Value st.my_value));
             let status =
               if st.dead || st.in_mis then `Done else `Continue
             in

@@ -2,14 +2,19 @@
     workload for the two-party simulation harness. *)
 
 val flood_min_id :
-  ?model:Model.t -> Grapho.Ugraph.t -> int array * Engine.metrics
+  ?model:Model.t -> ?par:int -> Grapho.Ugraph.t -> int array * Engine.metrics
 (** Every vertex learns the minimum identifier in its component by
     iterated neighborhood minima; terminates once its value is stable
     and so are its neighbors'. O(log n)-bit messages, O(diameter)
-    rounds. *)
+    rounds. [par] is forwarded to {!Engine.run}: the output is
+    bit-identical for every domain count. *)
 
 val bfs_distances :
-  ?model:Model.t -> root:int -> Grapho.Ugraph.t -> int array * Engine.metrics
+  ?model:Model.t ->
+  ?par:int ->
+  root:int ->
+  Grapho.Ugraph.t ->
+  int array * Engine.metrics
 (** Distributed BFS layering from [root]; unreachable vertices report
     [max_int]. *)
 

@@ -1,0 +1,89 @@
+(* Shared plumbing for the Bigarray-backed CSR adjacency used by
+   [Ugraph] and [Dgraph]: off-heap int arrays, a growable edge buffer,
+   and an in-place range sort.
+
+   Everything here is int-packed [Bigarray.Array1] storage: the
+   payload lives outside the OCaml heap, so building or holding a
+   million-vertex graph produces no minor-heap traffic and no GC
+   scanning cost proportional to m. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create len : ba =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+
+let create_zeroed len =
+  let a = create len in
+  if len > 0 then Bigarray.Array1.fill a 0;
+  a
+
+(* Growable off-heap int buffer. Doubling growth; [len] is the number
+   of live elements. *)
+type buf = { mutable data : ba; mutable len : int }
+
+let buf_create capacity = { data = create (max capacity 16); len = 0 }
+
+let buf_push b x =
+  let cap = Bigarray.Array1.dim b.data in
+  if b.len = cap then begin
+    let bigger = create (2 * cap) in
+    Bigarray.Array1.blit b.data (Bigarray.Array1.sub bigger 0 cap);
+    b.data <- bigger
+  end;
+  Bigarray.Array1.unsafe_set b.data b.len x;
+  b.len <- b.len + 1
+
+(* In-place ascending sort of [a.(lo) .. a.(hi - 1)]. Insertion sort
+   for short rows (the common case: row length = vertex degree),
+   heapsort above that — O(len log len) worst case with no stack and
+   no allocation, so adversarial rows (stars, cliques) cannot blow the
+   construction up. *)
+let insertion_sort (a : ba) lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = Bigarray.Array1.unsafe_get a i in
+    let j = ref (i - 1) in
+    while !j >= lo && Bigarray.Array1.unsafe_get a !j > x do
+      Bigarray.Array1.unsafe_set a (!j + 1) (Bigarray.Array1.unsafe_get a !j);
+      decr j
+    done;
+    Bigarray.Array1.unsafe_set a (!j + 1) x
+  done
+
+let heapsort (a : ba) lo hi =
+  let len = hi - lo in
+  let get i = Bigarray.Array1.unsafe_get a (lo + i) in
+  let set i v = Bigarray.Array1.unsafe_set a (lo + i) v in
+  let sift root limit =
+    let root = ref root in
+    let continue_ = ref true in
+    while !continue_ do
+      let child = (2 * !root) + 1 in
+      if child >= limit then continue_ := false
+      else begin
+        let child =
+          if child + 1 < limit && get (child + 1) > get child then child + 1
+          else child
+        in
+        if get child > get !root then begin
+          let tmp = get !root in
+          set !root (get child);
+          set child tmp;
+          root := child
+        end
+        else continue_ := false
+      end
+    done
+  in
+  for i = (len / 2) - 1 downto 0 do
+    sift i len
+  done;
+  for i = len - 1 downto 1 do
+    let tmp = get 0 in
+    set 0 (get i);
+    set i tmp;
+    sift 0 i
+  done
+
+let sort_range a lo hi =
+  let len = hi - lo in
+  if len >= 2 then if len < 32 then insertion_sort a lo hi else heapsort a lo hi

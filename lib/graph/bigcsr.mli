@@ -1,0 +1,27 @@
+(** Internal plumbing shared by the CSR graph representations.
+
+    Off-heap int storage ([Bigarray.Array1] of kind [int]), a growable
+    edge buffer, and an in-place range sort. Not part of the public
+    graph API — use {!Ugraph} and {!Dgraph}. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> ba
+(** Uninitialized off-heap int array of the given length. *)
+
+val create_zeroed : int -> ba
+
+type buf = { mutable data : ba; mutable len : int }
+(** Growable off-heap int buffer; [len] live elements in [data]. *)
+
+val buf_create : int -> buf
+(** [buf_create capacity]: empty buffer with at least the given
+    initial capacity. *)
+
+val buf_push : buf -> int -> unit
+(** Amortized O(1) append; doubles the backing array when full. *)
+
+val sort_range : ba -> int -> int -> unit
+(** [sort_range a lo hi] sorts [a.(lo) .. a.(hi - 1)] ascending in
+    place: insertion sort for short ranges, heapsort (O(len log len)
+    worst case, no allocation) above that. *)

@@ -1,10 +1,18 @@
 (** Immutable directed simple graphs on vertices [0 .. n-1].
 
-    Both out- and in-adjacency are materialized because distributed
-    spanner algorithms communicate over the underlying undirected
-    topology while covering directed edges. *)
+    Out-, in- and underlying-undirected adjacency are all materialized
+    (as int-packed CSR structures in off-heap Bigarrays, like
+    {!Ugraph}) because distributed spanner algorithms communicate over
+    the underlying undirected topology while covering directed
+    edges. *)
 
 type t
+
+val of_edge_iter : ?expected_edges:int -> n:int -> ((int -> int -> unit) -> unit) -> t
+(** [of_edge_iter ~n iter] builds a digraph by running [iter emit],
+    streaming each [emit u v] edge into the CSR builder without
+    materializing an edge list. Duplicates are merged; self-loops and
+    out-of-range endpoints raise [Invalid_argument]. *)
 
 val of_edges : n:int -> (int * int) list -> t
 (** [of_edges ~n edges] builds a digraph; [(u, v)] is an edge from [u]
@@ -27,7 +35,10 @@ val out_neighbors : t -> int -> int array
 val in_neighbors : t -> int -> int array
 
 val undirected_neighbors : t -> int -> int array
-(** Sorted, deduplicated union of in- and out-neighbors. *)
+(** Sorted, deduplicated union of in- and out-neighbors. Like every
+    [_neighbors] accessor, this copies the CSR row into a fresh
+    array — use the [iter_]/[fold_] variants in per-round hot
+    paths. *)
 
 val iter_out_neighbors : (int -> unit) -> t -> int -> unit
 val iter_in_neighbors : (int -> unit) -> t -> int -> unit
@@ -49,7 +60,14 @@ val edge_set : t -> Edge.Directed.Set.t
 val iter_edges : (Edge.Directed.t -> unit) -> t -> unit
 val fold_edges : (Edge.Directed.t -> 'a -> 'a) -> t -> 'a -> 'a
 
+val iter_edges_uv : (int -> int -> unit) -> t -> unit
+(** [iter_edges_uv f g] calls [f u v] once per directed edge
+    [u -> v], in ascending lexicographic order, allocating nothing. *)
+
 val underlying : t -> Ugraph.t
 (** Forget orientations (antiparallel pairs collapse). *)
+
+val resident_bytes : t -> int
+(** Exact bytes held by the three CSR adjacency views. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,70 +1,103 @@
+(* The structured families stream straight into the CSR builder: no
+   intermediate edge list, so even the n=10^6 instances build in O(m)
+   off-heap memory. *)
+
 let path n =
-  Ugraph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+  Ugraph.of_edge_iter ~n (fun emit ->
+      for i = 0 to n - 2 do
+        emit i (i + 1)
+      done)
 
 let cycle n =
   if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
-  Ugraph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+  Ugraph.of_edge_iter ~n (fun emit ->
+      emit (n - 1) 0;
+      for i = 0 to n - 2 do
+        emit i (i + 1)
+      done)
 
 let star n =
-  Ugraph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+  Ugraph.of_edge_iter ~n (fun emit ->
+      for i = 1 to n - 1 do
+        emit 0 i
+      done)
 
 let complete n =
-  let edges = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      edges := (u, v) :: !edges
-    done
-  done;
-  Ugraph.of_edges ~n !edges
+  Ugraph.of_edge_iter ~n (fun emit ->
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          emit u v
+        done
+      done)
 
 let complete_bipartite a b =
-  let edges = ref [] in
-  for u = 0 to a - 1 do
-    for v = a to a + b - 1 do
-      edges := (u, v) :: !edges
-    done
-  done;
-  Ugraph.of_edges ~n:(a + b) !edges
+  Ugraph.of_edge_iter ~n:(a + b) (fun emit ->
+      for u = 0 to a - 1 do
+        for v = a to a + b - 1 do
+          emit u v
+        done
+      done)
 
 let grid rows cols =
   let id r c = (r * cols) + c in
-  let edges = ref [] in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
-      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
-    done
-  done;
-  Ugraph.of_edges ~n:(rows * cols) !edges
+  Ugraph.of_edge_iter ~n:(rows * cols) (fun emit ->
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if c + 1 < cols then emit (id r c) (id r (c + 1));
+          if r + 1 < rows then emit (id r c) (id (r + 1) c)
+        done
+      done)
 
 let hypercube d =
   let n = 1 lsl d in
-  let edges = ref [] in
-  for u = 0 to n - 1 do
-    for b = 0 to d - 1 do
-      let v = u lxor (1 lsl b) in
-      if u < v then edges := (u, v) :: !edges
-    done
-  done;
-  Ugraph.of_edges ~n !edges
+  Ugraph.of_edge_iter ~n (fun emit ->
+      for u = 0 to n - 1 do
+        for b = 0 to d - 1 do
+          let v = u lxor (1 lsl b) in
+          if u < v then emit u v
+        done
+      done)
+
+(* G(n, p) by geometric skip-sampling (Batagelj-Brandes): walk the
+   upper triangle in lexicographic order jumping straight to the next
+   sampled pair, so generation costs O(n + m) Rng draws instead of one
+   Bernoulli trial per pair. Callers must keep [p] in (0, 1); emits
+   (w, v) pairs with w < v, ascending in v then w — already in CSR row
+   order. Note the Rng consumption differs from the historical
+   trial-per-pair loop, so graphs sampled at a given seed changed when
+   skip-sampling landed; the bench re-pins its gnp anchors. *)
+let gnp_stream rng n p emit =
+  let v = ref 1 and w = ref (-1) in
+  while !v < n do
+    w := !w + 1 + Rng.geometric rng p;
+    while !w >= !v && !v < n do
+      w := !w - !v;
+      incr v
+    done;
+    if !v < n then emit !w !v
+  done
 
 let gnp rng n p =
-  let edges = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
-    done
-  done;
-  Ugraph.of_edges ~n !edges
+  let n = max n 0 in
+  if p <= 0.0 then Ugraph.empty n
+  else if p >= 1.0 then complete n
+  else Ugraph.of_edge_iter ~n (fun emit -> gnp_stream rng n p emit)
 
 let gnp_connected rng n p =
-  let g = gnp rng n p in
-  let perm = Rng.permutation rng n in
-  let backbone = List.init (max 0 (n - 1)) (fun i -> (perm.(i), perm.(i + 1))) in
-  Ugraph.of_edge_set ~n
-    (List.fold_left
-       (fun s (u, v) -> Edge.Set.add (Edge.make u v) s)
-       (Ugraph.edge_set g) backbone)
+  let n = max n 0 in
+  Ugraph.of_edge_iter ~n (fun emit ->
+      if p >= 1.0 then
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            emit u v
+          done
+        done
+      else if p > 0.0 then gnp_stream rng n p emit;
+      (* backbone drawn after the gnp draws, as before *)
+      let perm = Rng.permutation rng n in
+      for i = 0 to n - 2 do
+        emit perm.(i) perm.(i + 1)
+      done)
 
 let random_bipartite rng a b p =
   let edges = ref [] in
@@ -77,29 +110,53 @@ let random_bipartite rng a b p =
 
 let preferential_attachment rng n k =
   if n < k + 1 then invalid_arg "Generators.preferential_attachment: n <= k";
-  (* endpoint multiset: picking a uniform element weights by degree *)
-  let endpoints = ref [] in
-  let edges = ref [] in
-  for v = 1 to k do
-    edges := (v, 0) :: !edges;
-    endpoints := v :: 0 :: !endpoints
+  (* Endpoint multiset: picking a uniform element weights by degree.
+     The pool is preallocated at its exact upper bound and grown by
+     cursor — the historical implementation re-copied it with
+     [Array.append] per accepted target, which is O(n^2 k) at scale.
+     Pool contents, growth order and Rng draws are replicated exactly,
+     so every seed still samples the same graph. *)
+  let cap = 2 * (k + (max 0 (n - 1 - k) * k)) in
+  let pool = Array.make (max cap 1) 0 in
+  let plen = ref 0 in
+  let push x =
+    pool.(!plen) <- x;
+    incr plen
+  in
+  (* matches the historical [v :: 0 :: ...] prepend order *)
+  for v = k downto 1 do
+    push v;
+    push 0
   done;
-  let pool = ref (Array.of_list !endpoints) in
-  for v = k + 1 to n - 1 do
-    let targets = ref [] in
-    let attempts = ref 0 in
-    while List.length !targets < k && !attempts < 50 * k do
-      incr attempts;
-      let t = !pool.(Rng.int rng (Array.length !pool)) in
-      if t <> v && not (List.mem t !targets) then targets := t :: !targets
-    done;
-    List.iter
-      (fun t ->
-        edges := (v, t) :: !edges;
-        pool := Array.append !pool [| v; t |])
-      !targets
-  done;
-  Ugraph.of_edges ~n !edges
+  let targets = Array.make (max k 1) 0 in
+  Ugraph.of_edge_iter ~expected_edges:(k + (max 0 (n - 1 - k) * k)) ~n
+    (fun emit ->
+      for v = 1 to k do
+        emit v 0
+      done;
+      for v = k + 1 to n - 1 do
+        let tcount = ref 0 and attempts = ref 0 in
+        let len = !plen in
+        while !tcount < k && !attempts < 50 * k do
+          incr attempts;
+          let t = pool.(Rng.int rng len) in
+          let dup = ref (t = v) in
+          for i = 0 to !tcount - 1 do
+            if targets.(i) = t then dup := true
+          done;
+          if not !dup then begin
+            targets.(!tcount) <- t;
+            incr tcount
+          end
+        done;
+        (* most-recent target first, as the historical list fold did *)
+        for i = !tcount - 1 downto 0 do
+          let t = targets.(i) in
+          emit v t;
+          push v;
+          push t
+        done
+      done)
 
 let caveman rng cliques size p_rewire =
   let n = cliques * size in
@@ -134,40 +191,49 @@ let caveman_n rng n p_rewire =
   if n <= 0 then invalid_arg "Generators.caveman_n: n must be positive";
   (* k = ceil(n / 8) cliques of near-equal sizes (floor or ceil of
      n/k), summing to exactly n — so the requested vertex count is
-     honored precisely instead of being rounded to a multiple of 8. *)
+     honored precisely instead of being rounded to a multiple of 8.
+
+     Unlike {!caveman} (whose sampled graphs are pinned by the bench
+     anchors), this streams every clique/ring edge through the CSR
+     builder and rewires at emission time: O(m) off-heap memory, no
+     Edge.Set, which is what lets spanner_cli generate million-vertex
+     caveman instances. Rewiring draws happen in generation order
+     rather than sorted-set order, so seeds sample different (equally
+     distributed) graphs than the historical Edge.Set version did. *)
   let k = (n + 7) / 8 in
   let base_size = n / k and extra = n mod k in
-  let set = ref Edge.Set.empty in
   let bases = Array.make k 0 in
   let base = ref 0 in
+  let sizes = Array.make k 0 in
   for c = 0 to k - 1 do
     let size = base_size + if c < extra then 1 else 0 in
     bases.(c) <- !base;
-    for i = 0 to size - 1 do
-      for j = i + 1 to size - 1 do
-        set := Edge.Set.add (Edge.make (!base + i) (!base + j)) !set
-      done
-    done;
+    sizes.(c) <- size;
     base := !base + size
   done;
-  (* ring of cliques; skipped when a single clique would self-loop *)
-  if k > 1 then
-    for c = 0 to k - 1 do
-      set := Edge.Set.add (Edge.make bases.(c) bases.((c + 1) mod k)) !set
-    done;
-  let rewired =
-    Edge.Set.fold
-      (fun e acc ->
+  Ugraph.of_edge_iter ~n (fun emit ->
+      let emit_rewired u v =
         if Rng.float rng 1.0 < p_rewire then begin
-          let u, _ = Edge.endpoints e in
+          let u = min u v and v = max u v in
           let w = Rng.int rng n in
-          if w <> u then Edge.Set.add (Edge.make u w) acc
-          else Edge.Set.add e acc
+          if w <> u then emit u w else emit u v
         end
-        else Edge.Set.add e acc)
-      !set Edge.Set.empty
-  in
-  Ugraph.of_edge_set ~n rewired
+        else emit u v
+      in
+      for c = 0 to k - 1 do
+        let base = bases.(c) and size = sizes.(c) in
+        for i = 0 to size - 1 do
+          for j = i + 1 to size - 1 do
+            emit_rewired (base + i) (base + j)
+          done
+        done
+      done;
+      (* ring of cliques; skipped when a single clique would
+         self-loop, and emitted once (not twice) for k = 2 *)
+      if k > 1 then
+        for c = 0 to (if k = 2 then 0 else k - 1) do
+          emit_rewired bases.(c) bases.((c + 1) mod k)
+        done)
 
 let clique_ladder rng n =
   let set = ref Edge.Set.empty in
@@ -238,28 +304,25 @@ let random_regular_ish rng n d =
   Ugraph.of_edge_set ~n !set
 
 let random_orientation rng g =
-  let edges =
-    Ugraph.fold_edges
-      (fun e acc ->
-        let u, v = Edge.endpoints e in
-        if Rng.bool rng then (u, v) :: acc else (v, u) :: acc)
-      g []
-  in
-  Dgraph.of_edges ~n:(Ugraph.n g) edges
+  Dgraph.of_edge_iter ~expected_edges:(Ugraph.m g) ~n:(Ugraph.n g)
+    (fun emit ->
+      (* coin per edge in ascending edge order, as before *)
+      Ugraph.iter_edges_uv
+        (fun u v -> if Rng.bool rng then emit u v else emit v u)
+        g)
 
 let random_dag_orientation g =
-  Dgraph.of_edges ~n:(Ugraph.n g)
-    (List.map Edge.endpoints (Ugraph.edges g))
+  Dgraph.of_edge_iter ~expected_edges:(Ugraph.m g) ~n:(Ugraph.n g)
+    (fun emit -> Ugraph.iter_edges_uv emit g)
 
 let bidirect g =
-  let edges =
-    Ugraph.fold_edges
-      (fun e acc ->
-        let u, v = Edge.endpoints e in
-        (u, v) :: (v, u) :: acc)
-      g []
-  in
-  Dgraph.of_edges ~n:(Ugraph.n g) edges
+  Dgraph.of_edge_iter ~expected_edges:(2 * Ugraph.m g) ~n:(Ugraph.n g)
+    (fun emit ->
+      Ugraph.iter_edges_uv
+        (fun u v ->
+          emit u v;
+          emit v u)
+        g)
 
 let random_weights rng g ~max_weight =
   let l =

@@ -10,11 +10,25 @@ let to_edge_list g =
 
 (* Parsing keeps the 1-based line number of every retained line so
    that a rejected edge can name the exact offending line of the
-   original input, comments and blanks included. *)
-let numbered_lines s =
-  String.split_on_char '\n' s
-  |> List.mapi (fun i l -> (i + 1, String.trim l))
-  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+   original input, comments and blanks included. Lines are streamed —
+   scanned in place and handed to a callback one at a time — and the
+   parsed rows land in a growable off-heap buffer, so reading an
+   m-edge file into the CSR builder never materializes a line list or
+   an edge list. *)
+let iter_numbered_lines s f =
+  let len = String.length s in
+  let start = ref 0 and lineno = ref 0 in
+  while !start <= len do
+    incr lineno;
+    let stop =
+      match String.index_from_opt s !start '\n' with
+      | Some i -> i
+      | None -> len
+    in
+    let line = String.trim (String.sub s !start (stop - !start)) in
+    if line <> "" && line.[0] <> '#' then f !lineno line;
+    start := stop + 1
+  done
 
 let fail_line lineno fmt =
   Printf.ksprintf
@@ -38,50 +52,72 @@ let parse_pair (lineno, line) =
    readers: endpoints in range, no self-loops, no duplicate edges
    ([directed] distinguishes (u,v) from (v,u); antiparallel pairs are
    two distinct directed edges). Every rejection names the input line
-   that carries the offending edge. *)
-let check_edges ~n ~directed rows =
-  let seen = Hashtbl.create (List.length rows * 2) in
-  List.iter
-    (fun (lineno, u, v) ->
-      if u < 0 || u >= n || v < 0 || v >= n then
-        fail_line lineno "edge (%d, %d) out of range for n = %d" u v n;
-      if u = v then fail_line lineno "self-loop at vertex %d" u;
-      let key =
-        if directed then (u, v) else if u < v then (u, v) else (v, u)
-      in
-      match Hashtbl.find_opt seen key with
-      | Some first ->
-          fail_line lineno "duplicate edge (%d, %d), first seen on line %d"
-            u v first
-      | None -> Hashtbl.add seen key lineno)
-    rows
+   that carries the offending edge. Rows live as (lineno, u, v)
+   triples in an off-heap buffer; the duplicate key packs both
+   endpoints into one int. *)
+let check_edges ~n ~directed (rows : Bigcsr.buf) =
+  let count = rows.Bigcsr.len / 3 in
+  let seen = Hashtbl.create (count * 2) in
+  let data = rows.Bigcsr.data in
+  for i = 0 to count - 1 do
+    let lineno = Bigarray.Array1.unsafe_get data (3 * i)
+    and u = Bigarray.Array1.unsafe_get data ((3 * i) + 1)
+    and v = Bigarray.Array1.unsafe_get data ((3 * i) + 2) in
+    if u < 0 || u >= n || v < 0 || v >= n then
+      fail_line lineno "edge (%d, %d) out of range for n = %d" u v n;
+    if u = v then fail_line lineno "self-loop at vertex %d" u;
+    let a, b =
+      if directed then (u, v) else if u < v then (u, v) else (v, u)
+    in
+    let key = (a * n) + b in
+    match Hashtbl.find_opt seen key with
+    | Some first ->
+        fail_line lineno "duplicate edge (%d, %d), first seen on line %d"
+          u v first
+    | None -> Hashtbl.add seen key lineno
+  done
 
-let parse_edge_list ~directed s =
-  match numbered_lines s with
-  | [] -> failwith "Graph_io: empty input"
-  | header :: rest ->
-      let n, m = parse_pair header in
-      if n < 0 then
-        fail_line (fst header) "negative vertex count %d" n;
-      let rows =
-        List.map
-          (fun (lineno, line) ->
-            let u, v = parse_pair (lineno, line) in
-            (lineno, u, v))
-          rest
-      in
-      if List.length rows <> m then
-        failwith
-          (Printf.sprintf
-             "Graph_io: edge count does not match header (header says %d, \
-              found %d)"
-             m (List.length rows));
-      check_edges ~n ~directed rows;
-      (n, List.map (fun (_, u, v) -> (u, v)) rows)
+(* Streams the file into (header, rows buffer): the header line is
+   parsed first, every subsequent retained line must be "u v". *)
+let parse_rows s =
+  let header = ref None in
+  let rows = Bigcsr.buf_create 3072 in
+  iter_numbered_lines s (fun lineno line ->
+      match !header with
+      | None ->
+          let n, m = parse_pair (lineno, line) in
+          if n < 0 then fail_line lineno "negative vertex count %d" n;
+          header := Some (n, m)
+      | Some _ ->
+          let u, v = parse_pair (lineno, line) in
+          Bigcsr.buf_push rows lineno;
+          Bigcsr.buf_push rows u;
+          Bigcsr.buf_push rows v);
+  match !header with
+  | None -> failwith "Graph_io: empty input"
+  | Some (n, m) -> (n, m, rows)
+
+let check_count ~declared ~found =
+  if found <> declared then
+    failwith
+      (Printf.sprintf
+         "Graph_io: edge count does not match header (header says %d, \
+          found %d)"
+         declared found)
+
+let iter_rows (rows : Bigcsr.buf) emit =
+  let data = rows.Bigcsr.data in
+  for i = 0 to (rows.Bigcsr.len / 3) - 1 do
+    emit
+      (Bigarray.Array1.unsafe_get data ((3 * i) + 1))
+      (Bigarray.Array1.unsafe_get data ((3 * i) + 2))
+  done
 
 let of_edge_list s =
-  let n, edges = parse_edge_list ~directed:false s in
-  Ugraph.of_edges ~n edges
+  let n, m, rows = parse_rows s in
+  check_count ~declared:m ~found:(rows.Bigcsr.len / 3);
+  check_edges ~n ~directed:false rows;
+  Ugraph.of_edge_iter ~expected_edges:m ~n (iter_rows rows)
 
 let directed_to_edge_list g =
   let buf = Buffer.create 256 in
@@ -92,8 +128,10 @@ let directed_to_edge_list g =
   Buffer.contents buf
 
 let directed_of_edge_list s =
-  let n, edges = parse_edge_list ~directed:true s in
-  Dgraph.of_edges ~n edges
+  let n, m, rows = parse_rows s in
+  check_count ~declared:m ~found:(rows.Bigcsr.len / 3);
+  check_edges ~n ~directed:true rows;
+  Dgraph.of_edge_iter ~expected_edges:m ~n (iter_rows rows)
 
 let to_dot ?(highlight = Edge.Set.empty) g =
   let buf = Buffer.create 256 in
@@ -143,34 +181,32 @@ let weighted_to_edge_list g w =
   Buffer.contents buf
 
 let weighted_of_edge_list s =
-  match numbered_lines s with
-  | [] -> failwith "Graph_io: empty input"
-  | header :: rest ->
-      let n, m = parse_pair header in
-      if n < 0 then fail_line (fst header) "negative vertex count %d" n;
-      let rows =
-        List.map
-          (fun (lineno, line) ->
-            match fields line with
-            | [ a; b; w ] -> (
-                let u = int_field lineno a and v = int_field lineno b in
-                match float_of_string_opt w with
-                | Some w -> (lineno, u, v, w)
-                | None -> fail_line lineno "%S is not a weight" w)
-            | _ -> fail_line lineno "expected three fields %S, got %S" "u v w" line)
-          rest
-      in
-      if List.length rows <> m then
-        failwith
-          (Printf.sprintf
-             "Graph_io: edge count does not match header (header says %d, \
-              found %d)"
-             m (List.length rows));
-      check_edges ~n ~directed:false
-        (List.map (fun (lineno, u, v, _) -> (lineno, u, v)) rows);
-      let g =
-        Ugraph.of_edges ~n (List.map (fun (_, u, v, _) -> (u, v)) rows)
-      in
-      ( g,
-        Weights.of_list ~default:1.0
-          (List.map (fun (_, u, v, w) -> (u, v, w)) rows) )
+  let header = ref None in
+  let rows = Bigcsr.buf_create 3072 in
+  let weights = ref [] in
+  iter_numbered_lines s (fun lineno line ->
+      match !header with
+      | None ->
+          let n, m = parse_pair (lineno, line) in
+          if n < 0 then fail_line lineno "negative vertex count %d" n;
+          header := Some (n, m)
+      | Some _ -> (
+          match fields line with
+          | [ a; b; w ] -> (
+              let u = int_field lineno a and v = int_field lineno b in
+              match float_of_string_opt w with
+              | Some w ->
+                  Bigcsr.buf_push rows lineno;
+                  Bigcsr.buf_push rows u;
+                  Bigcsr.buf_push rows v;
+                  weights := (u, v, w) :: !weights
+              | None -> fail_line lineno "%S is not a weight" w)
+          | _ ->
+              fail_line lineno "expected three fields %S, got %S" "u v w" line));
+  match !header with
+  | None -> failwith "Graph_io: empty input"
+  | Some (n, m) ->
+      check_count ~declared:m ~found:(rows.Bigcsr.len / 3);
+      check_edges ~n ~directed:false rows;
+      let g = Ugraph.of_edge_iter ~expected_edges:m ~n (iter_rows rows) in
+      (g, Weights.of_list ~default:1.0 (List.rev !weights))

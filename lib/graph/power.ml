@@ -1,11 +1,10 @@
 let power g r =
   if r < 1 then invalid_arg "Power.power: r must be >= 1";
   let n = Ugraph.n g in
-  let edges = ref [] in
-  for v = 0 to n - 1 do
-    let dist = Traversal.bfs_distances g v in
-    for u = v + 1 to n - 1 do
-      if dist.(u) <= r then edges := (v, u) :: !edges
-    done
-  done;
-  Ugraph.of_edges ~n !edges
+  Ugraph.of_edge_iter ~n (fun emit ->
+      for v = 0 to n - 1 do
+        let dist = Traversal.bfs_distances g v in
+        for u = v + 1 to n - 1 do
+          if dist.(u) <= r then emit v u
+        done
+      done)

@@ -1,94 +1,228 @@
-type t = { n : int; m : int; adj : int array array }
+(* Immutable undirected simple graphs as an int-packed CSR adjacency.
+
+   The representation is a [(row_ptr, col)] pair of off-heap Bigarrays:
+   [col.(row_ptr.(u)) .. col.(row_ptr.(u+1) - 1)] is the sorted
+   neighbor row of [u]. Degree is two row_ptr reads, membership is a
+   binary search in the lower-degree endpoint's row, and iteration is
+   pointer arithmetic over a flat buffer — no per-vertex array objects,
+   no GC scanning proportional to m, no minor-heap traffic on any hot
+   path. A graph of n vertices and m edges occupies exactly
+   8 * (n + 1 + 2m) bytes regardless of how it was built. *)
+
+type t = { n : int; m : int; row_ptr : Bigcsr.ba; col : Bigcsr.ba }
 
 let validate_vertex n u =
   if u < 0 || u >= n then
     invalid_arg (Printf.sprintf "Ugraph: vertex %d out of range [0,%d)" u n)
 
+module Builder = struct
+
+  (* Endpoint pairs accumulate in two parallel off-heap buffers; the
+     CSR is produced by one counting pass, one scatter pass, a per-row
+     sort and an in-place dedup. Nothing about the build materializes
+     a per-edge OCaml value, so streaming a million-vertex graph
+     through [add_edge] allocates O(1) words on the OCaml heap. *)
+  type builder = {
+    bn : int;
+    us : Bigcsr.buf;
+    vs : Bigcsr.buf;
+    mutable finished : bool;
+  }
+
+  let create ?(expected_edges = 1024) ~n () =
+    if n < 0 then invalid_arg "Ugraph.Builder.create: negative n";
+    {
+      bn = n;
+      us = Bigcsr.buf_create expected_edges;
+      vs = Bigcsr.buf_create expected_edges;
+      finished = false;
+    }
+
+  let add_edge b u v =
+    if b.finished then invalid_arg "Ugraph.Builder: already finished";
+    validate_vertex b.bn u;
+    validate_vertex b.bn v;
+    if u = v then
+      invalid_arg (Printf.sprintf "Ugraph: self-loop at vertex %d" u);
+    Bigcsr.buf_push b.us u;
+    Bigcsr.buf_push b.vs v
+
+  let finish b =
+    if b.finished then invalid_arg "Ugraph.Builder: already finished";
+    b.finished <- true;
+    let n = b.bn and len = b.us.Bigcsr.len in
+    let us = b.us.Bigcsr.data and vs = b.vs.Bigcsr.data in
+    let row_ptr = Bigcsr.create_zeroed (n + 1) in
+    (* degree count (duplicates included; they vanish in the dedup) *)
+    for i = 0 to len - 1 do
+      let u = Bigarray.Array1.unsafe_get us i
+      and v = Bigarray.Array1.unsafe_get vs i in
+      Bigarray.Array1.unsafe_set row_ptr (u + 1)
+        (Bigarray.Array1.unsafe_get row_ptr (u + 1) + 1);
+      Bigarray.Array1.unsafe_set row_ptr (v + 1)
+        (Bigarray.Array1.unsafe_get row_ptr (v + 1) + 1)
+    done;
+    (* exclusive prefix sum: row_ptr.(u) = start of row u *)
+    for u = 1 to n do
+      Bigarray.Array1.unsafe_set row_ptr u
+        (Bigarray.Array1.unsafe_get row_ptr u
+        + Bigarray.Array1.unsafe_get row_ptr (u - 1))
+    done;
+    let col = Bigcsr.create (2 * len) in
+    let cursor = Bigcsr.create (max n 1) in
+    if n > 0 then
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub row_ptr 0 n)
+        (Bigarray.Array1.sub cursor 0 n);
+    for i = 0 to len - 1 do
+      let u = Bigarray.Array1.unsafe_get us i
+      and v = Bigarray.Array1.unsafe_get vs i in
+      let cu = Bigarray.Array1.unsafe_get cursor u in
+      Bigarray.Array1.unsafe_set col cu v;
+      Bigarray.Array1.unsafe_set cursor u (cu + 1);
+      let cv = Bigarray.Array1.unsafe_get cursor v in
+      Bigarray.Array1.unsafe_set col cv u;
+      Bigarray.Array1.unsafe_set cursor v (cv + 1)
+    done;
+    (* sort each row, then compact duplicates in place, rebuilding
+       row_ptr as the write cursor advances *)
+    let w = ref 0 in
+    let lo = ref 0 in
+    for u = 0 to n - 1 do
+      let hi = Bigarray.Array1.unsafe_get row_ptr (u + 1) in
+      Bigcsr.sort_range col !lo hi;
+      Bigarray.Array1.unsafe_set row_ptr u !w;
+      let prev = ref (-1) in
+      for i = !lo to hi - 1 do
+        let v = Bigarray.Array1.unsafe_get col i in
+        if v <> !prev then begin
+          Bigarray.Array1.unsafe_set col !w v;
+          incr w;
+          prev := v
+        end
+      done;
+      lo := hi
+    done;
+    Bigarray.Array1.unsafe_set row_ptr n !w;
+    let col =
+      if !w = 2 * len then col
+      else begin
+        let exact = Bigcsr.create !w in
+        if !w > 0 then
+          Bigarray.Array1.blit (Bigarray.Array1.sub col 0 !w) exact;
+        exact
+      end
+    in
+    { n; m = !w / 2; row_ptr; col }
+end
+
+let of_edge_iter ?expected_edges ~n iter =
+  let b = Builder.create ?expected_edges ~n () in
+  iter (fun u v -> Builder.add_edge b u v);
+  Builder.finish b
+
 let of_edge_set ~n set =
-  let deg = Array.make n 0 in
-  Edge.Set.iter
-    (fun e ->
-      let u, v = Edge.endpoints e in
-      validate_vertex n u;
-      validate_vertex n v;
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    set;
-  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
-  let fill = Array.make n 0 in
-  Edge.Set.iter
-    (fun e ->
-      let u, v = Edge.endpoints e in
-      adj.(u).(fill.(u)) <- v;
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
-      fill.(v) <- fill.(v) + 1)
-    set;
-  (* Monomorphic comparator: rows are int arrays, and the polymorphic
-     [compare] costs a C call per comparison on the construction path
-     of every generated graph. *)
-  Array.iter (fun a -> Array.sort (fun (x : int) y -> Int.compare x y) a) adj;
-  { n; m = Edge.Set.cardinal set; adj }
+  of_edge_iter ~expected_edges:(Edge.Set.cardinal set) ~n (fun emit ->
+      Edge.Set.iter
+        (fun e ->
+          let u, v = Edge.endpoints e in
+          emit u v)
+        set)
 
 let of_edges ~n edges =
-  let set =
-    List.fold_left (fun s (u, v) -> Edge.Set.add (Edge.make u v) s)
-      Edge.Set.empty edges
-  in
-  of_edge_set ~n set
+  of_edge_iter ~n (fun emit ->
+      List.iter
+        (fun (u, v) ->
+          (* [Edge.make] keeps the historical self-loop diagnostic *)
+          let u, v = Edge.endpoints (Edge.make u v) in
+          emit u v)
+        edges)
 
-let empty n = { n; m = 0; adj = Array.make n [||] }
+let empty n = of_edge_iter ~expected_edges:0 ~n (fun _ -> ())
 let n g = g.n
 let m g = g.m
-let degree g u = Array.length g.adj.(u)
+
+let degree g u =
+  Bigarray.Array1.get g.row_ptr (u + 1) - Bigarray.Array1.get g.row_ptr u
 
 let max_degree g =
-  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+  let best = ref 0 in
+  for u = 0 to g.n - 1 do
+    let d =
+      Bigarray.Array1.unsafe_get g.row_ptr (u + 1)
+      - Bigarray.Array1.unsafe_get g.row_ptr u
+    in
+    if d > !best then best := d
+  done;
+  !best
 
-let neighbors g u = g.adj.(u)
+let neighbors g u =
+  let lo = Bigarray.Array1.get g.row_ptr u
+  and hi = Bigarray.Array1.get g.row_ptr (u + 1) in
+  Array.init (hi - lo) (fun i -> Bigarray.Array1.unsafe_get g.col (lo + i))
 
-(* Direct loops over the adjacency row: no array value escapes, so hot
-   paths neither alias nor re-fetch [adj.(u)] per element. *)
+(* Direct loops over the flat neighbor row: no array value escapes and
+   nothing is copied, so hot paths pay two row_ptr reads and then one
+   load per neighbor. *)
 let iter_neighbors f g u =
-  let a = g.adj.(u) in
-  for i = 0 to Array.length a - 1 do
-    f a.(i)
+  let lo = Bigarray.Array1.get g.row_ptr u
+  and hi = Bigarray.Array1.get g.row_ptr (u + 1) in
+  for i = lo to hi - 1 do
+    f (Bigarray.Array1.unsafe_get g.col i)
   done
 
 let fold_neighbors f g u init =
-  let a = g.adj.(u) in
+  let lo = Bigarray.Array1.get g.row_ptr u
+  and hi = Bigarray.Array1.get g.row_ptr (u + 1) in
   let acc = ref init in
-  for i = 0 to Array.length a - 1 do
-    acc := f !acc a.(i)
+  for i = lo to hi - 1 do
+    acc := f !acc (Bigarray.Array1.unsafe_get g.col i)
   done;
   !acc
 
 let mem_edge g u v =
   if u = v then false
   else begin
-    (* Binary search in the sorted neighbor array of the lower-degree
-       endpoint. Iterative: the engine probes this once per delivered
-       message, and an inner recursive closure would allocate on every
-       call. *)
-    let swap = Array.length g.adj.(u) > Array.length g.adj.(v) in
-    let a = if swap then g.adj.(v) else g.adj.(u) in
+    (* Binary search in the sorted row of the lower-degree endpoint.
+       Iterative: the engine probes this once per delivered message,
+       and an inner recursive closure would allocate on every call. *)
+    let rp = g.row_ptr in
+    let ulo = Bigarray.Array1.get rp u
+    and uhi = Bigarray.Array1.get rp (u + 1)
+    and vlo = Bigarray.Array1.get rp v
+    and vhi = Bigarray.Array1.get rp (v + 1) in
+    let swap = uhi - ulo > vhi - vlo in
+    let lo = ref (if swap then vlo else ulo)
+    and hi = ref (if swap then vhi else uhi) in
     let x = if swap then u else v in
-    let lo = ref 0 and hi = ref (Array.length a) in
     let found = ref false in
     while (not !found) && !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      let y = a.(mid) in
-      if y = x then found := true
-      else if y < x then lo := mid + 1
-      else hi := mid
+      let y = Bigarray.Array1.unsafe_get g.col mid in
+      if y = x then found := true else if y < x then lo := mid + 1 else hi := mid
     done;
     !found
   end
 
-let iter_edges f g =
+(* Allocation-free edge iteration: each edge visited once as the
+   ordered pair (u, v) with u < v, in ascending lexicographic order. *)
+let iter_edges_uv f g =
+  let lo = ref 0 in
   for u = 0 to g.n - 1 do
-    Array.iter (fun v -> if u < v then f (Edge.make u v)) g.adj.(u)
+    let hi = Bigarray.Array1.unsafe_get g.row_ptr (u + 1) in
+    for i = !lo to hi - 1 do
+      let v = Bigarray.Array1.unsafe_get g.col i in
+      if u < v then f u v
+    done;
+    lo := hi
   done
+
+let fold_edges_uv f g init =
+  let acc = ref init in
+  iter_edges_uv (fun u v -> acc := f !acc u v) g;
+  !acc
+
+let iter_edges f g = iter_edges_uv (fun u v -> f (Edge.make u v)) g
 
 let fold_edges f g init =
   let acc = ref init in
@@ -119,7 +253,29 @@ let induced_by_edges g s =
     s;
   of_edge_set ~n:g.n s
 
-let equal a b = a.n = b.n && Edge.Set.equal (edge_set a) (edge_set b)
+(* The CSR layout is canonical (rows sorted, duplicates merged, exact
+   buffer sizes), so equality is a flat comparison — no edge sets. *)
+let equal a b =
+  a.n = b.n && a.m = b.m
+  &&
+  let ok = ref true in
+  for u = 0 to a.n do
+    if
+      Bigarray.Array1.unsafe_get a.row_ptr u
+      <> Bigarray.Array1.unsafe_get b.row_ptr u
+    then ok := false
+  done;
+  if !ok then
+    for i = 0 to (2 * a.m) - 1 do
+      if
+        Bigarray.Array1.unsafe_get a.col i
+        <> Bigarray.Array1.unsafe_get b.col i
+      then ok := false
+    done;
+  !ok
+
+let resident_bytes g =
+  8 * (Bigarray.Array1.dim g.row_ptr + Bigarray.Array1.dim g.col)
 
 let pp ppf g =
   Format.fprintf ppf "@[<hov 2>graph(n=%d, m=%d:" g.n g.m;

@@ -1,12 +1,44 @@
 (** Immutable undirected simple graphs on vertices [0 .. n-1].
 
-    The representation is a frozen adjacency structure with sorted
-    neighbor arrays, giving O(deg) iteration and O(log deg) membership
-    tests. Graphs are built once from an edge list and never mutated;
+    The representation is an int-packed CSR adjacency: a
+    [(row_ptr, col)] pair of off-heap Bigarrays with each neighbor row
+    sorted ascending. Degree is O(1) ([row_ptr.(u+1) - row_ptr.(u)]),
+    membership is O(log deg) binary search, iteration is a flat-buffer
+    scan with zero GC traffic, and a graph occupies exactly
+    [8 * (n + 1 + 2m)] bytes. Graphs are built once — from an edge
+    list, an edge set, or a streaming emitter — and never mutated;
     algorithms that grow edge sets (spanners) operate on {!Edge.Set}
     values instead. *)
 
 type t
+
+module Builder : sig
+  type builder
+  (** Streaming constructor: feed endpoint pairs one at a time, in any
+      order and orientation, without ever materializing an edge list.
+      Duplicates are merged at {!finish}. The builder buffers
+      endpoints off the OCaml heap, so building an m-edge graph
+      allocates O(1) words on the minor heap. *)
+
+  val create : ?expected_edges:int -> n:int -> unit -> builder
+  (** [create ~n ()] starts a builder for vertex set [0..n-1].
+      [expected_edges] pre-sizes the endpoint buffers (growth is
+      amortized doubling either way). *)
+
+  val add_edge : builder -> int -> int -> unit
+  (** Buffers one edge. Raises [Invalid_argument] on out-of-range
+      endpoints or self-loops, and if the builder is finished. *)
+
+  val finish : builder -> t
+  (** Produces the CSR graph: one counting pass, one scatter pass, a
+      per-row sort and an in-place dedup — O(m log deg_max) time,
+      O(m) off-heap space. The builder cannot be reused. *)
+end
+
+val of_edge_iter : ?expected_edges:int -> n:int -> ((int -> int -> unit) -> unit) -> t
+(** [of_edge_iter ~n iter] builds a graph by running [iter emit],
+    where each [emit u v] call streams one edge into a {!Builder}.
+    The canonical way to construct large graphs in O(m) memory. *)
 
 val of_edges : n:int -> (int * int) list -> t
 (** [of_edges ~n edges] builds a graph with vertex set [0..n-1].
@@ -25,25 +57,47 @@ val m : t -> int
 (** Number of edges. *)
 
 val degree : t -> int -> int
+(** O(1): two [row_ptr] reads. *)
+
 val max_degree : t -> int
+
 val neighbors : t -> int -> int array
-(** Sorted array of neighbors. The returned array must not be mutated. *)
+(** Sorted array of neighbors. Allocates a fresh copy of the CSR row
+    on every call — fine at init time, wrong in a per-round hot path;
+    use {!iter_neighbors}/{!fold_neighbors} there. *)
 
 val iter_neighbors : (int -> unit) -> t -> int -> unit
 (** [iter_neighbors f g u] applies [f] to each neighbor of [u] in
-    ascending order. The hot-path alternative to indexing
-    {!neighbors} in a loop: no array value escapes and the adjacency
-    row is fetched once. *)
+    ascending order. The hot-path alternative to {!neighbors}: no
+    array is copied and nothing escapes — two [row_ptr] reads, then
+    one flat-buffer load per neighbor. *)
 
 val fold_neighbors : ('a -> int -> 'a) -> t -> int -> 'a -> 'a
 (** [fold_neighbors f g u init] folds [f] over the neighbors of [u]
     in ascending order. *)
 
 val mem_edge : t -> int -> int -> bool
+(** O(log deg) binary search in the lower-degree endpoint's row;
+    allocation-free. *)
+
 val edges : t -> Edge.t list
+(** Materializes the edge list — prefer {!iter_edges_uv} or
+    {!fold_edges} when the caller only iterates. *)
+
 val edge_set : t -> Edge.Set.t
+
 val iter_edges : (Edge.t -> unit) -> t -> unit
+(** Edges in ascending lexicographic order. Allocates one {!Edge.t}
+    per edge; {!iter_edges_uv} is the allocation-free variant. *)
+
 val fold_edges : (Edge.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_edges_uv : (int -> int -> unit) -> t -> unit
+(** [iter_edges_uv f g] calls [f u v] once per edge with [u < v], in
+    ascending lexicographic order, allocating nothing. *)
+
+val fold_edges_uv : ('a -> int -> int -> 'a) -> t -> 'a -> 'a
+
 val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val iter_vertices : (int -> unit) -> t -> unit
 
@@ -52,4 +106,11 @@ val induced_by_edges : t -> Edge.Set.t -> t
     edges in [s]. All edges of [s] must be edges of [g]. *)
 
 val equal : t -> t -> bool
+(** Structural equality, O(n + m): the CSR layout is canonical, so
+    this is a flat buffer comparison, not an edge-set comparison. *)
+
+val resident_bytes : t -> int
+(** Exact bytes held by the adjacency buffers:
+    [8 * (n + 1 + 2m)]. *)
+
 val pp : Format.formatter -> t -> unit

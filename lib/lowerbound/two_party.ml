@@ -70,7 +70,9 @@ let meter_flood ?model ~graph ~bob () =
               end)
             inbox;
           if !improved then begin
-            broadcast out (Ugraph.neighbors graph vertex) st.best;
+            Ugraph.iter_neighbors
+              (fun u -> Distsim.Engine.emit out ~dst:u st.best)
+              graph vertex;
             (st, `Continue)
           end
           else (st, `Done));

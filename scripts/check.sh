@@ -6,8 +6,12 @@
 #     silently drop it)
 #   - a bench smoke run exercising the --json perf-trajectory and
 #     --trace event-stream paths, plus the --par 2 seq-vs-par A/B path;
-#     the emitted JSON must carry the spanner-bench/5 "alloc" and
-#     "faults" rows
+#     the emitted JSON must carry the spanner-bench/6 "alloc",
+#     "faults" and "csr" rows
+#   - a CSR scale smoke: the e18 anchor (10^4-vertex gnp) must stream-
+#     build, BFS and flood inside a hard time budget, and the CSR
+#     builder's GC guard (10^5 vertices under a minor-words ceiling)
+#     is run by name so a suite filter can't drop it
 #   - a tiny spanner_cli trace run (its exit status asserts that the
 #     per-round series reconciles with the engine metrics), run both
 #     sequentially and with --par 2: the two reports must be
@@ -25,12 +29,15 @@ dune build
 dune runtest
 # The zero-allocation mailbox guard, explicitly.
 dune exec test/test_engine_sched.exe -- test allocation > /dev/null
+# The CSR builder's GC guard (10^5 vertices, fixed minor-words
+# ceiling), explicitly.
+dune exec test/test_csr.exe -- test gc > /dev/null
 
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
 benchjson=$(mktemp)
 dune exec bench/main.exe -- e13 --json "$benchjson" --trace /dev/null
-# The perf trajectory must be schema 5 and expose the allocation A/B.
-grep -q '"schema": "spanner-bench/5"' "$benchjson"
+# The perf trajectory must be schema 6 and expose the allocation A/B.
+grep -q '"schema": "spanner-bench/6"' "$benchjson"
 grep -q '"alloc"' "$benchjson"
 grep -q '"minor_words"' "$benchjson"
 grep -q '"allocated_bytes"' "$benchjson"
@@ -46,6 +53,17 @@ grep -q '"drop_p"' "$benchjson"
 grep -q '"surviving_output"' "$benchjson"
 grep -q '"dropped"' "$benchjson"
 grep -q '"crashed"' "$benchjson"
+rm -f "$benchjson"
+# The CSR scale section: the e18 smoke anchor (streaming gnp build +
+# BFS + seq/par flood on 10^4 vertices) must finish inside the budget
+# and its JSON rows must carry the layout fields.
+benchjson=$(mktemp)
+timeout 120 dune exec bench/main.exe -- e18 --json "$benchjson" > /dev/null
+grep -q '"csr"' "$benchjson"
+grep -q '"csr_gnp_10k"' "$benchjson"
+grep -q '"build_ms"' "$benchjson"
+grep -q '"resident_bytes"' "$benchjson"
+grep -q '"flood_identical"' "$benchjson"
 rm -f "$benchjson"
 
 tmpgraph=$(mktemp)

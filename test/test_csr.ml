@@ -1,0 +1,258 @@
+(* CSR equivalence suite: the Bigarray CSR adjacency must behave
+   exactly like the reference adjacency-list model across every
+   constructor — same neighbors, degrees, membership, iteration
+   order — plus the degenerate shapes, the seeded gnp/pa pins for the
+   skip-sampling generators, and the builder's GC guard (streaming a
+   10^5-vertex graph must not allocate per edge). *)
+
+open Grapho
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Reference model: plain sorted, deduplicated adjacency lists built
+   the naive way. *)
+module Ref_model = struct
+  type t = { rn : int; adj : int list array }
+
+  let of_edges ~n edges =
+    let adj = Array.make (max n 1) [] in
+    List.iter
+      (fun (u, v) ->
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v))
+      edges;
+    {
+      rn = n;
+      adj = Array.map (fun l -> List.sort_uniq compare l) adj;
+    }
+
+  let degree t u = List.length t.adj.(u)
+  let neighbors t u = Array.of_list t.adj.(u)
+  let mem_edge t u v = u <> v && List.mem v t.adj.(u)
+  let m t =
+    Array.fold_left (fun acc l -> acc + List.length l) 0
+      (Array.sub t.adj 0 t.rn)
+    / 2
+end
+
+(* Every constructor must produce the same graph. *)
+let constructors ~n edges =
+  let via_builder () =
+    let b = Ugraph.Builder.create ~n () in
+    List.iter (fun (u, v) -> Ugraph.Builder.add_edge b u v) edges;
+    Ugraph.Builder.finish b
+  in
+  [
+    ("of_edges", fun () -> Ugraph.of_edges ~n edges);
+    ( "of_edge_set",
+      fun () ->
+        Ugraph.of_edge_set ~n
+          (List.fold_left
+             (fun s (u, v) -> Edge.Set.add (Edge.make u v) s)
+             Edge.Set.empty edges) );
+    ( "of_edge_iter",
+      fun () ->
+        Ugraph.of_edge_iter ~n (fun emit ->
+            List.iter (fun (u, v) -> emit u v) edges) );
+    ("builder", via_builder);
+  ]
+
+let assert_matches_reference name g r =
+  let n = Ref_model.(r.rn) in
+  check_int (name ^ ": n") n (Ugraph.n g);
+  check_int (name ^ ": m") (Ref_model.m r) (Ugraph.m g);
+  for u = 0 to n - 1 do
+    check_int
+      (Printf.sprintf "%s: degree %d" name u)
+      (Ref_model.degree r u) (Ugraph.degree g u);
+    Alcotest.(check (array int))
+      (Printf.sprintf "%s: neighbors %d" name u)
+      (Ref_model.neighbors r u) (Ugraph.neighbors g u);
+    (* iter/fold must visit in the same ascending order as neighbors *)
+    let via_iter = ref [] in
+    Ugraph.iter_neighbors (fun v -> via_iter := v :: !via_iter) g u;
+    Alcotest.(check (list int))
+      (Printf.sprintf "%s: iter order %d" name u)
+      (Array.to_list (Ref_model.neighbors r u))
+      (List.rev !via_iter);
+    let via_fold =
+      Ugraph.fold_neighbors (fun acc v -> v :: acc) g u []
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "%s: fold order %d" name u)
+      (Array.to_list (Ref_model.neighbors r u))
+      (List.rev via_fold);
+    for v = 0 to n - 1 do
+      check
+        (Printf.sprintf "%s: mem %d %d" name u v)
+        (Ref_model.mem_edge r u v) (Ugraph.mem_edge g u v)
+    done
+  done;
+  (* edges stream ascending-lexicographic with u < v *)
+  let last = ref (-1, -1) in
+  Ugraph.iter_edges_uv
+    (fun u v ->
+      check (name ^ ": u < v") true (u < v);
+      check (name ^ ": ascending") true ((u, v) > !last);
+      check (name ^ ": present") true (Ref_model.mem_edge r u v);
+      last := (u, v))
+    g;
+  let count = Ugraph.fold_edges_uv (fun acc _ _ -> acc + 1) g 0 in
+  check_int (name ^ ": edge stream length") (Ugraph.m g) count
+
+let exercise ~name ~n edges =
+  let r = Ref_model.of_edges ~n edges in
+  let graphs =
+    List.map (fun (c, f) -> (name ^ "/" ^ c, f ())) (constructors ~n edges)
+  in
+  List.iter (fun (cname, g) -> assert_matches_reference cname g r) graphs;
+  (* all construction paths agree structurally *)
+  (match graphs with
+  | (_, first) :: rest ->
+      List.iter
+        (fun (cname, g) -> check (cname ^ ": equal") true (Ugraph.equal first g))
+        rest
+  | [] -> ());
+  (* round-trip through induced_by_edges is the identity *)
+  let _, g0 = List.hd graphs in
+  check (name ^ ": induced id") true
+    (Ugraph.equal g0 (Ugraph.induced_by_edges g0 (Ugraph.edge_set g0)))
+
+let test_random_graphs () =
+  let rng = Rng.create 0xC5A in
+  for case = 0 to 19 do
+    let n = 1 + Rng.int rng 24 in
+    let target = Rng.int rng (1 + (n * (n - 1) / 2)) in
+    let edges = ref [] in
+    let k = ref 0 in
+    while !k < target do
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v then begin
+        edges := (u, v) :: !edges;
+        (* duplicates in both orientations stress the dedup *)
+        if Rng.bool rng then edges := (v, u) :: !edges;
+        incr k
+      end
+    done;
+    exercise ~name:(Printf.sprintf "random%d" case) ~n !edges
+  done
+
+let test_edge_cases () =
+  exercise ~name:"empty0" ~n:0 [];
+  exercise ~name:"empty5" ~n:5 [];
+  (* isolated vertices around a small component *)
+  exercise ~name:"isolated" ~n:9 [ (2, 5); (5, 7); (2, 7) ];
+  exercise ~name:"star" ~n:8 (List.init 7 (fun i -> (0, i + 1)));
+  let complete_edges n =
+    List.concat
+      (List.init n (fun u -> List.init (n - u - 1) (fun i -> (u, u + i + 1))))
+  in
+  exercise ~name:"complete6" ~n:6 (complete_edges 6);
+  check_int "empty n" 4 (Ugraph.n (Ugraph.empty 4));
+  check_int "empty m" 0 (Ugraph.m (Ugraph.empty 4));
+  check_int "resident empty0" 8 (Ugraph.resident_bytes (Ugraph.empty 0))
+
+let test_validation () =
+  let b = Ugraph.Builder.create ~n:3 () in
+  check "range rejected" true
+    (try
+       Ugraph.Builder.add_edge b 0 3;
+       false
+     with Invalid_argument msg -> msg = "Ugraph: vertex 3 out of range [0,3)");
+  check "self-loop rejected" true
+    (try
+       Ugraph.Builder.add_edge b 1 1;
+       false
+     with Invalid_argument msg -> msg = "Ugraph: self-loop at vertex 1");
+  Ugraph.Builder.add_edge b 0 1;
+  let g = Ugraph.Builder.finish b in
+  check_int "one edge" 1 (Ugraph.m g);
+  check "finished builder rejects" true
+    (try
+       Ugraph.Builder.add_edge b 1 2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_resident_bytes () =
+  let g = Generators.complete 10 in
+  (* 8 * (n + 1 + 2m) = 8 * (11 + 90) *)
+  check_int "resident K10" (8 * 101) (Ugraph.resident_bytes g);
+  check "dgraph resident positive" true
+    (Dgraph.resident_bytes (Generators.bidirect g) > 0)
+
+(* Seeded-equality pins for the skip-sampling generators: these
+   fingerprints re-pin the bench gnp anchors after the switch from
+   trial-per-pair sampling (satellite of PR 6), and pin that
+   preferential attachment still samples the exact historical graphs
+   (its Rng consumption was preserved through the pool rewrite). *)
+let fingerprint g =
+  Ugraph.fold_edges_uv (fun h u v -> (h * 1_000_003) + (u * 131) + v) g 0x9E37
+
+let test_generator_pins () =
+  let cases =
+    [
+      ("gnp_dense_100", Generators.gnp (Rng.create 2) 100 0.35,
+       1743, 2235697293490807875);
+      ("gnp_sparse_200", Generators.gnp (Rng.create 3) 200 0.05,
+       970, -4291607970901585376);
+      ("gnp_conn_50", Generators.gnp_connected (Rng.create 7) 50 0.1,
+       156, 1492862353871756890);
+      ("pa_200_10", Generators.preferential_attachment (Rng.create 4) 200 10,
+       1900, 1272690548618341309);
+    ]
+  in
+  List.iter
+    (fun (name, g, m, fp) ->
+      check_int (name ^ ": m") m (Ugraph.m g);
+      check_int (name ^ ": fingerprint") fp (fingerprint g))
+    cases;
+  (* gnp degenerate probabilities consume no randomness *)
+  check_int "p=0 empty" 0 (Ugraph.m (Generators.gnp (Rng.create 1) 30 0.0));
+  check_int "p=1 complete" 435 (Ugraph.m (Generators.gnp (Rng.create 1) 30 1.0))
+
+(* GC guard: streaming a 10^5-vertex graph through the builder must
+   not allocate per edge on the OCaml heap — the endpoint buffers and
+   the CSR itself live in Bigarrays. The ceiling is far below the
+   ~6e5 words that even one boxed word per edge would cost, and far
+   above the O(log m) buffer-doubling overhead. *)
+let gc_guard_minor_words_ceiling = 50_000.0
+
+let test_gc_guard () =
+  let n = 100_000 in
+  let before = Gc.minor_words () in
+  let g =
+    Ugraph.of_edge_iter ~expected_edges:(2 * n) ~n (fun emit ->
+        for i = 0 to n - 2 do
+          emit i (i + 1)
+        done;
+        for i = 0 to n - 1 do
+          let j = (i + 97) mod n in
+          if abs (i - j) > 1 then emit i j
+        done)
+  in
+  let spent = Gc.minor_words () -. before in
+  check_int "csr n" n (Ugraph.n g);
+  check "csr built" true (Ugraph.m g > n);
+  check
+    (Printf.sprintf "minor words %.0f under ceiling %.0f" spent
+       gc_guard_minor_words_ceiling)
+    true
+    (spent < gc_guard_minor_words_ceiling)
+
+let () =
+  Alcotest.run "csr"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "random graphs x constructors" `Quick
+            test_random_graphs;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "resident bytes" `Quick test_resident_bytes;
+        ] );
+      ( "generators",
+        [ Alcotest.test_case "seeded pins" `Quick test_generator_pins ] );
+      ( "gc",
+        [ Alcotest.test_case "builder minor words" `Quick test_gc_guard ] );
+    ]

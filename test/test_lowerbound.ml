@@ -221,7 +221,9 @@ let test_claim_3_1_small_graphs () =
       ("C5", Generators.cycle 5);
       ("K4", Generators.complete 4);
       ("star6", Generators.star 6);
-      ("gnp7", Generators.gnp_connected (Rng.create 3) 7 0.4);
+      (* seed re-pinned when gnp switched to geometric skip-sampling:
+         the exact branch-and-bound needs a sparse instance *)
+      ("gnp7", Generators.gnp_connected (Rng.create 26) 7 0.4);
     ]
 
 let test_vc_to_spanner_direction () =
