@@ -1,7 +1,7 @@
 (* Shared plumbing for the bench executable: report formatting, the
    graph families and protocol anchors the perf trajectory tracks
    across PRs, wall-clock timing helpers, and the --json/--trace
-   writer (schema "spanner-bench/6").
+   writer (schema "spanner-bench/7").
 
    The experiment functions themselves live in main.ml; everything
    here is the scaffolding they share so that adding an experiment
@@ -66,11 +66,12 @@ let seq_vs_par_anchors () =
       Generators.caveman (rng 24) 6 6 0.04 );
   ]
 
-let run_anchor ?(trace = Distsim.Trace.null) ?par ?sched kind g :
+let run_anchor ?(trace = Distsim.Trace.null) ?profile ?par ?sched kind g :
     C.Two_spanner_local.result =
   match kind with
-  | `Local -> C.Two_spanner_local.run ~seed:3 ?par ?sched ~trace g
-  | `Congest -> C.Two_spanner_local.run_congest ~seed:3 ?par ?sched ~trace g
+  | `Local -> C.Two_spanner_local.run ~seed:3 ?par ?sched ?profile ~trace g
+  | `Congest ->
+      C.Two_spanner_local.run_congest ~seed:3 ?par ?sched ?profile ~trace g
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock timing. *)
@@ -79,9 +80,9 @@ let best_wall_ms ~reps f =
   f () (* warm-up *);
   let best = ref infinity in
   for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Distsim.Clock.now_s () in
     f ();
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Distsim.Clock.now_s () -. t0 in
     if dt < !best then best := dt
   done;
   1000.0 *. !best
@@ -94,11 +95,11 @@ let interleaved_ab_ms ~reps f_a f_b =
   f_b () (* warm-up both *);
   let best_a = ref infinity and best_b = ref infinity in
   for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Distsim.Clock.now_s () in
     f_a ();
-    let t1 = Unix.gettimeofday () in
+    let t1 = Distsim.Clock.now_s () in
     f_b ();
-    let t2 = Unix.gettimeofday () in
+    let t2 = Distsim.Clock.now_s () in
     if t1 -. t0 < !best_a then best_a := t1 -. t0;
     if t2 -. t1 < !best_b then best_b := t2 -. t1
   done;
@@ -419,9 +420,9 @@ let csr_anchors () =
   ]
 
 let time_once f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Distsim.Clock.now_s () in
   let r = f () in
-  (r, 1000.0 *. (Unix.gettimeofday () -. t0))
+  (r, 1000.0 *. (Distsim.Clock.now_s () -. t0))
 
 let csr_rows ~par ~selected =
   let sel id = selected = [] || List.mem id selected in
@@ -429,6 +430,12 @@ let csr_rows ~par ~selected =
     (fun (name, family, gen, with_spanner) ->
       if not (sel family) then None
       else begin
+        (* The millisecond-scale build anchors are dominated by major-GC
+           work left over from whatever experiments ran before this
+           section (the 10k build measures 8 ms from a fresh heap and
+           10x that after the traced e1 sweep). Settle the heap first
+           so the row measures the builder, not the predecessor. *)
+        Gc.compact ();
         let g, build_ms = time_once gen in
         let _, bfs_ms = time_once (fun () -> Traversal.bfs_distances g 0) in
         let (seq_vals, seq_metrics), flood_seq_ms =
@@ -496,9 +503,19 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
      carry the per-round series of the same executions the engine
      metrics describe. *)
   let series_acc = ref [] in
+  (* Each metric-row run also carries a Profile (schema 7's "profile"
+     section): histograms of message bits and inbox sizes, round
+     times, and the per-phase breakdown of the same execution. The
+     profile sink reports [wants_sends = false], so its presence
+     changes neither the event stream nor the metering. *)
+  let profile_acc = ref [] in
   let traced name f =
     let st = Distsim.Trace.stats () in
-    let sink = Distsim.Trace.stats_sink st in
+    let prof = Distsim.Profile.create () in
+    let sink =
+      Distsim.Trace.tee (Distsim.Trace.stats_sink st)
+        (Distsim.Profile.sink prof)
+    in
     let sink =
       match trace_oc with
       | None -> sink
@@ -509,8 +526,9 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
                { name = "anchor:" ^ name; value = 0.0; round = 0 });
           Distsim.Trace.tee sink j
     in
-    let r = f sink in
+    let r = f sink prof in
     series_acc := (name, Distsim.Trace.series st) :: !series_acc;
+    profile_acc := (name, prof) :: !profile_acc;
     r
   in
   (* Engine metrics: the E1 graph families under the LOCAL protocol,
@@ -524,8 +542,9 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
             let name = "e1_local_" ^ name in
             let r, calls =
               with_densest_count (fun () ->
-                  traced name (fun sink ->
-                      C.Two_spanner_local.run ~seed:5 ~trace:sink g))
+                  traced name (fun sink prof ->
+                      C.Two_spanner_local.run ~seed:5 ~trace:sink
+                        ~profile:prof g))
             in
             metric_row name g r calls)
           (ratio_families ())
@@ -537,7 +556,8 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
           else
             let r, calls =
               with_densest_count (fun () ->
-                  traced name (fun sink -> run_anchor ~trace:sink kind g))
+                  traced name (fun sink prof ->
+                      run_anchor ~trace:sink ~profile:prof kind g))
             in
             Some (metric_row name g r calls))
         (anchors ())
@@ -545,6 +565,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
     e1_rows @ anchor_rows
   in
   let series_rows = List.rev !series_acc in
+  let profile_rows = List.rev !profile_acc in
   Option.iter close_out trace_oc;
   (* Wall-clock anchors run with the default null sink: comparing
      these against the previous PR's numbers shows the tracing layer's
@@ -603,7 +624,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
         else Printf.sprintf "%.3f" v
       in
       out "{\n";
-      out "  \"schema\": \"spanner-bench/6\",\n";
+      out "  \"schema\": \"spanner-bench/7\",\n";
       out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
         (Domain.recommended_domain_count ());
       out "  \"micro_ns_per_run\": {\n";
@@ -680,6 +701,42 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
                (Array.to_list (Array.map string_of_int hist))))
         series_rows;
       out "\n  },\n";
+      (* Profile rows (schema "spanner-bench/7"): histogram
+         percentiles and per-phase breakdowns of the same traced
+         executions the engine metrics describe. Histogram-derived
+         fields (message/inbox percentiles, counts) are deterministic;
+         [*_ns] fields are wall-clock measurements and noisy by
+         nature — bench_diff classifies them by suffix. *)
+      out "  \"profile\": {\n";
+      sep
+        (fun (name, p) ->
+          let bits = Distsim.Profile.message_bits p in
+          let inbox = Distsim.Profile.inbox_sizes p in
+          let rt = Distsim.Profile.round_times p in
+          let pc h q = Distsim.Histogram.percentile h q in
+          out
+            "    %S: { \"rounds\": %d, \"messages\": %d, \"bits_p50\": %d, \
+             \"bits_p90\": %d, \"bits_p99\": %d, \"bits_max\": %d, \
+             \"inbox_p50\": %d, \"inbox_p99\": %d, \"inbox_max\": %d, \
+             \"round_ns_p50\": %d, \"round_ns_p90\": %d, \"round_ns_p99\": \
+             %d, \"total_ns\": %d"
+            name
+            (Distsim.Profile.rounds_profiled p)
+            (Distsim.Histogram.count bits)
+            (pc bits 0.5) (pc bits 0.9) (pc bits 0.99)
+            (Distsim.Histogram.max_value bits)
+            (pc inbox 0.5) (pc inbox 0.99)
+            (Distsim.Histogram.max_value inbox)
+            (pc rt 0.5) (pc rt 0.9) (pc rt 0.99)
+            (Distsim.Profile.total_ns p);
+          List.iter
+            (fun (row : Distsim.Profile.phase_row) ->
+              out ", \"phase_%s_rounds\": %d, \"phase_%s_ns\": %d" row.phase
+                row.occurrences row.phase row.total_ns)
+            (Distsim.Profile.phase_breakdown p);
+          out " }")
+        profile_rows;
+      out "\n  },\n";
       out "  \"engine_metrics\": {\n";
       sep
         (fun (name, fields) ->
@@ -698,12 +755,13 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
       printf
         "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
          seq-vs-par anchors at %d domains, %d alloc rows, %d fault rows, %d \
-         csr rows)\n"
+         csr rows, %d profile rows)\n"
         path
         (List.length metric_rows)
         (match micro_rows with None -> 0 | Some rows -> List.length rows)
         (List.length sv_rows) par (List.length al_rows)
-        (List.length ft_rows) (List.length cs_rows));
+        (List.length ft_rows) (List.length cs_rows)
+        (List.length profile_rows));
   match trace_path with
   | Some path ->
       printf "event trace (JSON Lines) written to %s (%d runs)\n" path

@@ -326,10 +326,56 @@ let faults_cmd =
 
 module T = Distsim.Trace
 
+(* Shared protocol dispatch for the trace and profile subcommands:
+   run [algorithm] with the given sink and profile, print its
+   one-line result summary, return the engine metrics. *)
+let run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
+    ~sink ~profile g =
+  match algorithm with
+  | "local" ->
+      let r =
+        C.Two_spanner_local.run ~seed ~sched ~par ?adversary ~retry ~profile
+          ~trace:sink g
+      in
+      Printf.printf "local 2-spanner: %d / %d edges, %d iterations\n"
+        (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
+      r.metrics
+  | "congest" ->
+      let r =
+        C.Two_spanner_local.run_congest ~seed ~sched ~par ?adversary ~retry
+          ~profile ~trace:sink g
+      in
+      Printf.printf "CONGEST 2-spanner: %d / %d edges, %d iterations\n"
+        (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
+      r.metrics
+  | "weighted" ->
+      let w =
+        match weights_file with
+        | Some p -> snd (Graph_io.weighted_of_edge_list (read_file p))
+        | None -> Weights.uniform 1.0
+      in
+      let r =
+        C.Two_spanner_local.run_weighted ~seed ~sched ~par ?adversary ~retry
+          ~profile ~trace:sink g w
+      in
+      Printf.printf "weighted 2-spanner: %d / %d edges, %d iterations\n"
+        (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
+      r.metrics
+  | "mds" ->
+      let r =
+        C.Mds.run ~rng:(Rng.create seed) ~sched ~par ?adversary ~retry
+          ~profile ~trace:sink g
+      in
+      Printf.printf "dominating set: %d vertices, %d iterations\n"
+        (List.length r.dominating_set) r.iterations;
+      r.metrics
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
 let trace file algorithm seed sched par schedule retry jsonl_file weights_file
-    limit gc =
+    limit gc times =
   let g = load_graph file in
   let st = T.stats () in
+  let prof = Distsim.Profile.create () in
   let jsonl_oc = Option.map open_out jsonl_file in
   let sink =
     let stats = T.stats_sink st in
@@ -342,45 +388,8 @@ let trace file algorithm seed sched par schedule retry jsonl_file weights_file
     else Some (Distsim.Faults.compile ~n:(Ugraph.n g) schedule)
   in
   let metrics =
-    match algorithm with
-    | "local" ->
-        let r =
-          C.Two_spanner_local.run ~seed ~sched ~par ?adversary ~retry
-            ~trace:sink g
-        in
-        Printf.printf "local 2-spanner: %d / %d edges, %d iterations\n"
-          (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
-        r.metrics
-    | "congest" ->
-        let r =
-          C.Two_spanner_local.run_congest ~seed ~sched ~par ?adversary ~retry
-            ~trace:sink g
-        in
-        Printf.printf "CONGEST 2-spanner: %d / %d edges, %d iterations\n"
-          (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
-        r.metrics
-    | "weighted" ->
-        let w =
-          match weights_file with
-          | Some p -> snd (Graph_io.weighted_of_edge_list (read_file p))
-          | None -> Weights.uniform 1.0
-        in
-        let r =
-          C.Two_spanner_local.run_weighted ~seed ~sched ~par ?adversary ~retry
-            ~trace:sink g w
-        in
-        Printf.printf "weighted 2-spanner: %d / %d edges, %d iterations\n"
-          (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
-        r.metrics
-    | "mds" ->
-        let r =
-          C.Mds.run ~rng:(Rng.create seed) ~sched ~par ?adversary ~retry
-            ~trace:sink g
-        in
-        Printf.printf "dominating set: %d vertices, %d iterations\n"
-          (List.length r.dominating_set) r.iterations;
-        r.metrics
-    | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+    run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
+      ~sink ~profile:prof g
   in
   Option.iter close_out jsonl_oc;
   let s = T.series st in
@@ -421,6 +430,24 @@ let trace file algorithm seed sched par schedule retry jsonl_file weights_file
       Printf.printf "counters: %s\n"
         (String.concat ", "
            (List.map (fun (name, v) -> Printf.sprintf "%s=%g" name v) counters)));
+  (* Histogram percentiles from the installed profile. Message bits
+     and inbox sizes are deterministic (identical across schedulers
+     and --par, like the table above); round times are wall-clock
+     noise, so they hide behind [--times] the way GC hides behind
+     [--gc]. *)
+  let bh = Distsim.Profile.message_bits prof in
+  let ih = Distsim.Profile.inbox_sizes prof in
+  let pct h p = Distsim.Histogram.percentile h p in
+  Printf.printf "msg-bits: p50=%d p90=%d p99=%d max=%d\n" (pct bh 0.50)
+    (pct bh 0.90) (pct bh 0.99) (Distsim.Histogram.max_value bh);
+  Printf.printf "inbox: p50=%d p99=%d max=%d\n" (pct ih 0.50) (pct ih 0.99)
+    (Distsim.Histogram.max_value ih);
+  if times then begin
+    let rh = Distsim.Profile.round_times prof in
+    Printf.printf "round-ns: p50=%d p90=%d p99=%d max=%d\n" (pct rh 0.50)
+      (pct rh 0.90) (pct rh 0.99)
+      (Distsim.Histogram.max_value rh)
+  end;
   let sum f = Array.fold_left (fun acc r -> acc + f r) 0 rows in
   let msgs = sum (fun (r : T.round_stat) -> r.messages) in
   let bits = sum (fun (r : T.round_stat) -> r.bits) in
@@ -467,15 +494,110 @@ let gc_arg =
                  (and per domain under --par), so the default output stays \
                  byte-comparable across schedulers and domain counts.")
 
+let times_arg =
+  Arg.(value & flag
+       & info [ "times" ]
+           ~doc:"Also print round-time percentiles (round-ns line). Off by \
+                 default for the same reason as --gc: wall-clock durations \
+                 vary run to run, and the default output must stay \
+                 byte-comparable across schedulers and domain counts.")
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a protocol under a structured trace and print per-round \
-             statistics, phase-marker counts and counters; the summary line \
-             cross-checks the per-round sums against the engine metrics.")
+             statistics, phase-marker counts, counters and message-size \
+             percentiles; the summary line cross-checks the per-round sums \
+             against the engine metrics.")
     Term.(const trace $ file_arg $ trace_algorithm_arg $ seed_arg $ sched_arg
           $ par_arg $ schedule_arg $ retry_arg $ jsonl_arg $ weights_arg
-          $ limit_arg $ gc_arg)
+          $ limit_arg $ gc_arg $ times_arg)
+
+(* ---- profile ----------------------------------------------------- *)
+
+let profile file algorithm seed sched par schedule retry weights_file chrome =
+  let g = load_graph file in
+  let prof = Distsim.Profile.create () in
+  let sink = Distsim.Profile.sink prof in
+  let adversary =
+    if Distsim.Faults.is_empty schedule then None
+    else Some (Distsim.Faults.compile ~n:(Ugraph.n g) schedule)
+  in
+  let metrics =
+    run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
+      ~sink ~profile:prof g
+  in
+  let ms ns = float_of_int ns /. 1e6 in
+  Printf.printf "rounds=%d messages=%d faults=%d wall=%.3f ms\n"
+    (Distsim.Profile.rounds_profiled prof)
+    metrics.Distsim.Engine.messages
+    (Distsim.Profile.fault_count prof)
+    (ms (Distsim.Profile.total_ns prof));
+  (* Per-phase wall-clock breakdown, in first-appearance order. *)
+  (match Distsim.Profile.phase_breakdown prof with
+  | [] -> ()
+  | rows ->
+      let total =
+        List.fold_left
+          (fun acc (r : Distsim.Profile.phase_row) -> acc + r.total_ns)
+          0 rows
+      in
+      Printf.printf "%-14s %7s %12s %7s\n" "phase" "rounds" "ms" "share";
+      List.iter
+        (fun (r : Distsim.Profile.phase_row) ->
+          let share =
+            if total > 0 then
+              100.0 *. float_of_int r.total_ns /. float_of_int total
+            else 0.0
+          in
+          Printf.printf "%-14s %7d %12.3f %6.1f%%\n" r.phase r.occurrences
+            (ms r.total_ns) share)
+        rows);
+  let line name h =
+    Format.printf "%s: %a@." name Distsim.Histogram.pp_summary h
+  in
+  line "msg-bits" (Distsim.Profile.message_bits prof);
+  line "inbox" (Distsim.Profile.inbox_sizes prof);
+  line "round-ns" (Distsim.Profile.round_times prof);
+  (* Shard step vs serial-merge split, --par > 1 only. *)
+  let shards = Distsim.Profile.shard_ns prof in
+  if Array.length shards > 0 then begin
+    Printf.printf "shards:";
+    Array.iteri (fun i ns -> Printf.printf " s%d=%.3fms" i (ms ns)) shards;
+    Printf.printf " merge=%.3fms\n" (ms (Distsim.Profile.merge_ns prof))
+  end;
+  (match chrome with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Distsim.Profile.write_chrome prof oc;
+      close_out oc;
+      Printf.printf
+        "wrote %s (%d events) — load at ui.perfetto.dev or chrome://tracing\n"
+        path
+        (Distsim.Profile.chrome_event_count prof));
+  0
+
+let chrome_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Write the profile as Chrome trace_event JSON, loadable in \
+                 Perfetto (ui.perfetto.dev) or chrome://tracing: rounds, \
+                 phases, shard stepping and serial merges as duration \
+                 events, fault injections as instants.")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a protocol under the wall-clock profiler and print a \
+             per-phase time breakdown, message-size / inbox / round-time \
+             histograms, and (under --par) the shard-step vs serial-merge \
+             split. --chrome FILE exports a Perfetto-loadable trace. \
+             Profiling is observational: the simulated execution is \
+             bit-identical with and without it.")
+    Term.(const profile $ file_arg $ trace_algorithm_arg $ seed_arg
+          $ sched_arg $ par_arg $ schedule_arg $ retry_arg $ weights_arg
+          $ chrome_arg)
 
 (* ---- check ------------------------------------------------------- *)
 
@@ -543,6 +665,7 @@ let () =
             mds_cmd;
             faults_cmd;
             trace_cmd;
+            profile_cmd;
             check_cmd;
             bounds_cmd;
           ]))

@@ -45,6 +45,7 @@ val run :
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
+  ?profile:Distsim.Profile.t ->
   ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->

@@ -55,6 +55,7 @@ val run :
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
+  ?profile:Distsim.Profile.t ->
   ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
@@ -88,6 +89,7 @@ val run_weighted :
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
+  ?profile:Distsim.Profile.t ->
   ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
@@ -107,6 +109,7 @@ val run_congest :
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
+  ?profile:Distsim.Profile.t ->
   ?retry:int ->
   ?audit:bool ->
   ?trace:Distsim.Trace.sink ->

@@ -28,8 +28,9 @@ exception
 
 let measure_chunk chunk = 6 + Message.bits_int (abs chunk + 1)
 
-let run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?(retry = 1)
-    ?(audit = false) ~model ~graph ~chunks_per_round ~encode ~decode spec =
+let run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?profile
+    ?(retry = 1) ?(audit = false) ~model ~graph ~chunks_per_round ~encode
+    ~decode spec =
   if chunks_per_round < 2 then
     invalid_arg "Chunked.run: chunks_per_round must be at least 2";
   let c = chunks_per_round in
@@ -196,7 +197,7 @@ let run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?(retry = 1)
      [Faults.with_retry] requires. *)
   let outer = Faults.with_retry ~attempts:retry outer in
   let states, metrics =
-    Engine.run ?max_rounds ?strict ?trace ?sched ?par ?adversary ~model ~graph
-      outer
+    Engine.run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?profile
+      ~model ~graph outer
   in
   (Array.map (fun st -> st.inner) states, metrics)

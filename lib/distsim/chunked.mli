@@ -30,6 +30,7 @@ val run :
   ?sched:Engine.sched ->
   ?par:int ->
   ?adversary:Adversary.t ->
+  ?profile:Profile.t ->
   ?retry:int ->
   ?audit:bool ->
   model:Model.t ->

@@ -188,7 +188,7 @@ let effective_trace ?observer trace =
   | None -> trace
   | Some f -> Trace.tee (Trace.of_observer f) trace
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Clock.now_ns
 
 (* Message accounting shared by both schedulers, one message at a
    time. [round] is the engine's current-round cell (0 during init),
@@ -198,9 +198,11 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
    tracing, so the [Trace.null] path does exactly the work the
    untraced engine did. GC pressure is metered from [Gc] counters on
    the calling domain: run totals always (two float reads at the
-   boundaries), per-round deltas only when tracing. *)
-let make_accounting ?observer ?adversary ~trace ~round ~strict ~graph ~measure
-    () =
+   boundaries), per-round deltas only when tracing. [profile], when
+   installed, sees every metered message's size; like the trace
+   emission this happens on the calling (merge) thread only. *)
+let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
+    ~measure () =
   let trace = effective_trace ?observer trace in
   let tracing = not (Trace.is_null trace) in
   let wants_sends = Trace.wants_sends trace in
@@ -223,6 +225,7 @@ let make_accounting ?observer ?adversary ~trace ~round ~strict ~graph ~measure
   (* Meter one wire message (it {e was} sent, delivered or not):
      run totals, per-round deltas, [Send] event, congestion check. *)
   let meter ~bandwidth src dst bits =
+    (match profile with Some p -> Profile.record_bits p bits | None -> ());
     if tracing then begin
       incr r_messages;
       r_bits := !r_bits + bits;
@@ -367,7 +370,7 @@ let normalize_adversary = function
   | a -> a
 
 let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ?adversary ~model ~graph spec =
+    ?adversary ?profile ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let adversary = normalize_adversary adversary in
   (match adversary with Some a -> Adversary.reset a ~n | None -> ());
@@ -379,8 +382,10 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let bandwidth = Model.bandwidth model in
   let in_flight = ref 0 in
   let round = ref 0 in
+  let profiling = profile <> None in
+  (match profile with Some p -> Profile.run_begin p | None -> ());
   let trace, tracing, account, finish, take_round =
-    make_accounting ?observer ?adversary ~trace ~round ~strict ~graph
+    make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
       ~measure:spec.measure ()
   in
   let crashed_now () =
@@ -409,15 +414,19 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 done_flags
   in
   let round_end t0 ~stepped =
+    let t1 = if tracing || profiling then now_ns () else 0 in
+    (match profile with
+    | Some p -> Profile.round_span p ~round:!round ~t0 ~t1
+    | None -> ());
     if tracing then
       Trace.emit trace
         (Trace.Round_end
            (take_round ~stepped ~vdone:(count_done ())
-              ~crashed:(crashed_now ()) ~elapsed_ns:(now_ns () - t0) !round))
+              ~crashed:(crashed_now ()) ~elapsed_ns:(t1 - t0) !round))
   in
   (* Round 0: init everyone. *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
-  let t0 = if tracing then now_ns () else 0 in
+  let t0 = if tracing || profiling then now_ns () else 0 in
   let states = init_states ~n ~graph ~spec ~out ~drain in
   steps := n;
   round_end t0 ~stepped:n;
@@ -430,7 +439,7 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         (Printf.sprintf "Engine.run: no termination within %d rounds"
            max_rounds);
     if tracing then Trace.emit trace (Trace.Round_begin !round);
-    let t0 = if tracing then now_ns () else 0 in
+    let t0 = if tracing || profiling then now_ns () else 0 in
     (* Activate scheduled faults for this round before the inbox
        snapshot: a vertex crash-stopped at round [r] loses the
        messages that were about to arrive at [r] and never steps
@@ -463,6 +472,9 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         in
         inbox_clear scratch;
         List.iter (fun (s, m) -> inbox_push scratch ~src:s m) sorted;
+        (match profile with
+        | Some p -> Profile.record_inbox p scratch.i_len
+        | None -> ());
         let state, status =
           spec.step ~round:!round ~vertex:v states.(v) scratch ~out
         in
@@ -475,6 +487,7 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     round_end t0 ~stepped:!stepped;
     if all_done () && !in_flight = 0 then finished := true
   done;
+  (match profile with Some p -> Profile.run_end p | None -> ());
   (states, finish !round ~steps:!steps ~crashed:(crashed_now ()))
 
 (* The event-driven path: a vertex is stepped only while it has
@@ -510,7 +523,7 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
    is raised at merge time, after the whole round has been stepped,
    rather than mid-round. *)
 let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ?(par = 1) ?adversary ~model ~graph spec =
+    ?(par = 1) ?adversary ?profile ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let adversary = normalize_adversary adversary in
   (match adversary with Some a -> Adversary.reset a ~n | None -> ());
@@ -518,6 +531,12 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let pool = if par > 1 then Some (Pool.get par) else None in
   (* Shard count actually used per round. *)
   let k = match pool with None -> 1 | Some p -> min par (Pool.size p) in
+  let profiling = profile <> None in
+  (match profile with
+  | Some p ->
+      Profile.run_begin p;
+      if pool <> None then Profile.ensure_shards p k
+  | None -> ());
   (* Per-shard scratch, allocated once and reused every round. *)
   let shard_out = Array.init k (fun _ -> outbox_create ()) in
   let shard_seg = Array.init k (fun _ -> seg_make ()) in
@@ -541,7 +560,7 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let not_done = ref n in
   let round = ref 0 in
   let trace, tracing, account, finish, take_round =
-    make_accounting ?observer ?adversary ~trace ~round ~strict ~graph
+    make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
       ~measure:spec.measure ()
   in
   let crashed_now () =
@@ -561,15 +580,19 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   in
   let steps = ref 0 in
   let round_end t0 ~stepped =
+    let t1 = if tracing || profiling then now_ns () else 0 in
+    (match profile with
+    | Some p -> Profile.round_span p ~round:!round ~t0 ~t1
+    | None -> ());
     if tracing then
       Trace.emit trace
         (Trace.Round_end
            (take_round ~stepped ~vdone:(n - !not_done)
-              ~crashed:(crashed_now ()) ~elapsed_ns:(now_ns () - t0) !round))
+              ~crashed:(crashed_now ()) ~elapsed_ns:(t1 - t0) !round))
   in
   (* Round 0: init everyone (always sequential). *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
-  let t0 = if tracing then now_ns () else 0 in
+  let t0 = if tracing || profiling then now_ns () else 0 in
   let states = init_states ~n ~graph ~spec ~out ~drain in
   steps := n;
   round_end t0 ~stepped:n;
@@ -581,7 +604,7 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         (Printf.sprintf "Engine.run: no termination within %d rounds"
            max_rounds);
     if tracing then Trace.emit trace (Trace.Round_begin !round);
-    let t0 = if tracing then now_ns () else 0 in
+    let t0 = if tracing || profiling then now_ns () else 0 in
     (* Swap banks: this round's sends accumulate in the other bank and
        arrive next round. *)
     let t = !cur in
@@ -617,6 +640,9 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
           let b = bank.(v) in
           if b.i_len > 0 || not done_flags.(v) then begin
             incr stepped;
+            (match profile with
+            | Some p -> Profile.record_inbox p b.i_len
+            | None -> ());
             let state, status =
               spec.step ~round:!round ~vertex:v states.(v) b ~out
             in
@@ -639,6 +665,12 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         (* Parallel phase: step shards concurrently; touch only
            disjoint per-vertex slots and per-shard scratch. *)
         Pool.run pool ~shards:k ~n (fun ~lo ~hi ~shard ->
+            (* Shards stamp their own clocks and record inbox sizes
+               into disjoint profile slots; the merge below flushes
+               them on the calling thread. *)
+            (match profile with
+            | Some p -> Profile.shard_begin p ~shard
+            | None -> ());
             let sout = shard_out.(shard) in
             sout.o_len <- 0;
             let seg = shard_seg.(shard) in
@@ -649,6 +681,9 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
               let b = bank.(v) in
               if b.i_len > 0 || not done_flags.(v) then begin
                 incr st;
+                (match profile with
+                | Some p -> Profile.record_shard_inbox p ~shard b.i_len
+                | None -> ());
                 let before = sout.o_len in
                 let state, status =
                   spec.step ~round:r ~vertex:v states.(v) b ~out:sout
@@ -673,7 +708,13 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
               end
             done;
             shard_stepped.(shard) <- !st;
-            shard_delta.(shard) <- !delta);
+            shard_delta.(shard) <- !delta;
+            (match profile with
+            | Some p -> Profile.shard_end p ~shard
+            | None -> ()));
+        let merge_t0 =
+          match profile with Some _ -> now_ns () | None -> 0
+        in
         (* Serial merge, in ascending vertex id (shards are contiguous
            ascending ranges and each shard outbox is the in-order
            concatenation of its vertices' sends): exactly the
@@ -694,11 +735,17 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
           done;
           sout.o_len <- 0;
           seg.s_len <- 0
-        done);
+        done;
+        match profile with
+        | Some p ->
+            Profile.merge_span p ~round:!round ~shards:k ~t0:merge_t0
+              ~t1:(now_ns ())
+        | None -> ());
     steps := !steps + !stepped;
     round_end t0 ~stepped:!stepped;
     if !not_done = 0 && !pending = 0 then finished := true
   done;
+  (match profile with Some p -> Profile.run_end p | None -> ());
   (states, finish !round ~steps:!steps ~crashed:(crashed_now ()))
 
 (* Benchmarking shim: identical results and scheduling, pre-mailbox
@@ -744,19 +791,19 @@ let legacy_cost_spec (spec : ('s, 'm) spec) : ('s, 'm) spec =
   }
 
 let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ?adversary
-    ~model ~graph spec =
+    ?profile ~model ~graph spec =
   match sched with
   | `Naive ->
       (* The reference path stays single-domain by design: it is the
          thing the parallel path is diffed against. *)
-      run_naive ?max_rounds ?strict ?observer ?trace ?adversary ~model ~graph
-        spec
-  | `Active ->
-      run_active ?max_rounds ?strict ?observer ?trace ?par ?adversary ~model
+      run_naive ?max_rounds ?strict ?observer ?trace ?adversary ?profile ~model
         ~graph spec
+  | `Active ->
+      run_active ?max_rounds ?strict ?observer ?trace ?par ?adversary ?profile
+        ~model ~graph spec
   | `Active_legacy_cost ->
       (* [scratch] in the shim is shared across vertices, so this
          variant must stay single-domain; it exists for the bench
          binary's allocation A/B, not for parallel runs. *)
-      run_active ?max_rounds ?strict ?observer ?trace ?adversary ~model ~graph
-        (legacy_cost_spec spec)
+      run_active ?max_rounds ?strict ?observer ?trace ?adversary ?profile
+        ~model ~graph (legacy_cost_spec spec)

@@ -184,6 +184,7 @@ val run :
   ?sched:sched ->
   ?par:int ->
   ?adversary:Adversary.t ->
+  ?profile:Profile.t ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   ('state, 'msg) spec ->
@@ -242,4 +243,17 @@ val run :
     {!metrics} and {!Trace.round_stat}); duplicated messages are
     metered twice. An adversary with an empty schedule
     ({!Adversary.has_faults}[ = false]) is normalized away, so it is
-    byte-identical to passing no adversary at all. *)
+    byte-identical to passing no adversary at all.
+
+    [profile] (default none) installs a wall-clock {!Profile}: round
+    spans and a round-time histogram, every metered message's payload
+    bits, every stepped vertex's inbox size, and — under [par > 1] —
+    per-shard stepping spans plus the serial-merge span of each
+    round. Purely observational: the simulated execution is
+    bit-identical with and without it, and identical across
+    schedulers and shard counts with it (only clock-valued profile
+    fields differ, like [round_stat.elapsed_ns]). All profile
+    aggregation happens on the calling thread; shards only stamp
+    their own clocks and private histograms into disjoint slots.
+    When absent the engine takes the exact pre-profiling path: no
+    clock reads beyond tracing's, no allocation. *)

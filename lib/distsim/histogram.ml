@@ -1,0 +1,129 @@
+(* Allocation-free log₂-binned integer histograms.
+
+   Bin 0 holds the value 0 (non-positive values clamp there); bin
+   [b >= 1] holds the range [2^(b-1), 2^b). 63 bins cover every
+   OCaml int. [record] touches only preallocated scalar fields and
+   the fixed bins array, so steady-state recording allocates
+   nothing — the profiler can record per-message payload sizes on
+   the engine's hot path without disturbing the GC guards.
+
+   Everything a histogram stores (count/sum/min/max/bins) is an
+   order-independent aggregate, so merging per-shard histograms in
+   any order yields the same result as recording the concatenated
+   stream sequentially: histograms are deterministic across shard
+   counts even though the recording interleaving is not. *)
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;  (* max_int when empty *)
+  mutable vmax : int;  (* min_int when empty *)
+  bins : int array;
+}
+
+let num_bins = 63
+
+let create () =
+  { count = 0; sum = 0; vmin = max_int; vmax = min_int; bins = Array.make num_bins 0 }
+
+let clear h =
+  h.count <- 0;
+  h.sum <- 0;
+  h.vmin <- max_int;
+  h.vmax <- min_int;
+  Array.fill h.bins 0 num_bins 0
+
+let bin_index v =
+  if v <= 0 then 0
+  else begin
+    (* Number of significant bits of [v]: 1 -> bin 1, 2..3 -> bin 2,
+       4..7 -> bin 3, i.e. bin b covers [2^(b-1), 2^b). *)
+    let b = ref 0 in
+    let x = ref v in
+    while !x <> 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    !b
+  end
+
+let bin_lo b = if b <= 0 then 0 else 1 lsl (b - 1)
+let bin_hi b = if b <= 0 then 0 else (1 lsl b) - 1
+
+let record h v =
+  let v = if v < 0 then 0 else v in
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v;
+  let b = bin_index v in
+  h.bins.(b) <- h.bins.(b) + 1
+
+let count h = h.count
+let sum h = h.sum
+let bin_count h b = h.bins.(b)
+let min_value h = if h.count = 0 then 0 else h.vmin
+let max_value h = if h.count = 0 then 0 else h.vmax
+let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+
+let merge_into ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax;
+  for b = 0 to num_bins - 1 do
+    into.bins.(b) <- into.bins.(b) + src.bins.(b)
+  done
+
+let merge a b =
+  let h = create () in
+  merge_into ~into:h a;
+  merge_into ~into:h b;
+  h
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum && a.vmin = b.vmin && a.vmax = b.vmax
+  && a.bins = b.bins
+
+(* Percentile estimate by rank walk: find the bin holding the
+   element of rank ceil(p * count) and interpolate linearly across
+   the bin's clamped value range. The clamp (to the recorded
+   min/max) makes single-bin and single-value histograms exact, and
+   monotonicity in [p] holds because bin ranges are disjoint and
+   ascending while the within-bin estimate is nondecreasing in the
+   rank. *)
+let percentile h p =
+  if h.count = 0 then 0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let rank =
+      let r = int_of_float (ceil (p *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let b = ref 0 in
+    let cum = ref h.bins.(0) in
+    while !cum < rank do
+      incr b;
+      cum := !cum + h.bins.(!b)
+    done;
+    let in_bin = h.bins.(!b) in
+    let before = !cum - in_bin in
+    let within = rank - before in (* 1 .. in_bin *)
+    let lo =
+      let l = bin_lo !b in
+      if h.vmin > l then h.vmin else l
+    in
+    let hi =
+      let u = bin_hi !b in
+      if h.vmax < u then h.vmax else u
+    in
+    if in_bin <= 1 || hi <= lo then lo
+    else lo + (hi - lo) * (within - 1) / (in_bin - 1)
+  end
+
+let pp_summary ppf h =
+  if h.count = 0 then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf "n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f"
+      h.count (min_value h) (percentile h 0.5) (percentile h 0.9)
+      (percentile h 0.99) (max_value h) (mean h)

@@ -1,0 +1,76 @@
+(** Allocation-free log₂-binned integer histograms.
+
+    Bin 0 holds the value 0 (non-positive values clamp there); bin
+    [b >= 1] holds the half-open range [2^(b-1), 2^b). Recording is
+    pure field increments on a preallocated structure — no
+    allocation in the steady state — so the profiler can record
+    per-message payload bits and per-vertex inbox sizes on the
+    engine's hot path without disturbing its GC guarantees.
+
+    All stored aggregates (count, sum, min, max, per-bin counts) are
+    order-independent, so {!merge} of per-shard histograms equals
+    recording the concatenated stream sequentially: histogram
+    contents are deterministic across shard counts. Percentiles are
+    estimates (exact bin, linear interpolation within the bin,
+    clamped to the observed min/max) and monotone in [p]. *)
+
+type t
+
+val create : unit -> t
+(** A fresh empty histogram. The only allocating operation. *)
+
+val clear : t -> unit
+(** Reset to empty in place. *)
+
+val record : t -> int -> unit
+(** Record one observation. Negative values clamp to 0.
+    Allocation-free. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+(** Smallest recorded value; 0 when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value; 0 when empty. *)
+
+val mean : t -> float
+(** Arithmetic mean; 0.0 when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile h p] estimates the value at quantile [p] (clamped to
+    [0,1]): the bin holding the rank-⌈p·count⌉ element is found
+    exactly, and the estimate interpolates linearly across the bin's
+    value range clamped to the recorded min/max. Monotone in [p];
+    exact whenever the bin holds a single distinct value. 0 when
+    empty. *)
+
+val merge_into : into:t -> t -> unit
+(** Add [src]'s contents into [into]. Exact and order-independent:
+    merging per-shard histograms in any order equals recording the
+    concatenated stream into one histogram. Allocation-free. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both arguments' contents. *)
+
+val equal : t -> t -> bool
+(** Structural equality on all aggregates and bins. *)
+
+val num_bins : int
+(** Number of bins (63: bin 0 plus one per possible bit length). *)
+
+val bin_index : int -> int
+(** The bin an observation lands in: 0 for [v <= 0], otherwise the
+    bit length of [v] (so [bin_index 1 = 1], [bin_index 4 = 3]). *)
+
+val bin_lo : int -> int
+(** Smallest value of a bin: [bin_lo 0 = 0], else [2^(b-1)]. *)
+
+val bin_hi : int -> int
+(** Largest value of a bin: [bin_hi 0 = 0], else [2^b - 1]. *)
+
+val bin_count : t -> int -> int
+(** Observations recorded in a bin. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [n/min/p50/p90/p99/max/mean] summary. *)

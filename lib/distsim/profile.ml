@@ -1,0 +1,338 @@
+(* Wall-clock profiling for the round engine.
+
+   A profile owns three log₂ histograms (message payload bits,
+   per-vertex inbox sizes, per-round elapsed ns), span tables for
+   rounds / protocol phases / per-shard stepping / serial merges,
+   and instant markers for fault injections. The engine drives the
+   [round_span]/[record_*]/[shard_*]/[merge_span] hooks; phases and
+   faults arrive through {!sink}, which callers tee onto their trace
+   before handing it to a protocol (protocols stamp phase markers on
+   the engine's merge thread via [Trace.with_round_phases]).
+
+   Determinism: everything the profiler stores that is not a clock
+   reading — histogram contents, span counts, phase/fault sequences,
+   shard layout — is a pure function of the simulated execution, so
+   it is identical across schedulers and shard counts, exactly like
+   the engine's own metrics. Clock-valued fields ([*_ns], [*_t0],
+   [*_t1], timestamps) are measurements of the simulator and sit
+   outside the determinism contract, as [round_stat.elapsed_ns]
+   always has. On the [?par] path the shards write their own clock
+   stamps into disjoint preallocated slots; all aggregation (span
+   pushes, histogram merges) happens on the merge thread. *)
+
+(* Growable int buffer: the spine of every span table. *)
+type ibuf = { mutable ia : int array; mutable ilen : int }
+
+let ibuf () = { ia = [||]; ilen = 0 }
+
+let ipush b v =
+  let cap = Array.length b.ia in
+  if b.ilen = cap then begin
+    let na = Array.make (max 16 (2 * cap)) 0 in
+    Array.blit b.ia 0 na 0 b.ilen;
+    b.ia <- na
+  end;
+  b.ia.(b.ilen) <- v;
+  b.ilen <- b.ilen + 1
+
+type sbuf = { mutable sa : string array; mutable slen : int }
+
+let sbuf () = { sa = [||]; slen = 0 }
+
+let spush b v =
+  let cap = Array.length b.sa in
+  if b.slen = cap then begin
+    let na = Array.make (max 16 (2 * cap)) v in
+    Array.blit b.sa 0 na 0 b.slen;
+    b.sa <- na
+  end;
+  b.sa.(b.slen) <- v;
+  b.slen <- b.slen + 1
+
+type t = {
+  msg_bits : Histogram.t;
+  inbox_len : Histogram.t;
+  round_ns : Histogram.t;
+  (* Round spans: parallel arrays (round id, begin ns, end ns). *)
+  r_round : ibuf;
+  r_t0 : ibuf;
+  r_t1 : ibuf;
+  (* Phase markers, in arrival order: name / round / timestamp. *)
+  ph_name : sbuf;
+  ph_round : ibuf;
+  ph_ts : ibuf;
+  (* Fault instants: label / round / timestamp. *)
+  f_label : sbuf;
+  f_round : ibuf;
+  f_ts : ibuf;
+  (* Shard step spans (par path): round / shard / begin / end. *)
+  sh_round : ibuf;
+  sh_shard : ibuf;
+  sh_t0 : ibuf;
+  sh_t1 : ibuf;
+  (* Serial-merge spans (par path): round / begin / end. *)
+  mg_round : ibuf;
+  mg_t0 : ibuf;
+  mg_t1 : ibuf;
+  (* Per-shard scratch, sized by [ensure_shards]: shards stamp their
+     own clock readings into disjoint slots and record inbox sizes
+     into private histograms; the merge thread flushes both. *)
+  mutable sc_t0 : int array;
+  mutable sc_t1 : int array;
+  mutable sc_inbox : Histogram.t array;
+  mutable t_start : int;  (* 0 = not yet stamped *)
+  mutable t_end : int;
+}
+
+let create () =
+  {
+    msg_bits = Histogram.create ();
+    inbox_len = Histogram.create ();
+    round_ns = Histogram.create ();
+    r_round = ibuf ();
+    r_t0 = ibuf ();
+    r_t1 = ibuf ();
+    ph_name = sbuf ();
+    ph_round = ibuf ();
+    ph_ts = ibuf ();
+    f_label = sbuf ();
+    f_round = ibuf ();
+    f_ts = ibuf ();
+    sh_round = ibuf ();
+    sh_shard = ibuf ();
+    sh_t0 = ibuf ();
+    sh_t1 = ibuf ();
+    mg_round = ibuf ();
+    mg_t0 = ibuf ();
+    mg_t1 = ibuf ();
+    sc_t0 = [||];
+    sc_t1 = [||];
+    sc_inbox = [||];
+    t_start = 0;
+    t_end = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine-side hooks. *)
+
+let run_begin p = if p.t_start = 0 then p.t_start <- Clock.now_ns ()
+let run_end p = p.t_end <- Clock.now_ns ()
+
+let round_span p ~round ~t0 ~t1 =
+  ipush p.r_round round;
+  ipush p.r_t0 t0;
+  ipush p.r_t1 t1;
+  Histogram.record p.round_ns (t1 - t0)
+
+let record_bits p bits = Histogram.record p.msg_bits bits
+let record_inbox p len = Histogram.record p.inbox_len len
+
+let ensure_shards p k =
+  if Array.length p.sc_t0 < k then begin
+    p.sc_t0 <- Array.make k 0;
+    p.sc_t1 <- Array.make k 0;
+    p.sc_inbox <- Array.init k (fun _ -> Histogram.create ())
+  end
+
+let shard_begin p ~shard = p.sc_t0.(shard) <- Clock.now_ns ()
+let shard_end p ~shard = p.sc_t1.(shard) <- Clock.now_ns ()
+let record_shard_inbox p ~shard len = Histogram.record p.sc_inbox.(shard) len
+
+(* Merge-thread flush of one parallel round: shard spans land in
+   ascending shard order and the shard inbox histograms fold into the
+   global one — [Histogram.merge_into] is order-independent, so the
+   result equals the sequential path's direct recording. *)
+let merge_span p ~round ~shards ~t0 ~t1 =
+  for s = 0 to shards - 1 do
+    ipush p.sh_round round;
+    ipush p.sh_shard s;
+    ipush p.sh_t0 p.sc_t0.(s);
+    ipush p.sh_t1 p.sc_t1.(s);
+    Histogram.merge_into ~into:p.inbox_len p.sc_inbox.(s);
+    Histogram.clear p.sc_inbox.(s)
+  done;
+  ipush p.mg_round round;
+  ipush p.mg_t0 t0;
+  ipush p.mg_t1 t1
+
+let fault_label = function
+  | Trace.Crash v -> Printf.sprintf "crash v%d" v
+  | Trace.Cut (u, w) -> Printf.sprintf "cut %d-%d" u w
+  | Trace.Restore (u, w) -> Printf.sprintf "restore %d-%d" u w
+
+let sink p =
+  Trace.custom ~sends:false (fun ev ->
+      match ev with
+      | Trace.Phase { name; round; _ } ->
+          spush p.ph_name name;
+          ipush p.ph_round round;
+          ipush p.ph_ts (Clock.now_ns ())
+      | Trace.Fault_injected { round; kind } ->
+          spush p.f_label (fault_label kind);
+          ipush p.f_round round;
+          ipush p.f_ts (Clock.now_ns ())
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Reporting. *)
+
+let message_bits p = p.msg_bits
+let inbox_sizes p = p.inbox_len
+let round_times p = p.round_ns
+let rounds_profiled p = p.r_round.ilen
+let fault_count p = p.f_round.ilen
+
+let total_ns p =
+  if p.t_start = 0 then 0
+  else if p.t_end > p.t_start then p.t_end - p.t_start
+  else if p.r_t1.ilen > 0 then p.r_t1.ia.(p.r_t1.ilen - 1) - p.t_start
+  else 0
+
+(* The end-of-profile timestamp used to close the last open phase
+   span. *)
+let close_ts p =
+  if p.t_end > 0 then p.t_end
+  else if p.r_t1.ilen > 0 then p.r_t1.ia.(p.r_t1.ilen - 1)
+  else p.t_start
+
+type phase_row = { phase : string; occurrences : int; total_ns : int }
+
+(* A phase marker opens a span that the next marker (or the end of
+   the profile) closes. Aggregation is by name in first-appearance
+   order — deterministic, because markers are emitted on the merge
+   thread in round order. *)
+let phase_breakdown p =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to p.ph_name.slen - 1 do
+    let name = p.ph_name.sa.(i) in
+    let t0 = p.ph_ts.ia.(i) in
+    let t1 =
+      if i + 1 < p.ph_name.slen then p.ph_ts.ia.(i + 1) else close_ts p
+    in
+    let dur = if t1 > t0 then t1 - t0 else 0 in
+    match Hashtbl.find_opt tbl name with
+    | Some row ->
+        Hashtbl.replace tbl name
+          { row with occurrences = row.occurrences + 1;
+                     total_ns = row.total_ns + dur }
+    | None ->
+        order := name :: !order;
+        Hashtbl.replace tbl name { phase = name; occurrences = 1; total_ns = dur }
+  done;
+  List.rev_map (fun name -> Hashtbl.find tbl name) !order
+
+let shard_count p =
+  let k = ref 0 in
+  for i = 0 to p.sh_shard.ilen - 1 do
+    if p.sh_shard.ia.(i) + 1 > !k then k := p.sh_shard.ia.(i) + 1
+  done;
+  !k
+
+let shard_ns p =
+  let k = shard_count p in
+  let totals = Array.make k 0 in
+  for i = 0 to p.sh_shard.ilen - 1 do
+    let s = p.sh_shard.ia.(i) in
+    let d = p.sh_t1.ia.(i) - p.sh_t0.ia.(i) in
+    if d > 0 then totals.(s) <- totals.(s) + d
+  done;
+  totals
+
+let merge_ns p =
+  let total = ref 0 in
+  for i = 0 to p.mg_round.ilen - 1 do
+    let d = p.mg_t1.ia.(i) - p.mg_t0.ia.(i) in
+    if d > 0 then total := !total + d
+  done;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export.
+
+   Every event is a FLAT JSON object (string and number values only,
+   rendered with Trace's own escape/float helpers), so each line of
+   the emitted file — brackets and trailing commas aside — parses
+   with [Trace.parse_flat_json]. Perfetto and chrome://tracing accept
+   the plain JSON-array form. Tracks are encoded as thread ids:
+   tid 0 = rounds (and fault instants), tid 1 = phases, tid 2 =
+   serial merge, tid 3+s = shard s. Timestamps are microseconds
+   relative to the profile's start. *)
+
+let chrome_tid_rounds = 0
+let chrome_tid_phases = 1
+let chrome_tid_merge = 2
+let chrome_tid_shard0 = 3
+
+let base_ts p =
+  if p.t_start > 0 then p.t_start
+  else if p.r_t0.ilen > 0 then p.r_t0.ia.(0)
+  else 0
+
+let write_chrome p oc =
+  let base = base_ts p in
+  let buf = Buffer.create 128 in
+  let first = ref true in
+  let flush_event () =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc (Buffer.contents buf);
+    Buffer.clear buf
+  in
+  let us ns = Trace.json_float (float_of_int (ns - base) /. 1e3) in
+  let dur_us ns = Trace.json_float (float_of_int ns /. 1e3) in
+  let span ~name ~cat ~tid ~t0 ~t1 =
+    Buffer.add_string buf "{\"name\":\"";
+    Trace.escape_into buf name;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\
+          \"tid\":%d}"
+         cat (us t0)
+         (dur_us (if t1 > t0 then t1 - t0 else 0))
+         tid);
+    flush_event ()
+  in
+  let instant ~name ~cat ~tid ~ts =
+    Buffer.add_string buf "{\"name\":\"";
+    Trace.escape_into buf name;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"t\",\"pid\":1,\
+          \"tid\":%d}"
+         cat (us ts) tid);
+    flush_event ()
+  in
+  output_string oc "[\n";
+  for i = 0 to p.r_round.ilen - 1 do
+    span
+      ~name:(Printf.sprintf "round %d" p.r_round.ia.(i))
+      ~cat:"round" ~tid:chrome_tid_rounds ~t0:p.r_t0.ia.(i) ~t1:p.r_t1.ia.(i)
+  done;
+  for i = 0 to p.ph_name.slen - 1 do
+    let t1 =
+      if i + 1 < p.ph_name.slen then p.ph_ts.ia.(i + 1) else close_ts p
+    in
+    span ~name:p.ph_name.sa.(i) ~cat:"phase" ~tid:chrome_tid_phases
+      ~t0:p.ph_ts.ia.(i) ~t1
+  done;
+  for i = 0 to p.mg_round.ilen - 1 do
+    span
+      ~name:(Printf.sprintf "merge r%d" p.mg_round.ia.(i))
+      ~cat:"merge" ~tid:chrome_tid_merge ~t0:p.mg_t0.ia.(i) ~t1:p.mg_t1.ia.(i)
+  done;
+  for i = 0 to p.sh_round.ilen - 1 do
+    span
+      ~name:(Printf.sprintf "shard %d r%d" p.sh_shard.ia.(i) p.sh_round.ia.(i))
+      ~cat:"shard"
+      ~tid:(chrome_tid_shard0 + p.sh_shard.ia.(i))
+      ~t0:p.sh_t0.ia.(i) ~t1:p.sh_t1.ia.(i)
+  done;
+  for i = 0 to p.f_label.slen - 1 do
+    instant ~name:p.f_label.sa.(i) ~cat:"fault" ~tid:chrome_tid_rounds
+      ~ts:p.f_ts.ia.(i)
+  done;
+  output_string oc "\n]\n"
+
+let chrome_event_count p =
+  p.r_round.ilen + p.ph_name.slen + p.mg_round.ilen + p.sh_round.ilen
+  + p.f_label.slen

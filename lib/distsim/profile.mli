@@ -1,0 +1,133 @@
+(** Wall-clock profiling for the round engine.
+
+    A profile collects, for one or more engine runs:
+
+    - {b histograms} ({!Histogram}): per-message payload bits,
+      per-vertex inbox sizes at step time, per-round elapsed
+      nanoseconds;
+    - {b spans}: every round's wall-clock interval, every protocol
+      phase (derived from the phase markers protocols stamp through
+      [Trace.with_round_phases]), and — on the [?par] path — each
+      shard's stepping interval plus the serial merge interval, per
+      round;
+    - {b instants}: fault injections.
+
+    Passing a profile to [Engine.run ?profile] is strictly
+    observational: the simulated execution (spanner, metrics, round
+    series, adversary coin stream) is bit-identical with and without
+    it, and identical across schedulers and shard counts with it.
+    Histogram contents, span/marker counts and orders are themselves
+    deterministic; only clock-valued fields (timestamps, [*_ns]
+    durations) vary run to run, mirroring how
+    [Trace.round_stat.elapsed_ns] already sits outside the
+    determinism contract. With [?profile] absent the engine skips
+    every hook — the disabled path does no extra work and allocates
+    nothing, like the [Trace.null] sink.
+
+    Phases and faults reach the profile through {!sink}: tee it onto
+    the trace you hand the protocol, e.g.
+    [~trace:(Trace.tee user_sink (Profile.sink p))]. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, empty profile. *)
+
+val sink : t -> Trace.sink
+(** A [wants_sends = false] sink recording [Phase] markers and
+    [Fault_injected] instants with arrival timestamps. Tee it onto
+    the trace passed to a protocol so its phase schedule lands in the
+    profile. *)
+
+(** {1 Engine hooks}
+
+    Called by [Engine.run] when a profile is installed; user code
+    normally never calls these. All of them except
+    {!shard_begin}/{!shard_end}/{!record_shard_inbox} run on the
+    engine's calling (merge) thread. *)
+
+val run_begin : t -> unit
+(** Stamp the profile's start time (first call wins, so a profile
+    spanning several engine runs keeps its original origin). *)
+
+val run_end : t -> unit
+(** Stamp the profile's end time (last call wins). *)
+
+val round_span : t -> round:int -> t0:int -> t1:int -> unit
+(** Record one round's wall-clock interval and its duration in the
+    round-time histogram. *)
+
+val record_bits : t -> int -> unit
+(** Record one wire message's payload size (every metered message,
+    delivered or dropped — reconciles with [metrics.messages] /
+    [total_bits]). Allocation-free. *)
+
+val record_inbox : t -> int -> unit
+(** Record the inbox size a stepped vertex saw (sequential path).
+    Allocation-free. *)
+
+val ensure_shards : t -> int -> unit
+(** Size the per-shard scratch (timestamps + private inbox
+    histograms) for [k] shards. Called once per parallel run. *)
+
+val shard_begin : t -> shard:int -> unit
+(** Stamp a shard's step-phase start; runs on the shard's domain,
+    writing only its own slot. *)
+
+val shard_end : t -> shard:int -> unit
+
+val record_shard_inbox : t -> shard:int -> int -> unit
+(** Record an inbox size into the shard's private histogram; runs on
+    the shard's domain. Allocation-free. *)
+
+val merge_span : t -> round:int -> shards:int -> t0:int -> t1:int -> unit
+(** Merge-thread flush of one parallel round: pushes the [shards]
+    recorded shard spans (ascending shard order), folds and clears
+    the shard inbox histograms into the global one (order-independent,
+    so contents equal the sequential path's), and records the serial
+    merge interval [t0, t1]. *)
+
+(** {1 Reporting} *)
+
+val message_bits : t -> Histogram.t
+val inbox_sizes : t -> Histogram.t
+val round_times : t -> Histogram.t
+
+val rounds_profiled : t -> int
+(** Number of round spans recorded (round 0 included). *)
+
+val fault_count : t -> int
+
+val total_ns : t -> int
+(** Wall-clock span of the whole profile (0 if never started). *)
+
+type phase_row = { phase : string; occurrences : int; total_ns : int }
+
+val phase_breakdown : t -> phase_row list
+(** Per-phase aggregate, in first-appearance order: a phase marker
+    opens a span that the next marker (or the profile's end) closes;
+    [occurrences] counts markers (deterministic), [total_ns] sums the
+    spans (clock-valued). *)
+
+val shard_ns : t -> int array
+(** Total stepping nanoseconds per shard; [[||]] for sequential
+    runs. *)
+
+val merge_ns : t -> int
+(** Total serial-merge nanoseconds across all parallel rounds. *)
+
+(** {1 Chrome trace_event export} *)
+
+val write_chrome : t -> out_channel -> unit
+(** Writes the profile as a Chrome [trace_event] JSON array, loadable
+    in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
+    chrome://tracing: rounds as duration events on tid 0, phases on
+    tid 1, serial merges on tid 2, shard stepping on tid 3+shard,
+    fault injections as instants. Timestamps are microseconds from
+    the profile's start. Every event is a flat JSON object in the
+    dialect of Trace's codec — each emitted line (minus the
+    surrounding brackets and the separating comma) parses with
+    [Trace.parse_flat_json]. *)
+
+val chrome_event_count : t -> int
+(** Number of events {!write_chrome} will emit. *)

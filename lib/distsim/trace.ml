@@ -241,7 +241,7 @@ let event_to_json ev =
   Buffer.contents buf
 
 (* A minimal parser for the flat objects above. *)
-type jv = Jstr of string | Jnum of float
+type json_value = Jstr of string | Jnum of float
 
 exception Parse of string
 
@@ -281,14 +281,39 @@ let parse_flat_object line =
             | 't' -> Buffer.add_char buf '\t'
             | 'r' -> Buffer.add_char buf '\r'
             | 'u' ->
-                if !pos + 5 >= n then fail "short \\u escape";
-                let hex = String.sub line (!pos + 2) 4 in
-                let code =
-                  try int_of_string ("0x" ^ hex)
-                  with _ -> fail "bad \\u escape"
+                (* Decode to UTF-8 bytes, pairing UTF-16 surrogates,
+                   so the codec round-trips every string
+                   [escape_into] can emit (it passes non-ASCII bytes
+                   through verbatim). *)
+                let read_hex at =
+                  if at + 3 >= n then fail "short \\u escape";
+                  match int_of_string_opt ("0x" ^ String.sub line at 4) with
+                  | Some c -> c
+                  | None -> fail "bad \\u escape"
                 in
-                if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                else fail "non-ASCII \\u escape";
+                let code = read_hex (!pos + 2) in
+                let scalar =
+                  if code >= 0xD800 && code <= 0xDBFF then
+                    if
+                      !pos + 7 >= n
+                      || line.[!pos + 6] <> '\\'
+                      || line.[!pos + 7] <> 'u'
+                    then fail "unpaired high surrogate"
+                    else begin
+                      let lo = read_hex (!pos + 8) in
+                      if lo < 0xDC00 || lo > 0xDFFF then
+                        fail "unpaired high surrogate";
+                      (* Consume the second escape's 6 chars here;
+                         the shared [+ 2] below still covers this
+                         escape's backslash. *)
+                      pos := !pos + 6;
+                      0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+                    end
+                  else if code >= 0xDC00 && code <= 0xDFFF then
+                    fail "unpaired low surrogate"
+                  else code
+                in
+                Buffer.add_utf_8_uchar buf (Uchar.of_int scalar);
                 pos := !pos + 4
             | c -> fail (Printf.sprintf "unknown escape '\\%c'" c));
             pos := !pos + 2;
@@ -346,6 +371,9 @@ let parse_flat_object line =
   skip_ws ();
   if !pos <> n then fail "trailing content";
   List.rev !fields
+
+let parse_flat_json line =
+  try Ok (parse_flat_object line) with Parse msg -> Error msg
 
 let event_of_json line =
   try

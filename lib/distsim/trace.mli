@@ -172,4 +172,27 @@ val event_to_json : event -> string
 val event_of_json : string -> (event, string) result
 (** Parses exactly the output of {!event_to_json} (a flat JSON object
     with string and number values); [Error] describes the first
-    offending token. *)
+    offending token. String values may use [\uXXXX] escapes
+    (including UTF-16 surrogate pairs), decoded to UTF-8 bytes. *)
+
+(** {2 Codec building blocks}
+
+    The flat-object codec underneath {!event_to_json} /
+    {!event_of_json}, exposed for other emitters of the same dialect
+    (the profiler's Chrome [trace_event] exporter, the bench
+    trajectory differ's validators): flat JSON objects whose values
+    are strings or numbers only. *)
+
+type json_value = Jstr of string | Jnum of float
+
+val parse_flat_json : string -> ((string * json_value) list, string) result
+(** Parses one flat JSON object (no nesting, string/number values),
+    preserving field order. *)
+
+val escape_into : Buffer.t -> string -> unit
+(** Appends [s] JSON-escaped (quotes, backslashes, control
+    characters; non-ASCII bytes pass through verbatim as UTF-8). *)
+
+val json_float : float -> string
+(** Renders a float the way the codec does: integral values without
+    a fractional part, everything else round-trippable [%.17g]. *)

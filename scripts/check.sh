@@ -21,6 +21,16 @@
 #   - a spanner_cli faults smoke run: the survivor-quality report must
 #     come back VALID (exit 0) for a LOCAL run under drops+crashes
 #     with retransmission
+#   - the profiling subsystem: the bench JSON must carry the schema-7
+#     "profile" rows, spanner_cli profile --chrome must emit a
+#     Perfetto-loadable trace_event array whose every event parses
+#     with the repo's own flat-JSON codec (asserted by the test suite;
+#     here the file must exist, be an array, and be non-trivial), and
+#     bench_diff must (a) pass the two checked-in trajectories
+#     (BENCH_PR5.json vs BENCH_PR6.json) under default tolerances and
+#     (b) gate a fresh e13 run against BENCH_PR6.json in --strict
+#     mode: deterministic fields must match exactly, timing may drift
+#     up to 3x
 # Run from the repository root: scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -36,12 +46,25 @@ dune exec test/test_csr.exe -- test gc > /dev/null
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
 benchjson=$(mktemp)
 dune exec bench/main.exe -- e13 --json "$benchjson" --trace /dev/null
-# The perf trajectory must be schema 6 and expose the allocation A/B.
-grep -q '"schema": "spanner-bench/6"' "$benchjson"
+# The perf trajectory must be schema 7 and expose the allocation A/B
+# plus the profile section's histogram percentiles and per-phase rows.
+grep -q '"schema": "spanner-bench/7"' "$benchjson"
 grep -q '"alloc"' "$benchjson"
 grep -q '"minor_words"' "$benchjson"
 grep -q '"allocated_bytes"' "$benchjson"
 grep -q '"legacy_minor_words"' "$benchjson"
+grep -q '"profile"' "$benchjson"
+grep -q '"bits_p50"' "$benchjson"
+grep -q '"round_ns_p99"' "$benchjson"
+grep -q '"phase_' "$benchjson"
+# The bench-trajectory regression gate, both ways it is used:
+# checked-in PR5 vs PR6 must pass the calibrated defaults, and the
+# fresh e13 run just emitted must match BENCH_PR6.json exactly on
+# every deterministic field (--strict) with a wide 3x allowance on
+# this machine's wall clock.
+dune exec bench/diff.exe -- BENCH_PR5.json BENCH_PR6.json > /dev/null
+dune exec bench/diff.exe -- BENCH_PR6.json "$benchjson" \
+  --strict --tolerance 2.0 > /dev/null
 rm -f "$benchjson"
 dune exec bench/main.exe -- e13 --par 2 --json /dev/null
 # The fault sweep: e17 selects the fault anchors, whose JSON rows must
@@ -96,5 +119,21 @@ grep -q 'dropped' "$seqrep"
 # must grade VALID (the subcommand exits non-zero otherwise).
 dune exec bin/spanner_cli.exe -- faults "$tmpgraph" \
   --schedule "$sched" --retry 3 > /dev/null
+
+# Profiler smoke: the profile subcommand must produce a per-phase
+# breakdown and a Chrome trace_event file that is a JSON array with
+# actual events in it (full per-event codec validation lives in
+# test/test_profile.ml).
+chromejson=$(mktemp)
+profrep=$(mktemp)
+dune exec bin/spanner_cli.exe -- profile "$tmpgraph" -a local --par 2 \
+  --chrome "$chromejson" > "$profrep"
+grep -q '^phase' "$profrep"
+rm -f "$profrep"
+head -c 1 "$chromejson" | grep -q '\['
+grep -q '"ph":"X"' "$chromejson"
+grep -q '"cat":"round"' "$chromejson"
+grep -q '"cat":"shard"' "$chromejson"
+rm -f "$chromejson"
 
 echo "check.sh: all green"

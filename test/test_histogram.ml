@@ -1,0 +1,159 @@
+(* The log₂-binned histograms under the profiler: bin boundaries must
+   be exact (the determinism of profile contents across shard counts
+   rests on every value landing in the same bin everywhere), merging
+   per-shard histograms must equal recording the concatenated stream,
+   percentile estimates must be monotone and clamped to the observed
+   range, and recording must not allocate — the histograms sit on the
+   engine's zero-allocation hot path. *)
+
+module H = Distsim.Histogram
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- bin boundaries ---------------------------------------------- *)
+
+let test_bin_boundaries () =
+  check_int "v<=0 lands in bin 0" 0 (H.bin_index 0);
+  check_int "negative clamps to bin 0" 0 (H.bin_index (-17));
+  (* Every power of two opens a new bin; its predecessor closes the
+     previous one. *)
+  for b = 1 to 61 do
+    let lo = 1 lsl (b - 1) in
+    check_int (Printf.sprintf "2^%d opens bin %d" (b - 1) b) b (H.bin_index lo);
+    check_int
+      (Printf.sprintf "2^%d - 1 closes bin %d" b b)
+      b
+      (H.bin_index ((2 * lo) - 1));
+    check_int (Printf.sprintf "bin_lo %d" b) lo (H.bin_lo b);
+    check_int (Printf.sprintf "bin_hi %d" b) ((2 * lo) - 1) (H.bin_hi b)
+  done;
+  check_int "bin_lo 0" 0 (H.bin_lo 0);
+  check_int "bin_hi 0" 0 (H.bin_hi 0);
+  check_int "max_int fits" (H.num_bins - 1) (H.bin_index max_int);
+  (* Exhaustive small range: bin_index v = bit length of v. *)
+  for v = 1 to 4096 do
+    let rec bits n = if n = 0 then 0 else 1 + bits (n lsr 1) in
+    check_int (Printf.sprintf "bit length of %d" v) (bits v) (H.bin_index v)
+  done
+
+let test_aggregates () =
+  let h = H.create () in
+  check_int "empty count" 0 (H.count h);
+  check_int "empty max" 0 (H.max_value h);
+  check_int "empty percentile" 0 (H.percentile h 0.5);
+  List.iter (H.record h) [ 5; 1; 9; 0; 1024; -3 ];
+  check_int "count" 6 (H.count h);
+  check_int "sum (negatives clamp to 0)" (5 + 1 + 9 + 0 + 1024) (H.sum h);
+  check_int "min" 0 (H.min_value h);
+  check_int "max" 1024 (H.max_value h);
+  check_int "bin 0 holds 0 and the clamped -3" 2 (H.bin_count h 0);
+  check_int "bin of 1024" 1 (H.bin_count h (H.bin_index 1024));
+  H.clear h;
+  check_int "cleared" 0 (H.count h);
+  check "clear restores equality with fresh" true (H.equal h (H.create ()))
+
+(* ---- merge = concat-then-build ----------------------------------- *)
+
+let test_merge_is_concat () =
+  let rng = Grapho.Rng.create 42 in
+  (* Three shard-like streams with very different scales. *)
+  let streams =
+    List.init 3 (fun i ->
+        List.init (200 + (37 * i)) (fun _ ->
+            let scale = 1 lsl (4 * Grapho.Rng.int rng 8) in
+            Grapho.Rng.int rng (max 2 scale)))
+  in
+  let shards = List.map (fun vs -> let h = H.create () in
+                          List.iter (H.record h) vs; h) streams in
+  let merged = H.create () in
+  List.iter (fun h -> H.merge_into ~into:merged h) shards;
+  let sequential = H.create () in
+  List.iter (List.iter (H.record sequential)) streams;
+  check "merge equals sequential recording" true (H.equal merged sequential);
+  (* Order independence: merging in reverse gives the same contents. *)
+  let reversed = H.create () in
+  List.iter (fun h -> H.merge_into ~into:reversed h) (List.rev shards);
+  check "merge order irrelevant" true (H.equal reversed sequential);
+  (* The non-destructive merge agrees. *)
+  match shards with
+  | [ a; b; c ] ->
+      let ab_c = H.merge (H.merge a b) c in
+      check "merge (pure) equals sequential" true (H.equal ab_c sequential)
+  | _ -> assert false
+
+(* ---- percentiles -------------------------------------------------- *)
+
+let test_percentile_monotone () =
+  let rng = Grapho.Rng.create 7 in
+  let h = H.create () in
+  for _ = 1 to 5000 do
+    H.record h (Grapho.Rng.int rng 1_000_000)
+  done;
+  let prev = ref (H.percentile h 0.0) in
+  for i = 0 to 100 do
+    let p = float_of_int i /. 100.0 in
+    let v = H.percentile h p in
+    check (Printf.sprintf "monotone at p=%.2f" p) true (v >= !prev);
+    prev := v
+  done;
+  check "p0 clamps to min" true (H.percentile h 0.0 >= H.min_value h);
+  check_int "p100 is max" (H.max_value h) (H.percentile h 1.0);
+  check_int "out-of-range p clamps" (H.max_value h) (H.percentile h 2.0)
+
+let test_percentile_exact_single_value () =
+  (* A bin holding one distinct value reports it exactly. *)
+  let h = H.create () in
+  for _ = 1 to 100 do H.record h 64 done;
+  List.iter
+    (fun p -> check_int (Printf.sprintf "constant at p=%.2f" p) 64
+        (H.percentile h p))
+    [ 0.01; 0.5; 0.9; 0.99; 1.0 ];
+  (* Two well-separated values: the median must be one of them, and
+     p99 the larger. *)
+  let h2 = H.create () in
+  for _ = 1 to 50 do H.record h2 2 done;
+  for _ = 1 to 50 do H.record h2 4096 done;
+  check_int "p25 is the low value" 2 (H.percentile h2 0.25);
+  check_int "p99 is the high value" 4096 (H.percentile h2 0.99)
+
+(* ---- zero allocation in the steady state ------------------------- *)
+
+let test_record_does_not_allocate () =
+  let h = H.create () in
+  (* Warm up (first records touch nothing allocatable, but keep the
+     pattern of the engine's GC guards). *)
+  for v = 0 to 999 do H.record h v done;
+  let before = Gc.minor_words () in
+  for v = 0 to 99_999 do
+    H.record h (v * 17)
+  done;
+  H.merge_into ~into:h h;
+  let allocated = Gc.minor_words () -. before in
+  (* 100k records + a merge against a tiny constant budget: the probe
+     itself boxes a couple of floats, anything proportional to the
+     record count is a regression. *)
+  if allocated > 100.0 then
+    Alcotest.failf "recording allocated %.0f minor words" allocated
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "bins",
+        [
+          Alcotest.test_case "boundaries exact" `Quick test_bin_boundaries;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+        ] );
+      ( "merge",
+        [ Alcotest.test_case "equals concat-then-build" `Quick
+            test_merge_is_concat ] );
+      ( "percentiles",
+        [
+          Alcotest.test_case "monotone in p" `Quick test_percentile_monotone;
+          Alcotest.test_case "exact on single-value bins" `Quick
+            test_percentile_exact_single_value;
+        ] );
+      ( "alloc",
+        [ Alcotest.test_case "steady state allocation-free" `Quick
+            test_record_does_not_allocate ] );
+    ]

@@ -1,0 +1,231 @@
+(* The wall-clock profiler: installing it must not change the
+   simulated execution, its deterministic contents (histograms, phase
+   schedule, span counts) must be identical across schedulers and
+   shard counts, its histograms must reconcile with the engine
+   metrics, and the Chrome trace_event export must stay inside the
+   repo's own flat-JSON dialect. *)
+
+open Grapho
+module C = Spanner_core
+module T = Distsim.Trace
+module P = Distsim.Profile
+module H = Distsim.Histogram
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rng seed = Rng.create seed
+
+(* One profiled LOCAL run: returns (result, profile, per-round series). *)
+let profiled_run ?(par = 1) ?sched g =
+  let prof = P.create () in
+  let st = T.stats () in
+  let sink = T.tee (T.stats_sink st) (P.sink prof) in
+  let r = C.Two_spanner_local.run ~seed:7 ?sched ~par ~trace:sink ~profile:prof g in
+  (r, prof, T.series st)
+
+let graphs () =
+  [
+    ("K12", Generators.complete 12);
+    ("caveman", Generators.caveman (rng 1) 4 6 0.05);
+    ("gnp_60", Generators.gnp_connected (rng 2) 60 0.15);
+  ]
+
+(* ---- profiling is observational ---------------------------------- *)
+
+let test_profile_does_not_perturb () =
+  List.iter
+    (fun (name, g) ->
+      let plain = C.Two_spanner_local.run ~seed:7 g in
+      let r, _, _ = profiled_run g in
+      check (name ^ ": same spanner") true
+        (Edge.Set.equal plain.spanner r.spanner);
+      check (name ^ ": same deterministic metrics") true
+        (Distsim.Engine.metrics_deterministic_eq plain.metrics r.metrics))
+    (graphs ())
+
+(* ---- determinism across schedulers and shard counts -------------- *)
+
+let phase_shape p =
+  List.map (fun (row : P.phase_row) -> (row.phase, row.occurrences))
+    (P.phase_breakdown p)
+
+(* Series equality modulo the clock/GC-valued per-round fields, which
+   sit outside the determinism contract exactly like the profiler's
+   own span durations. *)
+let scrub (r : T.round_stat) = { r with T.elapsed_ns = 0; minor_words = 0 }
+
+let series_eq (a : T.series) (b : T.series) =
+  a.T.phases = b.T.phases
+  && a.T.counters = b.T.counters
+  && Array.length a.T.rounds = Array.length b.T.rounds
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i r -> if scrub r <> scrub b.T.rounds.(i) then ok := false)
+    a.T.rounds;
+  !ok
+
+let test_par_matrix () =
+  List.iter
+    (fun (name, g) ->
+      let r0, p0, s0 = profiled_run g in
+      List.iter
+        (fun (label, par, sched) ->
+          let r, p, s = profiled_run ~par ?sched g in
+          let l = Printf.sprintf "%s/%s" name label in
+          check (l ^ ": spanner identical") true
+            (Edge.Set.equal r0.spanner r.spanner);
+          check (l ^ ": metrics identical") true
+            (Distsim.Engine.metrics_deterministic_eq r0.metrics r.metrics);
+          check (l ^ ": round series identical") true (series_eq s0 s);
+          (* Profile contents: everything but the clocks agrees. *)
+          check (l ^ ": message-bits histogram") true
+            (H.equal (P.message_bits p0) (P.message_bits p));
+          check (l ^ ": inbox histogram") true
+            (H.equal (P.inbox_sizes p0) (P.inbox_sizes p));
+          check_int (l ^ ": rounds profiled") (P.rounds_profiled p0)
+            (P.rounds_profiled p);
+          check_int (l ^ ": round-time samples") (H.count (P.round_times p0))
+            (H.count (P.round_times p));
+          check (l ^ ": phase schedule") true
+            (phase_shape p0 = phase_shape p);
+          check_int (l ^ ": fault instants") (P.fault_count p0)
+            (P.fault_count p))
+        [
+          ("par2", 2, None);
+          ("par4", 4, None);
+          ("naive", 1, Some `Naive);
+        ])
+    (graphs ())
+
+(* ---- reconciliation with engine metrics -------------------------- *)
+
+let test_reconciles_with_metrics () =
+  List.iter
+    (fun (name, g) ->
+      let r, p, _ = profiled_run ~par:2 g in
+      let m = r.C.Two_spanner_local.metrics in
+      check_int (name ^ ": one bits sample per message") m.messages
+        (H.count (P.message_bits p));
+      check_int (name ^ ": bits sum = total_bits") m.total_bits
+        (H.sum (P.message_bits p));
+      check_int (name ^ ": bits max = max_message_bits") m.max_message_bits
+        (H.max_value (P.message_bits p));
+      (* Inbox sizes: one sample per step call; init calls have no
+         inbox, so steps = n inits + inbox samples. *)
+      check_int (name ^ ": one inbox sample per step")
+        (m.steps - Ugraph.n g)
+        (H.count (P.inbox_sizes p));
+      (* Round spans: one per engine round including round 0. *)
+      check_int (name ^ ": round spans = rounds + 1") (m.rounds + 1)
+        (P.rounds_profiled p);
+      check_int (name ^ ": round-time histogram matches") (m.rounds + 1)
+        (H.count (P.round_times p));
+      (* Parallel run: shard totals exist and phases were captured. *)
+      check_int (name ^ ": two shard tracks") 2
+        (Array.length (P.shard_ns p));
+      check (name ^ ": phases captured") true (P.phase_breakdown p <> []))
+    (graphs ())
+
+let test_fault_instants () =
+  let g = Generators.caveman (rng 3) 4 6 0.05 in
+  let schedule =
+    match Distsim.Faults.parse "crash=0.2@r3,cut=0-1@r2..4,seed=5" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let adversary = Distsim.Faults.compile ~n:(Ugraph.n g) schedule in
+  let prof = P.create () in
+  ignore
+    (C.Two_spanner_local.run ~seed:7 ~adversary ~profile:prof
+       ~trace:(P.sink prof) g);
+  check "fault instants recorded" true (P.fault_count prof > 0)
+
+(* ---- Chrome export ----------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+let test_chrome_parses_with_own_codec () =
+  let g = Generators.caveman (rng 1) 4 6 0.05 in
+  let _, prof, _ = profiled_run ~par:2 g in
+  let path = Filename.temp_file "profile_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      P.write_chrome prof oc;
+      close_out oc;
+      match read_lines path with
+      | [] | [ _ ] -> Alcotest.fail "chrome export is empty"
+      | first :: rest ->
+          Alcotest.(check string) "opens an array" "[" first;
+          let last = List.nth rest (List.length rest - 1) in
+          Alcotest.(check string) "closes the array" "]" last;
+          let events = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+          check_int "one line per event" (P.chrome_event_count prof)
+            (List.length events);
+          let cats = Hashtbl.create 8 in
+          List.iteri
+            (fun i line ->
+              (* Strip the separating comma: every event but the last
+                 ends with one. *)
+              let line =
+                if i < List.length events - 1 then
+                  String.sub line 0 (String.length line - 1)
+                else line
+              in
+              match T.parse_flat_json line with
+              | Error msg -> Alcotest.failf "event %d unparsable: %s" i msg
+              | Ok fields ->
+                  List.iter
+                    (fun key ->
+                      check
+                        (Printf.sprintf "event %d has %S" i key)
+                        true
+                        (List.mem_assoc key fields))
+                    [ "name"; "cat"; "ph"; "ts"; "pid"; "tid" ];
+                  (match List.assoc "ph" fields with
+                  | T.Jstr "X" ->
+                      check (Printf.sprintf "event %d has dur" i) true
+                        (List.mem_assoc "dur" fields)
+                  | T.Jstr "i" -> ()
+                  | _ -> Alcotest.failf "event %d: unexpected ph" i);
+                  (match List.assoc "cat" fields with
+                  | T.Jstr c -> Hashtbl.replace cats c ()
+                  | _ -> Alcotest.failf "event %d: cat not a string" i))
+            events;
+          (* A par-2 profile has all four track families. *)
+          List.iter
+            (fun c -> check ("category present: " ^ c) true
+                (Hashtbl.mem cats c))
+            [ "round"; "phase"; "shard"; "merge" ])
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "profiling is observational" `Quick
+            test_profile_does_not_perturb;
+          Alcotest.test_case "seq vs par vs naive" `Quick test_par_matrix;
+        ] );
+      ( "reconcile",
+        [
+          Alcotest.test_case "histograms vs metrics" `Quick
+            test_reconciles_with_metrics;
+          Alcotest.test_case "fault instants" `Quick test_fault_instants;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "parses with the flat-JSON codec" `Quick
+            test_chrome_parses_with_own_codec;
+        ] );
+    ]

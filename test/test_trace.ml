@@ -232,6 +232,57 @@ let test_codec_cases () =
       "{\"ev\":\"round_begin\",\"round\":1} trailing";
     ]
 
+(* \uXXXX escapes must decode to UTF-8 bytes — including surrogate
+   pairs for astral characters — and lone surrogates must be rejected,
+   per RFC 8259. *)
+let test_unicode_escapes () =
+  let line name_json =
+    Printf.sprintf "{\"ev\":\"phase\",\"round\":1,\"vertex\":0,\"name\":\"%s\"}"
+      name_json
+  in
+  let parse_name escaped =
+    match T.event_of_json (line escaped) with
+    | Ok (T.Phase { name; _ }) -> name
+    | Ok _ -> Alcotest.fail "parsed to the wrong event"
+    | Error msg -> Alcotest.failf "unparsable %s: %s" escaped msg
+  in
+  Alcotest.(check string) "ascii escape" "A" (parse_name "\\u0041");
+  Alcotest.(check string) "latin-1 escape" "caf\xc3\xa9"
+    (parse_name "caf\\u00e9");
+  Alcotest.(check string) "bmp escape (euro sign)" "\xe2\x82\xac"
+    (parse_name "\\u20ac");
+  Alcotest.(check string) "surrogate pair (emoji)" "\xf0\x9f\x98\x80"
+    (parse_name "\\ud83d\\ude00");
+  Alcotest.(check string) "mixed" "a\xc3\xa9b" (parse_name "a\\u00E9b");
+  List.iter
+    (fun bad ->
+      match T.event_of_json (line bad) with
+      | Ok _ -> Alcotest.failf "should not parse: %s" bad
+      | Error _ -> ())
+    [
+      "\\ud83d" (* lone high surrogate *);
+      "\\ud83dxx" (* high surrogate, no low escape *);
+      "\\ude00" (* lone low surrogate *);
+      "\\ud83d\\u0041" (* high surrogate followed by non-low *);
+      "\\u12" (* truncated *);
+      "\\uzzzz" (* non-hex *);
+    ];
+  (* Raw UTF-8 bytes pass through the encoder unescaped and survive a
+     round trip. *)
+  let ev =
+    T.Phase { vertex = 2; name = "caf\xc3\xa9 \xf0\x9f\x98\x80"; round = 3 }
+  in
+  (match T.event_of_json (T.event_to_json ev) with
+  | Ok ev' -> check "utf8 round-trip" true (ev = ev')
+  | Error msg -> Alcotest.failf "utf8 round-trip: %s" msg);
+  (* The exposed flat-object parser decodes the same way. *)
+  match T.parse_flat_json "{\"a\":\"\\u00e9\",\"b\":2}" with
+  | Ok fields ->
+      check "flat string field" true
+        (List.assoc "a" fields = T.Jstr "\xc3\xa9");
+      check "flat number field" true (List.assoc "b" fields = T.Jnum 2.0)
+  | Error msg -> Alcotest.failf "parse_flat_json: %s" msg
+
 (* ---- sink plumbing ----------------------------------------------- *)
 
 let test_sink_plumbing () =
@@ -304,6 +355,7 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "codec cases" `Quick test_codec_cases;
+          Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
         ] );
       ( "sinks",
         [ Alcotest.test_case "plumbing" `Quick test_sink_plumbing ] );
