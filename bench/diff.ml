@@ -20,7 +20,12 @@
 
    Exits 0 when no row fails, 1 on regressions, 2 on usage/parse
    errors. Keys present in only one file are reported, never fatal:
-   a fresh single-experiment run is a legitimate NEW side.
+   a fresh single-experiment run is a legitimate NEW side. Whole
+   sections (top-level path components) present in only one file are
+   called out by name as "section added"/"section removed" — that is
+   what a schema bump looks like, and naming it lets check.sh keep
+   gating OLD-vs-NEW across bumps instead of pinning both files to
+   one schema.
 
    Defaults are calibrated against BENCH_PR5.json vs BENCH_PR6.json:
    the worst above-floor timing drift between those checked-in runs is
@@ -308,7 +313,7 @@ let () =
   and below_floor = ref 0
   and warns = ref 0
   and fails = ref 0
-  and only_old = ref 0 in
+  and only_old_keys = ref [] in
   let row status path old_s new_s note =
     Printf.printf "  %-6s %-44s %14s -> %-14s %s\n" status path old_s new_s
       note
@@ -316,7 +321,7 @@ let () =
   List.iter
     (fun (path, vo) ->
       match Hashtbl.find_opt tbl path with
-      | None -> incr only_old
+      | None -> only_old_keys := path :: !only_old_keys
       | Some vn -> (
           incr compared;
           match classify ~floor_ms:!floor_ms path with
@@ -352,22 +357,61 @@ let () =
                   "(deterministic field changed)"
               end))
     fo;
+  let only_old = List.rev !only_old_keys in
+  let tbl_old = Hashtbl.create 512 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl_old k v) fo;
   let only_new =
+    List.filter_map
+      (fun (k, _) -> if Hashtbl.mem tbl_old k then None else Some k)
+      fn
+  in
+  (* Whole-section adds/removes, named: the top-level components that
+     exist in exactly one file. A schema bump is supposed to look like
+     this, so the report says which sections moved instead of leaving
+     a bare only-in-one count to decode. *)
+  let section_of path =
+    match String.index_opt path '/' with
+    | Some i -> String.sub path 0 i
+    | None -> path
+  in
+  let sections flat =
     List.fold_left
       (fun acc (k, _) ->
-        if List.mem_assoc k fo then acc else acc + 1)
-      0 fn
+        let s = section_of k in
+        if List.mem s acc then acc else s :: acc)
+      [] flat
+    |> List.rev
   in
+  let so = sections fo and sn = sections fn in
+  let added = List.filter (fun s -> not (List.mem s so)) sn in
+  let removed = List.filter (fun s -> not (List.mem s sn)) so in
+  let keys_in sections_lst keys =
+    List.length (List.filter (fun k -> List.mem (section_of k) sections_lst) keys)
+  in
+  List.iter
+    (fun s ->
+      Printf.printf "  section added:   %S (%d keys, only in NEW)\n" s
+        (keys_in [ s ] only_new))
+    added;
+  List.iter
+    (fun s ->
+      Printf.printf "  section removed: %S (%d keys, only in OLD)\n" s
+        (keys_in [ s ] only_old))
+    removed;
   Printf.printf
     "summary: %d compared (%d ok, %d improved, %d skipped, %d below floor), \
-     %d warning%s, %d regression%s; %d key%s only in OLD, %d only in NEW\n"
+     %d warning%s, %d regression%s; %d key%s only in OLD, %d only in NEW \
+     (%d section%s added, %d removed)\n"
     !compared !ok !improved !skipped !below_floor !warns
     (if !warns = 1 then "" else "s")
     !fails
     (if !fails = 1 then "" else "s")
-    !only_old
-    (if !only_old = 1 then "" else "s")
-    only_new;
+    (List.length only_old)
+    (if List.length only_old = 1 then "" else "s")
+    (List.length only_new)
+    (List.length added)
+    (if List.length added = 1 then "" else "s")
+    (List.length removed);
   if !fails > 0 then begin
     Printf.printf "bench_diff: FAIL (%d regression%s)\n" !fails
       (if !fails = 1 then "" else "s");

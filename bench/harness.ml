@@ -1,7 +1,7 @@
 (* Shared plumbing for the bench executable: report formatting, the
    graph families and protocol anchors the perf trajectory tracks
    across PRs, wall-clock timing helpers, and the --json/--trace
-   writer (schema "spanner-bench/7").
+   writer (schema "spanner-bench/8").
 
    The experiment functions themselves live in main.ml; everything
    here is the scaffolding they share so that adding an experiment
@@ -66,12 +66,15 @@ let seq_vs_par_anchors () =
       Generators.caveman (rng 24) 6 6 0.04 );
   ]
 
-let run_anchor ?(trace = Distsim.Trace.null) ?profile ?par ?sched kind g :
-    C.Two_spanner_local.result =
+let run_anchor ?(trace = Distsim.Trace.null) ?profile ?par ?sched ?frugal
+    ?adversary ?retry kind g : C.Two_spanner_local.result =
   match kind with
-  | `Local -> C.Two_spanner_local.run ~seed:3 ?par ?sched ?profile ~trace g
+  | `Local ->
+      C.Two_spanner_local.run ~seed:3 ?par ?sched ?profile ?frugal ?adversary
+        ?retry ~trace g
   | `Congest ->
-      C.Two_spanner_local.run_congest ~seed:3 ?par ?sched ?profile ~trace g
+      C.Two_spanner_local.run_congest ~seed:3 ?par ?sched ?profile ?frugal
+        ?adversary ?retry ~trace g
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock timing. *)
@@ -483,6 +486,172 @@ let csr_rows ~par ~selected =
     (csr_anchors ())
 
 (* ------------------------------------------------------------------ *)
+(* Frugal A/B rows (new in schema "spanner-bench/8").
+
+   For every protocol anchor, run the protocol plain and under the
+   message-frugality layer ([Engine.run ?frugal]: silence-as-
+   information re-send suppression + deterministic collection trees)
+   in interleaved reps. The row records both sides of the ledger —
+   logical message/bit counts (identical by construction) next to the
+   physical stream ([metrics.sent_physical] / [sent_bits]) — plus the
+   layer's own counters (publishes, collects, suppressed re-sends,
+   2-bit markers) and tree shape. The [identical] flag asserts the
+   correctness contract (same spanner, same iteration count, equal
+   logical metrics per [Engine.metrics_logical_eq]); a divergence
+   fails the whole bench, like the alloc A/B. [identical_faulted]
+   re-asserts it under a deterministic fault schedule (LOCAL anchors:
+   drops + crashes; drops exercise the suppression-memo invalidation
+   path). *)
+
+let frugal_schedule spec =
+  match Distsim.Faults.parse spec with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let frugal_rows ~reps ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  List.filter_map
+    (fun (name, family, kind, g) ->
+      if not (sel family || sel "e19") then None
+      else begin
+        let fr = Distsim.Frugal.create g in
+        let plain = run_anchor kind g in
+        let frug = run_anchor ~frugal:fr kind g in
+        (* Snapshot the layer's counters for this one run, before the
+           faulted and timing runs accumulate on top. *)
+        let publishes = Distsim.Frugal.publishes fr in
+        let collects = Distsim.Frugal.collects fr in
+        let suppressed = Distsim.Frugal.suppressed fr in
+        let markers = Distsim.Frugal.markers fr in
+        let identical =
+          Edge.Set.equal plain.C.Two_spanner_local.spanner
+            frug.C.Two_spanner_local.spanner
+          && plain.iterations = frug.iterations
+          && Distsim.Engine.metrics_logical_eq plain.metrics frug.metrics
+        in
+        if not identical then
+          failwith
+            (Printf.sprintf
+               "frugal A/B: logical divergence on %s (the frugality layer \
+                must be invisible to the protocol)"
+               name);
+        (* The same contract under faults. Drops hit the suppression
+           memo (an undelivered send must not license later silence);
+           LOCAL anchors get drops + crashes with retransmits, the
+           chunked CONGEST anchors crashes only (a lossy adversary
+           needs the Resilience harness's round bounds). *)
+        let faulted_fields =
+          match kind with
+          | `Congest -> []
+          | `Local ->
+              let schedule = frugal_schedule "drop=0.08,crash=0.1@r3,seed=13" in
+              let adv () = Distsim.Faults.compile ~n:(Ugraph.n g) schedule in
+              let fp = run_anchor ~adversary:(adv ()) ~retry:3 kind g in
+              let ff =
+                run_anchor ~adversary:(adv ()) ~retry:3 ~frugal:fr kind g
+              in
+              let ok =
+                Edge.Set.equal fp.C.Two_spanner_local.spanner
+                  ff.C.Two_spanner_local.spanner
+                && Distsim.Engine.metrics_logical_eq fp.metrics ff.metrics
+              in
+              if not ok then
+                failwith
+                  (Printf.sprintf
+                     "frugal A/B: divergence under faults on %s (the \
+                      adversary coin stream must be frugality-invariant)"
+                     name);
+              [ ("identical_faulted", 1.0) ]
+        in
+        let plain_ms, frugal_ms =
+          interleaved_ab_ms ~reps
+            (fun () -> ignore (run_anchor kind g))
+            (fun () -> ignore (run_anchor ~frugal:fr kind g))
+        in
+        let m = plain.C.Two_spanner_local.metrics in
+        let fm = frug.C.Two_spanner_local.metrics in
+        Some
+          ( "fr_" ^ name,
+            [
+              ("n", float_of_int (Ugraph.n g));
+              ("m", float_of_int (Ugraph.m g));
+              ("rounds", float_of_int m.rounds);
+              ("logical_messages", float_of_int m.messages);
+              ("physical_messages", float_of_int fm.sent_physical);
+              ( "message_reduction",
+                float_of_int m.messages
+                /. float_of_int (max 1 fm.sent_physical) );
+              ("logical_bits", float_of_int m.total_bits);
+              ("physical_bits", float_of_int fm.sent_bits);
+              ("publishes", float_of_int publishes);
+              ("collects", float_of_int collects);
+              ("suppressed", float_of_int suppressed);
+              ("markers", float_of_int markers);
+              ("trees", float_of_int (Distsim.Frugal.tree_count fr));
+              ( "max_tree_degree",
+                float_of_int (Distsim.Frugal.max_tree_degree fr) );
+              ("plain_ms_best", plain_ms);
+              ("frugal_ms_best", frugal_ms);
+              ("speedup", plain_ms /. Float.max 1e-9 frugal_ms);
+              ("identical", 1.0);
+            ]
+            @ faulted_fields )
+      end)
+    (anchors ())
+
+(* Frugal flood rows: the million-vertex anchors, end to end. The
+   flood is broadcast-shaped (every emission is a whole-row
+   rebroadcast of one value), so it rides the layer's collection-tree
+   fast path — which also skips the per-message [mem_edge] binary
+   search on the engine's merge path, the honest 1-core win the
+   [speedup] field tracks. Single timed runs, like [csr_rows]: at
+   these sizes best-of-k would multiply minutes of wall clock. *)
+let frugal_flood_rows ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  List.filter_map
+    (fun (name, family, gen, _with_spanner) ->
+      if not (sel family) then None
+      else begin
+        Gc.compact ();
+        let g, _ = time_once gen in
+        let fr, setup_ms = time_once (fun () -> Distsim.Frugal.create g) in
+        let (plain_vals, pm), plain_ms =
+          time_once (fun () -> Distsim.Algorithms.flood_min_id g)
+        in
+        let (frugal_vals, fm), frugal_ms =
+          time_once (fun () -> Distsim.Algorithms.flood_min_id ~frugal:fr g)
+        in
+        if
+          not
+            (plain_vals = frugal_vals
+            && Distsim.Engine.metrics_logical_eq pm fm)
+        then
+          failwith
+            (Printf.sprintf "frugal A/B: flood divergence on %s" name);
+        Some
+          ( "fr_flood_" ^ name,
+            [
+              ("n", float_of_int (Ugraph.n g));
+              ("m", float_of_int (Ugraph.m g));
+              ("rounds", float_of_int pm.Distsim.Engine.rounds);
+              ("logical_messages", float_of_int pm.Distsim.Engine.messages);
+              ( "physical_messages",
+                float_of_int fm.Distsim.Engine.sent_physical );
+              ( "message_reduction",
+                float_of_int pm.Distsim.Engine.messages
+                /. float_of_int (max 1 fm.Distsim.Engine.sent_physical) );
+              ("logical_bits", float_of_int pm.Distsim.Engine.total_bits);
+              ("physical_bits", float_of_int fm.Distsim.Engine.sent_bits);
+              ("setup_ms", setup_ms);
+              ("plain_ms", plain_ms);
+              ("frugal_ms", frugal_ms);
+              ("speedup", plain_ms /. Float.max 1e-9 frugal_ms);
+              ("identical", 1.0);
+            ] )
+      end)
+    (csr_anchors ())
+
+(* ------------------------------------------------------------------ *)
 (* Perf trajectory (--json FILE): a machine-readable snapshot of the
    Bechamel estimates, wall-clock anchors, seq-vs-par A/B and engine
    metrics, written as BENCH_PR<k>.json at the end of a PR so
@@ -604,6 +773,10 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
   in
   let ft_rows = if json_path = None then [] else fault_rows ~selected in
   let cs_rows = if json_path = None then [] else csr_rows ~par ~selected in
+  let fr_rows =
+    if json_path = None then []
+    else frugal_rows ~reps:3 ~selected @ frugal_flood_rows ~selected
+  in
   (match json_path with
   | None -> ()
   | Some path ->
@@ -624,7 +797,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
         else Printf.sprintf "%.3f" v
       in
       out "{\n";
-      out "  \"schema\": \"spanner-bench/7\",\n";
+      out "  \"schema\": \"spanner-bench/8\",\n";
       out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
         (Domain.recommended_domain_count ());
       out "  \"micro_ns_per_run\": {\n";
@@ -685,6 +858,22 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
             fields;
           out " }")
         cs_rows;
+      out "\n  },\n";
+      (* Frugal A/B rows (schema "spanner-bench/8"): the physical
+         wire stream under the message-frugality layer next to the
+         logical one, with the correctness contract asserted on every
+         row ([identical] / [identical_faulted]). *)
+      out "  \"frugal\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %s" k (num v))
+            fields;
+          out " }")
+        fr_rows;
       out "\n  },\n";
       out "  \"round_series\": {\n";
       sep
@@ -755,12 +944,12 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
       printf
         "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
          seq-vs-par anchors at %d domains, %d alloc rows, %d fault rows, %d \
-         csr rows, %d profile rows)\n"
+         csr rows, %d frugal rows, %d profile rows)\n"
         path
         (List.length metric_rows)
         (match micro_rows with None -> 0 | Some rows -> List.length rows)
         (List.length sv_rows) par (List.length al_rows)
-        (List.length ft_rows) (List.length cs_rows)
+        (List.length ft_rows) (List.length cs_rows) (List.length fr_rows)
         (List.length profile_rows));
   match trace_path with
   | Some path ->

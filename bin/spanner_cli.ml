@@ -141,6 +141,32 @@ let retry_arg =
                  first copy per source (1 = off). A drop-p adversary then \
                  loses a message only with probability p^K.")
 
+let frugal_arg =
+  Arg.(value & flag
+       & info [ "frugal" ]
+           ~doc:"Enable the message-frugality layer: identical consecutive \
+                 re-sends are suppressed behind 2-bit silence markers and \
+                 whole-neighborhood broadcasts route through deterministic \
+                 collection trees. The protocol's output, round count and \
+                 every logical metric are bit-identical with and without \
+                 this flag; only the physical wire stream \
+                 (metrics sent_physical / sent_bits) shrinks.")
+
+let frugal_of g on = if on then Some (Distsim.Frugal.create g) else None
+
+(* The physical-vs-logical summary, printed only under --frugal (the
+   default output stays byte-identical with and without the layer). *)
+let frugal_line (m : Distsim.Engine.metrics) =
+  let ratio a b =
+    if b > 0 then float_of_int a /. float_of_int (max 1 b) else 1.0
+  in
+  Printf.printf
+    "physical: messages=%d of %d (%.2fx fewer), bits=%d of %d (%.2fx)\n"
+    m.Distsim.Engine.sent_physical m.messages
+    (ratio m.messages m.sent_physical)
+    m.sent_bits m.total_bits
+    (ratio m.total_bits m.sent_bits)
+
 (* The event-driven scheduler's saving, printed next to the round
    count: the naive path would have activated every vertex every round
    ([n * (rounds + 1)] including init). *)
@@ -155,9 +181,19 @@ let steps_line (m : Distsim.Engine.metrics) ~n =
 
 (* ---- span -------------------------------------------------------- *)
 
-let span file algorithm k seed sched par dot weights_file faults =
+let span file algorithm k seed sched par frugal dot weights_file faults =
   let g = load_graph file in
   let rng = Rng.create seed in
+  (if frugal then
+     match algorithm with
+     | "local" | "congest" -> ()
+     | other ->
+         failwith
+           (Printf.sprintf
+              "--frugal applies to the message-passing algorithms \
+               (local|congest), not %S"
+              other));
+  let frugal = frugal_of g frugal in
   let weights =
     Option.map (fun p -> snd (Graph_io.weighted_of_edge_list (read_file p)))
       weights_file
@@ -172,19 +208,21 @@ let span file algorithm k seed sched par dot weights_file faults =
         (r.spanner, "distributed (Thm 1.3)")
     | "local" ->
         if k <> 2 then failwith "the LOCAL protocol targets k=2";
-        let r = C.Two_spanner_local.run ~seed ~sched ~par g in
+        let r = C.Two_spanner_local.run ~seed ~sched ~par ?frugal g in
         Printf.printf "iterations=%d rounds=%d messages=%d\n" r.iterations
           r.metrics.rounds r.metrics.messages;
         steps_line r.metrics ~n:(Ugraph.n g);
+        if frugal <> None then frugal_line r.metrics;
         (r.spanner, "message-passing LOCAL protocol")
     | "congest" ->
         if k <> 2 then failwith "the CONGEST port targets k=2";
-        let r = C.Two_spanner_local.run_congest ~seed ~sched ~par g in
+        let r = C.Two_spanner_local.run_congest ~seed ~sched ~par ?frugal g in
         Printf.printf
           "iterations=%d rounds=%d max-message=%d bits violations=%d\n"
           r.iterations r.metrics.rounds r.metrics.max_message_bits
           r.metrics.congest_violations;
         steps_line r.metrics ~n:(Ugraph.n g);
+        if frugal <> None then frugal_line r.metrics;
         (r.spanner, "chunked CONGEST port (Section 1.3)")
     | "weighted" ->
         if k <> 2 then failwith "the weighted algorithm targets k=2";
@@ -267,13 +305,14 @@ let span_cmd =
   Cmd.v
     (Cmd.info "span" ~doc:"Approximate a minimum k-spanner.")
     Term.(const span $ file_arg $ algorithm_arg $ k_arg $ seed_arg $ sched_arg
-          $ par_arg $ dot_arg $ weights_arg $ faults_arg)
+          $ par_arg $ frugal_arg $ dot_arg $ weights_arg $ faults_arg)
 
 (* ---- mds --------------------------------------------------------- *)
 
-let mds file seed sched par =
+let mds file seed sched par frugal =
   let g = load_graph file in
-  let r = C.Mds.run ~rng:(Rng.create seed) ~sched ~par g in
+  let frugal = frugal_of g frugal in
+  let r = C.Mds.run ~rng:(Rng.create seed) ~sched ~par ?frugal g in
   Printf.printf
     "dominating set of %d vertices (greedy: %d), %d CONGEST rounds,\n\
      max message %d bits, violations %d\n"
@@ -282,6 +321,7 @@ let mds file seed sched par =
     r.metrics.rounds r.metrics.max_message_bits
     r.metrics.congest_violations;
   steps_line r.metrics ~n:(Ugraph.n g);
+  if frugal <> None then frugal_line r.metrics;
   Printf.printf "members: %s\n"
     (String.concat " " (List.map string_of_int r.dominating_set));
   0
@@ -289,7 +329,7 @@ let mds file seed sched par =
 let mds_cmd =
   Cmd.v
     (Cmd.info "mds" ~doc:"Approximate a minimum dominating set in CONGEST.")
-    Term.(const mds $ file_arg $ seed_arg $ sched_arg $ par_arg)
+    Term.(const mds $ file_arg $ seed_arg $ sched_arg $ par_arg $ frugal_arg)
 
 (* ---- faults ------------------------------------------------------ *)
 
@@ -329,21 +369,21 @@ module T = Distsim.Trace
 (* Shared protocol dispatch for the trace and profile subcommands:
    run [algorithm] with the given sink and profile, print its
    one-line result summary, return the engine metrics. *)
-let run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
-    ~sink ~profile g =
+let run_traced ~algorithm ~seed ~sched ~par ~adversary ~frugal ~retry
+    ~weights_file ~sink ~profile g =
   match algorithm with
   | "local" ->
       let r =
-        C.Two_spanner_local.run ~seed ~sched ~par ?adversary ~retry ~profile
-          ~trace:sink g
+        C.Two_spanner_local.run ~seed ~sched ~par ?adversary ?frugal ~retry
+          ~profile ~trace:sink g
       in
       Printf.printf "local 2-spanner: %d / %d edges, %d iterations\n"
         (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
       r.metrics
   | "congest" ->
       let r =
-        C.Two_spanner_local.run_congest ~seed ~sched ~par ?adversary ~retry
-          ~profile ~trace:sink g
+        C.Two_spanner_local.run_congest ~seed ~sched ~par ?adversary ?frugal
+          ~retry ~profile ~trace:sink g
       in
       Printf.printf "CONGEST 2-spanner: %d / %d edges, %d iterations\n"
         (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
@@ -355,15 +395,15 @@ let run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
         | None -> Weights.uniform 1.0
       in
       let r =
-        C.Two_spanner_local.run_weighted ~seed ~sched ~par ?adversary ~retry
-          ~profile ~trace:sink g w
+        C.Two_spanner_local.run_weighted ~seed ~sched ~par ?adversary ?frugal
+          ~retry ~profile ~trace:sink g w
       in
       Printf.printf "weighted 2-spanner: %d / %d edges, %d iterations\n"
         (Edge.Set.cardinal r.spanner) (Ugraph.m g) r.iterations;
       r.metrics
   | "mds" ->
       let r =
-        C.Mds.run ~rng:(Rng.create seed) ~sched ~par ?adversary ~retry
+        C.Mds.run ~rng:(Rng.create seed) ~sched ~par ?adversary ?frugal ~retry
           ~profile ~trace:sink g
       in
       Printf.printf "dominating set: %d vertices, %d iterations\n"
@@ -371,9 +411,10 @@ let run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
       r.metrics
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
-let trace file algorithm seed sched par schedule retry jsonl_file weights_file
-    limit gc times =
+let trace file algorithm seed sched par frugal schedule retry jsonl_file
+    weights_file limit gc times physical =
   let g = load_graph file in
+  let frugal = frugal_of g frugal in
   let st = T.stats () in
   let prof = Distsim.Profile.create () in
   let jsonl_oc = Option.map open_out jsonl_file in
@@ -388,8 +429,8 @@ let trace file algorithm seed sched par schedule retry jsonl_file weights_file
     else Some (Distsim.Faults.compile ~n:(Ugraph.n g) schedule)
   in
   let metrics =
-    run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
-      ~sink ~profile:prof g
+    run_traced ~algorithm ~seed ~sched ~par ~adversary ~frugal ~retry
+      ~weights_file ~sink ~profile:prof g
   in
   Option.iter close_out jsonl_oc;
   let s = T.series st in
@@ -399,13 +440,15 @@ let trace file algorithm seed sched par schedule retry jsonl_file weights_file
      pressure is per-run/per-domain noise, and the default output must
      stay byte-identical between seq and --par runs (scripts/check.sh
      diffs them). *)
-  Printf.printf "%6s %9s %10s %9s %8s %6s %6s %7s %6s%s\n" "round" "msgs"
+  Printf.printf "%6s %9s %10s %9s %8s %6s %6s %7s %6s%s%s\n" "round" "msgs"
     "bits" "max-bits" "stepped" "done" "viol" "dropped" "crash"
+    (if physical then "  physical" else "")
     (if gc then "   minor-w" else "");
   let print_row (r : T.round_stat) =
     Printf.printf "%6d %9d %10d %9d %8d %6d %6d %7d %6d" r.round r.messages
       r.bits r.max_bits r.vertices_stepped r.vertices_done
       r.congest_violations r.dropped r.crashed;
+    if physical then Printf.printf " %9d" r.physical;
     if gc then Printf.printf " %9d" r.minor_words;
     print_newline ()
   in
@@ -452,13 +495,16 @@ let trace file algorithm seed sched par schedule retry jsonl_file weights_file
   let msgs = sum (fun (r : T.round_stat) -> r.messages) in
   let bits = sum (fun (r : T.round_stat) -> r.bits) in
   let stepped = sum (fun (r : T.round_stat) -> r.vertices_stepped) in
+  let phys = sum (fun (r : T.round_stat) -> r.physical) in
   let ok =
     msgs = metrics.Distsim.Engine.messages
     && bits = metrics.total_bits
     && stepped = metrics.steps
     && total = metrics.rounds + 1
+    && phys = metrics.sent_physical
   in
   steps_line metrics ~n:(Ugraph.n g);
+  if frugal <> None then frugal_line metrics;
   if gc then
     Printf.printf "gc: minor_words=%.0f allocated_bytes=%.0f\n"
       metrics.Distsim.Engine.minor_words
@@ -494,6 +540,15 @@ let gc_arg =
                  (and per domain under --par), so the default output stays \
                  byte-comparable across schedulers and domain counts.")
 
+let physical_arg =
+  Arg.(value & flag
+       & info [ "physical" ]
+           ~doc:"Append a per-round physical-messages column (wire messages \
+                 actually charged; equals msgs on a plain run, the reduced \
+                 stream under --frugal). Deterministic like msgs, but off by \
+                 default so the default table stays byte-identical between \
+                 plain and --frugal runs (scripts/check.sh diffs them).")
+
 let times_arg =
   Arg.(value & flag
        & info [ "times" ]
@@ -510,13 +565,15 @@ let trace_cmd =
              percentiles; the summary line cross-checks the per-round sums \
              against the engine metrics.")
     Term.(const trace $ file_arg $ trace_algorithm_arg $ seed_arg $ sched_arg
-          $ par_arg $ schedule_arg $ retry_arg $ jsonl_arg $ weights_arg
-          $ limit_arg $ gc_arg $ times_arg)
+          $ par_arg $ frugal_arg $ schedule_arg $ retry_arg $ jsonl_arg
+          $ weights_arg $ limit_arg $ gc_arg $ times_arg $ physical_arg)
 
 (* ---- profile ----------------------------------------------------- *)
 
-let profile file algorithm seed sched par schedule retry weights_file chrome =
+let profile file algorithm seed sched par frugal schedule retry weights_file
+    chrome =
   let g = load_graph file in
+  let frugal = frugal_of g frugal in
   let prof = Distsim.Profile.create () in
   let sink = Distsim.Profile.sink prof in
   let adversary =
@@ -524,8 +581,8 @@ let profile file algorithm seed sched par schedule retry weights_file chrome =
     else Some (Distsim.Faults.compile ~n:(Ugraph.n g) schedule)
   in
   let metrics =
-    run_traced ~algorithm ~seed ~sched ~par ~adversary ~retry ~weights_file
-      ~sink ~profile:prof g
+    run_traced ~algorithm ~seed ~sched ~par ~adversary ~frugal ~retry
+      ~weights_file ~sink ~profile:prof g
   in
   let ms ns = float_of_int ns /. 1e6 in
   Printf.printf "rounds=%d messages=%d faults=%d wall=%.3f ms\n"
@@ -533,6 +590,7 @@ let profile file algorithm seed sched par schedule retry weights_file chrome =
     metrics.Distsim.Engine.messages
     (Distsim.Profile.fault_count prof)
     (ms (Distsim.Profile.total_ns prof));
+  if frugal <> None then frugal_line metrics;
   (* Per-phase wall-clock breakdown, in first-appearance order. *)
   (match Distsim.Profile.phase_breakdown prof with
   | [] -> ()
@@ -596,8 +654,8 @@ let profile_cmd =
              Profiling is observational: the simulated execution is \
              bit-identical with and without it.")
     Term.(const profile $ file_arg $ trace_algorithm_arg $ seed_arg
-          $ sched_arg $ par_arg $ schedule_arg $ retry_arg $ weights_arg
-          $ chrome_arg)
+          $ sched_arg $ par_arg $ frugal_arg $ schedule_arg $ retry_arg
+          $ weights_arg $ chrome_arg)
 
 (* ---- check ------------------------------------------------------- *)
 

@@ -53,7 +53,7 @@ type selection = Votes | Coin of float
 let phase_names = [| "max1"; "candidate"; "vote"; "tally"; "cover"; "restart" |]
 
 let run ?rng ?model ?(selection = Votes) ?sched ?par ?adversary ?profile
-    ?(retry = 1) ?(trace = Distsim.Trace.null) g =
+    ?frugal ?(retry = 1) ?(trace = Distsim.Trace.null) g =
   let seed_rng = match rng with Some r -> r | None -> Rng.create 0xD0517 in
   let n = Ugraph.n g in
   let model =
@@ -224,7 +224,8 @@ let run ?rng ?model ?(selection = Votes) ?sched ?par ?adversary ?profile
     }
   in
   let states, metrics =
-    Distsim.Engine.run ?sched ?par ?adversary ?profile ~model ~graph:g ~trace
+    Distsim.Engine.run ?sched ?par ?adversary ?profile ?frugal ~model ~graph:g
+      ~trace
       (Distsim.Faults.with_retry ~attempts:retry spec)
   in
   let dominating_set =

@@ -46,6 +46,7 @@ val run :
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
   ?profile:Distsim.Profile.t ->
+  ?frugal:Distsim.Frugal.t ->
   ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
@@ -63,7 +64,10 @@ val run :
     round. [adversary] injects deterministic faults
     ({!Distsim.Engine.run}); [retry] (default 1 = off) retransmits
     every message that many times and dedups the receive side
-    ({!Distsim.Faults.with_retry}). *)
+    ({!Distsim.Faults.with_retry}). [frugal] enables the engine's
+    message-frugality layer ({!Distsim.Engine.run}): the dominating
+    set and all logical metrics are bit-identical with and without it;
+    only [metrics.sent_physical]/[sent_bits] shrink. *)
 
 val is_dominating_set : Ugraph.t -> int list -> bool
 

@@ -550,7 +550,7 @@ let collect_result (states, metrics) =
   in
   { spanner = !spanner; iterations; metrics }
 
-let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary ?profile
+let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary ?profile ?frugal
     ?(retry = 1) ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let max_rounds =
@@ -558,7 +558,8 @@ let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary ?profile
   in
   let trace = Distsim.Trace.with_round_phases local_phases trace in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ?par ?adversary ?profile ~trace
+    (Distsim.Engine.run ~max_rounds ?sched ?par ?adversary ?profile ?frugal
+       ~trace
        ~model:Distsim.Model.local ~graph:g
        (Distsim.Faults.with_retry ~attempts:retry
           (make_spec ~seed ~variant:unweighted_variant g)))
@@ -569,7 +570,7 @@ let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary ?profile
    static topology data, precomputed the way vertices' knowledge of
    their neighbors is. *)
 let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary
-    ?profile ?(retry = 1) ?(trace = Distsim.Trace.null) g w =
+    ?profile ?frugal ?(retry = 1) ?(trace = Distsim.Trace.null) g w =
   let n = Ugraph.n g in
   let own = Array.make n 0.0 in
   for v = 0 to n - 1 do
@@ -597,8 +598,8 @@ let run_weighted ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary
   in
   let trace = Distsim.Trace.with_round_phases local_phases trace in
   collect_result
-    (Distsim.Engine.run ~max_rounds ?sched ?par ?adversary ?profile ~trace
-       ~model:Distsim.Model.local ~graph:g
+    (Distsim.Engine.run ~max_rounds ?sched ?par ?adversary ?profile ?frugal
+       ~trace ~model:Distsim.Model.local ~graph:g
        (Distsim.Faults.with_retry ~attempts:retry (make_spec ~seed ~variant g)))
 
 (* ------------------------------------------------------------------ *)
@@ -668,7 +669,7 @@ let decode chunks =
   (msg, [])
 
 let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched ?par
-    ?adversary ?profile ?retry ?audit ?(trace = Distsim.Trace.null) g =
+    ?adversary ?profile ?frugal ?retry ?audit ?(trace = Distsim.Trace.null) g =
   let n = Ugraph.n g in
   let delta = Ugraph.max_degree g in
   let chunks_per_round =
@@ -688,6 +689,6 @@ let run_congest ?(seed = 0x2D5F1) ?max_rounds ?chunks_per_round ?sched ?par
     Distsim.Trace.with_round_phases (congest_phases ~chunks_per_round) trace
   in
   collect_result
-    (Distsim.Chunked.run ~max_rounds ?sched ?par ?adversary ?profile ?retry
-       ?audit ~trace ~model ~graph:g ~chunks_per_round ~encode ~decode
+    (Distsim.Chunked.run ~max_rounds ?sched ?par ?adversary ?profile ?frugal
+       ?retry ?audit ~trace ~model ~graph:g ~chunks_per_round ~encode ~decode
        (make_spec ~seed ~variant:unweighted_variant g))

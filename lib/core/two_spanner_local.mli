@@ -56,6 +56,7 @@ val run :
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
   ?profile:Distsim.Profile.t ->
+  ?frugal:Distsim.Frugal.t ->
   ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
@@ -81,7 +82,16 @@ val run :
     {!Distsim.Faults.with_retry}: every message is sent [retry] times
     and receivers keep the first copy per source, which costs
     bandwidth but survives a drop-[p] adversary with per-message loss
-    [p^retry]. *)
+    [p^retry].
+
+    [frugal] (default none) enables {!Distsim.Engine.run}'s
+    message-frugality layer: identical consecutive re-sends are
+    suppressed behind 2-bit markers and whole-neighborhood broadcasts
+    route through collection trees, shrinking the {e physical} wire
+    stream ([metrics.sent_physical] / [sent_bits]) while the spanner,
+    round count and every logical metric stay bit-identical —
+    {!Distsim.Engine.metrics_logical_eq} holds against the plain run
+    under every scheduler and fault schedule. *)
 
 val run_weighted :
   ?seed:int ->
@@ -90,6 +100,7 @@ val run_weighted :
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
   ?profile:Distsim.Profile.t ->
+  ?frugal:Distsim.Frugal.t ->
   ?retry:int ->
   ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
@@ -110,6 +121,7 @@ val run_congest :
   ?par:int ->
   ?adversary:Distsim.Adversary.t ->
   ?profile:Distsim.Profile.t ->
+  ?frugal:Distsim.Frugal.t ->
   ?retry:int ->
   ?audit:bool ->
   ?trace:Distsim.Trace.sink ->

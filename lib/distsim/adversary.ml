@@ -125,6 +125,15 @@ let consult t ~src ~dst =
   else if t.dup_p > 0.0 && Rng.float t.rng 1.0 < t.dup_p then Duplicate
   else Deliver
 
+(* State-only view of [consult]'s first two checks: crash/cut verdicts
+   without touching the coin stream, for callers (the engine's frugal
+   end-of-round sweep) that must not perturb the drop/duplicate
+   sequence. *)
+let blocks t ~src ~dst =
+  if t.crashed.(src) || t.crashed.(dst) then Some Trace.Dropped_crashed
+  else if cut_active t ~src ~dst then Some Trace.Dropped_cut
+  else None
+
 let is_crashed t v = v >= 0 && v < t.n && t.crashed.(v)
 let crashed_count t = t.crashed_count
 

@@ -67,6 +67,15 @@ val consult : t -> src:int -> dst:int -> verdict
     so a [drop_p = 0] adversary with no scheduled faults is
     observationally identical to no adversary at all. *)
 
+val blocks : t -> src:int -> dst:int -> Trace.drop_reason option
+(** The deterministic, state-only prefix of {!consult}: [Some reason]
+    iff a message on [src -> dst] would be dropped by a crashed
+    endpoint or an active cut {e right now}. Never advances the coin
+    stream, so it is safe to call any number of times without
+    perturbing the drop/duplicate sequence — the engine's frugal
+    accounting uses it to decide whether an end-of-silence marker
+    could physically traverse an edge. *)
+
 val is_crashed : t -> int -> bool
 val crashed_count : t -> int
 

@@ -19,7 +19,8 @@ let broadcast_nbrs out graph vertex payload =
 (* Shared shape: each vertex holds a value, rebroadcasts it whenever it
    improves, and is done while no improvement arrives. Messages carry
    values of the same type as the state. *)
-let improving ~initial ~announces_first ~improve ~measure ?model ?par graph =
+let improving ~initial ~announces_first ~improve ~measure ?model ?par ?frugal
+    graph =
   let model =
     match model with
     | Some m -> m
@@ -51,21 +52,21 @@ let improving ~initial ~announces_first ~improve ~measure ?model ?par graph =
       measure;
     }
   in
-  let states, metrics = Engine.run ?par ~model ~graph spec in
+  let states, metrics = Engine.run ?par ?frugal ~model ~graph spec in
   (Array.map (fun s -> s.value) states, metrics)
 
-let flood_min_id ?model ?par graph =
+let flood_min_id ?model ?par ?frugal graph =
   let bits = Message.bits_for_id ~n:(max 2 (Grapho.Ugraph.n graph)) in
-  improving ?model ?par graph
+  improving ?model ?par ?frugal graph
     ~initial:(fun v -> v)
     ~announces_first:(fun _ -> true)
     ~improve:(fun current incoming ->
       if incoming < current then Some incoming else None)
     ~measure:(fun _ -> bits)
 
-let bfs_distances ?model ?par ~root graph =
+let bfs_distances ?model ?par ?frugal ~root graph =
   let bits = Message.bits_for_id ~n:(max 2 (Grapho.Ugraph.n graph)) in
-  improving ?model ?par graph
+  improving ?model ?par ?frugal graph
     ~initial:(fun v -> if v = root then 0 else max_int)
     ~announces_first:(fun v -> v = root)
     ~improve:(fun current incoming ->

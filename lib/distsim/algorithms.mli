@@ -2,16 +2,24 @@
     workload for the two-party simulation harness. *)
 
 val flood_min_id :
-  ?model:Model.t -> ?par:int -> Grapho.Ugraph.t -> int array * Engine.metrics
+  ?model:Model.t ->
+  ?par:int ->
+  ?frugal:Frugal.t ->
+  Grapho.Ugraph.t ->
+  int array * Engine.metrics
 (** Every vertex learns the minimum identifier in its component by
     iterated neighborhood minima; terminates once its value is stable
     and so are its neighbors'. O(log n)-bit messages, O(diameter)
     rounds. [par] is forwarded to {!Engine.run}: the output is
-    bit-identical for every domain count. *)
+    bit-identical for every domain count. [frugal] enables the
+    message-frugality layer — the flood is broadcast-shaped, so its
+    whole-row rebroadcasts ride the collection-tree fast path; results
+    and logical metrics are unchanged. *)
 
 val bfs_distances :
   ?model:Model.t ->
   ?par:int ->
+  ?frugal:Frugal.t ->
   root:int ->
   Grapho.Ugraph.t ->
   int array * Engine.metrics

@@ -28,7 +28,7 @@ exception
 
 let measure_chunk chunk = 6 + Message.bits_int (abs chunk + 1)
 
-let run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?profile
+let run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?profile ?frugal
     ?(retry = 1) ?(audit = false) ~model ~graph ~chunks_per_round ~encode
     ~decode spec =
   if chunks_per_round < 2 then
@@ -198,6 +198,6 @@ let run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?profile
   let outer = Faults.with_retry ~attempts:retry outer in
   let states, metrics =
     Engine.run ?max_rounds ?strict ?trace ?sched ?par ?adversary ?profile
-      ~model ~graph outer
+      ?frugal ~model ~graph outer
   in
   (Array.map (fun st -> st.inner) states, metrics)

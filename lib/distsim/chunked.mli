@@ -31,6 +31,7 @@ val run :
   ?par:int ->
   ?adversary:Adversary.t ->
   ?profile:Profile.t ->
+  ?frugal:Frugal.t ->
   ?retry:int ->
   ?audit:bool ->
   model:Model.t ->
@@ -57,6 +58,11 @@ val run :
     chunk [retry] times — the natural hardening, since a single lost
     chunk corrupts its (src, dst) reassembly stream
     ([Invalid_argument] at [decode] time).
+
+    [frugal] is forwarded to {!Engine.run}: the message-frugality
+    layer then suppresses and aggregates the {e chunk} stream (the
+    real wire traffic), leaving the inner algorithm and all logical
+    metrics untouched.
 
     [audit] (default [false]) is the strict bandwidth audit: every
     chunk is checked at frame time against the model's bandwidth (or

@@ -156,16 +156,26 @@ type metrics = {
   steps : int;
   dropped : int;
   crashed : int;
+  sent_physical : int;
+  sent_bits : int;
   minor_words : float;
   allocated_bytes : float;
 }
 
-let metrics_deterministic_eq a b =
+(* Logical layer only: the fields a frugal run keeps bit-identical to
+   a plain run (everything deterministic except the physical stream
+   and the GC counters). *)
+let metrics_logical_eq a b =
   a.rounds = b.rounds && a.messages = b.messages
   && a.total_bits = b.total_bits
   && a.max_message_bits = b.max_message_bits
   && a.congest_violations = b.congest_violations
   && a.steps = b.steps && a.dropped = b.dropped && a.crashed = b.crashed
+
+let metrics_deterministic_eq a b =
+  metrics_logical_eq a b
+  && a.sent_physical = b.sent_physical
+  && a.sent_bits = b.sent_bits
 
 type sched = [ `Active | `Active_legacy_cost | `Naive ]
 
@@ -201,16 +211,21 @@ let now_ns = Clock.now_ns
    boundaries), per-round deltas only when tracing. [profile], when
    installed, sees every metered message's size; like the trace
    emission this happens on the calling (merge) thread only. *)
-let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
-    ~measure () =
+let make_accounting ?observer ?adversary ?profile ?frugal ~trace ~round
+    ~strict ~graph ~measure () =
   let trace = effective_trace ?observer trace in
   let tracing = not (Trace.is_null trace) in
   let wants_sends = Trace.wants_sends trace in
+  let frugal_on = frugal <> None in
   let messages = ref 0 in
   let total_bits = ref 0 in
   let max_message_bits = ref 0 in
   let congest_violations = ref 0 in
   let dropped = ref 0 in
+  (* The physical stream ([frugal] only; a plain run's physical stream
+     {e is} its logical one, copied at [finish] time). *)
+  let phys_messages = ref 0 in
+  let phys_bits = ref 0 in
   let minor0 = Gc.minor_words () in
   let alloc0 = Gc.allocated_bytes () in
   (* Per-round deltas (tracing only, except [r_dropped] which also
@@ -221,17 +236,23 @@ let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
   let r_max_bits = ref 0 in
   let r_violations = ref 0 in
   let r_dropped = ref 0 in
+  let r_physical = ref 0 in
   let r_minor_base = ref minor0 in
-  (* Meter one wire message (it {e was} sent, delivered or not):
-     run totals, per-round deltas, [Send] event, congestion check. *)
+  (* Meter one logical message (it {e was} sent, delivered or not):
+     run totals, per-round deltas, congestion check. On a plain run
+     this is also the physical stream, so the profile hook and [Send]
+     emission live here; under [?frugal] those describe the physical
+     stream and move to [charge] below. *)
   let meter ~bandwidth src dst bits =
-    (match profile with Some p -> Profile.record_bits p bits | None -> ());
+    if not frugal_on then begin
+      (match profile with Some p -> Profile.record_bits p bits | None -> ());
+      if tracing && wants_sends then
+        Trace.emit trace (Trace.Send { src; dst; bits; round = !round })
+    end;
     if tracing then begin
       incr r_messages;
       r_bits := !r_bits + bits;
-      if bits > !r_max_bits then r_max_bits := bits;
-      if wants_sends then
-        Trace.emit trace (Trace.Send { src; dst; bits; round = !round })
+      if bits > !r_max_bits then r_max_bits := bits
     end;
     incr messages;
     total_bits := !total_bits + bits;
@@ -245,14 +266,33 @@ let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
         end
     | _ -> ()
   in
+  (* Meter one physical message (frugal runs only): what would
+     actually cross the wire once silences and collection trees are in
+     play. [dst = -1] is the receiver side of an aggregated collect;
+     tree-internal hops are represented by the publish itself. *)
+  let charge src dst bits =
+    (match profile with Some p -> Profile.record_bits p bits | None -> ());
+    incr phys_messages;
+    phys_bits := !phys_bits + bits;
+    if tracing then begin
+      incr r_physical;
+      if wants_sends then
+        Trace.emit trace (Trace.Send { src; dst; bits; round = !round })
+    end
+  in
   let check_edge src dst =
     if not (Grapho.Ugraph.mem_edge graph src dst) then
       invalid_arg
         (Printf.sprintf "Engine: vertex %d sent to non-neighbor %d" src dst)
   in
-  (* The adversary branch is resolved {e once} here, so the no-adversary
-     account path is exactly the pre-fault-injection code. *)
-  let account =
+  (* The adversary and frugal branches are resolved {e once} here, so
+     the plain no-adversary account path is exactly the
+     pre-fault-injection code. [account] meters one message;
+     [account_seg] meters one drained outbox segment (all sends of one
+     vertex this round) so the frugal path can recognize
+     full-neighborhood broadcasts; [flush_round] settles end-of-round
+     physical state (end-of-silence markers, aggregated collects). *)
+  let plain_account =
     match adversary with
     | None ->
         fun ~bandwidth ~deliver src dst payload ->
@@ -281,6 +321,367 @@ let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
                   (Trace.Message_dropped
                      { src; dst; round = !round; reason }))
   in
+  let account, account_seg, flush_round =
+    match frugal with
+    | None ->
+        let seg ~bandwidth ~deliver src dsts msgs ~lo ~hi =
+          for i = lo to hi - 1 do
+            plain_account ~bandwidth ~deliver src
+              (Array.unsafe_get dsts i)
+              (Array.unsafe_get msgs i)
+          done
+        in
+        (plain_account, seg, fun () -> ())
+    | Some fr ->
+        if
+          not
+            (Frugal.graph fr == graph
+            || Grapho.Ugraph.equal (Frugal.graph fr) graph)
+        then invalid_arg "Engine: ?frugal value built for a different graph";
+        let n = Grapho.Ugraph.n graph in
+        let m2 = 2 * Grapho.Ugraph.m graph in
+        (* Per-directed-edge send memo, keyed by [Ugraph.edge_slot].
+           The payload array needs a ['msg] seed, so the whole memo is
+           allocated on the first direct (non-broadcast) send — runs
+           that only ever broadcast (flood on the million-vertex
+           anchors) never pay the 2m words. Flag bits: 1 = silence
+           armed, 2 = queued in the sweep stack. *)
+        let e_msg = ref [||] in
+        let e_round = ref [||] in
+        let e_flag = ref Bytes.empty in
+        let ensure_edge payload =
+          if Array.length !e_round = 0 && m2 > 0 then begin
+            e_msg := Array.make m2 payload;
+            e_round := Array.make m2 min_int;
+            e_flag := Bytes.make m2 '\000'
+          end
+        in
+        (* Sweep stack of directed edges whose silence may need an
+           end-of-round Eps marker. *)
+        let sw_slot = ref (Array.make 16 0) in
+        let sw_src = ref (Array.make 16 0) in
+        let sw_dst = ref (Array.make 16 0) in
+        let sw_len = ref 0 in
+        let sw_push slot src dst =
+          let cap = Array.length !sw_slot in
+          if !sw_len = cap then begin
+            let grow a =
+              let na = Array.make (2 * cap) 0 in
+              Array.blit !a 0 na 0 cap;
+              a := na
+            in
+            grow sw_slot;
+            grow sw_src;
+            grow sw_dst
+          end;
+          !sw_slot.(!sw_len) <- slot;
+          !sw_src.(!sw_len) <- src;
+          !sw_dst.(!sw_len) <- dst;
+          incr sw_len
+        in
+        let ipush stack len v =
+          let cap = Array.length !stack in
+          if !len = cap then begin
+            let na = Array.make (2 * cap) 0 in
+            Array.blit !stack 0 na 0 cap;
+            stack := na
+          end;
+          !stack.(!len) <- v;
+          incr len
+        in
+        (* Per-vertex broadcast memo (same machine, one cell per
+           broadcaster) and the per-receiver collect accumulators. *)
+        let b_msg = ref [||] in
+        let b_round = Array.make (max n 1) min_int in
+        let b_flag = Bytes.make (max n 1) '\000' in
+        let vw = ref (Array.make 16 0) in
+        let vw_len = ref 0 in
+        let c_round = Array.make (max n 1) min_int in
+        let c_bits = Array.make (max n 1) 0 in
+        let cw = ref (Array.make 16 0) in
+        let cw_len = ref 0 in
+        (* Pointer fast path first; the structural fallback guards
+           against payload types [compare] rejects. *)
+        let payload_eq a b =
+          a == b || (try a = b with Invalid_argument _ -> false)
+        in
+        let mark_collect w bits =
+          if c_round.(w) <> !round then begin
+            c_round.(w) <- !round;
+            c_bits.(w) <- 2;
+            ipush cw cw_len w
+          end;
+          c_bits.(w) <- c_bits.(w) + bits
+        in
+        (* The silence state machine for one direct send. Arm on the
+           {e second} consecutive identical send (one-shot payloads
+           stay at exact parity with the plain stream): fresh data
+           costs [bits], the arming repeat costs a 2-bit Again marker,
+           further repeats cost nothing, and the round after the run
+           ends [flush_round] pays a 2-bit Eps marker. *)
+        let direct src dst payload bits =
+          ensure_edge payload;
+          let slot = Grapho.Ugraph.edge_slot graph src dst in
+          let er = !e_round and ef = !e_flag in
+          let flag = Char.code (Bytes.unsafe_get ef slot) in
+          let repeat =
+            Array.unsafe_get er slot = !round - 1
+            && payload_eq (Array.unsafe_get !e_msg slot) payload
+          in
+          if repeat then begin
+            if flag land 1 = 1 then Frugal.note_suppressed fr 1
+            else begin
+              if flag land 2 = 0 then sw_push slot src dst;
+              Bytes.unsafe_set ef slot (Char.chr (flag lor 3));
+              charge src dst 2;
+              Frugal.note_marker fr
+            end
+          end
+          else begin
+            if flag land 1 = 1 then
+              Bytes.unsafe_set ef slot (Char.chr (flag land lnot 1));
+            charge src dst bits
+          end;
+          Array.unsafe_set er slot !round;
+          Array.unsafe_set !e_msg slot payload
+        in
+        (* A faulted copy went over the wire regardless of the memo:
+           record the send without engaging suppression. *)
+        let force src dst payload =
+          ensure_edge payload;
+          let slot = Grapho.Ugraph.edge_slot graph src dst in
+          let flag = Char.code (Bytes.get !e_flag slot) in
+          if flag land 1 = 1 then
+            Bytes.set !e_flag slot (Char.chr (flag land lnot 1));
+          !e_round.(slot) <- !round;
+          !e_msg.(slot) <- payload
+        in
+        (* A drop desynchronizes the receiver's replay cache, so the
+           silence convention on that edge must be re-established from
+           scratch. *)
+        let invalidate src dst =
+          if Array.length !e_round > 0 then begin
+            let slot = Grapho.Ugraph.edge_slot graph src dst in
+            !e_round.(slot) <- min_int;
+            let flag = Char.code (Bytes.get !e_flag slot) in
+            if flag land 1 = 1 then
+              Bytes.set !e_flag slot (Char.chr (flag land lnot 1))
+          end
+        in
+        let account =
+          match adversary with
+          | None ->
+              fun ~bandwidth ~deliver src dst payload ->
+                check_edge src dst;
+                let bits = measure payload in
+                meter ~bandwidth src dst bits;
+                direct src dst payload bits;
+                deliver ~src ~dst payload
+          | Some adv -> (
+              (* The coin stream is consulted per {e logical} message
+                 in delivery order, exactly as on a plain run, so
+                 faulted executions stay bit-identical with and
+                 without [?frugal]. Faulted copies are charged at full
+                 size (a sender cannot lean on silence over a lossy
+                 link), conservatively never under-counting. *)
+              fun ~bandwidth ~deliver src dst payload ->
+                check_edge src dst;
+                let bits = measure payload in
+                match Adversary.consult adv ~src ~dst with
+                | Adversary.Deliver ->
+                    meter ~bandwidth src dst bits;
+                    direct src dst payload bits;
+                    deliver ~src ~dst payload
+                | Adversary.Duplicate ->
+                    meter ~bandwidth src dst bits;
+                    charge src dst bits;
+                    deliver ~src ~dst payload;
+                    meter ~bandwidth src dst bits;
+                    charge src dst bits;
+                    deliver ~src ~dst payload;
+                    force src dst payload
+                | Adversary.Drop reason ->
+                    meter ~bandwidth src dst bits;
+                    charge src dst bits;
+                    invalidate src dst;
+                    incr dropped;
+                    incr r_dropped;
+                    if tracing && wants_sends then
+                      Trace.emit trace
+                        (Trace.Message_dropped
+                           { src; dst; round = !round; reason }))
+        in
+        (* One full-neighborhood broadcast: bulk logical metering, one
+           tree publish, and a collect mark per receiver (aggregated
+           into one physical message per receiver per round at
+           [flush_round]). Repeated broadcasts run the same silence
+           machine per broadcaster. *)
+        let broadcast ~bandwidth src dsts payload ~lo ~hi =
+          let bits = measure payload in
+          let cnt = hi - lo in
+          if tracing then begin
+            r_messages := !r_messages + cnt;
+            r_bits := !r_bits + (cnt * bits);
+            if bits > !r_max_bits then r_max_bits := bits
+          end;
+          messages := !messages + cnt;
+          total_bits := !total_bits + (cnt * bits);
+          if bits > !max_message_bits then max_message_bits := bits;
+          (match bandwidth with
+          | Some limit when bits > limit ->
+              if strict then
+                raise (Congest_violation { src; dst = dsts.(lo); bits })
+              else begin
+                congest_violations := !congest_violations + cnt;
+                if tracing then r_violations := !r_violations + cnt
+              end
+          | _ -> ());
+          if Array.length !b_msg = 0 then b_msg := Array.make (max n 1) payload;
+          let repeat =
+            b_round.(src) = !round - 1 && payload_eq !b_msg.(src) payload
+          in
+          let flag = Char.code (Bytes.get b_flag src) in
+          if repeat && flag land 1 = 1 then Frugal.note_suppressed fr 1
+          else begin
+            let pub_bits =
+              if repeat then begin
+                if flag land 2 = 0 then ipush vw vw_len src;
+                Bytes.set b_flag src (Char.chr (flag lor 3));
+                Frugal.note_marker fr;
+                2
+              end
+              else begin
+                if flag land 1 = 1 then
+                  Bytes.set b_flag src (Char.chr (flag land lnot 1));
+                Frugal.note_publish fr;
+                bits
+              end
+            in
+            charge src (Frugal.hub fr src) pub_bits;
+            for i = lo to hi - 1 do
+              mark_collect (Array.unsafe_get dsts i) pub_bits
+            done
+          end;
+          b_round.(src) <- !round;
+          !b_msg.(src) <- payload
+        in
+        let account_seg =
+          match adversary with
+          | Some _ ->
+              (* Collection trees assume a reliable network; under an
+                 adversary every message takes the per-edge path so
+                 the coin stream is untouched. *)
+              fun ~bandwidth ~deliver src dsts msgs ~lo ~hi ->
+                for i = lo to hi - 1 do
+                  account ~bandwidth ~deliver src
+                    (Array.unsafe_get dsts i)
+                    (Array.unsafe_get msgs i)
+                done
+          | None ->
+              (* A segment is a broadcast when it spells out the whole
+                 neighbor row with one shared (physically equal)
+                 payload — which is what the protocols' broadcast
+                 helpers emit. Everything else takes the per-edge
+                 path. The broadcast test replaces the per-message
+                 [mem_edge] binary searches with one linear row
+                 comparison, which is where the frugal merge-path
+                 speedup comes from. *)
+              fun ~bandwidth ~deliver src dsts msgs ~lo ~hi ->
+                let slow () =
+                  for j = lo to hi - 1 do
+                    account ~bandwidth ~deliver src
+                      (Array.unsafe_get dsts j)
+                      (Array.unsafe_get msgs j)
+                  done
+                in
+                if hi - lo >= 2 then begin
+                  let p0 = Array.unsafe_get msgs lo in
+                  let shared = ref true in
+                  let i = ref (lo + 1) in
+                  while !shared && !i < hi do
+                    if Array.unsafe_get msgs !i != p0 then shared := false;
+                    incr i
+                  done;
+                  if
+                    !shared
+                    && Grapho.Ugraph.row_matches graph src dsts ~lo ~hi
+                  then begin
+                    broadcast ~bandwidth src dsts p0 ~lo ~hi;
+                    for j = lo to hi - 1 do
+                      deliver ~src ~dst:(Array.unsafe_get dsts j) p0
+                    done
+                  end
+                  else slow ()
+                end
+                else slow ()
+        in
+        let blocked =
+          match adversary with
+          | None -> fun _ _ -> false
+          | Some adv ->
+              fun src dst -> Adversary.blocks adv ~src ~dst <> None
+        in
+        let flush_round () =
+          let r = !round in
+          (* Silences whose run ended this round pay their Eps marker
+             (skipped silently when the edge is crashed or cut — the
+             marker could not cross, and [blocks] reads no coins). *)
+          let w = ref 0 in
+          for i = 0 to !sw_len - 1 do
+            let slot = !sw_slot.(i) in
+            let flag = Char.code (Bytes.get !e_flag slot) in
+            if flag land 1 = 1 then
+              if !e_round.(slot) >= r then begin
+                !sw_slot.(!w) <- slot;
+                !sw_src.(!w) <- !sw_src.(i);
+                !sw_dst.(!w) <- !sw_dst.(i);
+                incr w
+              end
+              else begin
+                Bytes.set !e_flag slot '\000';
+                let src = !sw_src.(i) and dst = !sw_dst.(i) in
+                if not (blocked src dst) then begin
+                  charge src dst 2;
+                  Frugal.note_marker fr
+                end
+              end
+            else Bytes.set !e_flag slot (Char.chr (flag land lnot 2))
+          done;
+          sw_len := !w;
+          (* Same sweep for armed broadcasters. *)
+          let w = ref 0 in
+          for i = 0 to !vw_len - 1 do
+            let v = !vw.(i) in
+            let flag = Char.code (Bytes.get b_flag v) in
+            if flag land 1 = 1 then
+              if b_round.(v) >= r then begin
+                !vw.(!w) <- v;
+                incr w
+              end
+              else begin
+                Bytes.set b_flag v '\000';
+                charge v (Frugal.hub fr v) 2;
+                Frugal.note_marker fr;
+                Grapho.Ugraph.iter_neighbors
+                  (fun u -> mark_collect u 2)
+                  graph v
+              end
+            else Bytes.set b_flag v (Char.chr (flag land lnot 2))
+          done;
+          vw_len := !w;
+          (* Flush the aggregated collects: one physical message per
+             receiver that heard tree traffic this round, 2 header
+             bits plus everything fetched. [src = -1] marks the
+             receiver side of a tree, like [Phase]'s global -1. *)
+          for i = 0 to !cw_len - 1 do
+            let v = !cw.(i) in
+            charge (-1) v c_bits.(v);
+            Frugal.note_collect fr
+          done;
+          cw_len := 0
+        in
+        (account, account_seg, flush_round)
+  in
   let finish rounds ~steps ~crashed =
     {
       rounds;
@@ -291,6 +692,8 @@ let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
       steps;
       dropped = !dropped;
       crashed;
+      sent_physical = (if frugal_on then !phys_messages else !messages);
+      sent_bits = (if frugal_on then !phys_bits else !total_bits);
       minor_words = (Gc.minor_words () -. minor0);
       allocated_bytes =
         (* [Gc.minor_words] is precise (it adds the unflushed young
@@ -322,6 +725,7 @@ let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
         crashed;
         elapsed_ns;
         minor_words = int_of_float (minor_now -. !r_minor_base);
+        physical = (if frugal_on then !r_physical else !r_messages);
       }
     in
     r_minor_base := minor_now;
@@ -330,9 +734,10 @@ let make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
     r_max_bits := 0;
     r_violations := 0;
     r_dropped := 0;
+    r_physical := 0;
     stat
   in
-  (trace, tracing, account, finish, take_round)
+  (trace, tracing, account, account_seg, finish, take_round, flush_round)
 
 (* Round 0 shared by both schedulers: initialize vertices in ascending
    id order, draining the shared outbox after each init so delivery,
@@ -370,7 +775,7 @@ let normalize_adversary = function
   | a -> a
 
 let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ?adversary ?profile ~model ~graph spec =
+    ?adversary ?profile ?frugal ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let adversary = normalize_adversary adversary in
   (match adversary with Some a -> Adversary.reset a ~n | None -> ());
@@ -384,9 +789,9 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let round = ref 0 in
   let profiling = profile <> None in
   (match profile with Some p -> Profile.run_begin p | None -> ());
-  let trace, tracing, account, finish, take_round =
-    make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
-      ~measure:spec.measure ()
+  let trace, tracing, _account, account_seg, finish, take_round, flush_round =
+    make_accounting ?observer ?adversary ?profile ?frugal ~trace ~round
+      ~strict ~graph ~measure:spec.measure ()
   in
   let crashed_now () =
     match adversary with None -> 0 | Some a -> Adversary.crashed_count a
@@ -400,12 +805,10 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     incr in_flight;
     inboxes.(dst) <- (src, payload) :: inboxes.(dst)
   in
-  let account src dst payload = account ~bandwidth ~deliver src dst payload in
   let out = outbox_create () in
   let drain src =
-    for i = 0 to out.o_len - 1 do
-      account src out.o_dst.(i) out.o_msg.(i)
-    done;
+    account_seg ~bandwidth ~deliver src out.o_dst out.o_msg ~lo:0
+      ~hi:out.o_len;
     out.o_len <- 0
   in
   let scratch = inbox_create () in
@@ -414,6 +817,7 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 done_flags
   in
   let round_end t0 ~stepped =
+    flush_round ();
     let t1 = if tracing || profiling then now_ns () else 0 in
     (match profile with
     | Some p -> Profile.round_span p ~round:!round ~t0 ~t1
@@ -523,7 +927,7 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
    is raised at merge time, after the whole round has been stepped,
    rather than mid-round. *)
 let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ?(par = 1) ?adversary ?profile ~model ~graph spec =
+    ?(par = 1) ?adversary ?profile ?frugal ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let adversary = normalize_adversary adversary in
   (match adversary with Some a -> Adversary.reset a ~n | None -> ());
@@ -559,9 +963,9 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let pending = ref 0 in (* messages sitting in [next] *)
   let not_done = ref n in
   let round = ref 0 in
-  let trace, tracing, account, finish, take_round =
-    make_accounting ?observer ?adversary ?profile ~trace ~round ~strict ~graph
-      ~measure:spec.measure ()
+  let trace, tracing, _account, account_seg, finish, take_round, flush_round =
+    make_accounting ?observer ?adversary ?profile ?frugal ~trace ~round
+      ~strict ~graph ~measure:spec.measure ()
   in
   let crashed_now () =
     match adversary with None -> 0 | Some a -> Adversary.crashed_count a
@@ -570,16 +974,17 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     incr pending;
     inbox_push !next.(dst) ~src payload
   in
-  let account src dst payload = account ~bandwidth ~deliver src dst payload in
+  let account_seg src dsts msgs ~lo ~hi =
+    account_seg ~bandwidth ~deliver src dsts msgs ~lo ~hi
+  in
   let out = outbox_create ~hint:(Grapho.Ugraph.max_degree graph) () in
   let drain src =
-    for i = 0 to out.o_len - 1 do
-      account src out.o_dst.(i) out.o_msg.(i)
-    done;
+    account_seg src out.o_dst out.o_msg ~lo:0 ~hi:out.o_len;
     out.o_len <- 0
   in
   let steps = ref 0 in
   let round_end t0 ~stepped =
+    flush_round ();
     let t1 = if tracing || profiling then now_ns () else 0 in
     (match profile with
     | Some p -> Profile.round_span p ~round:!round ~t0 ~t1
@@ -728,9 +1133,7 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
           for i = 0 to seg.s_len - 1 do
             let v = seg.s_v.(i) in
             let stop = !off + seg.s_cnt.(i) in
-            for j = !off to stop - 1 do
-              account v sout.o_dst.(j) sout.o_msg.(j)
-            done;
+            account_seg v sout.o_dst sout.o_msg ~lo:!off ~hi:stop;
             off := stop
           done;
           sout.o_len <- 0;
@@ -791,19 +1194,19 @@ let legacy_cost_spec (spec : ('s, 'm) spec) : ('s, 'm) spec =
   }
 
 let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ?adversary
-    ?profile ~model ~graph spec =
+    ?profile ?frugal ~model ~graph spec =
   match sched with
   | `Naive ->
       (* The reference path stays single-domain by design: it is the
          thing the parallel path is diffed against. *)
-      run_naive ?max_rounds ?strict ?observer ?trace ?adversary ?profile ~model
-        ~graph spec
+      run_naive ?max_rounds ?strict ?observer ?trace ?adversary ?profile
+        ?frugal ~model ~graph spec
   | `Active ->
       run_active ?max_rounds ?strict ?observer ?trace ?par ?adversary ?profile
-        ~model ~graph spec
+        ?frugal ~model ~graph spec
   | `Active_legacy_cost ->
       (* [scratch] in the shim is shared across vertices, so this
          variant must stay single-domain; it exists for the bench
          binary's allocation A/B, not for parallel runs. *)
       run_active ?max_rounds ?strict ?observer ?trace ?adversary ?profile
-        ~model ~graph (legacy_cost_spec spec)
+        ?frugal ~model ~graph (legacy_cost_spec spec)

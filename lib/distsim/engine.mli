@@ -109,6 +109,17 @@ type metrics = {
           arrived. 0 when no adversary is installed. *)
   crashed : int;
       (** vertices crash-stopped over the run. 0 without adversary. *)
+  sent_physical : int;
+      (** wire messages actually charged. Equal to [messages] on a
+          plain run; under [run ?frugal] it counts the reduced
+          physical stream — data sends, 2-bit silence markers, tree
+          publishes and aggregated per-receiver collects — while
+          [messages] keeps counting the logical layer. Exact and
+          deterministic (an integer, not a histogram summary), so A/B
+          gates can compare it with [=]. *)
+  sent_bits : int;
+      (** total wire bits actually charged; equal to [total_bits] on a
+          plain run. Deterministic, like [sent_physical]. *)
   minor_words : float;
       (** [Gc.minor_words] delta over the run, measured on the calling
           domain. Under [par > 1] the pool domains' own allocations
@@ -132,6 +143,12 @@ val metrics_deterministic_eq : metrics -> metrics -> bool
     [allocated_bytes]), which legitimately vary across schedulers,
     domain counts and runs. This is the equality the determinism
     contract (seq vs [par], [`Active] vs [`Naive]) is stated in. *)
+
+val metrics_logical_eq : metrics -> metrics -> bool
+(** {!metrics_deterministic_eq} minus the physical stream
+    ([sent_physical], [sent_bits]): the projection a [?frugal] run
+    keeps bit-identical to a plain run of the same spec. The frugal
+    A/B gates are stated in this equality. *)
 
 type sched = [ `Active | `Active_legacy_cost | `Naive ]
 (** Scheduling strategy. [`Active] (the default) is event-driven: a
@@ -185,6 +202,7 @@ val run :
   ?par:int ->
   ?adversary:Adversary.t ->
   ?profile:Profile.t ->
+  ?frugal:Frugal.t ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   ('state, 'msg) spec ->
@@ -256,4 +274,26 @@ val run :
     aggregation happens on the calling thread; shards only stamp
     their own clocks and private histograms into disjoint slots.
     When absent the engine takes the exact pre-profiling path: no
-    clock reads beyond tracing's, no allocation. *)
+    clock reads beyond tracing's, no allocation.
+
+    [frugal] (default none) switches on message-frugal {e physical}
+    accounting (see {!Frugal}): full-neighborhood broadcasts are
+    charged as one collection-tree publish plus one aggregated
+    collect per reached receiver per round, and consecutive identical
+    point-to-point sends are silenced by per-edge memoization (2-bit
+    [Again]/[Eps] markers bracket each silence; a run of [k]
+    identical [b]-bit sends costs 3 physical messages and [b + 4]
+    bits). The {e logical} execution is untouched — deliveries, the
+    step schedule, the adversary coin stream (consulted once per
+    logical message, exactly as plain), [messages]/[total_bits], the
+    round series and the final states are bit-identical with and
+    without it, under every scheduler, shard count and fault
+    schedule ({!metrics_logical_eq}). What changes: [sent_physical]/
+    [sent_bits] meter the reduced stream, [Trace.round_stat.physical]
+    carries its per-round counts, and [Send] events plus the
+    profile's bits histogram describe physical traffic (an
+    aggregated collect appears as [src = -1]). Under an adversary the
+    collection trees disengage (silence suppression stays active, at
+    full charge for faulted copies), so drops always apply to
+    messages that were physically charged. The value must have been
+    built for the same graph ([Invalid_argument] otherwise). *)

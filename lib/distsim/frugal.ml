@@ -1,0 +1,149 @@
+(* Message-frugality substrate for the round engine: deterministic
+   neighborhood-collection trees plus the counters behind the
+   physical/logical message split.
+
+   Following Bitton et al., "Message Reduction in the LOCAL Model is a
+   Free Lunch" (arXiv:1909.08369), LOCAL protocols that broadcast to
+   whole neighborhoods do not need one wire message per edge: vertices
+   publish each broadcast payload once into a low-degree collection
+   tree, and every vertex fetches everything its neighborhood
+   published this round in a single aggregated "collect" message. The
+   engine combines that with silence-as-information (per-directed-edge
+   send memoization: an unchanged payload re-sent to the same neighbor
+   in the next round costs nothing on the wire once both endpoints
+   have agreed on the silence convention).
+
+   This module owns the parts that depend only on the graph: a
+   deterministic clustering (each vertex picks the member of its
+   closed neighborhood with the smallest seeded hash as its hub), and
+   a binary-heap-shaped tree over each cluster's members in ascending
+   id order, so every tree has degree at most 3 and the construction
+   is reproducible from [(graph, seed)] alone. The engine never routes
+   real deliveries through the trees — the logical execution (inboxes,
+   adversary coin stream, metrics.[messages]/[total_bits], round
+   series) is byte-for-byte the plain engine's — the trees define what
+   the {e physical} stream would have cost, which the engine meters
+   into [metrics.sent_physical]/[sent_bits].
+
+   Per-run mutable scratch (payload memos, collect accumulators) is
+   ['msg]-typed and lives inside [Engine.run]; a [t] can therefore be
+   shared across runs and schedulers. The [stats] counters accumulate
+   across every run the value is passed to, like a [Profile.t]. *)
+
+type stats = {
+  mutable publishes : int;
+  mutable collects : int;
+  mutable suppressed : int;
+  mutable markers : int;
+}
+
+type t = {
+  graph : Grapho.Ugraph.t;
+  seed : int;
+  hub : int array;
+  parent : int array;
+  tree_deg : int array;
+  trees : int;
+  stats : stats;
+}
+
+(* splitmix-style avalanche; only relative order matters, so the
+   [land max_int] truncation is harmless. *)
+let mix seed w =
+  let h = ((w + 1) * 0x9E3779B9) lxor (seed * 0x85EBCA6B) in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x21F0AAAD in
+  let h = h lxor (h lsr 15) in
+  let h = h * 0x735A2D97 in
+  (h lxor (h lsr 15)) land max_int
+
+let default_seed = 0x5EED5
+
+let create ?(seed = default_seed) g =
+  let n = Grapho.Ugraph.n g in
+  let hub = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let best = ref v and best_h = ref (mix seed v) in
+    Grapho.Ugraph.iter_neighbors
+      (fun w ->
+        let h = mix seed w in
+        if h < !best_h || (h = !best_h && w < !best) then begin
+          best := w;
+          best_h := h
+        end)
+      g v;
+    hub.(v) <- !best
+  done;
+  (* Bucket members by hub. Scanning vertices in ascending id order
+     keeps each bucket sorted, which makes the heap shape — member i's
+     parent is member (i-1)/2 — deterministic and id-ordered. *)
+  let count = Array.make (max n 1) 0 in
+  Array.iter (fun h -> count.(h) <- count.(h) + 1) hub;
+  let start = Array.make (max n 1) 0 in
+  let acc = ref 0 in
+  for h = 0 to n - 1 do
+    start.(h) <- !acc;
+    acc := !acc + count.(h)
+  done;
+  let members = Array.make (max n 1) 0 in
+  let cursor = Array.copy start in
+  for v = 0 to n - 1 do
+    let h = hub.(v) in
+    members.(cursor.(h)) <- v;
+    cursor.(h) <- cursor.(h) + 1
+  done;
+  let parent = Array.make n (-1) in
+  let tree_deg = Array.make n 0 in
+  let trees = ref 0 in
+  for h = 0 to n - 1 do
+    let lo = start.(h) in
+    let len = count.(h) in
+    if len > 0 then begin
+      incr trees;
+      for i = 1 to len - 1 do
+        let v = members.(lo + i) in
+        let p = members.(lo + ((i - 1) / 2)) in
+        parent.(v) <- p;
+        tree_deg.(v) <- tree_deg.(v) + 1;
+        tree_deg.(p) <- tree_deg.(p) + 1
+      done
+    end
+  done;
+  {
+    graph = g;
+    seed;
+    hub;
+    parent;
+    tree_deg;
+    trees = !trees;
+    stats = { publishes = 0; collects = 0; suppressed = 0; markers = 0 };
+  }
+
+let graph t = t.graph
+let seed t = t.seed
+let hub t v = t.hub.(v)
+let tree_parent t v = t.parent.(v)
+let tree_degree t v = t.tree_deg.(v)
+let tree_count t = t.trees
+
+let max_tree_degree t =
+  Array.fold_left (fun acc d -> if d > acc then d else acc) 0 t.tree_deg
+
+(* Engine hooks: bump one counter each, allocation-free. *)
+let note_publish t = t.stats.publishes <- t.stats.publishes + 1
+let note_collect t = t.stats.collects <- t.stats.collects + 1
+
+let note_suppressed t k =
+  t.stats.suppressed <- t.stats.suppressed + k
+
+let note_marker t = t.stats.markers <- t.stats.markers + 1
+let publishes t = t.stats.publishes
+let collects t = t.stats.collects
+let suppressed t = t.stats.suppressed
+let markers t = t.stats.markers
+
+let reset_stats t =
+  t.stats.publishes <- 0;
+  t.stats.collects <- 0;
+  t.stats.suppressed <- 0;
+  t.stats.markers <- 0

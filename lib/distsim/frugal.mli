@@ -1,0 +1,89 @@
+(** Message-frugality substrate: deterministic neighborhood-collection
+    trees and physical-stream counters, after Bitton et al., "Message
+    Reduction in the LOCAL Model is a Free Lunch" (arXiv:1909.08369).
+
+    Passing a [t] to [Engine.run ?frugal] switches the engine's
+    {e physical} accounting on: full-neighborhood broadcasts are
+    charged as one tree publish plus one aggregated collect per
+    reached receiver per round, and point-to-point re-sends of an
+    unchanged payload are silenced by per-edge memoization (a
+    one-time 2-bit [Again] marker arms the silence, a 2-bit [Eps]
+    marker ends it). The {e logical} execution — deliveries, inbox
+    contents, step schedule, adversary coin stream, the
+    [messages]/[total_bits] metrics and the round series — is
+    bit-identical with and without it; only
+    [Engine.metrics.sent_physical]/[sent_bits] (and, when tracing,
+    [Trace.round_stat.physical] and the [Send] event stream, which
+    then describes physical traffic) differ.
+
+    Construction is a pure function of [(graph, seed)]: each vertex
+    adopts the member of its closed neighborhood with the smallest
+    seeded hash as its hub, and every cluster gets a binary-heap tree
+    over its members in ascending id order, so tree degrees never
+    exceed 3 and two [create] calls with equal inputs agree exactly.
+
+    All per-run payload-typed scratch lives inside [Engine.run]; a
+    [t] is safely reused across runs and schedulers. The {!stats}
+    counters accumulate across every run the value observes, like a
+    [Profile.t] — call {!reset_stats} between A/B measurements. *)
+
+type t
+
+val create : ?seed:int -> Grapho.Ugraph.t -> t
+(** Build the clustering and collection trees for [graph].
+    Deterministic in [(graph, seed)]; O(n + m) time, O(n) space. *)
+
+val default_seed : int
+
+val graph : t -> Grapho.Ugraph.t
+(** The graph the trees were built for. [Engine.run] rejects a
+    [frugal] value built for a different graph. *)
+
+val seed : t -> int
+
+(** {1 Tree structure} *)
+
+val hub : t -> int -> int
+(** [hub t v] is the cluster head [v] elected from its closed
+    neighborhood — always [v] itself or one of its neighbors. *)
+
+val tree_parent : t -> int -> int
+(** Parent of [v] inside its cluster's collection tree, [-1] at the
+    root (the cluster's smallest member id). *)
+
+val tree_degree : t -> int -> int
+(** Degree of [v] within its tree; at most 3 by construction. *)
+
+val max_tree_degree : t -> int
+
+val tree_count : t -> int
+(** Number of non-empty clusters (= collection trees). *)
+
+(** {1 Physical-stream counters}
+
+    Maintained by the engine; read them after a run for the frugality
+    breakdown the bench reports. All deterministic. *)
+
+val publishes : t -> int
+(** Broadcast payloads injected into collection trees. *)
+
+val collects : t -> int
+(** Aggregated per-receiver, per-round tree deliveries. *)
+
+val suppressed : t -> int
+(** Sends silenced by the per-edge (or per-broadcast) memo. *)
+
+val markers : t -> int
+(** 2-bit [Again]/[Eps] control messages charged to arm and release
+    silences. *)
+
+val reset_stats : t -> unit
+
+(** {1 Engine hooks}
+
+    Called by [Engine.run]; user code normally never calls these. *)
+
+val note_publish : t -> unit
+val note_collect : t -> unit
+val note_suppressed : t -> int -> unit
+val note_marker : t -> unit

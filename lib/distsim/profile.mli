@@ -60,7 +60,10 @@ val round_span : t -> round:int -> t0:int -> t1:int -> unit
 val record_bits : t -> int -> unit
 (** Record one wire message's payload size (every metered message,
     delivered or dropped — reconciles with [metrics.messages] /
-    [total_bits]). Allocation-free. *)
+    [total_bits]; under [Engine.run ?frugal] the engine feeds it the
+    {e physical} stream instead, so it reconciles with
+    [metrics.sent_physical] / [sent_bits] — 2-bit silence markers and
+    aggregated collect frames show up as such). Allocation-free. *)
 
 val record_inbox : t -> int -> unit
 (** Record the inbox size a stepped vertex saw (sequential path).

@@ -10,6 +10,7 @@ type round_stat = {
   crashed : int;
   elapsed_ns : int;
   minor_words : int;
+  physical : int;
 }
 
 type drop_reason = Dropped_random | Dropped_crashed | Dropped_cut
@@ -149,6 +150,7 @@ let zero_stat =
     crashed = 0;
     elapsed_ns = 0;
     minor_words = 0;
+    physical = 0;
   }
 
 let series st =
@@ -198,10 +200,11 @@ let event_to_json ev =
       out
         "{\"ev\":\"round_end\",\"round\":%d,\"messages\":%d,\"bits\":%d,\
          \"max_bits\":%d,\"stepped\":%d,\"done\":%d,\"violations\":%d,\
-         \"dropped\":%d,\"crashed\":%d,\"ns\":%d,\"minor_words\":%d}"
+         \"dropped\":%d,\"crashed\":%d,\"ns\":%d,\"minor_words\":%d,\
+         \"physical\":%d}"
         s.round s.messages s.bits s.max_bits s.vertices_stepped
         s.vertices_done s.congest_violations s.dropped s.crashed s.elapsed_ns
-        s.minor_words
+        s.minor_words s.physical
   | Send { src; dst; bits; round } ->
       out "{\"ev\":\"send\",\"round\":%d,\"src\":%d,\"dst\":%d,\"bits\":%d}"
         round src dst bits
@@ -418,6 +421,9 @@ let event_of_json line =
               crashed = int_opt "crashed" ~default:0;
               elapsed_ns = int "ns";
               minor_words = int_opt "minor_words" ~default:0;
+              (* Absent-tolerant: pre-PR8 streams predate the
+                 physical/logical split, where the two coincide. *)
+              physical = int_opt "physical" ~default:(int "messages");
             }
       | "send" ->
           Send

@@ -50,6 +50,14 @@ type round_stat = {
           [elapsed_ns] this is a measurement of the simulator, not the
           simulated protocol, so it is nondeterministic and excluded
           from the cross-scheduler equality contracts. *)
+  physical : int;
+      (** wire messages actually charged this round. Equal to
+          [messages] on a plain run; under [Engine.run ?frugal] it
+          counts the reduced physical stream (tree publishes,
+          aggregated collects, data sends and 2-bit silence markers)
+          while [messages]/[bits] keep describing the logical layer,
+          so plain-vs-frugal round series stay comparable column by
+          column. Deterministic, like [messages]. *)
 }
 (** One row of the per-round series. Round 0 is initialization: every
     vertex runs [init], so [vertices_stepped = n] there. Summing

@@ -204,6 +204,44 @@ let mem_edge g u v =
     !found
   end
 
+(* Directed slot of [v] inside [u]'s row. Unlike [mem_edge] this must
+   search [u]'s row specifically (not the lower-degree endpoint's): the
+   returned index is a stable per-directed-edge identifier in
+   [0, 2m), which the engine's frugal layer uses to key per-edge send
+   memos without hashing. *)
+let edge_slot g u v =
+  if u = v then -1
+  else begin
+    let rp = g.row_ptr in
+    let lo = ref (Bigarray.Array1.get rp u)
+    and hi = ref (Bigarray.Array1.get rp (u + 1)) in
+    let slot = ref (-1) in
+    while !slot < 0 && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let y = Bigarray.Array1.unsafe_get g.col mid in
+      if y = v then slot := mid else if y < v then lo := mid + 1 else hi := mid
+    done;
+    !slot
+  end
+
+(* Does [dsts.(lo .. hi-1)] spell out exactly [u]'s neighbor row?
+   Allocation-free; used to recognize full-neighborhood broadcasts
+   from an outbox segment without touching per-edge state. *)
+let row_matches g u dsts ~lo ~hi =
+  let rlo = Bigarray.Array1.get g.row_ptr u
+  and rhi = Bigarray.Array1.get g.row_ptr (u + 1) in
+  hi - lo = rhi - rlo
+  &&
+  let ok = ref true in
+  let i = ref lo and j = ref rlo in
+  while !ok && !i < hi do
+    if Array.unsafe_get dsts !i <> Bigarray.Array1.unsafe_get g.col !j then
+      ok := false;
+    incr i;
+    incr j
+  done;
+  !ok
+
 (* Allocation-free edge iteration: each edge visited once as the
    ordered pair (u, v) with u < v, in ascending lexicographic order. *)
 let iter_edges_uv f g =

@@ -80,6 +80,22 @@ val mem_edge : t -> int -> int -> bool
 (** O(log deg) binary search in the lower-degree endpoint's row;
     allocation-free. *)
 
+val edge_slot : t -> int -> int -> int
+(** [edge_slot g u v] is the position of [v] within [u]'s sorted
+    neighbor row as a global index into the CSR column buffer, or
+    [-1] when [(u, v)] is not an edge. The index is a stable
+    identifier for the {e directed} edge [u -> v] in [0, 2m) —
+    [edge_slot g v u] names the opposite direction — so flat arrays
+    of length [2m] can carry per-directed-edge state without
+    hashing. O(log deg u), allocation-free. *)
+
+val row_matches : t -> int -> int array -> lo:int -> hi:int -> bool
+(** [row_matches g u dsts ~lo ~hi] is [true] iff
+    [dsts.(lo .. hi-1)] is exactly [u]'s neighbor row (same length,
+    same vertices, same ascending order). Allocation-free; the
+    engine uses it to recognize a full-neighborhood broadcast in an
+    outbox segment. *)
+
 val edges : t -> Edge.t list
 (** Materializes the edge list — prefer {!iter_edges_uv} or
     {!fold_edges} when the caller only iterates. *)

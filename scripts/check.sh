@@ -6,8 +6,9 @@
 #     silently drop it)
 #   - a bench smoke run exercising the --json perf-trajectory and
 #     --trace event-stream paths, plus the --par 2 seq-vs-par A/B path;
-#     the emitted JSON must carry the spanner-bench/6 "alloc",
-#     "faults" and "csr" rows
+#     the emitted JSON must carry the spanner-bench/8 "alloc",
+#     "faults", "csr" and "frugal" rows (the frugal row's physical
+#     message accounting and its identical=1 contract flag)
 #   - a CSR scale smoke: the e18 anchor (10^4-vertex gnp) must stream-
 #     build, BFS and flood inside a hard time budget, and the CSR
 #     builder's GC guard (10^5 vertices under a minor-words ceiling)
@@ -28,9 +29,17 @@
 #     here the file must exist, be an array, and be non-trivial), and
 #     bench_diff must (a) pass the two checked-in trajectories
 #     (BENCH_PR5.json vs BENCH_PR6.json) under default tolerances and
-#     (b) gate a fresh e13 run against BENCH_PR6.json in --strict
+#     (b) gate a fresh e13 run against BENCH_PR7.json in --strict
 #     mode: deterministic fields must match exactly, timing may drift
-#     up to 3x
+#     up to 3x (the new "frugal" section shows up as a named
+#     "section added" — informational, not a failure)
+#   - the message-frugality layer: span --frugal must produce the
+#     same spanner (exit 0 implies the internal identity assertions
+#     held) and print the physical summary; the default trace table
+#     must stay byte-identical with and without --frugal once the
+#     --frugal-only "physical:" summary and the "msg-bits:" histogram
+#     (which deliberately describes the physical stream) are
+#     filtered — everything the protocol computes from is unchanged
 # Run from the repository root: scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -46,9 +55,9 @@ dune exec test/test_csr.exe -- test gc > /dev/null
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
 benchjson=$(mktemp)
 dune exec bench/main.exe -- e13 --json "$benchjson" --trace /dev/null
-# The perf trajectory must be schema 7 and expose the allocation A/B
+# The perf trajectory must be schema 8 and expose the allocation A/B
 # plus the profile section's histogram percentiles and per-phase rows.
-grep -q '"schema": "spanner-bench/7"' "$benchjson"
+grep -q '"schema": "spanner-bench/8"' "$benchjson"
 grep -q '"alloc"' "$benchjson"
 grep -q '"minor_words"' "$benchjson"
 grep -q '"allocated_bytes"' "$benchjson"
@@ -57,13 +66,23 @@ grep -q '"profile"' "$benchjson"
 grep -q '"bits_p50"' "$benchjson"
 grep -q '"round_ns_p99"' "$benchjson"
 grep -q '"phase_' "$benchjson"
+# The frugality A/B rows for the selected protocol anchor: physical
+# message accounting plus the bit-identity contract flags (the bench
+# itself fail-hards on any logical divergence before emitting them).
+grep -q '"frugal"' "$benchjson"
+grep -q '"fr_e13_local_protocol"' "$benchjson"
+grep -q '"physical_messages"' "$benchjson"
+grep -q '"message_reduction"' "$benchjson"
+grep -q '"suppressed"' "$benchjson"
+grep -q '"identical": 1' "$benchjson"
+grep -q '"identical_faulted": 1' "$benchjson"
 # The bench-trajectory regression gate, both ways it is used:
 # checked-in PR5 vs PR6 must pass the calibrated defaults, and the
-# fresh e13 run just emitted must match BENCH_PR6.json exactly on
+# fresh e13 run just emitted must match BENCH_PR7.json exactly on
 # every deterministic field (--strict) with a wide 3x allowance on
 # this machine's wall clock.
 dune exec bench/diff.exe -- BENCH_PR5.json BENCH_PR6.json > /dev/null
-dune exec bench/diff.exe -- BENCH_PR6.json "$benchjson" \
+dune exec bench/diff.exe -- BENCH_PR7.json "$benchjson" \
   --strict --tolerance 2.0 > /dev/null
 rm -f "$benchjson"
 dune exec bench/main.exe -- e13 --par 2 --json /dev/null
@@ -119,6 +138,25 @@ grep -q 'dropped' "$seqrep"
 # must grade VALID (the subcommand exits non-zero otherwise).
 dune exec bin/spanner_cli.exe -- faults "$tmpgraph" \
   --schedule "$sched" --retry 3 > /dev/null
+
+# Message frugality: span --frugal must run (its physical summary line
+# proves the wire stream shrank below the logical count), and the
+# default trace table must be byte-identical with and without --frugal
+# once the --frugal-only "physical:" summary line and the "msg-bits:"
+# histogram (which deliberately shows the physical stream under
+# --frugal) are filtered out — spanner, rounds, logical messages/bits,
+# phase counts and the reconciliation line must not move.
+dune exec bin/spanner_cli.exe -- span "$tmpgraph" -a local --frugal \
+  > "$seqrep"
+grep -q '^physical: messages=' "$seqrep"
+dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
+  > "$seqrep"
+dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
+  --frugal > "$parrep"
+grep -v '^physical:' "$parrep" | grep -v '^msg-bits:' > "$parrep.f"
+grep -v '^msg-bits:' "$seqrep" > "$seqrep.f"
+diff "$seqrep.f" "$parrep.f"
+rm -f "$seqrep.f" "$parrep.f"
 
 # Profiler smoke: the profile subcommand must produce a per-phase
 # breakdown and a Chrome trace_event file that is a JSON array with

@@ -1,0 +1,155 @@
+(* Baswana-Sen (2k-1)-spanner: the randomized clustering baseline the
+   paper contrasts its directed lower bounds with (Sections 1.1, 2.1).
+   The guarantees split by kind — stretch <= 2k-1 holds on EVERY run,
+   the O(k n^{1+1/k}) size only in expectation — so the tests assert
+   stretch per seed and size against the expectation bound with head
+   room, across seeds and k. *)
+
+open Grapho
+module C = Spanner_core
+
+let rng seed = Rng.create seed
+
+let graphs () =
+  [
+    ("complete_30", Generators.complete 30);
+    ("caveman_6x6", Generators.caveman (rng 11) 6 6 0.04);
+    ("gnp_120", Generators.gnp_connected (rng 12) 120 0.08);
+    ("pa_150_4", Generators.preferential_attachment (rng 13) 150 4);
+    ("grid_9x9", Generators.grid 9 9);
+  ]
+
+let seeds = [ 1; 7; 42; 1234 ]
+
+(* Stretch <= 2k-1, every graph, every seed, k in {1, 2, 3}. k = 1
+   must return the whole graph (a 1-spanner has no slack). *)
+let test_stretch () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun seed ->
+              let r = C.Baswana_sen.run ~rng:(rng seed) ~k g in
+              Alcotest.(check int)
+                (Printf.sprintf "%s k=%d seed=%d: k recorded" name k seed)
+                k r.C.Baswana_sen.k;
+              let stretch = C.Spanner_check.stretch g r.spanner in
+              if stretch > (2 * k) - 1 then
+                Alcotest.failf "%s k=%d seed=%d: stretch %d > %d" name k
+                  seed stretch
+                  ((2 * k) - 1))
+            seeds)
+        [ 1; 2; 3 ])
+    (graphs ())
+
+let test_k1_is_whole_graph () =
+  List.iter
+    (fun (name, g) ->
+      let r = C.Baswana_sen.run ~rng:(rng 5) ~k:1 g in
+      Alcotest.(check bool)
+        (name ^ ": k=1 keeps every edge")
+        true
+        (Edge.Set.equal r.spanner (Ugraph.edge_set g)))
+    (graphs ())
+
+(* Size against the expectation bound k n^{1+1/k} + n. A single run
+   can exceed its expectation, so the per-seed assertion allows 3x
+   head room (far below the m it must beat on dense graphs), and the
+   across-seed MEAN must sit under the bound itself — on these
+   instances the slack is comfortable, so the test stays
+   deterministic-robust without dialing in constants per graph. *)
+let test_size_bound () =
+  List.iter
+    (fun (name, g) ->
+      let n = Ugraph.n g in
+      List.iter
+        (fun k ->
+          let bound = C.Baswana_sen.expected_size_bound ~n ~k in
+          let sizes =
+            List.map
+              (fun seed ->
+                let r = C.Baswana_sen.run ~rng:(rng seed) ~k g in
+                let size = Edge.Set.cardinal r.spanner in
+                if float_of_int size > 3.0 *. bound then
+                  Alcotest.failf "%s k=%d seed=%d: size %d > 3x bound %.0f"
+                    name k seed size bound;
+                size)
+              seeds
+          in
+          let mean =
+            float_of_int (List.fold_left ( + ) 0 sizes)
+            /. float_of_int (List.length sizes)
+          in
+          if mean > bound then
+            Alcotest.failf "%s k=%d: mean size %.1f > bound %.0f" name k
+              mean bound)
+        [ 2; 3 ])
+    (graphs ())
+
+(* On the dense instances the k = 2 spanner must actually be a
+   spanner worth the name: strictly sparser than the input. *)
+let test_sparsifies_dense () =
+  List.iter
+    (fun (name, g) ->
+      let r = C.Baswana_sen.run ~rng:(rng 3) ~k:2 g in
+      let size = Edge.Set.cardinal r.spanner in
+      if size >= Ugraph.m g then
+        Alcotest.failf "%s: k=2 kept all %d edges" name size)
+    [
+      ("complete_30", Generators.complete 30);
+      ("gnp_dense_60", Generators.gnp_connected (rng 14) 60 0.4);
+    ]
+
+(* Fixed seed, fixed k: the exact same spanner, rounds and cluster
+   count on every run — [run] draws only from the given rng. *)
+let test_deterministic () =
+  List.iter
+    (fun (name, g) ->
+      let a = C.Baswana_sen.run ~rng:(rng 99) ~k:3 g in
+      let b = C.Baswana_sen.run ~rng:(rng 99) ~k:3 g in
+      Alcotest.(check bool)
+        (name ^ ": same seed, same spanner")
+        true
+        (Edge.Set.equal a.C.Baswana_sen.spanner b.C.Baswana_sen.spanner);
+      Alcotest.(check int) (name ^ ": rounds") a.rounds b.rounds;
+      Alcotest.(check int)
+        (name ^ ": final clusters")
+        a.final_clusters b.final_clusters)
+    (graphs ())
+
+(* Spanner edges must come from the graph (subset property) — implied
+   by [is_spanner]'s own check, asserted via the checker on one run
+   per graph for the k the protocol layer actually exercises. *)
+let test_valid_spanner () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let r = C.Baswana_sen.run ~rng:(rng 21) ~k g in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d: valid (2k-1)-spanner" name k)
+            true
+            (C.Spanner_check.is_spanner g r.spanner ~k:((2 * k) - 1)))
+        [ 2; 3 ])
+    (graphs ())
+
+let () =
+  Alcotest.run "baswana_sen"
+    [
+      ( "guarantees",
+        [
+          Alcotest.test_case "stretch <= 2k-1 on every seed" `Quick
+            test_stretch;
+          Alcotest.test_case "k=1 returns the whole graph" `Quick
+            test_k1_is_whole_graph;
+          Alcotest.test_case "size vs k*n^(1+1/k)+n across seeds" `Quick
+            test_size_bound;
+          Alcotest.test_case "sparsifies dense graphs at k=2" `Quick
+            test_sparsifies_dense;
+          Alcotest.test_case "valid (2k-1)-spanner via checker" `Quick
+            test_valid_spanner;
+          Alcotest.test_case "deterministic under a fixed seed" `Quick
+            test_deterministic;
+        ] );
+    ]

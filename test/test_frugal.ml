@@ -1,0 +1,298 @@
+(* The message-frugality layer (Engine.run ?frugal): correctness
+   contract and exact physical accounting.
+
+   The contract under test: the layer is INVISIBLE to the logical
+   execution. Spanner, round series and all logical metrics are
+   bit-identical with and without ?frugal, under every scheduler,
+   shard count and fault schedule; only metrics.sent_physical /
+   sent_bits (and the physical column of the round series) change. *)
+
+open Grapho
+module C = Spanner_core
+module E = Distsim.Engine
+module T = Distsim.Trace
+
+let rng seed = Rng.create seed
+let protocol_graph () = Generators.caveman (rng 19) 4 6 0.05
+
+(* The logical projection of a round row: everything deterministic
+   except the physical column (and the simulator-side noise fields). *)
+let logical_row (r : T.round_stat) =
+  ( r.round,
+    r.messages,
+    r.bits,
+    r.max_bits,
+    r.vertices_stepped,
+    r.vertices_done,
+    r.congest_violations,
+    r.dropped,
+    r.crashed )
+
+let run_protocol ?sched ?par ?frugal ?adversary ?(retry = 1) g =
+  let st = T.stats () in
+  let r =
+    C.Two_spanner_local.run ~seed:3 ?sched ?par ?frugal ?adversary ~retry
+      ~trace:(T.stats_sink st) g
+  in
+  (r, (T.series st).T.rounds)
+
+let check_logical_identical name (a, sa) (b, sb) =
+  Alcotest.(check bool)
+    (name ^ ": same spanner")
+    true
+    (Edge.Set.equal a.C.Two_spanner_local.spanner
+       b.C.Two_spanner_local.spanner);
+  Alcotest.(check int)
+    (name ^ ": same iterations")
+    a.C.Two_spanner_local.iterations b.C.Two_spanner_local.iterations;
+  Alcotest.(check bool)
+    (name ^ ": metrics_logical_eq")
+    true
+    (E.metrics_logical_eq a.metrics b.metrics);
+  Alcotest.(check int)
+    (name ^ ": same series length")
+    (Array.length sa) (Array.length sb);
+  Array.iteri
+    (fun i ra ->
+      if logical_row ra <> logical_row sb.(i) then
+        Alcotest.failf "%s: logical round row %d differs" name i)
+    sa
+
+(* Plain vs frugal across the scheduler/shard matrix: every
+   combination produces the same logical execution, and the frugal
+   physical stream is itself scheduler-invariant. *)
+let test_matrix () =
+  let g = protocol_graph () in
+  let fr = Distsim.Frugal.create g in
+  let plain = run_protocol g in
+  let configs =
+    [
+      ("active", Some `Active, None);
+      ("naive", Some `Naive, None);
+      ("par2", Some `Active, Some 2);
+      ("par4", Some `Active, Some 4);
+    ]
+  in
+  let frugal_runs =
+    List.map
+      (fun (name, sched, par) ->
+        (name, run_protocol ?sched ?par ~frugal:fr g))
+      configs
+  in
+  List.iter
+    (fun (name, fruns) -> check_logical_identical ("frugal " ^ name) plain fruns)
+    frugal_runs;
+  (* The physical stream is deterministic too: same sent_physical /
+     sent_bits and the same per-round physical column for every
+     scheduler and shard count. *)
+  let (r0, s0) = snd (List.hd frugal_runs) in
+  List.iter
+    (fun (name, (r, s)) ->
+      Alcotest.(check int)
+        (name ^ ": sent_physical scheduler-invariant")
+        r0.C.Two_spanner_local.metrics.sent_physical
+        r.C.Two_spanner_local.metrics.sent_physical;
+      Alcotest.(check int)
+        (name ^ ": sent_bits scheduler-invariant")
+        r0.C.Two_spanner_local.metrics.sent_bits
+        r.C.Two_spanner_local.metrics.sent_bits;
+      Array.iteri
+        (fun i (row : T.round_stat) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: physical col round %d" name i)
+            s0.(i).T.physical row.T.physical)
+        s)
+    (List.tl frugal_runs);
+  (* And the reduction is real on this broadcast-shaped protocol. *)
+  let m = (fst plain).C.Two_spanner_local.metrics in
+  let fm = r0.C.Two_spanner_local.metrics in
+  if fm.sent_physical * 2 > m.messages then
+    Alcotest.failf "expected >= 2x physical reduction, got %d of %d"
+      fm.sent_physical m.messages
+
+(* The same contract under a deterministic fault schedule: drops must
+   invalidate the suppression memo (an undelivered payload cannot
+   license later silence) without ever touching the adversary's coin
+   stream. Duplication exercises the faulted-copy path. *)
+let test_faulted () =
+  let g = protocol_graph () in
+  let fr = Distsim.Frugal.create g in
+  List.iter
+    (fun spec ->
+      let schedule =
+        match Distsim.Faults.parse spec with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let adv () = Distsim.Faults.compile ~n:(Ugraph.n g) schedule in
+      let plain = run_protocol ~adversary:(adv ()) ~retry:3 g in
+      let frug = run_protocol ~adversary:(adv ()) ~retry:3 ~frugal:fr g in
+      check_logical_identical ("faulted " ^ spec) plain frug)
+    [
+      "drop=0.1,crash=0.1@r3,seed=13";
+      "dup=0.2,seed=5";
+      "drop=0.05,dup=0.1,seed=7";
+    ]
+
+(* Exact silence arithmetic on a synthetic one-edge protocol: vertex 0
+   sends the SAME 10-bit payload to vertex 1 for [k] consecutive
+   rounds. The edge machine must spell it as
+     Data(10) + Again(2) + (k-2) silences + Eps(2)
+   = 3 physical messages, 14 physical bits — against k logical
+   messages, 10k logical bits. *)
+let test_silence_arithmetic () =
+  let g = Ugraph.of_edges ~n:2 [ (0, 1) ] in
+  let k = 7 in
+  let spec =
+    {
+      E.init =
+        (fun ~n:_ ~vertex ~neighbors:_ ~out ->
+          if vertex = 0 then E.emit out ~dst:1 42;
+          0);
+      step =
+        (fun ~round ~vertex st _inbox ~out ->
+          if vertex = 0 && round < k then begin
+            E.emit out ~dst:1 42;
+            (st, if round = k - 1 then `Done else `Continue)
+          end
+          else (st, `Done));
+      measure = (fun _ -> 10);
+    }
+  in
+  List.iter
+    (fun (name, sched) ->
+      let fr = Distsim.Frugal.create g in
+      let _, m =
+        E.run ~sched ~frugal:fr ~model:Distsim.Model.local ~graph:g spec
+      in
+      Alcotest.(check int) (name ^ ": logical messages") k m.E.messages;
+      Alcotest.(check int) (name ^ ": logical bits") (10 * k) m.E.total_bits;
+      Alcotest.(check int) (name ^ ": physical messages") 3 m.E.sent_physical;
+      Alcotest.(check int) (name ^ ": physical bits") 14 m.E.sent_bits;
+      Alcotest.(check int)
+        (name ^ ": suppressed run length")
+        (k - 2)
+        (Distsim.Frugal.suppressed fr);
+      Alcotest.(check int)
+        (name ^ ": two markers (Again + Eps)")
+        2
+        (Distsim.Frugal.markers fr);
+      Alcotest.(check int) (name ^ ": no publishes") 0
+        (Distsim.Frugal.publishes fr))
+    [ ("active", `Active); ("naive", `Naive) ]
+
+(* Broadcast-shaped traffic rides the collection trees: flood-min-id
+   re-broadcasts whole rows, so the frugal run must publish into
+   hubs, flush collects, and land strictly below the logical message
+   count. Logical results stay bit-identical. *)
+let test_flood_trees () =
+  let g = Generators.gnp_connected (rng 31) 240 0.08 in
+  let fr = Distsim.Frugal.create g in
+  let plain_vals, pm = Distsim.Algorithms.flood_min_id g in
+  let frugal_vals, fm = Distsim.Algorithms.flood_min_id ~frugal:fr g in
+  Alcotest.(check bool) "flood values identical" true (plain_vals = frugal_vals);
+  Alcotest.(check bool)
+    "flood metrics_logical_eq" true
+    (E.metrics_logical_eq pm fm);
+  if fm.E.sent_physical >= pm.E.messages then
+    Alcotest.failf "flood physical %d >= logical %d" fm.E.sent_physical
+      pm.E.messages;
+  Alcotest.(check bool)
+    "publishes happened" true
+    (Distsim.Frugal.publishes fr > 0);
+  Alcotest.(check bool)
+    "collects happened" true
+    (Distsim.Frugal.collects fr > 0)
+
+(* Tree construction: deterministic for a fixed seed, hubs inside the
+   closed neighborhood, heap-shaped trees of degree <= 3. *)
+let test_tree_wellformed () =
+  let g = Generators.caveman (rng 23) 8 8 0.03 in
+  let a = Distsim.Frugal.create g in
+  let b = Distsim.Frugal.create g in
+  let n = Ugraph.n g in
+  for v = 0 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "hub(%d) deterministic" v)
+      (Distsim.Frugal.hub a v) (Distsim.Frugal.hub b v);
+    let h = Distsim.Frugal.hub a v in
+    let closed = h = v || Ugraph.mem_edge g v h in
+    if not closed then
+      Alcotest.failf "hub(%d) = %d outside the closed neighborhood" v h;
+    if Distsim.Frugal.tree_degree a v > 3 then
+      Alcotest.failf "tree degree %d > 3 at %d"
+        (Distsim.Frugal.tree_degree a v)
+        v;
+    let p = Distsim.Frugal.tree_parent a v in
+    if p >= 0 then begin
+      (* Parent edges stay inside the hub's cluster: same hub. *)
+      Alcotest.(check int)
+        (Printf.sprintf "parent(%d) shares the hub" v)
+        h
+        (Distsim.Frugal.hub a p)
+    end
+  done;
+  Alcotest.(check int)
+    "tree count deterministic"
+    (Distsim.Frugal.tree_count a) (Distsim.Frugal.tree_count b);
+  Alcotest.(check bool)
+    "max tree degree <= 3" true
+    (Distsim.Frugal.max_tree_degree a <= 3);
+  (* A different seed may pick different hubs (same graph, different
+     mixing) — but stays well-formed. *)
+  let c = Distsim.Frugal.create ~seed:0xFEED g in
+  for v = 0 to n - 1 do
+    let h = Distsim.Frugal.hub c v in
+    if not (h = v || Ugraph.mem_edge g v h) then
+      Alcotest.failf "seeded hub(%d) = %d outside closed neighborhood" v h
+  done
+
+(* Plain runs must keep the degenerate invariant: the physical stream
+   IS the logical stream. *)
+let test_frugal_off_invariant () =
+  let g = protocol_graph () in
+  let r, _ = run_protocol g in
+  Alcotest.(check int)
+    "sent_physical = messages"
+    r.C.Two_spanner_local.metrics.messages
+    r.C.Two_spanner_local.metrics.sent_physical;
+  Alcotest.(check int)
+    "sent_bits = total_bits" r.C.Two_spanner_local.metrics.total_bits
+    r.C.Two_spanner_local.metrics.sent_bits
+
+(* A Frugal.t is bound to its graph: running it against a different
+   graph is a programming error the engine rejects up front. *)
+let test_wrong_graph_rejected () =
+  let g1 = Generators.caveman (rng 19) 4 6 0.05 in
+  let g2 = Generators.gnp_connected (rng 2) 50 0.2 in
+  let fr = Distsim.Frugal.create g1 in
+  match C.Two_spanner_local.run ~seed:3 ~frugal:fr g2 with
+  | _ -> Alcotest.fail "expected Invalid_argument for a foreign graph"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "frugal"
+    [
+      ( "contract",
+        [
+          Alcotest.test_case "plain = frugal across sched x par" `Quick
+            test_matrix;
+          Alcotest.test_case "plain = frugal under faults" `Quick test_faulted;
+          Alcotest.test_case "frugal-off: physical = logical" `Quick
+            test_frugal_off_invariant;
+          Alcotest.test_case "foreign graph rejected" `Quick
+            test_wrong_graph_rejected;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "silence arithmetic: 3 msgs, b+4 bits" `Quick
+            test_silence_arithmetic;
+          Alcotest.test_case "flood rides the collection trees" `Quick
+            test_flood_trees;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "deterministic, well-formed, degree <= 3" `Quick
+            test_tree_wellformed;
+        ] );
+    ]

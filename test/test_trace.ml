@@ -187,6 +187,7 @@ let test_codec_cases () =
          crashed = 0;
          elapsed_ns = 8125;
          minor_words = 2048;
+         physical = 12;
        });
   roundtrip
     (T.Round_end
@@ -202,7 +203,20 @@ let test_codec_cases () =
          crashed = 2;
          elapsed_ns = 17;
          minor_words = 0;
+         physical = 4;
        });
+  (* Pre-PR8 round_end lines carry no "physical" field; they must
+     still parse, with the physical stream defaulting to the logical
+     one (the two coincide on plain runs). *)
+  (match
+     T.event_of_json
+       "{\"ev\":\"round_end\",\"round\":2,\"messages\":7,\"bits\":70,\
+        \"max_bits\":10,\"stepped\":3,\"done\":1,\"violations\":0,\"ns\":42}"
+   with
+  | Ok (T.Round_end s) ->
+      check_int "absent physical defaults to messages" 7 s.T.physical
+  | Ok _ -> Alcotest.fail "parsed to the wrong event"
+  | Error msg -> Alcotest.failf "pre-PR8 round_end: %s" msg);
   roundtrip (T.Send { src = 0; dst = 41; bits = 17; round = 2 });
   roundtrip (T.Fault_injected { round = 3; kind = T.Crash 7 });
   roundtrip (T.Fault_injected { round = 1; kind = T.Cut (2, 9) });
