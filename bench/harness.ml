@@ -1,7 +1,7 @@
 (* Shared plumbing for the bench executable: report formatting, the
    graph families and protocol anchors the perf trajectory tracks
    across PRs, wall-clock timing helpers, and the --json/--trace
-   writer (schema "spanner-bench/8").
+   writer (schema "spanner-bench/9").
 
    The experiment functions themselves live in main.ml; everything
    here is the scaffolding they share so that adding an experiment
@@ -508,6 +508,63 @@ let frugal_schedule spec =
   | Ok s -> s
   | Error e -> failwith e
 
+(* Frugal auto fields (new in schema "spanner-bench/9").
+
+   [Frugal.Auto w] probes each run for [w] rounds at full charge
+   before deciding whether per-edge silence suppression pays: it arms
+   only when the observed payload repeats form runs long enough that
+   the 2-bit Again/Eps marker pair costs fewer physical messages than
+   the repeats it silences. The point is the chunked CONGEST anchors,
+   whose per-chunk payloads rarely repeat — under [Always] they land
+   at 0.97x physical messages (markers bought nothing), under [Auto]
+   the machine stays at parity and the reduction is >= 1.0x by
+   construction. Broadcast suppression and the collection trees are
+   unaffected, so repeat-heavy LOCAL anchors keep their full
+   reduction. Both the >= 1.0x floor and the logical-identity
+   contract are asserted; a violation fails the whole bench. *)
+let frugal_auto_fields name kind g (plain : C.Two_spanner_local.result) =
+  let fra =
+    Distsim.Frugal.create
+      ~mode:(Distsim.Frugal.Auto Distsim.Frugal.default_auto_window)
+      g
+  in
+  let fauto = run_anchor ~frugal:fra kind g in
+  let m = plain.C.Two_spanner_local.metrics in
+  let am = fauto.C.Two_spanner_local.metrics in
+  if
+    not
+      (Edge.Set.equal plain.C.Two_spanner_local.spanner
+         fauto.C.Two_spanner_local.spanner
+      && Distsim.Engine.metrics_logical_eq m am)
+  then
+    failwith
+      (Printf.sprintf
+         "frugal auto A/B: logical divergence on %s (the observation \
+          window must be invisible to the protocol)"
+         name);
+  (* The auto contract is on the classic frugality measure, message
+     count: arm only when the observed run lengths pay for the
+     markers, so the wire never carries more messages than the
+     logical stream. Bits are reported but not gated — on LOCAL
+     anchors the collection trees' collect frames can push bit
+     totals above logical even as messages drop 2-3x (E19 documents
+     the same for Always mode). *)
+  if am.sent_physical > m.messages then
+    failwith
+      (Printf.sprintf
+         "frugal auto A/B: %s physical stream above logical (%d > %d \
+          msgs) — the auto probe exists to forbid this"
+         name am.sent_physical m.messages);
+  [
+    ("auto_physical_messages", float_of_int am.sent_physical);
+    ( "auto_message_reduction",
+      float_of_int m.messages /. float_of_int (max 1 am.sent_physical) );
+    ("auto_physical_bits", float_of_int am.sent_bits);
+    ("auto_armed", float_of_int (Distsim.Frugal.auto_armed fra));
+    ("auto_disarmed", float_of_int (Distsim.Frugal.auto_disarmed fra));
+    ("auto_identical", 1.0);
+  ]
+
 let frugal_rows ~reps ~selected =
   let sel id = selected = [] || List.mem id selected in
   List.filter_map
@@ -595,7 +652,8 @@ let frugal_rows ~reps ~selected =
               ("speedup", plain_ms /. Float.max 1e-9 frugal_ms);
               ("identical", 1.0);
             ]
-            @ faulted_fields )
+            @ faulted_fields
+            @ frugal_auto_fields name kind g plain )
       end)
     (anchors ())
 
@@ -650,6 +708,196 @@ let frugal_flood_rows ~selected =
             ] )
       end)
     (csr_anchors ())
+
+(* ------------------------------------------------------------------ *)
+(* Churn rows (new in schema "spanner-bench/9").
+
+   Incremental 2-spanner repair under batched edge churn
+   ({!Spanner_core.Incremental}): bootstrap with one full protocol
+   run, then per tick replace a fraction of the edges (uniform seeded
+   deletions + insertions through [Ugraph.apply_delta]'s merge
+   rebuild), sweep the update-incident certificates, and re-run the
+   protocol only on the dirty ball via [Engine.run ?active]. Each row
+   is one (anchor, churn rate) pair and records the per-tick repair
+   statistics next to a full-recompute baseline on the same
+   post-churn graph — interleaved best-of-k where recompute is cheap
+   enough to repeat ([`Best k]), a single timed run on the
+   million-vertex anchor ([`Once], where best-of-k recomputes would
+   multiply minutes of wall clock). The repair side of the A/B
+   rebuilds its workspaces from the pre-tick state every rep
+   ([Incremental.create] + [apply]), so its time honestly includes
+   the O(n) setup the steady-state loop amortizes. [valid_every_tick]
+   is the fast stretch-2 verdict after every tick; the small anchor
+   also replays the whole trace under naive/par2/par4 engines and
+   asserts bit-identical spanners and tick statistics
+   ([deterministic]). *)
+
+let churn_anchors () =
+  [
+    ( "churn_gnp_10k",
+      "e20",
+      5,
+      `Best 3,
+      fun () -> Generators.gnp_connected (rng 51) 10_000 0.0015 );
+    ( "churn_gnp_100k",
+      "e20big",
+      3,
+      `Best 3,
+      fun () -> Generators.gnp_connected (rng 52) 100_000 0.0002 );
+    ( "churn_pa_1e6",
+      "e20big",
+      2,
+      `Once,
+      fun () -> Generators.preferential_attachment (rng 53) 1_000_000 3 );
+  ]
+
+let churn_rates = [ 0.001; 0.01 ]
+
+let churn_rows ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  List.concat_map
+    (fun (name, family, ticks, ab, gen) ->
+      if not (sel family) then []
+      else begin
+        Gc.compact ();
+        let g0 = gen () in
+        let (inc0, base), bootstrap_ms =
+          time_once (fun () -> C.Incremental.bootstrap ~seed:3 g0)
+        in
+        let s0 = C.Incremental.spanner inc0 in
+        let base_size =
+          Edge.Set.cardinal base.C.Two_spanner_local.spanner
+        in
+        List.map
+          (fun rate ->
+            let replace =
+              max 1 (int_of_float (rate *. float_of_int (Ugraph.m g0)))
+            in
+            (* One full churn trace from the shared (g0, s0) baseline:
+               per tick one seeded delta, one timed repair, one fast
+               validity verdict. Returns the final state, the per-tick
+               records, the pre-state of the final tick and its delta
+               (still in [d]: churn resets it, apply does not) for the
+               A/B below. *)
+            let run_trace ?sched ?par () =
+              let inc = C.Incremental.create ~seed:3 ~spanner:s0 g0 in
+              let rng_c = Rng.create 0xC0FFEE in
+              let d = Ugraph.Delta.create () in
+              let stats = ref [] in
+              let pre = ref (g0, s0) in
+              for t = 1 to ticks do
+                C.Incremental.churn ~rng:rng_c ~replace
+                  (C.Incremental.graph inc)
+                  d;
+                if t = ticks then
+                  pre :=
+                    (C.Incremental.graph inc, C.Incremental.spanner inc);
+                let st, ms =
+                  time_once (fun () ->
+                      C.Incremental.apply ?sched ?par inc d)
+                in
+                let ok = C.Incremental.valid inc in
+                stats := (st, ms, ok) :: !stats
+              done;
+              (inc, List.rev !stats, !pre, d)
+            in
+            let inc, stats, (g_pre, s_pre), d_last = run_trace () in
+            let g_post = C.Incremental.graph inc in
+            let all_valid = List.for_all (fun (_, _, ok) -> ok) stats in
+            let repair_ms =
+              List.map (fun (_, ms, _) -> ms) stats
+            in
+            let repair_mean =
+              List.fold_left ( +. ) 0.0 repair_ms /. float_of_int ticks
+            in
+            let repair_max =
+              List.fold_left Float.max 0.0 repair_ms
+            in
+            let isum f =
+              List.fold_left
+                (fun a (st, _, _) -> a + f (st : C.Incremental.tick_stats))
+                0 stats
+            in
+            let imax f =
+              List.fold_left
+                (fun a (st, _, _) -> max a (f (st : C.Incremental.tick_stats)))
+                0 stats
+            in
+            (* The repair-vs-recompute A/B on the final tick's delta:
+               repair replays from the pre-tick snapshot, recompute
+               runs the full protocol on the post-tick graph both
+               sides produce. *)
+            let repair_once () =
+              let i2 = C.Incremental.create ~seed:3 ~spanner:s_pre g_pre in
+              ignore (C.Incremental.apply i2 d_last)
+            in
+            let recompute_once () =
+              ignore (C.Two_spanner_local.run ~seed:3 g_post)
+            in
+            let repair_best, recompute_best =
+              match ab with
+              | `Best reps -> interleaved_ab_ms ~reps repair_once recompute_once
+              | `Once ->
+                  let _, r_ms = time_once repair_once in
+                  let _, f_ms = time_once recompute_once in
+                  (r_ms, f_ms)
+            in
+            (* The incremental path's determinism contract, replayed
+               end to end on the cheap anchor: same final spanner and
+               the same per-tick statistics under every engine. *)
+            let det_fields =
+              if family <> "e20" then []
+              else begin
+                let key (i, st, _, _) =
+                  ( C.Incremental.spanner i,
+                    List.map (fun (s, _, ok) -> (s, ok)) st )
+                in
+                let s_seq, k_seq = key (inc, stats, ((g_pre, s_pre) : Ugraph.t * Edge.Set.t), d_last) in
+                let same variant =
+                  let s_v, k_v = key variant in
+                  Edge.Set.equal s_seq s_v && k_seq = k_v
+                in
+                let det =
+                  same (run_trace ~sched:`Naive ())
+                  && same (run_trace ~par:2 ())
+                  && same (run_trace ~par:4 ())
+                in
+                if not det then
+                  failwith
+                    (Printf.sprintf
+                       "churn: incremental repair diverged across engines \
+                        on %s@r%g"
+                       name rate);
+                [ ("deterministic", 1.0) ]
+              end
+            in
+            let final_size = Edge.Set.cardinal (C.Incremental.spanner inc) in
+            ( Printf.sprintf "%s@r%g" name rate,
+              [
+                ("n", float_of_int (Ugraph.n g0));
+                ("m", float_of_int (Ugraph.m g0));
+                ("replace_per_tick", float_of_int replace);
+                ("ticks", float_of_int ticks);
+                ("bootstrap_ms", bootstrap_ms);
+                ("repair_ms_mean", repair_mean);
+                ("repair_ms_max", repair_max);
+                ("repair_ms_best", repair_best);
+                ("recompute_ms_best", recompute_best);
+                ( "speedup_vs_recompute",
+                  recompute_best /. Float.max 1e-9 repair_best );
+                ("seeds_mean", float_of_int (isum (fun s -> s.seeds) / ticks));
+                ("broken_total", float_of_int (isum (fun s -> s.broken)));
+                ("dirty_mean", float_of_int (isum (fun s -> s.dirty) / ticks));
+                ("dirty_max", float_of_int (imax (fun s -> s.dirty)));
+                ("spanner_edges", float_of_int final_size);
+                ("spanner_drift", float_of_int (final_size - base_size));
+                ("valid_every_tick", if all_valid then 1.0 else 0.0);
+              ]
+              @ det_fields )
+          )
+          churn_rates
+      end)
+    (churn_anchors ())
 
 (* ------------------------------------------------------------------ *)
 (* Perf trajectory (--json FILE): a machine-readable snapshot of the
@@ -777,6 +1025,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
     if json_path = None then []
     else frugal_rows ~reps:3 ~selected @ frugal_flood_rows ~selected
   in
+  let ch_rows = if json_path = None then [] else churn_rows ~selected in
   (match json_path with
   | None -> ()
   | Some path ->
@@ -797,7 +1046,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
         else Printf.sprintf "%.3f" v
       in
       out "{\n";
-      out "  \"schema\": \"spanner-bench/8\",\n";
+      out "  \"schema\": \"spanner-bench/9\",\n";
       out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
         (Domain.recommended_domain_count ());
       out "  \"micro_ns_per_run\": {\n";
@@ -875,6 +1124,22 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
           out " }")
         fr_rows;
       out "\n  },\n";
+      (* Churn rows (schema "spanner-bench/9"): incremental dirty-ball
+         repair vs full recompute under seeded edge churn, with the
+         per-tick validity verdict and (on the small anchor) the
+         cross-engine determinism flag folded in. *)
+      out "  \"churn\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %s" k (num v))
+            fields;
+          out " }")
+        ch_rows;
+      out "\n  },\n";
       out "  \"round_series\": {\n";
       sep
         (fun (name, series) ->
@@ -944,12 +1209,13 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
       printf
         "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
          seq-vs-par anchors at %d domains, %d alloc rows, %d fault rows, %d \
-         csr rows, %d frugal rows, %d profile rows)\n"
+         csr rows, %d frugal rows, %d churn rows, %d profile rows)\n"
         path
         (List.length metric_rows)
         (match micro_rows with None -> 0 | Some rows -> List.length rows)
         (List.length sv_rows) par (List.length al_rows)
         (List.length ft_rows) (List.length cs_rows) (List.length fr_rows)
+        (List.length ch_rows)
         (List.length profile_rows));
   match trace_path with
   | Some path ->

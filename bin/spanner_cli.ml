@@ -142,17 +142,32 @@ let retry_arg =
                  loses a message only with probability p^K.")
 
 let frugal_arg =
-  Arg.(value & flag
-       & info [ "frugal" ]
-           ~doc:"Enable the message-frugality layer: identical consecutive \
-                 re-sends are suppressed behind 2-bit silence markers and \
-                 whole-neighborhood broadcasts route through deterministic \
-                 collection trees. The protocol's output, round count and \
-                 every logical metric are bit-identical with and without \
-                 this flag; only the physical wire stream \
-                 (metrics sent_physical / sent_bits) shrinks.")
+  Arg.(value & opt ~vopt:"on" string "off"
+       & info [ "frugal" ] ~docv:"MODE"
+           ~doc:"Message-frugality layer: off (default), on, or auto. Under \
+                 on, identical consecutive re-sends are suppressed behind \
+                 2-bit silence markers and whole-neighborhood broadcasts \
+                 route through deterministic collection trees. Under auto, \
+                 per-edge suppression first observes a few rounds at full \
+                 charge and arms only if payload repeats are long enough to \
+                 beat the marker overhead — chunked CONGEST traffic thereby \
+                 never pays for markers it cannot amortize. The protocol's \
+                 output, round count and every logical metric are \
+                 bit-identical in all modes; only the physical wire stream \
+                 (metrics sent_physical / sent_bits) changes. A bare \
+                 --frugal means --frugal=on.")
 
-let frugal_of g on = if on then Some (Distsim.Frugal.create g) else None
+let frugal_of g mode =
+  match mode with
+  | "off" -> None
+  | "on" -> Some (Distsim.Frugal.create g)
+  | "auto" ->
+      Some
+        (Distsim.Frugal.create
+           ~mode:(Distsim.Frugal.Auto Distsim.Frugal.default_auto_window)
+           g)
+  | other ->
+      failwith (Printf.sprintf "unknown frugal mode %S (off|on|auto)" other)
 
 (* The physical-vs-logical summary, printed only under --frugal (the
    default output stays byte-identical with and without the layer). *)
@@ -184,7 +199,7 @@ let steps_line (m : Distsim.Engine.metrics) ~n =
 let span file algorithm k seed sched par frugal dot weights_file faults =
   let g = load_graph file in
   let rng = Rng.create seed in
-  (if frugal then
+  (if frugal <> "off" then
      match algorithm with
      | "local" | "congest" -> ()
      | other ->
@@ -657,6 +672,98 @@ let profile_cmd =
           $ sched_arg $ par_arg $ frugal_arg $ schedule_arg $ retry_arg
           $ weights_arg $ chrome_arg)
 
+(* ---- churn ------------------------------------------------------- *)
+
+let churn file ticks rate seed sched par recompute =
+  let g0 = load_graph file in
+  if ticks < 1 then failwith "--ticks must be >= 1";
+  if rate <= 0.0 || rate >= 1.0 then failwith "--rate must be in (0, 1)";
+  let replace =
+    max 1 (int_of_float (rate *. float_of_int (Ugraph.m g0)))
+  in
+  let now () = Unix.gettimeofday () in
+  let t0 = now () in
+  let inc, base = C.Incremental.bootstrap ~seed ~sched ~par g0 in
+  let bootstrap_ms = 1000.0 *. (now () -. t0) in
+  Printf.printf
+    "bootstrap: n=%d m=%d spanner=%d/%d rounds=%d (%.1f ms); churn \
+     replaces %d edges/tick (rate %g)\n"
+    (Ugraph.n g0) (Ugraph.m g0)
+    (Edge.Set.cardinal base.C.Two_spanner_local.spanner)
+    (Ugraph.m g0) base.C.Two_spanner_local.metrics.rounds bootstrap_ms
+    replace rate;
+  let churn_rng = Rng.create (seed lxor 0x6A7A) in
+  let d = Ugraph.Delta.create () in
+  Printf.printf "%5s %5s %5s %6s %6s %6s %9s%s %9s %6s\n" "tick" "del"
+    "ins" "seeds" "broken" "dirty" "repair"
+    (if recompute then "   recomp  speedup" else "")
+    "spanner" "valid";
+  let all_valid = ref true in
+  let sum_repair = ref 0.0 and sum_recomp = ref 0.0 in
+  for _ = 1 to ticks do
+    C.Incremental.churn ~rng:churn_rng ~replace (C.Incremental.graph inc) d;
+    let t1 = now () in
+    let st = C.Incremental.apply ~sched ~par inc d in
+    let repair_ms = 1000.0 *. (now () -. t1) in
+    sum_repair := !sum_repair +. repair_ms;
+    let valid = C.Incremental.valid inc in
+    if not valid then all_valid := false;
+    Printf.printf "%5d %5d %5d %6d %6d %6d %7.1fms" st.tick st.deleted
+      st.inserted st.seeds st.broken st.dirty repair_ms;
+    if recompute then begin
+      let g = C.Incremental.graph inc in
+      let t2 = now () in
+      let r = C.Two_spanner_local.run ~seed ~sched ~par g in
+      let recomp_ms = 1000.0 *. (now () -. t2) in
+      sum_recomp := !sum_recomp +. recomp_ms;
+      ignore r.C.Two_spanner_local.spanner;
+      Printf.printf " %7.1fms %7.1fx" recomp_ms
+        (recomp_ms /. Float.max repair_ms 1e-6)
+    end;
+    Printf.printf " %9d %6b\n" st.spanner_size valid
+  done;
+  Printf.printf "ticks=%d mean repair=%.1f ms%s all-valid=%b\n" ticks
+    (!sum_repair /. float_of_int ticks)
+    (if recompute then
+       Printf.sprintf " mean recompute=%.1f ms mean speedup=%.1fx"
+         (!sum_recomp /. float_of_int ticks)
+         (!sum_recomp /. Float.max !sum_repair 1e-6)
+     else "")
+    !all_valid;
+  if !all_valid then 0 else 1
+
+let ticks_arg =
+  Arg.(value & opt int 10
+       & info [ "ticks" ] ~docv:"T" ~doc:"Churn ticks to apply.")
+
+let rate_arg =
+  Arg.(value & opt float 0.01
+       & info [ "rate" ] ~docv:"R"
+           ~doc:"Fraction of the edges replaced per tick (that many uniform \
+                 deletions plus that many uniform insertions), at least one \
+                 of each.")
+
+let recompute_arg =
+  Arg.(value & flag
+       & info [ "recompute" ]
+           ~doc:"After every repaired tick, also run the full protocol from \
+                 scratch on the updated graph and report per-tick recompute \
+                 time and speedup.")
+
+let churn_cmd =
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Maintain a 2-spanner under seeded edge churn: bootstrap with \
+             the full LOCAL protocol, then per tick replace a fraction of \
+             the edges (batched CSR delta), find the certificates the \
+             update broke, and re-run the protocol only on the dirty ball \
+             around them. Prints per-tick repair statistics and a validity \
+             verdict; exits 0 iff the maintained spanner was valid after \
+             every tick. --recompute adds a full-recompute baseline and \
+             speedup column.")
+    Term.(const churn $ file_arg $ ticks_arg $ rate_arg $ seed_arg
+          $ sched_arg $ par_arg $ recompute_arg)
+
 (* ---- check ------------------------------------------------------- *)
 
 let check file spanner_file k =
@@ -722,6 +829,7 @@ let () =
             span_cmd;
             mds_cmd;
             faults_cmd;
+            churn_cmd;
             trace_cmd;
             profile_cmd;
             check_cmd;

@@ -25,6 +25,26 @@ val is_spanner_of_targets :
 (** Client-server / partial form: does the edge set cover every edge
     of [targets]? *)
 
+val spanner_csr : n:int -> Edge.Set.t -> Ugraph.t
+(** The candidate set as its own CSR graph — the index
+    {!covers_edge_2} probes. Build it once per candidate set, then
+    each certificate check is one sorted-row merge. *)
+
+val covers_edge_2 : spanner_csr:Ugraph.t -> int -> int -> bool
+(** Stretch-2 certificate against a prebuilt {!spanner_csr}: the edge
+    itself or one common neighbor inside the candidate set.
+    O(deg u + deg v) in the candidate CSR, allocation-free —
+    equivalent to [covers_edge ~k:2] but usable per-tick at the
+    10^5/10^6 churn anchors where the BFS checker's O(n) scratch per
+    edge is infeasible. *)
+
+val is_2_spanner_fast : Ugraph.t -> Edge.Set.t -> bool
+(** Equivalent to [is_spanner g s ~k:2] (including the subset check),
+    via one {!spanner_csr} build plus one {!covers_edge_2} probe per
+    graph edge: O(n + m_s + Σ_e merge) total instead of O(m n). The
+    equivalence is pinned by the test suite; the churn bench runs
+    this as its every-tick validity verdict. *)
+
 val directed_covers_edge :
   n:int -> Edge.Directed.Set.t -> k:int -> Edge.Directed.t -> bool
 

@@ -537,10 +537,18 @@ let make_spec ~seed ~variant g =
     measure = measure ~n:(max n 2);
   }
 
-let collect_result (states, metrics) =
+(* Under [?active] the engine's state array is slot-indexed: slot [i]
+   holds the final state of vertex [active.(i)]. *)
+let collect_result ?active (states, metrics) =
+  let vertex_of =
+    match active with
+    | None -> fun i -> i
+    | Some act -> fun i -> act.(i)
+  in
   let spanner = ref Edge.Set.empty in
   Array.iteri
-    (fun v st ->
+    (fun i st ->
+      let v = vertex_of i in
       Iset.iter
         (fun u -> spanner := Edge.Set.add (Edge.make v u) !spanner)
         st.h_adj)
@@ -551,15 +559,17 @@ let collect_result (states, metrics) =
   { spanner = !spanner; iterations; metrics }
 
 let run ?(seed = 0x2D5F1) ?max_rounds ?sched ?par ?adversary ?profile ?frugal
-    ?(retry = 1) ?(trace = Distsim.Trace.null) g =
-  let n = Ugraph.n g in
+    ?(retry = 1) ?(trace = Distsim.Trace.null) ?active g =
+  let n =
+    match active with Some a -> Array.length a | None -> Ugraph.n g
+  in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 200 * (n + 20)
   in
   let trace = Distsim.Trace.with_round_phases local_phases trace in
-  collect_result
+  collect_result ?active
     (Distsim.Engine.run ~max_rounds ?sched ?par ?adversary ?profile ?frugal
-       ~trace
+       ?active ~trace
        ~model:Distsim.Model.local ~graph:g
        (Distsim.Faults.with_retry ~attempts:retry
           (make_spec ~seed ~variant:unweighted_variant g)))

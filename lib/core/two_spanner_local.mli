@@ -59,6 +59,7 @@ val run :
   ?frugal:Distsim.Frugal.t ->
   ?retry:int ->
   ?trace:Distsim.Trace.sink ->
+  ?active:int array ->
   Ugraph.t ->
   result
 (** Runs under {!Distsim.Model.local} (messages are neighbor lists,
@@ -91,7 +92,19 @@ val run :
     stream ([metrics.sent_physical] / [sent_bits]) while the spanner,
     round count and every logical metric stay bit-identical —
     {!Distsim.Engine.metrics_logical_eq} holds against the plain run
-    under every scheduler and fault schedule. *)
+    under every scheduler and fault schedule.
+
+    [active] (default: all vertices) runs the protocol on the
+    induced subgraph [g[active]] via the engine's sparse activation
+    ({!Distsim.Engine.run}): only the listed vertices (strictly
+    ascending, in range) participate; each sees only its active
+    neighbors but keeps its global identifier, so the vote randomness
+    stays keyed exactly as in a full run. The result's [spanner] is a
+    valid 2-spanner {e of the induced subgraph}, with edges named in
+    global ids — the repair primitive {!Incremental} unions it into
+    the surviving spanner. [max_rounds] defaults to
+    [200 * (|active| + 20)]. Incompatible with [?frugal] and
+    [?adversary] (engine restriction). *)
 
 val run_weighted :
   ?seed:int ->

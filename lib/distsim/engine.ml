@@ -338,6 +338,19 @@ let make_accounting ?observer ?adversary ?profile ?frugal ~trace ~round
             (Frugal.graph fr == graph
             || Grapho.Ugraph.equal (Frugal.graph fr) graph)
         then invalid_arg "Engine: ?frugal value built for a different graph";
+        (* [Auto] mode: per-edge suppression starts observe-only —
+           direct sends are charged at full size (physical = logical
+           on those edges) while the repeat statistics accumulate;
+           [flush_round] arms or permanently disarms the machine once
+           the window closes. All mutation happens on the merge
+           thread in delivery order, so the decision — and with it
+           the whole physical stream — is deterministic across
+           schedulers and shard counts. *)
+        let obs_window = Frugal.auto_window fr in
+        let suppress_on = ref (obs_window = 0) in
+        let auto_decided = ref (obs_window = 0) in
+        let obs_repeats = ref 0 in
+        let obs_runs = ref 0 in
         let n = Grapho.Ugraph.n graph in
         let m2 = 2 * Grapho.Ugraph.m graph in
         (* Per-directed-edge send memo, keyed by [Ugraph.edge_slot].
@@ -428,18 +441,36 @@ let make_accounting ?observer ?adversary ?profile ?frugal ~trace ~round
             Array.unsafe_get er slot = !round - 1
             && payload_eq (Array.unsafe_get !e_msg slot) payload
           in
-          if repeat then begin
-            if flag land 1 = 1 then Frugal.note_suppressed fr 1
+          if !suppress_on then begin
+            if repeat then begin
+              if flag land 1 = 1 then Frugal.note_suppressed fr 1
+              else begin
+                if flag land 2 = 0 then sw_push slot src dst;
+                Bytes.unsafe_set ef slot (Char.chr (flag lor 3));
+                charge src dst 2;
+                Frugal.note_marker fr
+              end
+            end
             else begin
-              if flag land 2 = 0 then sw_push slot src dst;
-              Bytes.unsafe_set ef slot (Char.chr (flag lor 3));
-              charge src dst 2;
-              Frugal.note_marker fr
+              if flag land 1 = 1 then
+                Bytes.unsafe_set ef slot (Char.chr (flag land lnot 1));
+              charge src dst bits
             end
           end
           else begin
-            if flag land 1 = 1 then
-              Bytes.unsafe_set ef slot (Char.chr (flag land lnot 1));
+            (* Observe-only (an [Auto] window, or an [Auto] run that
+               decided against markers): full charge, plus — while
+               undecided — run-length statistics through flag bit 4. *)
+            if !auto_decided then ()
+            else if repeat then begin
+              incr obs_repeats;
+              if flag land 4 = 0 then begin
+                incr obs_runs;
+                Bytes.unsafe_set ef slot (Char.chr (flag lor 4))
+              end
+            end
+            else if flag land 4 <> 0 then
+              Bytes.unsafe_set ef slot (Char.chr (flag land lnot 4));
             charge src dst bits
           end;
           Array.unsafe_set er slot !round;
@@ -623,6 +654,15 @@ let make_accounting ?observer ?adversary ?profile ?frugal ~trace ~round
         in
         let flush_round () =
           let r = !round in
+          (* Close an [Auto] observation window: arm iff the marker
+             pair per silence run costs fewer physical messages than
+             the repeats it would silence (average run length > 2). *)
+          if (not !auto_decided) && r >= obs_window then begin
+            auto_decided := true;
+            let armed = !obs_repeats > 2 * !obs_runs in
+            suppress_on := armed;
+            Frugal.note_auto_decision fr ~armed
+          end;
           (* Silences whose run ended this round pay their Eps marker
              (skipped silently when the edge is crashed or cut — the
              marker could not cross, and [blocks] reads no coins). *)
@@ -762,6 +802,84 @@ let init_states ~n ~graph ~(spec : _ spec) ~out ~drain =
     states
   end
 
+(* Sparse activation ([?active]): the engine can run a spec on a
+   restricted vertex set. Semantically the run IS the protocol on the
+   induced subgraph [graph[active]] — init hands each active vertex
+   only its active neighbors, deliveries to frozen vertices are
+   rejected, and termination quantifies over the active set — but
+   vertex ids, the randomness they key, and [check_edge]'s membership
+   probes all stay global, so a protocol needs no renumbering. Every
+   engine structure (states, done flags, inbox banks) is sized to
+   |active|, not n: the per-round and per-run cost scales with the
+   activation footprint, which is what makes ball-local spanner
+   repair cheaper than recomputing. Only the vertex-id -> slot map is
+   O(n). The slot order equals the (strictly ascending) active order,
+   so side effects replay in ascending vertex id exactly like a dense
+   run and the seq / par / naive bit-identity contract carries over
+   unchanged. *)
+let validate_active ~n = function
+  | None -> ()
+  | Some act ->
+      let prev = ref (-1) in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg
+              (Printf.sprintf "Engine: ?active vertex %d out of range [0,%d)"
+                 v n);
+          if v <= !prev then
+            invalid_arg "Engine: ?active must be strictly ascending";
+          prev := v)
+        act
+
+let slot_of_vertex ~n act =
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) act;
+  pos
+
+let filtered_neighbors ~graph ~pos v =
+  let cnt =
+    Grapho.Ugraph.fold_neighbors
+      (fun acc u -> if Array.unsafe_get pos u >= 0 then acc + 1 else acc)
+      graph v 0
+  in
+  let arr = Array.make cnt 0 in
+  let i = ref 0 in
+  Grapho.Ugraph.iter_neighbors
+    (fun u ->
+      if Array.unsafe_get pos u >= 0 then begin
+        arr.(!i) <- u;
+        incr i
+      end)
+    graph v;
+  arr
+
+(* Round 0 of a sparse run: same ascending-order init-and-drain
+   discipline as [init_states], over the active set, with each
+   vertex's neighbor array filtered to the active set. *)
+let init_states_sparse ~n ~graph ~(spec : _ spec) ~act ~pos ~out ~drain =
+  let a = Array.length act in
+  if a = 0 then [||]
+  else begin
+    let v0 = act.(0) in
+    let s0 =
+      spec.init ~n ~vertex:v0
+        ~neighbors:(filtered_neighbors ~graph ~pos v0)
+        ~out
+    in
+    let states = Array.make a s0 in
+    drain v0;
+    for i = 1 to a - 1 do
+      let v = act.(i) in
+      states.(i) <-
+        spec.init ~n ~vertex:v
+          ~neighbors:(filtered_neighbors ~graph ~pos v)
+          ~out;
+      drain v
+    done;
+    states
+  end
+
 (* The retained reference path: step every vertex every round, rebuild
    and sort every inbox from a per-round list. Kept deliberately
    list-based (modulo the mailbox calling convention) so the
@@ -775,15 +893,21 @@ let normalize_adversary = function
   | a -> a
 
 let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ?adversary ?profile ?frugal ~model ~graph spec =
+    ?adversary ?profile ?frugal ?active ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let adversary = normalize_adversary adversary in
   (match adversary with Some a -> Adversary.reset a ~n | None -> ());
+  (* [a] vertices actually run; [slot] indexes the engine's arrays and
+     equals the vertex id on a dense run. *)
+  let sparse = active <> None in
+  let act = match active with Some act -> act | None -> [||] in
+  let a = if sparse then Array.length act else n in
+  let pos = if sparse then slot_of_vertex ~n act else [||] in
   let max_rounds =
-    match max_rounds with Some r -> r | None -> 50 * (n + 5)
+    match max_rounds with Some r -> r | None -> 50 * (a + 5)
   in
-  let done_flags = Array.make n false in
-  let inboxes = Array.make n [] in
+  let done_flags = Array.make a false in
+  let inboxes = Array.make a [] in
   let bandwidth = Model.bandwidth model in
   let in_flight = ref 0 in
   let round = ref 0 in
@@ -801,9 +925,18 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     | None -> fun _ -> false
     | Some a -> fun v -> Adversary.is_crashed a v
   in
-  let deliver ~src ~dst payload =
-    incr in_flight;
-    inboxes.(dst) <- (src, payload) :: inboxes.(dst)
+  let deliver =
+    if not sparse then fun ~src ~dst payload ->
+      incr in_flight;
+      inboxes.(dst) <- (src, payload) :: inboxes.(dst)
+    else fun ~src ~dst payload ->
+      let slot = pos.(dst) in
+      if slot < 0 then
+        invalid_arg
+          (Printf.sprintf "Engine: vertex %d sent to frozen vertex %d" src
+             dst);
+      incr in_flight;
+      inboxes.(slot) <- (src, payload) :: inboxes.(slot)
   in
   let out = outbox_create () in
   let drain src =
@@ -828,14 +961,17 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
            (take_round ~stepped ~vdone:(count_done ())
               ~crashed:(crashed_now ()) ~elapsed_ns:(t1 - t0) !round))
   in
-  (* Round 0: init everyone. *)
+  (* Round 0: init everyone (active vertices only on a sparse run). *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
   let t0 = if tracing || profiling then now_ns () else 0 in
-  let states = init_states ~n ~graph ~spec ~out ~drain in
-  steps := n;
-  round_end t0 ~stepped:n;
+  let states =
+    if sparse then init_states_sparse ~n ~graph ~spec ~act ~pos ~out ~drain
+    else init_states ~n ~graph ~spec ~out ~drain
+  in
+  steps := a;
+  round_end t0 ~stepped:a;
   let all_done () = Array.for_all (fun f -> f) done_flags in
-  let finished = ref (n = 0) in
+  let finished = ref (a = 0) in
   while not !finished do
     incr round;
     if !round > max_rounds then
@@ -863,16 +999,17 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     (* Snapshot and clear inboxes so this round's sends arrive next
        round. *)
     let current = Array.copy inboxes in
-    Array.fill inboxes 0 n [];
+    Array.fill inboxes 0 a [];
     in_flight := 0;
     let stepped = ref 0 in
-    for v = 0 to n - 1 do
+    for slot = 0 to a - 1 do
+      let v = if sparse then act.(slot) else slot in
       if not (is_crashed v) then begin
         incr stepped;
         (* Monomorphic sort key: sources are ints, so the polymorphic
            [compare] the original loop used is pure overhead here. *)
         let sorted =
-          List.sort (fun (a, _) (b, _) -> Int.compare a b) current.(v)
+          List.sort (fun (a, _) (b, _) -> Int.compare a b) current.(slot)
         in
         inbox_clear scratch;
         List.iter (fun (s, m) -> inbox_push scratch ~src:s m) sorted;
@@ -880,10 +1017,10 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         | Some p -> Profile.record_inbox p scratch.i_len
         | None -> ());
         let state, status =
-          spec.step ~round:!round ~vertex:v states.(v) scratch ~out
+          spec.step ~round:!round ~vertex:v states.(slot) scratch ~out
         in
-        states.(v) <- state;
-        done_flags.(v) <- (status = `Done);
+        states.(slot) <- state;
+        done_flags.(slot) <- (status = `Done);
         drain v
       end
     done;
@@ -927,11 +1064,18 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
    is raised at merge time, after the whole round has been stepped,
    rather than mid-round. *)
 let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
-    ?(par = 1) ?adversary ?profile ?frugal ~model ~graph spec =
+    ?(par = 1) ?adversary ?profile ?frugal ?active ~model ~graph spec =
   let n = Grapho.Ugraph.n graph in
   let adversary = normalize_adversary adversary in
   (match adversary with Some a -> Adversary.reset a ~n | None -> ());
-  let par = max 1 (min par n) in
+  (* [a] vertices actually run; [slot] indexes every engine array and
+     equals the vertex id on a dense run, so the dense path costs one
+     predictable branch per stepped vertex and nothing else. *)
+  let sparse = active <> None in
+  let act = match active with Some act -> act | None -> [||] in
+  let a = if sparse then Array.length act else n in
+  let pos = if sparse then slot_of_vertex ~n act else [||] in
+  let par = max 1 (min par a) in
   let pool = if par > 1 then Some (Pool.get par) else None in
   (* Shard count actually used per round. *)
   let k = match pool with None -> 1 | Some p -> min par (Pool.size p) in
@@ -947,21 +1091,20 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let shard_stepped = Array.make k 0 in
   let shard_delta = Array.make k 0 in
   let max_rounds =
-    match max_rounds with Some r -> r | None -> 50 * (n + 5)
+    match max_rounds with Some r -> r | None -> 50 * (a + 5)
   in
-  let done_flags = Array.make n false in
-  let bank_a =
-    Array.init n (fun v ->
-        inbox_create ~hint:(Grapho.Ugraph.degree graph v) ())
+  let done_flags = Array.make a false in
+  (* Degree in the full graph is an upper bound on the induced degree,
+     so the hint stays valid on sparse runs. *)
+  let slot_hint s =
+    Grapho.Ugraph.degree graph (if sparse then act.(s) else s)
   in
-  let bank_b =
-    Array.init n (fun v ->
-        inbox_create ~hint:(Grapho.Ugraph.degree graph v) ())
-  in
+  let bank_a = Array.init a (fun s -> inbox_create ~hint:(slot_hint s) ()) in
+  let bank_b = Array.init a (fun s -> inbox_create ~hint:(slot_hint s) ()) in
   let cur = ref bank_a and next = ref bank_b in
   let bandwidth = Model.bandwidth model in
   let pending = ref 0 in (* messages sitting in [next] *)
-  let not_done = ref n in
+  let not_done = ref a in
   let round = ref 0 in
   let trace, tracing, _account, account_seg, finish, take_round, flush_round =
     make_accounting ?observer ?adversary ?profile ?frugal ~trace ~round
@@ -970,9 +1113,18 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
   let crashed_now () =
     match adversary with None -> 0 | Some a -> Adversary.crashed_count a
   in
-  let deliver ~src ~dst payload =
-    incr pending;
-    inbox_push !next.(dst) ~src payload
+  let deliver =
+    if not sparse then fun ~src ~dst payload ->
+      incr pending;
+      inbox_push !next.(dst) ~src payload
+    else fun ~src ~dst payload ->
+      let slot = pos.(dst) in
+      if slot < 0 then
+        invalid_arg
+          (Printf.sprintf "Engine: vertex %d sent to frozen vertex %d" src
+             dst);
+      incr pending;
+      inbox_push !next.(slot) ~src payload
   in
   let account_seg src dsts msgs ~lo ~hi =
     account_seg ~bandwidth ~deliver src dsts msgs ~lo ~hi
@@ -992,16 +1144,20 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     if tracing then
       Trace.emit trace
         (Trace.Round_end
-           (take_round ~stepped ~vdone:(n - !not_done)
+           (take_round ~stepped ~vdone:(a - !not_done)
               ~crashed:(crashed_now ()) ~elapsed_ns:(t1 - t0) !round))
   in
-  (* Round 0: init everyone (always sequential). *)
+  (* Round 0: init everyone (always sequential; active vertices only
+     on a sparse run). *)
   if tracing then Trace.emit trace (Trace.Round_begin 0);
   let t0 = if tracing || profiling then now_ns () else 0 in
-  let states = init_states ~n ~graph ~spec ~out ~drain in
-  steps := n;
-  round_end t0 ~stepped:n;
-  let finished = ref (n = 0) in
+  let states =
+    if sparse then init_states_sparse ~n ~graph ~spec ~act ~pos ~out ~drain
+    else init_states ~n ~graph ~spec ~out ~drain
+  in
+  steps := a;
+  round_end t0 ~stepped:a;
+  let finished = ref (a = 0) in
   while not !finished do
     incr round;
     if !round > max_rounds then
@@ -1041,25 +1197,26 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     let stepped = ref 0 in
     (match pool with
     | None ->
-        for v = 0 to n - 1 do
-          let b = bank.(v) in
-          if b.i_len > 0 || not done_flags.(v) then begin
+        for slot = 0 to a - 1 do
+          let b = bank.(slot) in
+          if b.i_len > 0 || not done_flags.(slot) then begin
+            let v = if sparse then Array.unsafe_get act slot else slot in
             incr stepped;
             (match profile with
             | Some p -> Profile.record_inbox p b.i_len
             | None -> ());
             let state, status =
-              spec.step ~round:!round ~vertex:v states.(v) b ~out
+              spec.step ~round:!round ~vertex:v states.(slot) b ~out
             in
             b.i_len <- 0;
-            states.(v) <- state;
+            states.(slot) <- state;
             (match status with
-            | `Done -> if not done_flags.(v) then begin
-                done_flags.(v) <- true;
+            | `Done -> if not done_flags.(slot) then begin
+                done_flags.(slot) <- true;
                 decr not_done
               end
-            | `Continue -> if done_flags.(v) then begin
-                done_flags.(v) <- false;
+            | `Continue -> if done_flags.(slot) then begin
+                done_flags.(slot) <- false;
                 incr not_done
               end);
             drain v
@@ -1068,8 +1225,11 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
     | Some pool ->
         let r = !round in
         (* Parallel phase: step shards concurrently; touch only
-           disjoint per-vertex slots and per-shard scratch. *)
-        Pool.run pool ~shards:k ~n (fun ~lo ~hi ~shard ->
+           disjoint per-vertex slots and per-shard scratch. Shards cut
+           the slot range, which on a sparse run is the ascending
+           active order, so the serial merge below still replays side
+           effects in ascending vertex id. *)
+        Pool.run pool ~shards:k ~n:a (fun ~lo ~hi ~shard ->
             (* Shards stamp their own clocks and record inbox sizes
                into disjoint profile slots; the merge below flushes
                them on the calling thread. *)
@@ -1082,32 +1242,36 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
             seg.s_len <- 0;
             let st = ref 0 in
             let delta = ref 0 in
-            for v = lo to hi - 1 do
-              let b = bank.(v) in
-              if b.i_len > 0 || not done_flags.(v) then begin
+            for slot = lo to hi - 1 do
+              let b = bank.(slot) in
+              if b.i_len > 0 || not done_flags.(slot) then begin
+                let v = if sparse then Array.unsafe_get act slot else slot in
                 incr st;
                 (match profile with
                 | Some p -> Profile.record_shard_inbox p ~shard b.i_len
                 | None -> ());
                 let before = sout.o_len in
                 let state, status =
-                  spec.step ~round:r ~vertex:v states.(v) b ~out:sout
+                  spec.step ~round:r ~vertex:v states.(slot) b ~out:sout
                 in
                 b.i_len <- 0;
-                states.(v) <- state;
+                states.(slot) <- state;
                 (match status with
                 | `Done ->
-                    if not done_flags.(v) then begin
-                      done_flags.(v) <- true;
+                    if not done_flags.(slot) then begin
+                      done_flags.(slot) <- true;
                       decr delta
                     end
                 | `Continue ->
-                    if done_flags.(v) then begin
-                      done_flags.(v) <- false;
+                    if done_flags.(slot) then begin
+                      done_flags.(slot) <- false;
                       incr delta
                     end);
                 (* Draining an empty outbox is a no-op, so vertices
-                   that sent nothing can be skipped in the merge. *)
+                   that sent nothing can be skipped in the merge. The
+                   segment records the global vertex id: the merge's
+                   accounting validates sends against the full
+                   graph. *)
                 let cnt = sout.o_len - before in
                 if cnt > 0 then seg_push seg v cnt
               end
@@ -1194,19 +1358,30 @@ let legacy_cost_spec (spec : ('s, 'm) spec) : ('s, 'm) spec =
   }
 
 let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ?adversary
-    ?profile ?frugal ~model ~graph spec =
+    ?profile ?frugal ?active ~model ~graph spec =
+  (match active with
+  | None -> ()
+  | Some _ ->
+      validate_active ~n:(Grapho.Ugraph.n graph) active;
+      (* Both layers key per-edge / per-vertex machinery on the full
+         graph and would silently mis-account against an induced
+         subgraph — reject rather than guess a semantics. *)
+      if frugal <> None then
+        invalid_arg "Engine: ?active is incompatible with ?frugal";
+      if normalize_adversary adversary <> None then
+        invalid_arg "Engine: ?active is incompatible with ?adversary");
   match sched with
   | `Naive ->
       (* The reference path stays single-domain by design: it is the
          thing the parallel path is diffed against. *)
       run_naive ?max_rounds ?strict ?observer ?trace ?adversary ?profile
-        ?frugal ~model ~graph spec
+        ?frugal ?active ~model ~graph spec
   | `Active ->
       run_active ?max_rounds ?strict ?observer ?trace ?par ?adversary ?profile
-        ?frugal ~model ~graph spec
+        ?frugal ?active ~model ~graph spec
   | `Active_legacy_cost ->
       (* [scratch] in the shim is shared across vertices, so this
          variant must stay single-domain; it exists for the bench
          binary's allocation A/B, not for parallel runs. *)
       run_active ?max_rounds ?strict ?observer ?trace ?adversary ?profile
-        ?frugal ~model ~graph (legacy_cost_spec spec)
+        ?frugal ?active ~model ~graph (legacy_cost_spec spec)

@@ -203,6 +203,7 @@ val run :
   ?adversary:Adversary.t ->
   ?profile:Profile.t ->
   ?frugal:Frugal.t ->
+  ?active:int array ->
   model:Model.t ->
   graph:Grapho.Ugraph.t ->
   ('state, 'msg) spec ->
@@ -296,4 +297,30 @@ val run :
     collection trees disengage (silence suppression stays active, at
     full charge for faulted copies), so drops always apply to
     messages that were physically charged. The value must have been
-    built for the same graph ([Invalid_argument] otherwise). *)
+    built for the same graph ([Invalid_argument] otherwise).
+
+    [active] (default: every vertex) restricts the simulation to a
+    {e sparse activation set}: only the listed vertices are
+    initialized and stepped, and the run is observationally the
+    protocol executed on the induced subgraph [g[active]] — each
+    active vertex sees only its active neighbors in [~neighbors], but
+    keeps its {e global} id in [~vertex] (so identifier-keyed
+    randomness and outputs stay aligned with the full graph). This is
+    the repair primitive of the churn path ({!Incremental}): re-run
+    the protocol on a dirty ball whose size tracks the churn
+    footprint, paying per-round cost proportional to the ball, not
+    [n]. The array must be strictly ascending with entries in
+    [0, n) ([Invalid_argument] otherwise). The returned state array
+    has length [Array.length active], with slot [i] holding the final
+    state of vertex [active.(i)]. Frozen (non-active) vertices
+    receive nothing; a send addressed to one raises
+    [Invalid_argument] — the spec must be run on a set closed enough
+    that no active vertex messages outside it, which {!Incremental}
+    guarantees by including every neighbor a dirty vertex can
+    address. Determinism is preserved: active slots are stepped (and
+    merged, under [par]) in ascending vertex order, so seq/[par]/
+    [`Naive] runs remain bit-identical exactly as in the dense case.
+    [max_rounds] defaults to [50 * (|active| + 5)]. Incompatible with
+    [?frugal] and [?adversary] (both key per-edge/per-vertex machinery
+    on the full graph): passing either together with [active] raises
+    [Invalid_argument]. *)

@@ -30,16 +30,21 @@
    shared across runs and schedulers. The [stats] counters accumulate
    across every run the value is passed to, like a [Profile.t]. *)
 
+type mode = Always | Auto of int
+
 type stats = {
   mutable publishes : int;
   mutable collects : int;
   mutable suppressed : int;
   mutable markers : int;
+  mutable auto_armed : int;
+  mutable auto_disarmed : int;
 }
 
 type t = {
   graph : Grapho.Ugraph.t;
   seed : int;
+  mode : mode;
   hub : int array;
   parent : int array;
   tree_deg : int array;
@@ -58,8 +63,13 @@ let mix seed w =
   (h lxor (h lsr 15)) land max_int
 
 let default_seed = 0x5EED5
+let default_auto_window = 6
 
-let create ?(seed = default_seed) g =
+let create ?(seed = default_seed) ?(mode = Always) g =
+  (match mode with
+  | Auto w when w <= 0 ->
+      invalid_arg "Frugal.create: Auto window must be positive"
+  | _ -> ());
   let n = Grapho.Ugraph.n g in
   let hub = Array.make n 0 in
   for v = 0 to n - 1 do
@@ -112,15 +122,26 @@ let create ?(seed = default_seed) g =
   {
     graph = g;
     seed;
+    mode;
     hub;
     parent;
     tree_deg;
     trees = !trees;
-    stats = { publishes = 0; collects = 0; suppressed = 0; markers = 0 };
+    stats =
+      {
+        publishes = 0;
+        collects = 0;
+        suppressed = 0;
+        markers = 0;
+        auto_armed = 0;
+        auto_disarmed = 0;
+      };
   }
 
 let graph t = t.graph
 let seed t = t.seed
+let mode t = t.mode
+let auto_window t = match t.mode with Always -> 0 | Auto w -> w
 let hub t v = t.hub.(v)
 let tree_parent t v = t.parent.(v)
 let tree_degree t v = t.tree_deg.(v)
@@ -137,13 +158,22 @@ let note_suppressed t k =
   t.stats.suppressed <- t.stats.suppressed + k
 
 let note_marker t = t.stats.markers <- t.stats.markers + 1
+
+let note_auto_decision t ~armed =
+  if armed then t.stats.auto_armed <- t.stats.auto_armed + 1
+  else t.stats.auto_disarmed <- t.stats.auto_disarmed + 1
+
 let publishes t = t.stats.publishes
 let collects t = t.stats.collects
 let suppressed t = t.stats.suppressed
 let markers t = t.stats.markers
+let auto_armed t = t.stats.auto_armed
+let auto_disarmed t = t.stats.auto_disarmed
 
 let reset_stats t =
   t.stats.publishes <- 0;
   t.stats.collects <- 0;
   t.stats.suppressed <- 0;
-  t.stats.markers <- 0
+  t.stats.markers <- 0;
+  t.stats.auto_armed <- 0;
+  t.stats.auto_disarmed <- 0

@@ -29,11 +29,42 @@
 
 type t
 
-val create : ?seed:int -> Grapho.Ugraph.t -> t
+type mode =
+  | Always  (** per-edge silence suppression armed from round 0 *)
+  | Auto of int
+      (** probe first: for the given number of rounds the per-edge
+          machine only {e observes} (every direct send is charged at
+          full size, so the physical stream is exactly the logical
+          one on those edges — a 1.00x floor), counting how many
+          sends repeat their previous-round payload and how many
+          distinct silence runs those repeats form. At the end of the
+          window suppression arms for the rest of the run iff
+          [repeats > 2 * runs] — i.e. iff the average run is long
+          enough that the [Again]/[Eps] marker pair costs fewer
+          physical messages than the repeats it silences. Chunked
+          CONGEST traffic, whose payload streams rarely repeat,
+          thereby stays at parity instead of paying markers for
+          nothing; broadcast suppression and the collection trees are
+          unaffected (they never lose bits). The decision is made
+          once per run on the merge thread, so it is deterministic
+          across schedulers and shard counts. *)
+
+val create : ?seed:int -> ?mode:mode -> Grapho.Ugraph.t -> t
 (** Build the clustering and collection trees for [graph].
-    Deterministic in [(graph, seed)]; O(n + m) time, O(n) space. *)
+    Deterministic in [(graph, seed)]; O(n + m) time, O(n) space.
+    [mode] (default {!Always}) selects the per-edge suppression
+    policy; [Auto w] requires [w > 0] ([Invalid_argument]
+    otherwise). *)
 
 val default_seed : int
+
+val default_auto_window : int
+(** Observation rounds the CLI's [--frugal auto] uses (6). *)
+
+val mode : t -> mode
+
+val auto_window : t -> int
+(** [Auto w]'s window, 0 under {!Always}. *)
 
 val graph : t -> Grapho.Ugraph.t
 (** The graph the trees were built for. [Engine.run] rejects a
@@ -77,6 +108,12 @@ val markers : t -> int
 (** 2-bit [Again]/[Eps] control messages charged to arm and release
     silences. *)
 
+val auto_armed : t -> int
+(** Runs in which an [Auto] window decided to arm suppression. *)
+
+val auto_disarmed : t -> int
+(** Runs in which an [Auto] window decided to stay at parity. *)
+
 val reset_stats : t -> unit
 
 (** {1 Engine hooks}
@@ -87,3 +124,4 @@ val note_publish : t -> unit
 val note_collect : t -> unit
 val note_suppressed : t -> int -> unit
 val note_marker : t -> unit
+val note_auto_decision : t -> armed:bool -> unit

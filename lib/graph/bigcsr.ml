@@ -33,6 +33,11 @@ let buf_push b x =
   Bigarray.Array1.unsafe_set b.data b.len x;
   b.len <- b.len + 1
 
+(* Keep the backing array: repeated fill/reset cycles (the churn
+   path's per-tick delta buffers) touch the allocator only until the
+   buffer has grown to its steady-state capacity. *)
+let buf_reset b = b.len <- 0
+
 (* In-place ascending sort of [a.(lo) .. a.(hi - 1)]. Insertion sort
    for short rows (the common case: row length = vertex degree),
    heapsort above that — O(len log len) worst case with no stack and

@@ -21,6 +21,12 @@ val buf_create : int -> buf
 val buf_push : buf -> int -> unit
 (** Amortized O(1) append; doubles the backing array when full. *)
 
+val buf_reset : buf -> unit
+(** Empties the buffer while keeping its backing array, so the next
+    fill reuses the already-grown off-heap storage instead of walking
+    a fresh doubling chain. The churn path resets the same buffers
+    every tick, keeping a 100-tick loop allocation-flat. *)
+
 val sort_range : ba -> int -> int -> unit
 (** [sort_range a lo hi] sorts [a.(lo) .. a.(hi - 1)] ascending in
     place: insertion sort for short ranges, heapsort (O(len log len)

@@ -23,7 +23,7 @@ module Builder = struct
      a per-edge OCaml value, so streaming a million-vertex graph
      through [add_edge] allocates O(1) words on the OCaml heap. *)
   type builder = {
-    bn : int;
+    mutable bn : int;
     us : Bigcsr.buf;
     vs : Bigcsr.buf;
     mutable finished : bool;
@@ -37,6 +37,16 @@ module Builder = struct
       vs = Bigcsr.buf_create expected_edges;
       finished = false;
     }
+
+  (* Rewind for another build: the grown endpoint buffers stay, so a
+     churn loop that rebuilds a graph every tick allocates off-heap
+     storage only until the buffers reach steady-state capacity. *)
+  let reset b ~n =
+    if n < 0 then invalid_arg "Ugraph.Builder.reset: negative n";
+    b.bn <- n;
+    Bigcsr.buf_reset b.us;
+    Bigcsr.buf_reset b.vs;
+    b.finished <- false
 
   let add_edge b u v =
     if b.finished then invalid_arg "Ugraph.Builder: already finished";
@@ -115,6 +125,99 @@ module Builder = struct
     in
     { n; m = !w / 2; row_ptr; col }
 end
+
+module Delta = struct
+  (* A batched edge update: canonicalized (u < v) endpoint pairs in
+     four off-heap buffers plus two reusable key workspaces for
+     [apply_delta]'s sorted-merge. The record is a mutable
+     accumulator; [reset] rewinds it for the next tick without
+     touching the allocator, mirroring [Builder.reset]. *)
+  type t = {
+    ins_u : Bigcsr.buf;
+    ins_v : Bigcsr.buf;
+    del_u : Bigcsr.buf;
+    del_v : Bigcsr.buf;
+    dkeys : Bigcsr.buf;  (* scratch: sorted packed delete keys *)
+    ikeys : Bigcsr.buf;  (* scratch: sorted packed insert keys *)
+  }
+
+  let create ?(expected = 64) () =
+    {
+      ins_u = Bigcsr.buf_create expected;
+      ins_v = Bigcsr.buf_create expected;
+      del_u = Bigcsr.buf_create expected;
+      del_v = Bigcsr.buf_create expected;
+      dkeys = Bigcsr.buf_create expected;
+      ikeys = Bigcsr.buf_create expected;
+    }
+
+  let reset d =
+    Bigcsr.buf_reset d.ins_u;
+    Bigcsr.buf_reset d.ins_v;
+    Bigcsr.buf_reset d.del_u;
+    Bigcsr.buf_reset d.del_v
+
+  let canon name u v =
+    if u < 0 || v < 0 then
+      invalid_arg (Printf.sprintf "Ugraph.Delta.%s: negative vertex" name);
+    if u = v then
+      invalid_arg
+        (Printf.sprintf "Ugraph.Delta.%s: self-loop at vertex %d" name u);
+    if u < v then (u, v) else (v, u)
+
+  let add_insert d u v =
+    let u, v = canon "insert" u v in
+    Bigcsr.buf_push d.ins_u u;
+    Bigcsr.buf_push d.ins_v v
+
+  let add_delete d u v =
+    let u, v = canon "delete" u v in
+    Bigcsr.buf_push d.del_u u;
+    Bigcsr.buf_push d.del_v v
+
+  let inserts d = d.ins_u.Bigcsr.len
+  let deletes d = d.del_u.Bigcsr.len
+
+  let iter_pairs us vs f =
+    let len = us.Bigcsr.len in
+    let ud = us.Bigcsr.data and vd = vs.Bigcsr.data in
+    for i = 0 to len - 1 do
+      f (Bigarray.Array1.unsafe_get ud i) (Bigarray.Array1.unsafe_get vd i)
+    done
+
+  let iter_inserts f d = iter_pairs d.ins_u d.ins_v f
+  let iter_deletes f d = iter_pairs d.del_u d.del_v f
+end
+
+(* [dst.len <- 0], then the packed canonical keys [u * n + v] of the
+   pairs, sorted ascending. Adjacent duplicates raise. *)
+let delta_sorted_keys ~what ~n us vs (dst : Bigcsr.buf) =
+  Bigcsr.buf_reset dst;
+  Delta.iter_pairs us vs (fun u v ->
+      validate_vertex n u;
+      validate_vertex n v;
+      Bigcsr.buf_push dst ((u * n) + v));
+  Bigcsr.sort_range dst.Bigcsr.data 0 dst.Bigcsr.len;
+  for i = 1 to dst.Bigcsr.len - 1 do
+    if
+      Bigarray.Array1.unsafe_get dst.Bigcsr.data i
+      = Bigarray.Array1.unsafe_get dst.Bigcsr.data (i - 1)
+    then
+      let key = Bigarray.Array1.unsafe_get dst.Bigcsr.data i in
+      invalid_arg
+        (Printf.sprintf "Ugraph.apply_delta: duplicate %s (%d, %d)" what
+           (key / n) (key mod n))
+  done
+
+let sorted_keys_mem (b : Bigcsr.buf) key =
+  let lo = ref 0 and hi = ref b.Bigcsr.len in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k = Bigarray.Array1.unsafe_get b.Bigcsr.data mid in
+    if k = key then found := true else if k < key then lo := mid + 1 else hi := mid
+  done;
+  !found
 
 let of_edge_iter ?expected_edges ~n iter =
   let b = Builder.create ?expected_edges ~n () in
@@ -224,6 +327,65 @@ let edge_slot g u v =
     !slot
   end
 
+(* Inverse of [edge_slot]: binary-search [row_ptr] for the row owning
+   the slot. Uniform sampling over slots is uniform over edges (every
+   edge owns exactly two slots), which is how the churn generator
+   draws deletions without materializing an edge list. *)
+let slot_endpoints g i =
+  if i < 0 || i >= 2 * g.m then
+    invalid_arg "Ugraph.slot_endpoints: slot out of range";
+  let rp = g.row_ptr in
+  let lo = ref 0 and hi = ref (g.n - 1) in
+  (* Invariant: row_ptr.(!lo) <= i < row_ptr.(!hi + ...). Find the
+     largest u with row_ptr.(u) <= i. *)
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if Bigarray.Array1.get rp mid <= i then lo := mid else hi := mid - 1
+  done;
+  (!lo, Bigarray.Array1.get g.col i)
+
+(* Ascending-merge intersection of two sorted neighbor rows: the
+   smallest common neighbor, or -1. This is the stretch-2 certificate
+   probe — (u, v) is 2-spanned by an edge set exactly when the set
+   contains (u, v) or a common neighbor in the set's CSR — and runs in
+   O(deg u + deg v) with no allocation, which is what lets the churn
+   path check certificates and full validity at the 10^5/10^6
+   anchors. *)
+let common_neighbor g u v =
+  let rp = g.row_ptr in
+  let i = ref (Bigarray.Array1.get rp u)
+  and ihi = Bigarray.Array1.get rp (u + 1)
+  and j = ref (Bigarray.Array1.get rp v)
+  and jhi = Bigarray.Array1.get rp (v + 1) in
+  let res = ref (-1) in
+  while !res < 0 && !i < ihi && !j < jhi do
+    let a = Bigarray.Array1.unsafe_get g.col !i
+    and b = Bigarray.Array1.unsafe_get g.col !j in
+    if a = b then res := a else if a < b then incr i else incr j
+  done;
+  !res
+
+(* Same merge, without the early exit: every common neighbor, in
+   ascending order. The churn path's dirty-ball construction needs all
+   the 2-path midpoints of a broken edge, not just a witness. *)
+let iter_common_neighbors f g u v =
+  let rp = g.row_ptr in
+  let i = ref (Bigarray.Array1.get rp u)
+  and ihi = Bigarray.Array1.get rp (u + 1)
+  and j = ref (Bigarray.Array1.get rp v)
+  and jhi = Bigarray.Array1.get rp (v + 1) in
+  while !i < ihi && !j < jhi do
+    let a = Bigarray.Array1.unsafe_get g.col !i
+    and b = Bigarray.Array1.unsafe_get g.col !j in
+    if a = b then begin
+      f a;
+      incr i;
+      incr j
+    end
+    else if a < b then incr i
+    else incr j
+  done
+
 (* Does [dsts.(lo .. hi-1)] spell out exactly [u]'s neighbor row?
    Allocation-free; used to recognize full-neighborhood broadcasts
    from an outbox segment without touching per-edge state. *)
@@ -281,6 +443,68 @@ let iter_vertices f g =
   for u = 0 to g.n - 1 do
     f u
   done
+
+(* Merge-rebuild: stream every surviving edge of [g] plus the inserts
+   through the Builder. The cost is one full build — O(n + m) — which
+   sounds heavy next to pointer-surgery dynamic adjacency, but the CSR
+   build is a linear scatter over off-heap buffers (~1 s at n = 10^6),
+   the result keeps every O(1)/O(log deg) access guarantee the
+   algorithms rely on, and with [?builder] (a [Builder.reset] reuse
+   path) plus the Delta's own scratch, a churn tick allocates nothing
+   beyond the result graph itself. *)
+let apply_delta ?builder g (d : Delta.t) =
+  let n = g.n in
+  (* Sorted key workspaces double as the validation pass: duplicate
+     inserts and duplicate deletes raise there. *)
+  delta_sorted_keys ~what:"delete" ~n d.Delta.del_u d.Delta.del_v
+    d.Delta.dkeys;
+  delta_sorted_keys ~what:"insert" ~n d.Delta.ins_u d.Delta.ins_v
+    d.Delta.ikeys;
+  (* A key on both lists is ambiguous — reject rather than pick an
+     order. Merge walk over the two sorted workspaces. *)
+  let i = ref 0 and j = ref 0 in
+  let dk = d.Delta.dkeys and ik = d.Delta.ikeys in
+  while !i < dk.Bigcsr.len && !j < ik.Bigcsr.len do
+    let a = Bigarray.Array1.unsafe_get dk.Bigcsr.data !i
+    and b = Bigarray.Array1.unsafe_get ik.Bigcsr.data !j in
+    if a = b then
+      invalid_arg
+        (Printf.sprintf
+           "Ugraph.apply_delta: edge (%d, %d) both inserted and deleted"
+           (a / n) (a mod n))
+    else if a < b then incr i
+    else incr j
+  done;
+  Delta.iter_deletes
+    (fun u v ->
+      if not (mem_edge g u v) then
+        invalid_arg
+          (Printf.sprintf "Ugraph.apply_delta: deleted edge (%d, %d) absent"
+             u v))
+    d;
+  Delta.iter_inserts
+    (fun u v ->
+      if mem_edge g u v then
+        invalid_arg
+          (Printf.sprintf
+             "Ugraph.apply_delta: inserted edge (%d, %d) already present" u v))
+    d;
+  let b =
+    match builder with
+    | Some b ->
+        Builder.reset b ~n;
+        b
+    | None ->
+        Builder.create
+          ~expected_edges:(g.m - Delta.deletes d + Delta.inserts d)
+          ~n ()
+  in
+  iter_edges_uv
+    (fun u v ->
+      if not (sorted_keys_mem dk ((u * n) + v)) then Builder.add_edge b u v)
+    g;
+  Delta.iter_inserts (fun u v -> Builder.add_edge b u v) d;
+  Builder.finish b
 
 let induced_by_edges g s =
   Edge.Set.iter

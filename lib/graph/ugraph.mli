@@ -32,8 +32,63 @@ module Builder : sig
   val finish : builder -> t
   (** Produces the CSR graph: one counting pass, one scatter pass, a
       per-row sort and an in-place dedup — O(m log deg_max) time,
-      O(m) off-heap space. The builder cannot be reused. *)
+      O(m) off-heap space. The builder cannot be reused until
+      {!reset}. *)
+
+  val reset : builder -> n:int -> unit
+  (** Rewinds a (possibly finished) builder for another build over
+      vertex set [0..n-1], keeping the grown endpoint buffers. A
+      churn loop that rebuilds a graph every tick through the same
+      builder allocates off-heap storage only until the buffers reach
+      steady-state capacity; {!apply_delta}'s [?builder] argument is
+      the intended consumer. *)
 end
+
+module Delta : sig
+  type t
+  (** A batched edge update against some graph: a set of edges to
+      delete plus a set to insert, accumulated incrementally and
+      applied atomically by {!apply_delta}. The accumulator and its
+      sort workspaces live off-heap and are reusable via {!reset},
+      so a churn tick allocates nothing here in steady state. The
+      delta is graph-independent until applied; endpoint range checks
+      happen at {!apply_delta} time. *)
+
+  val create : ?expected:int -> unit -> t
+  (** [expected] pre-sizes the edge buffers (amortized doubling
+      either way). *)
+
+  val reset : t -> unit
+  (** Empties both edge sets, keeping all backing storage. *)
+
+  val add_insert : t -> int -> int -> unit
+  (** Queues one edge insertion. Orientation is canonicalized;
+      self-loops and negative endpoints raise [Invalid_argument]. *)
+
+  val add_delete : t -> int -> int -> unit
+
+  val inserts : t -> int
+  (** Queued insertion count. *)
+
+  val deletes : t -> int
+
+  val iter_inserts : (int -> int -> unit) -> t -> unit
+  (** Queued insertions as canonical [u < v] pairs, in queue order. *)
+
+  val iter_deletes : (int -> int -> unit) -> t -> unit
+end
+
+val apply_delta : ?builder:Builder.builder -> t -> Delta.t -> t
+(** [apply_delta g d] is [g] with [d]'s deletions removed and its
+    insertions added, as a fresh graph — [g] itself is immutable and
+    untouched. Raises [Invalid_argument] if any deleted edge is
+    absent from [g], any inserted edge is already present, an edge is
+    queued twice on the same side or on both sides, or an endpoint is
+    outside [g]'s vertex range — a rejected delta leaves no partial
+    state. Implemented as a merge-rebuild through the streaming
+    {!Builder}: O(n + m + |d| log |d|) time, and with [?builder]
+    (reused via {!Builder.reset}) no off-heap reallocation beyond the
+    result graph's own buffers. *)
 
 val of_edge_iter : ?expected_edges:int -> n:int -> ((int -> int -> unit) -> unit) -> t
 (** [of_edge_iter ~n iter] builds a graph by running [iter emit],
@@ -88,6 +143,29 @@ val edge_slot : t -> int -> int -> int
     [edge_slot g v u] names the opposite direction — so flat arrays
     of length [2m] can carry per-directed-edge state without
     hashing. O(log deg u), allocation-free. *)
+
+val slot_endpoints : t -> int -> int * int
+(** [slot_endpoints g i] is the directed edge [(u, v)] whose
+    {!edge_slot} is [i], for [i] in [0, 2m) ([Invalid_argument]
+    outside) — a [row_ptr] binary search, O(log n). Drawing [i]
+    uniformly gives a uniform random edge (each edge owns exactly two
+    slots), which is how the churn generator samples deletions
+    without materializing an edge list. *)
+
+val common_neighbor : t -> int -> int -> int
+(** [common_neighbor g u v] is the smallest vertex adjacent to both
+    [u] and [v], or [-1] if none exists. One ascending merge of the
+    two sorted neighbor rows — O(deg u + deg v), allocation-free.
+    With [g] the CSR of a candidate spanner this is the stretch-2
+    certificate probe: edge [(u, v)] is 2-spanned iff it is in the
+    set or this returns a witness. *)
+
+val iter_common_neighbors : (int -> unit) -> t -> int -> int -> unit
+(** [iter_common_neighbors f g u v] applies [f] to every vertex
+    adjacent to both [u] and [v], in ascending order — the same merge
+    as {!common_neighbor} without the early exit, O(deg u + deg v),
+    allocation-free. The churn path uses it to pull every 2-path
+    midpoint of a broken edge into the dirty ball. *)
 
 val row_matches : t -> int -> int array -> lo:int -> hi:int -> bool
 (** [row_matches g u dsts ~lo ~hi] is [true] iff

@@ -6,9 +6,11 @@
 #     silently drop it)
 #   - a bench smoke run exercising the --json perf-trajectory and
 #     --trace event-stream paths, plus the --par 2 seq-vs-par A/B path;
-#     the emitted JSON must carry the spanner-bench/8 "alloc",
-#     "faults", "csr" and "frugal" rows (the frugal row's physical
-#     message accounting and its identical=1 contract flag)
+#     the emitted JSON must carry the spanner-bench/9 "alloc",
+#     "faults", "csr", "frugal" and "churn" rows (the frugal row's
+#     physical message accounting, its identical=1 contract flag and
+#     the auto-mode >= 1.0x fields; the churn row's repair-vs-recompute
+#     split, per-tick validity and cross-engine determinism flags)
 #   - a CSR scale smoke: the e18 anchor (10^4-vertex gnp) must stream-
 #     build, BFS and flood inside a hard time budget, and the CSR
 #     builder's GC guard (10^5 vertices under a minor-words ceiling)
@@ -55,9 +57,9 @@ dune exec test/test_csr.exe -- test gc > /dev/null
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
 benchjson=$(mktemp)
 dune exec bench/main.exe -- e13 --json "$benchjson" --trace /dev/null
-# The perf trajectory must be schema 8 and expose the allocation A/B
+# The perf trajectory must be schema 9 and expose the allocation A/B
 # plus the profile section's histogram percentiles and per-phase rows.
-grep -q '"schema": "spanner-bench/8"' "$benchjson"
+grep -q '"schema": "spanner-bench/9"' "$benchjson"
 grep -q '"alloc"' "$benchjson"
 grep -q '"minor_words"' "$benchjson"
 grep -q '"allocated_bytes"' "$benchjson"
@@ -76,6 +78,11 @@ grep -q '"message_reduction"' "$benchjson"
 grep -q '"suppressed"' "$benchjson"
 grep -q '"identical": 1' "$benchjson"
 grep -q '"identical_faulted": 1' "$benchjson"
+# The frugal auto probe: its physical stream must be recorded next to
+# the Always-mode one, with the logical-identity contract re-asserted
+# (the bench fail-hards if auto ever lands above 1.0x or diverges).
+grep -q '"auto_message_reduction"' "$benchjson"
+grep -q '"auto_identical": 1' "$benchjson"
 # The bench-trajectory regression gate, both ways it is used:
 # checked-in PR5 vs PR6 must pass the calibrated defaults, and the
 # fresh e13 run just emitted must match BENCH_PR7.json exactly on
@@ -106,6 +113,23 @@ grep -q '"csr_gnp_10k"' "$benchjson"
 grep -q '"build_ms"' "$benchjson"
 grep -q '"resident_bytes"' "$benchjson"
 grep -q '"flood_identical"' "$benchjson"
+rm -f "$benchjson"
+# The churn section: the e20 anchor (10^4-vertex gnp under two churn
+# rates) must bootstrap, repair every tick validly and deterministically
+# across engines, and carry the repair-vs-recompute A/B fields. The
+# bench itself fail-hards on a cross-engine divergence before emitting
+# the row.
+benchjson=$(mktemp)
+timeout 300 dune exec bench/main.exe -- e20 --json "$benchjson" > /dev/null
+grep -q '"churn"' "$benchjson"
+grep -q '"churn_gnp_10k@r0.01"' "$benchjson"
+grep -q '"repair_ms_best"' "$benchjson"
+grep -q '"recompute_ms_best"' "$benchjson"
+grep -q '"speedup_vs_recompute"' "$benchjson"
+grep -q '"dirty_mean"' "$benchjson"
+grep -q '"spanner_drift"' "$benchjson"
+grep -q '"valid_every_tick": 1' "$benchjson"
+grep -q '"deterministic": 1' "$benchjson"
 rm -f "$benchjson"
 
 tmpgraph=$(mktemp)
@@ -149,6 +173,12 @@ dune exec bin/spanner_cli.exe -- faults "$tmpgraph" \
 dune exec bin/spanner_cli.exe -- span "$tmpgraph" -a local --frugal \
   > "$seqrep"
 grep -q '^physical: messages=' "$seqrep"
+# Auto mode must also run clean (exit 0 implies the same identity
+# assertions held after the observe-then-arm decision) and print its
+# physical summary.
+dune exec bin/spanner_cli.exe -- span "$tmpgraph" -a local --frugal=auto \
+  > "$seqrep"
+grep -q '^physical: messages=' "$seqrep"
 dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
   > "$seqrep"
 dune exec bin/spanner_cli.exe -- trace "$tmpgraph" -a local --limit 4 \
@@ -157,6 +187,24 @@ grep -v '^physical:' "$parrep" | grep -v '^msg-bits:' > "$parrep.f"
 grep -v '^msg-bits:' "$seqrep" > "$seqrep.f"
 diff "$seqrep.f" "$parrep.f"
 rm -f "$seqrep.f" "$parrep.f"
+
+# Churn smoke: the incremental-repair subcommand must bootstrap, apply
+# a few churn ticks and certify the repaired spanner valid after every
+# one (exit 0 is the per-tick validity contract; the recompute A/B
+# column must also appear so the repair-vs-full split stays wired).
+dune exec bin/spanner_cli.exe -- churn "$tmpgraph" --ticks 3 \
+  --rate 0.02 --recompute > "$seqrep"
+grep -q 'valid' "$seqrep"
+grep -q 'speedup' "$seqrep"
+# And the determinism contract extends to repair: once the wall-clock
+# tokens are stripped, the per-tick table must be byte-identical across
+# shard counts (seeds, broken certificates, dirty-ball sizes, spanner
+# sizes and validity all come from the same deterministic pipeline).
+dune exec bin/spanner_cli.exe -- churn "$tmpgraph" --ticks 3 \
+  --rate 0.02 | sed -E 's/[0-9.]+ ?ms//g' > "$seqrep"
+dune exec bin/spanner_cli.exe -- churn "$tmpgraph" --ticks 3 \
+  --rate 0.02 --par 2 | sed -E 's/[0-9.]+ ?ms//g' > "$parrep"
+diff "$seqrep" "$parrep"
 
 # Profiler smoke: the profile subcommand must produce a per-phase
 # breakdown and a Chrome trace_event file that is a JSON array with

@@ -270,6 +270,130 @@ let test_wrong_graph_rejected () =
   | _ -> Alcotest.fail "expected Invalid_argument for a foreign graph"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Auto mode: observe first, then arm or stay at parity. *)
+
+(* Repeat-heavy single edge, window 3: rounds 0..3 observed at full
+   charge (4 x 10 bits), the window sees repeats=3 > 2*runs=2 and
+   arms, round 4 pays the 2-bit Again, 5..6 are silenced, and the Eps
+   closes the run — 6 physical messages, 44 bits, against 7 logical
+   messages, 70 bits. *)
+let test_auto_arms () =
+  let g = Ugraph.of_edges ~n:2 [ (0, 1) ] in
+  let k = 7 in
+  let spec =
+    {
+      E.init =
+        (fun ~n:_ ~vertex ~neighbors:_ ~out ->
+          if vertex = 0 then E.emit out ~dst:1 42;
+          0);
+      step =
+        (fun ~round ~vertex st _inbox ~out ->
+          if vertex = 0 && round < k then begin
+            E.emit out ~dst:1 42;
+            (st, if round = k - 1 then `Done else `Continue)
+          end
+          else (st, `Done));
+      measure = (fun _ -> 10);
+    }
+  in
+  List.iter
+    (fun (name, sched) ->
+      let fr = Distsim.Frugal.create ~mode:(Distsim.Frugal.Auto 3) g in
+      let _, m =
+        E.run ~sched ~frugal:fr ~model:Distsim.Model.local ~graph:g spec
+      in
+      Alcotest.(check int) (name ^ ": logical messages") k m.E.messages;
+      Alcotest.(check int) (name ^ ": physical messages") 6 m.E.sent_physical;
+      Alcotest.(check int) (name ^ ": physical bits") 44 m.E.sent_bits;
+      Alcotest.(check int) (name ^ ": armed once") 1
+        (Distsim.Frugal.auto_armed fr);
+      Alcotest.(check int) (name ^ ": never disarmed") 0
+        (Distsim.Frugal.auto_disarmed fr))
+    [ ("active", `Active); ("naive", `Naive) ]
+
+(* Non-repeating single edge: the window sees zero repeats, stays at
+   parity, and the physical stream is EXACTLY the logical one — the
+   1.00x floor that Always mode loses to markers. *)
+let test_auto_stays_at_parity () =
+  let g = Ugraph.of_edges ~n:2 [ (0, 1) ] in
+  let k = 9 in
+  let spec =
+    {
+      E.init =
+        (fun ~n:_ ~vertex ~neighbors:_ ~out ->
+          if vertex = 0 then E.emit out ~dst:1 0;
+          0);
+      step =
+        (fun ~round ~vertex st _inbox ~out ->
+          if vertex = 0 && round < k then begin
+            E.emit out ~dst:1 round;
+            (st, if round = k - 1 then `Done else `Continue)
+          end
+          else (st, `Done));
+      measure = (fun _ -> 10);
+    }
+  in
+  let fr = Distsim.Frugal.create ~mode:(Distsim.Frugal.Auto 3) g in
+  let _, m = E.run ~frugal:fr ~model:Distsim.Model.local ~graph:g spec in
+  Alcotest.(check int) "physical = logical messages" m.E.messages
+    m.E.sent_physical;
+  Alcotest.(check int) "physical = logical bits" m.E.total_bits m.E.sent_bits;
+  Alcotest.(check int) "disarmed once" 1 (Distsim.Frugal.auto_disarmed fr);
+  Alcotest.(check int) "no markers" 0 (Distsim.Frugal.markers fr);
+  Alcotest.(check int) "no suppressions" 0 (Distsim.Frugal.suppressed fr)
+
+(* Auto on the real protocol: logical execution identical to plain,
+   physical stream deterministic across schedulers and shard
+   counts, never above the logical stream (the >= 1.0x guarantee the
+   bench gates). Exercised on LOCAL and on the chunked CONGEST
+   compilation, where Always mode used to land at 0.97x. *)
+let test_auto_protocol () =
+  let g = protocol_graph () in
+  let auto () =
+    Distsim.Frugal.create ~mode:(Distsim.Frugal.Auto 6) g
+  in
+  let plain = run_protocol g in
+  let base = run_protocol ~frugal:(auto ()) g in
+  check_logical_identical "auto local" plain base;
+  List.iter
+    (fun (name, sched, par) ->
+      let r = run_protocol ?sched ?par ~frugal:(auto ()) g in
+      check_logical_identical ("auto local " ^ name) plain r;
+      Alcotest.(check int)
+        (name ^ ": physical scheduler-invariant")
+        (fst base).C.Two_spanner_local.metrics.sent_physical
+        (fst r).C.Two_spanner_local.metrics.sent_physical)
+    [
+      ("naive", Some `Naive, None);
+      ("par2", None, Some 2);
+      ("par4", None, Some 4);
+    ];
+  (* Chunked CONGEST: auto must not lose to markers. *)
+  let cp = C.Two_spanner_local.run_congest ~seed:3 g in
+  let ca =
+    C.Two_spanner_local.run_congest ~seed:3 ~frugal:(auto ()) g
+  in
+  Alcotest.(check bool)
+    "congest spanner identical" true
+    (Edge.Set.equal cp.C.Two_spanner_local.spanner
+       ca.C.Two_spanner_local.spanner);
+  let pm = cp.C.Two_spanner_local.metrics
+  and am = ca.C.Two_spanner_local.metrics in
+  Alcotest.(check bool) "congest logical_eq" true (E.metrics_logical_eq pm am);
+  if am.E.sent_physical > pm.E.messages then
+    Alcotest.failf "congest auto physical %d > logical %d (under 1.0x)"
+      am.E.sent_physical pm.E.messages;
+  if am.E.sent_bits > pm.E.total_bits then
+    Alcotest.failf "congest auto bits %d > logical %d (under 1.0x)"
+      am.E.sent_bits pm.E.total_bits
+
+let test_auto_rejects_bad_window () =
+  let g = protocol_graph () in
+  match Distsim.Frugal.create ~mode:(Distsim.Frugal.Auto 0) g with
+  | _ -> Alcotest.fail "Auto 0 accepted"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "frugal"
     [
@@ -294,5 +418,16 @@ let () =
         [
           Alcotest.test_case "deterministic, well-formed, degree <= 3" `Quick
             test_tree_wellformed;
+        ] );
+      ( "auto",
+        [
+          Alcotest.test_case "repeat-heavy edge arms after the window" `Quick
+            test_auto_arms;
+          Alcotest.test_case "non-repeating edge stays at exact parity" `Quick
+            test_auto_stays_at_parity;
+          Alcotest.test_case "protocol: logical identical, >= 1.0x on congest"
+            `Quick test_auto_protocol;
+          Alcotest.test_case "Auto 0 rejected" `Quick
+            test_auto_rejects_bad_window;
         ] );
     ]

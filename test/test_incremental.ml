@@ -1,0 +1,263 @@
+(* Incremental churn repair: per-tick validity against the fast
+   checker (itself pinned to the BFS checker here), determinism of
+   the repaired spanner across schedulers and shard counts, and the
+   engine's sparse-activation contract. *)
+
+open Grapho
+module C = Spanner_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let families =
+  [
+    ("gnp", fun s -> Generators.gnp_connected (Rng.create s) 70 0.08);
+    ("pa", fun s -> Generators.preferential_attachment (Rng.create s) 80 5);
+    ("caveman", fun s -> Generators.caveman (Rng.create s) 6 8 0.08);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fast validity checker == BFS checker, on spanners and non-spanners. *)
+
+let test_fast_checker () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk 3 in
+      let r = C.Two_spanner_local.run ~seed:9 g in
+      check (name ^ ": protocol spanner fast-valid") true
+        (C.Spanner_check.is_2_spanner_fast g r.spanner);
+      check (name ^ ": agrees on spanner") true
+        (C.Spanner_check.is_spanner g r.spanner ~k:2
+        = C.Spanner_check.is_2_spanner_fast g r.spanner);
+      (* Thin the spanner edge by edge until the checkers must say no;
+         they must agree at every step. *)
+      let s = ref r.spanner in
+      let i = ref 0 in
+      Edge.Set.iter
+        (fun e ->
+          incr i;
+          if !i mod 3 = 0 then begin
+            s := Edge.Set.remove e !s;
+            check
+              (Printf.sprintf "%s: agree after %d removals" name !i)
+              true
+              (C.Spanner_check.is_spanner g !s ~k:2
+              = C.Spanner_check.is_2_spanner_fast g !s)
+          end)
+        r.spanner)
+    families;
+  (* Subset violation raises in both. *)
+  let g = Generators.path 4 in
+  let bogus = Edge.Set.singleton (Edge.make 0 3) in
+  (match C.Spanner_check.is_2_spanner_fast g bogus with
+  | _ -> Alcotest.fail "foreign edge accepted"
+  | exception Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Sparse activation. *)
+
+let test_active_full_set () =
+  (* active = all vertices is the plain run, state for state. *)
+  let g = Generators.gnp_connected (Rng.create 5) 50 0.12 in
+  let act = Array.init (Ugraph.n g) Fun.id in
+  let full = C.Two_spanner_local.run ~seed:11 g in
+  let sparse = C.Two_spanner_local.run ~seed:11 ~active:act g in
+  check "full-set spanner equal" true
+    (Edge.Set.equal full.spanner sparse.spanner);
+  check_int "full-set iterations" full.iterations sparse.iterations;
+  check "full-set metrics" true
+    (Distsim.Engine.metrics_deterministic_eq full.metrics sparse.metrics)
+
+let test_active_subset () =
+  let g = Generators.gnp_connected (Rng.create 6) 60 0.15 in
+  (* An arbitrary subset; the protocol runs on the induced subgraph. *)
+  let act = Array.of_list (List.init 25 (fun i -> 2 * i)) in
+  let r = C.Two_spanner_local.run ~seed:7 ~active:act g in
+  let member = Array.make (Ugraph.n g) false in
+  Array.iter (fun v -> member.(v) <- true) act;
+  let induced =
+    Ugraph.of_edge_iter ~n:(Ugraph.n g) (fun emit ->
+        Ugraph.iter_edges_uv
+          (fun u v -> if member.(u) && member.(v) then emit u v)
+          g)
+  in
+  Edge.Set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      check "spanner edge inside ball" true (member.(u) && member.(v)))
+    r.spanner;
+  check "valid on induced subgraph" true
+    (C.Spanner_check.is_spanner induced r.spanner ~k:2);
+  (* And identical to running the protocol on the induced subgraph
+     directly (global ids coincide, so the vote streams do too). *)
+  let direct = C.Two_spanner_local.run ~seed:7 induced in
+  let direct_restricted =
+    (* The direct run also covers the frozen vertices (isolated in
+       [induced]), which add no edges; the spanners must coincide. *)
+    direct.spanner
+  in
+  check "matches induced-subgraph run" true
+    (Edge.Set.equal direct_restricted r.spanner)
+
+let test_active_guards () =
+  let g = Generators.path 6 in
+  let expect_invalid name f =
+    match f () with
+    | (_ : C.Two_spanner_local.result) -> Alcotest.fail name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "descending active" (fun () ->
+      C.Two_spanner_local.run ~active:[| 2; 1 |] g);
+  expect_invalid "duplicate active" (fun () ->
+      C.Two_spanner_local.run ~active:[| 1; 1 |] g);
+  expect_invalid "out-of-range active" (fun () ->
+      C.Two_spanner_local.run ~active:[| 4; 6 |] g);
+  expect_invalid "frugal + active" (fun () ->
+      C.Two_spanner_local.run
+        ~frugal:(Distsim.Frugal.create g)
+        ~active:[| 0; 1 |] g)
+
+(* ------------------------------------------------------------------ *)
+(* Churn traces: validity every tick, determinism across engines. *)
+
+let run_trace ?sched ?par ~seed ~gseed ~ticks mk =
+  let g = mk gseed in
+  let inc, (_ : C.Two_spanner_local.result) =
+    C.Incremental.bootstrap ~seed ?sched ?par g
+  in
+  let rng = Rng.create (seed lxor (31 * gseed)) in
+  let d = Ugraph.Delta.create () in
+  let replace = max 1 (Ugraph.m g / 50) in
+  let stats = ref [] in
+  for _ = 1 to ticks do
+    C.Incremental.churn ~rng ~replace (C.Incremental.graph inc) d;
+    let st = C.Incremental.apply ?sched ?par inc d in
+    stats := st :: !stats
+  done;
+  (inc, List.rev !stats)
+
+let test_churn_validity () =
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun gseed ->
+          let inc, stats = run_trace ~seed:13 ~gseed ~ticks:6 mk in
+          List.iter
+            (fun (st : C.Incremental.tick_stats) ->
+              check
+                (Printf.sprintf "%s/%d tick %d sane" name gseed st.tick)
+                true
+                (st.deleted > 0 && st.inserted > 0
+                && st.seeds > 0
+                && st.candidates >= st.broken
+                && (st.broken = 0 || st.dirty >= 2)))
+            stats;
+          (* The final fast verdict, and the final BFS verdict. *)
+          check
+            (Printf.sprintf "%s/%d final fast-valid" name gseed)
+            true
+            (C.Incremental.valid inc);
+          check
+            (Printf.sprintf "%s/%d final bfs-valid" name gseed)
+            true
+            (C.Spanner_check.is_spanner
+               (C.Incremental.graph inc)
+               (C.Incremental.spanner inc)
+               ~k:2);
+          check_int
+            (Printf.sprintf "%s/%d ticks applied" name gseed)
+            6 (C.Incremental.tick inc))
+        [ 1; 2; 3 ])
+    families
+
+(* Every-tick validity (not just final): re-run one trace checking
+   after each tick. *)
+let test_churn_validity_per_tick () =
+  let _, mk = List.hd families in
+  let g = mk 4 in
+  let inc, _ = C.Incremental.bootstrap ~seed:17 g in
+  let rng = Rng.create 99 in
+  let d = Ugraph.Delta.create () in
+  for tick = 1 to 8 do
+    C.Incremental.churn ~rng ~replace:5 (C.Incremental.graph inc) d;
+    let st = C.Incremental.apply inc d in
+    check_int (Printf.sprintf "tick %d number" tick) tick st.tick;
+    check (Printf.sprintf "tick %d fast-valid" tick) true
+      (C.Incremental.valid inc);
+    check (Printf.sprintf "tick %d bfs-valid" tick) true
+      (C.Spanner_check.is_spanner
+         (C.Incremental.graph inc)
+         (C.Incremental.spanner inc)
+         ~k:2);
+    check (Printf.sprintf "tick %d dirty covers broken" tick) true
+      (st.broken = 0 || st.dirty > 0)
+  done
+
+let test_churn_determinism () =
+  let _, mk = List.nth families 1 in
+  let configs =
+    [
+      ("seq", None, None);
+      ("par2", None, Some 2);
+      ("par4", None, Some 4);
+      ("naive", Some `Naive, None);
+    ]
+  in
+  let runs =
+    List.map
+      (fun (name, sched, par) ->
+        let inc, stats = run_trace ?sched ?par ~seed:23 ~gseed:2 ~ticks:5 mk in
+        (name, C.Incremental.spanner inc, C.Incremental.graph inc, stats))
+      configs
+  in
+  match runs with
+  | [] -> assert false
+  | (_, s0, g0, st0) :: rest ->
+      List.iter
+        (fun (name, s, g, st) ->
+          check (name ^ ": same graph") true (Ugraph.equal g0 g);
+          check (name ^ ": same spanner") true (Edge.Set.equal s0 s);
+          check (name ^ ": same tick stats") true (st = st0))
+        rest
+
+let test_churn_generator () =
+  let g = Generators.gnp_connected (Rng.create 8) 50 0.1 in
+  let d = Ugraph.Delta.create () in
+  C.Incremental.churn ~rng:(Rng.create 42) ~replace:7 g d;
+  check_int "deletes" 7 (Ugraph.Delta.deletes d);
+  check_int "inserts" 7 (Ugraph.Delta.inserts d);
+  Ugraph.Delta.iter_deletes
+    (fun u v -> check "delete exists" true (Ugraph.mem_edge g u v))
+    d;
+  Ugraph.Delta.iter_inserts
+    (fun u v -> check "insert absent" true (not (Ugraph.mem_edge g u v)))
+    d;
+  (* Deterministic in the rng seed. *)
+  let d2 = Ugraph.Delta.create () in
+  C.Incremental.churn ~rng:(Rng.create 42) ~replace:7 g d2;
+  check "seeded reproducibility" true
+    (Ugraph.equal (Ugraph.apply_delta g d) (Ugraph.apply_delta g d2));
+  (* Applies cleanly. *)
+  let g' = Ugraph.apply_delta g d in
+  check_int "m preserved" (Ugraph.m g) (Ugraph.m g')
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "checker",
+        [ Alcotest.test_case "fast == bfs" `Quick test_fast_checker ] );
+      ( "active",
+        [
+          Alcotest.test_case "full set" `Quick test_active_full_set;
+          Alcotest.test_case "subset" `Quick test_active_subset;
+          Alcotest.test_case "guards" `Quick test_active_guards;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "traces valid" `Quick test_churn_validity;
+          Alcotest.test_case "per-tick valid" `Quick
+            test_churn_validity_per_tick;
+          Alcotest.test_case "determinism" `Quick test_churn_determinism;
+          Alcotest.test_case "generator" `Quick test_churn_generator;
+        ] );
+    ]
