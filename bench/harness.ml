@@ -900,6 +900,79 @@ let churn_rows ~selected =
     (churn_anchors ())
 
 (* ------------------------------------------------------------------ *)
+(* Serving anchors (schema 10, family e21): fork a spannerd preloaded
+   with a resident spanner, hammer it with closed-loop query threads
+   (Serveload), and record the latency distribution and throughput the
+   daemon sustains on this container. Latency fields are wall-clock
+   and noisy by nature (bench_diff classifies the [_us] suffix);
+   [n]/[m]/[spanner_edges]/[conns]/[errors] are exact, and errors must
+   be 0 on a healthy run. *)
+
+let serve_anchors =
+  [
+    (* name, family, preload spec, connections, burst seconds *)
+    ("serve_gnp10k_c8", "e21", "gnp 10000 0.0015 51", 8, 2.0);
+    ("serve_gnp10k_c32", "e21", "gnp 10000 0.0015 51", 32, 2.0);
+  ]
+
+let serve_rows ~selected =
+  let sel id = selected = [] || List.mem id selected in
+  List.concat_map
+    (fun (name, family, preload, conns, secs) ->
+      if not (sel family) then []
+      else begin
+        let d = Serveload.spawn_daemon ~preload () in
+        Fun.protect ~finally:(fun () -> Serveload.stop_daemon d) @@ fun () ->
+        let n, m, spanner_edges =
+          let c = Spannernet.Client.connect ~port:d.Serveload.port () in
+          Fun.protect
+            ~finally:(fun () -> Spannernet.Client.close c)
+            (fun () ->
+              match Spannernet.Client.request c Spannernet.Wire.Stats with
+              | Ok (Spannernet.Wire.Stats_reply fields) ->
+                  let get k =
+                    match List.assoc_opt k fields with
+                    | Some v -> v
+                    | None -> 0.0
+                  in
+                  (get "n", get "m", get "spanner_edges")
+              | Ok _ | Error _ -> failwith "serve_rows: STATS failed")
+        in
+        let st =
+          Serveload.run_load ~port:d.Serveload.port ~conns ~secs ~seed:9
+            ~n:(int_of_float n) ()
+        in
+        let h = st.Serveload.hist in
+        let pc p = float_of_int (Distsim.Histogram.percentile h p) in
+        printf
+          "%-18s conns=%-3d queries=%-6d errors=%d qps=%-6.0f \
+           lat_us p50=%d p99=%d\n%!"
+          name conns st.Serveload.queries st.Serveload.errors
+          (Serveload.qps st)
+          (Distsim.Histogram.percentile h 0.5)
+          (Distsim.Histogram.percentile h 0.99);
+        [
+          ( name,
+            [
+              ("n", n);
+              ("m", m);
+              ("spanner_edges", spanner_edges);
+              ("conns", float_of_int st.Serveload.conns);
+              ("secs", st.Serveload.secs);
+              ("queries", float_of_int st.Serveload.queries);
+              ("errors", float_of_int st.Serveload.errors);
+              ("qps", Serveload.qps st);
+              ("lat_us_p50", pc 0.5);
+              ("lat_us_p90", pc 0.9);
+              ("lat_us_p99", pc 0.99);
+              ("lat_us_max", float_of_int (Distsim.Histogram.max_value h));
+              ("lat_us_mean", Distsim.Histogram.mean h);
+            ] )
+        ]
+      end)
+    serve_anchors
+
+(* ------------------------------------------------------------------ *)
 (* Perf trajectory (--json FILE): a machine-readable snapshot of the
    Bechamel estimates, wall-clock anchors, seq-vs-par A/B and engine
    metrics, written as BENCH_PR<k>.json at the end of a PR so
@@ -1026,6 +1099,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
     else frugal_rows ~reps:3 ~selected @ frugal_flood_rows ~selected
   in
   let ch_rows = if json_path = None then [] else churn_rows ~selected in
+  let sv2_rows = if json_path = None then [] else serve_rows ~selected in
   (match json_path with
   | None -> ()
   | Some path ->
@@ -1046,7 +1120,7 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
         else Printf.sprintf "%.3f" v
       in
       out "{\n";
-      out "  \"schema\": \"spanner-bench/9\",\n";
+      out "  \"schema\": \"spanner-bench/10\",\n";
       out "  \"par\": { \"domains\": %d, \"cores\": %d },\n" par
         (Domain.recommended_domain_count ());
       out "  \"micro_ns_per_run\": {\n";
@@ -1140,6 +1214,22 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
           out " }")
         ch_rows;
       out "\n  },\n";
+      (* Serve rows (schema "spanner-bench/10"): closed-loop query
+         load against a forked spannerd holding the resident spanner —
+         queries/sec, error count and the per-request latency
+         distribution in microseconds. *)
+      out "  \"serve\": {\n";
+      sep
+        (fun (name, fields) ->
+          out "    %S: { " name;
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then out ", ";
+              out "%S: %s" k (num v))
+            fields;
+          out " }")
+        sv2_rows;
+      out "\n  },\n";
       out "  \"round_series\": {\n";
       sep
         (fun (name, series) ->
@@ -1209,13 +1299,14 @@ let perf_json ~json_path ~trace_path ~selected ~micro_rows ~par =
       printf
         "\nperf trajectory written to %s (%d metric rows, %d micros, %d \
          seq-vs-par anchors at %d domains, %d alloc rows, %d fault rows, %d \
-         csr rows, %d frugal rows, %d churn rows, %d profile rows)\n"
+         csr rows, %d frugal rows, %d churn rows, %d serve rows, %d profile \
+         rows)\n"
         path
         (List.length metric_rows)
         (match micro_rows with None -> 0 | Some rows -> List.length rows)
         (List.length sv_rows) par (List.length al_rows)
         (List.length ft_rows) (List.length cs_rows) (List.length fr_rows)
-        (List.length ch_rows)
+        (List.length ch_rows) (List.length sv2_rows)
         (List.length profile_rows));
   match trace_path with
   | Some path ->

@@ -1,0 +1,103 @@
+(* Latency load-generator for spannerd.
+
+   Closed-loop mode: N client threads, each its own connection and
+   seeded query stream, per-request latency into log2 histograms,
+   merged and summarized after the burst:
+
+     loadgen --spawn "gnp 10000 0.0015 51" --conns 32 --secs 2 --seed 9
+     loadgen --port 7421 --conns 8 --secs 1
+
+   Script mode (the determinism smoke): send each line of a command
+   file, print every reply line — the transcript is byte-identical
+   across daemon runs:
+
+     loadgen --port 7421 --script session.txt *)
+
+module H = Distsim.Histogram
+module Net = Spannernet
+
+let usage = "loadgen [--spawn SPEC | --port P] [--host H] [--conns N] \
+             [--secs S] [--seed K] [--script FILE]"
+
+let () =
+  let host = ref "127.0.0.1" in
+  let port = ref 0 in
+  let spawn = ref "" in
+  let conns = ref 8 in
+  let secs = ref 2.0 in
+  let seed = ref 9 in
+  let script = ref "" in
+  Arg.parse
+    [
+      ("--host", Arg.Set_string host, "ADDR daemon address");
+      ("--port", Arg.Set_int port, "PORT daemon port (0 = use --spawn)");
+      ("--spawn", Arg.Set_string spawn,
+       "SPEC fork a daemon preloaded with 'LOAD SPEC', e.g. 'gnp 10000 \
+        0.0015 51'");
+      ("--conns", Arg.Set_int conns, "N concurrent connections (default 8)");
+      ("--secs", Arg.Set_float secs, "S burst duration (default 2.0)");
+      ("--seed", Arg.Set_int seed, "K query-mix seed (default 9)");
+      ("--script", Arg.Set_string script,
+       "FILE scripted session: send each line, print each reply");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let daemon =
+    if !spawn <> "" then begin
+      let d = Serveload.spawn_daemon ~preload:!spawn () in
+      port := d.Serveload.port;
+      Some d
+    end
+    else None
+  in
+  if !port = 0 then begin
+    prerr_endline "loadgen: need --port or --spawn";
+    exit 2
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      match daemon with Some d -> Serveload.stop_daemon d | None -> ())
+  @@ fun () ->
+  if !script <> "" then begin
+    (* Scripted session: one reply (plus any EVENT frames) per line. *)
+    let ic = open_in !script in
+    let commands = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then commands := line :: !commands
+       done
+     with End_of_file -> close_in ic);
+    let c = Net.Client.connect ~host:!host ~port:!port () in
+    Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+    List.iter
+      (fun cmd ->
+        Net.Client.send_line c cmd;
+        let rec replies () =
+          match Net.Client.recv_line c with
+          | None -> ()
+          | Some line ->
+              print_endline line;
+              if String.length line >= 6 && String.sub line 0 6 = "EVENT "
+              then replies ()
+        in
+        replies ())
+      (List.rev !commands)
+  end
+  else begin
+    let n = Serveload.resident_n ~host:!host ~port:!port in
+    let st =
+      Serveload.run_load ~host:!host ~port:!port ~conns:!conns ~secs:!secs
+        ~seed:!seed ~n ()
+    in
+    let pc p = H.percentile st.Serveload.hist p in
+    Printf.printf
+      "serve: n=%d conns=%d secs=%.2f queries=%d errors=%d qps=%.0f\n" n
+      st.Serveload.conns st.Serveload.secs st.Serveload.queries
+      st.Serveload.errors (Serveload.qps st);
+    Printf.printf
+      "latency_us: p50=%d p90=%d p99=%d max=%d mean=%.1f\n" (pc 0.5)
+      (pc 0.9) (pc 0.99)
+      (H.max_value st.Serveload.hist)
+      (H.mean st.Serveload.hist)
+  end

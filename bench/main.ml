@@ -772,6 +772,19 @@ let e20big () =
      is a single timed run (time_once) — best-of-k would multiply\n\
      minutes of wall clock for noise the ~10x+ speedups don't need.\n"
 
+let e21 () =
+  section "E21"
+    "Serving: closed-loop query load against a forked spannerd";
+  ignore (serve_rows ~selected:[ "e21" ] : (string * (string * float) list) list);
+  printf
+    "\neach row forks a spannerd preloaded with the anchor graph (the\n\
+     port file doubles as the ready signal), then `conns` client\n\
+     threads run a closed loop of random-pair QUERYs for `secs`,\n\
+     recording per-request latency into per-thread log2 histograms\n\
+     merged at the end. The daemon is one thread: queueing delay at\n\
+     high concurrency is the product, not a bug — qps is the\n\
+     throughput claim, p50/p99 the latency claim, errors must be 0.\n"
+
 let e14 () =
   section "E14" "Lemma 4.5 in action: per-iteration convergence trace";
   let g = Generators.clique_ladder (rng 7) 300 in
@@ -988,7 +1001,8 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e18big", e18big); ("e19", e19);
-    ("e20", e20); ("e20big", e20big); ("a1", a1); ("a2", a2); ("a3", a3);
+    ("e20", e20); ("e20big", e20big); ("e21", e21); ("a1", a1); ("a2", a2);
+    ("a3", a3);
   ]
 
 let () =

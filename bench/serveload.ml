@@ -1,0 +1,141 @@
+(* Shared serving-bench machinery: fork a spannerd (fork+exec — bare
+   fork is unsafe once the domain pool exists), wait for its port
+   file, hammer it with closed-loop query threads, merge per-thread
+   latency histograms. Used by both the loadgen CLI and the bench's
+   serve section. *)
+
+module H = Distsim.Histogram
+module Net = Spannernet
+module Rng = Grapho.Rng
+
+type daemon = { pid : int; port : int; port_file : string }
+
+let spannerd_path () =
+  (* bench/*.exe and bin/spannerd.exe live in sibling directories of
+     one _build tree. *)
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "spannerd.exe"))
+
+let spawn_daemon ?preload () =
+  let exe = spannerd_path () in
+  if not (Sys.file_exists exe) then
+    failwith ("serveload: spannerd not built at " ^ exe);
+  let port_file = Filename.temp_file "spannerd" ".port" in
+  Sys.remove port_file;
+  let args =
+    [ exe; "--port"; "0"; "--port-file"; port_file ]
+    @ (match preload with Some s -> [ "--preload"; s ] | None -> [])
+  in
+  let devnull = Unix.openfile "/dev/null" [ O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe (Array.of_list args) Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  (* The port file appears only after the preload finished, so its
+     existence doubles as the ready signal. The 10^6-scale preloads
+     take minutes; poll patiently. *)
+  let deadline = Unix.gettimeofday () +. 300.0 in
+  let rec wait () =
+    match
+      let ic = open_in port_file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> int_of_string (String.trim (input_line ic)))
+    with
+    | port -> port
+    | exception _ ->
+        (match Unix.waitpid [ WNOHANG ] pid with
+        | 0, _ -> ()
+        | _, _ -> failwith "serveload: spannerd exited before listening");
+        if Unix.gettimeofday () > deadline then begin
+          Unix.kill pid Sys.sigkill;
+          failwith "serveload: spannerd did not come up"
+        end;
+        Unix.sleepf 0.05;
+        wait ()
+  in
+  let port = wait () in
+  { pid; port; port_file }
+
+let stop_daemon d =
+  (try
+     let c = Net.Client.connect ~port:d.port () in
+     ignore (Net.Client.request c Net.Wire.Shutdown);
+     Net.Client.close c
+   with _ -> (try Unix.kill d.pid Sys.sigint with Unix.Unix_error _ -> ()));
+  (try ignore (Unix.waitpid [] d.pid) with Unix.Unix_error _ -> ());
+  try Sys.remove d.port_file with Sys_error _ -> ()
+
+type load_stats = {
+  conns : int;
+  secs : float;  (* measured wall-clock of the whole burst *)
+  queries : int;
+  errors : int;
+  hist : H.t;  (* per-request latency, microseconds *)
+}
+
+let qps st = float_of_int st.queries /. Float.max st.secs 1e-9
+
+(* One closed-loop worker: its own connection, rng and histogram —
+   nothing shared, merge at the end (order-independent, so the merged
+   histogram is deterministic given each thread's request count). *)
+let worker ~host ~port ~n ~seed ~deadline i =
+  let rng = Rng.create (seed lxor ((i + 1) * 0x9E3779B9)) in
+  let hist = H.create () in
+  let queries = ref 0 and errors = ref 0 in
+  (match Net.Client.connect ~host ~port () with
+  | exception _ -> errors := 1
+  | c ->
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          while Unix.gettimeofday () < deadline do
+            let u = Rng.int rng n and v = Rng.int rng n in
+            let t0 = Unix.gettimeofday () in
+            (match Net.Client.request c (Net.Wire.Query (u, v)) with
+            | Ok (Net.Wire.Path _ | Net.Wire.Nopath _) -> incr queries
+            | Ok _ | Error _ -> incr errors);
+            let dt = Unix.gettimeofday () -. t0 in
+            H.record hist (int_of_float (1e6 *. dt))
+          done));
+  (hist, !queries, !errors)
+
+let run_load ?(host = "127.0.0.1") ~port ~conns ~secs ~seed ~n () =
+  if conns < 1 then invalid_arg "serveload: conns must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. secs in
+  let parts = Array.make conns None in
+  let threads =
+    List.init conns (fun i ->
+        Thread.create
+          (fun i -> parts.(i) <- Some (worker ~host ~port ~n ~seed ~deadline i))
+          i)
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let hist = H.create () in
+  let queries = ref 0 and errors = ref 0 in
+  Array.iter
+    (function
+      | None -> errors := !errors + 1
+      | Some (h, q, e) ->
+          H.merge_into ~into:hist h;
+          queries := !queries + q;
+          errors := !errors + e)
+    parts;
+  { conns; secs = elapsed; queries = !queries; errors = !errors; hist }
+
+(* Ask a running daemon how many vertices it holds (for the query
+   mix) — loadgen's no-spawn mode. *)
+let resident_n ~host ~port =
+  let c = Net.Client.connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Net.Client.close c)
+    (fun () ->
+      match Net.Client.request c Net.Wire.Stats with
+      | Ok (Net.Wire.Stats_reply fields) -> (
+          match List.assoc_opt "n" fields with
+          | Some n when n > 0.0 -> int_of_float n
+          | _ -> failwith "loadgen: daemon has no graph loaded")
+      | Ok _ | Error _ -> failwith "loadgen: STATS failed")

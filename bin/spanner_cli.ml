@@ -674,7 +674,7 @@ let profile_cmd =
 
 (* ---- churn ------------------------------------------------------- *)
 
-let churn file ticks rate seed sched par recompute =
+let churn file ticks rate seed sched par schedule retry recompute =
   let g0 = load_graph file in
   if ticks < 1 then failwith "--ticks must be >= 1";
   if rate <= 0.0 || rate >= 1.0 then failwith "--rate must be in (0, 1)";
@@ -693,6 +693,14 @@ let churn file ticks rate seed sched par recompute =
     (Ugraph.m g0) base.C.Two_spanner_local.metrics.rounds bootstrap_ms
     replace rate;
   let churn_rng = Rng.create (seed lxor 0x6A7A) in
+  let adversary =
+    if Distsim.Faults.is_empty schedule then None
+    else begin
+      Printf.printf "faults: %s (retry %d) on every repair run\n"
+        (Distsim.Faults.to_string schedule) retry;
+      Some (Distsim.Faults.compile ~n:(Ugraph.n g0) schedule)
+    end
+  in
   let d = Ugraph.Delta.create () in
   Printf.printf "%5s %5s %5s %6s %6s %6s %9s%s %9s %6s\n" "tick" "del"
     "ins" "seeds" "broken" "dirty" "repair"
@@ -703,7 +711,7 @@ let churn file ticks rate seed sched par recompute =
   for _ = 1 to ticks do
     C.Incremental.churn ~rng:churn_rng ~replace (C.Incremental.graph inc) d;
     let t1 = now () in
-    let st = C.Incremental.apply ~sched ~par inc d in
+    let st = C.Incremental.apply ~sched ~par ?adversary ~retry inc d in
     let repair_ms = 1000.0 *. (now () -. t1) in
     sum_repair := !sum_repair +. repair_ms;
     let valid = C.Incremental.valid inc in
@@ -760,9 +768,11 @@ let churn_cmd =
              around them. Prints per-tick repair statistics and a validity \
              verdict; exits 0 iff the maintained spanner was valid after \
              every tick. --recompute adds a full-recompute baseline and \
-             speedup column.")
+             speedup column. --schedule subjects every repair run to a \
+             deterministic fault schedule (churn + drops simultaneously); \
+             validity is then a per-tick verdict, not a guarantee.")
     Term.(const churn $ file_arg $ ticks_arg $ rate_arg $ seed_arg
-          $ sched_arg $ par_arg $ recompute_arg)
+          $ sched_arg $ par_arg $ schedule_arg $ retry_arg $ recompute_arg)
 
 (* ---- check ------------------------------------------------------- *)
 

@@ -68,8 +68,8 @@ let create ?(seed = 0x2D5F1) ~spanner g =
     dirty_buf = Bigcsr.buf_create 64;
   }
 
-let bootstrap ?(seed = 0x2D5F1) ?sched ?par g =
-  let r = Two_spanner_local.run ~seed ?sched ?par g in
+let bootstrap ?(seed = 0x2D5F1) ?sched ?par ?trace g =
+  let r = Two_spanner_local.run ~seed ?sched ?par ?trace g in
   (create ~seed ~spanner:r.spanner g, r)
 
 let graph t = t.graph
@@ -84,7 +84,7 @@ let tick_seed t tick = t.seed lxor (tick * 0x85EBCA77) lxor 0x165667B1
 
 let buf_get (b : Bigcsr.buf) i = Bigarray.Array1.get b.data i
 
-let apply ?sched ?par t d =
+let apply ?sched ?par ?adversary ?retry ?trace t d =
   let deleted = Ugraph.Delta.deletes d
   and inserted = Ugraph.Delta.inserts d in
   (* A rejected delta raises here, before any state mutates. *)
@@ -140,7 +140,7 @@ let apply ?sched ?par t d =
       let r =
         Two_spanner_local.run
           ~seed:(tick_seed t (t.tick + 1))
-          ?sched ?par ~active g'
+          ?sched ?par ?adversary ?retry ?trace ~active g'
       in
       repair_rounds := r.metrics.rounds;
       repair_iterations := r.iterations;

@@ -60,14 +60,19 @@ val bootstrap :
   ?seed:int ->
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
+  ?trace:Distsim.Trace.sink ->
   Ugraph.t ->
   t * Two_spanner_local.result
 (** Run the full protocol once and wrap its output — the
-    tick-0 baseline of the churn bench. *)
+    tick-0 baseline of the churn bench. [trace] observes the
+    bootstrap run's engine events (the daemon's SUBSCRIBE hook). *)
 
 val apply :
   ?sched:Distsim.Engine.sched ->
   ?par:int ->
+  ?adversary:Distsim.Adversary.t ->
+  ?retry:int ->
+  ?trace:Distsim.Trace.sink ->
   t ->
   Ugraph.Delta.t ->
   tick_stats
@@ -76,7 +81,16 @@ val apply :
     delta ({!Grapho.Ugraph.apply_delta}'s [Invalid_argument]) leaves
     the state untouched. [sched]/[par] configure the repair run's
     engine exactly as in {!Two_spanner_local.run}; the resulting
-    spanner is bit-identical across all of them. *)
+    spanner is bit-identical across all of them. [adversary]/[retry]
+    subject the ball-local re-run to a fault schedule (churn + drops
+    simultaneously — the PR 5 composition): the adversary's fraction
+    crashes resolve over the full-graph [n] and its coin stream is
+    consulted in merge order, so faulted ticks remain bit-identical
+    across schedulers and [par] values too. Note that under crashes
+    the repair run can terminate without covering every dirty edge —
+    {!valid} is the caller's verdict, exactly as in the resilience
+    harness. [trace] observes the repair run's engine events; ticks
+    that break nothing emit no events. *)
 
 val graph : t -> Ugraph.t
 (** The current (post-latest-tick) graph. *)

@@ -98,6 +98,82 @@ let is_2_spanner_fast g s =
    with Exit -> ());
   !ok
 
+(* Serving-path BFS: the daemon answers thousands of QUERYs per second
+   against one resident spanner CSR, so the per-query cost must be the
+   traversal and nothing else. The scratch reuses stamp/parent/queue
+   arrays across queries with an epoch counter standing in for
+   clearing: a vertex is "visited this query" iff its stamp equals the
+   current epoch, so reset is one increment, not an O(n) fill. *)
+type query = {
+  mutable cap : int;
+  mutable stamp : int array;
+  mutable parent : int array;
+  mutable queue : int array;
+  mutable epoch : int;
+}
+
+let query_create ?(n = 0) () =
+  {
+    cap = n;
+    stamp = Array.make (max n 1) 0;
+    parent = Array.make (max n 1) (-1);
+    queue = Array.make (max n 1) 0;
+    epoch = 0;
+  }
+
+let query_ensure q n =
+  if n > q.cap then begin
+    let cap = max n (2 * q.cap) in
+    q.stamp <- Array.make cap 0;
+    q.parent <- Array.make cap (-1);
+    q.queue <- Array.make cap 0;
+    q.cap <- cap;
+    q.epoch <- 0
+  end
+
+let query_path q sg ~u ~v =
+  let n = Ugraph.n sg in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Spanner_check.query_path: vertex out of range";
+  if u = v then Some [ u ]
+  else begin
+    query_ensure q n;
+    q.epoch <- q.epoch + 1;
+    let ep = q.epoch in
+    let stamp = q.stamp and parent = q.parent and queue = q.queue in
+    stamp.(u) <- ep;
+    parent.(u) <- u;
+    queue.(0) <- u;
+    let head = ref 0 and tail = ref 1 in
+    let found = ref false in
+    while not !found && !head < !tail do
+      let x = queue.(!head) in
+      incr head;
+      (try
+         Ugraph.iter_neighbors
+           (fun y ->
+             if stamp.(y) <> ep then begin
+               stamp.(y) <- ep;
+               parent.(y) <- x;
+               if y = v then begin
+                 found := true;
+                 raise Exit
+               end;
+               queue.(!tail) <- y;
+               incr tail
+             end)
+           sg x
+       with Exit -> ())
+    done;
+    if not !found then None
+    else begin
+      let rec walk x acc =
+        if x = u then u :: acc else walk parent.(x) (x :: acc)
+      in
+      Some (walk v [])
+    end
+  end
+
 let directed_covers_edge ~n s ~k e =
   let adj = Traversal.directed_adjacency_of_set ~n s in
   bounded_reach adj n (Edge.Directed.src e) (Edge.Directed.dst e) k

@@ -45,6 +45,27 @@ val is_2_spanner_fast : Ugraph.t -> Edge.Set.t -> bool
     equivalence is pinned by the test suite; the churn bench runs
     this as its every-tick validity verdict. *)
 
+type query
+(** Reusable BFS scratch for {!query_path} — stamp/parent/queue
+    arrays recycled across queries via an epoch counter, so a query
+    allocates only its result list. One value per serving thread;
+    grows to fit the largest graph it has seen. *)
+
+val query_create : ?n:int -> unit -> query
+(** Fresh scratch, pre-sized for graphs of [n] vertices (default 0 —
+    it grows on first use). *)
+
+val query_path : query -> Ugraph.t -> u:int -> v:int -> int list option
+(** [query_path q sg ~u ~v] is a shortest [u]–[v] path in [sg]
+    (typically a resident {!spanner_csr}) as its vertex sequence
+    [u; ...; v], or [None] if the two are disconnected in [sg];
+    [Some [u]] when [u = v]. One BFS from [u] with early exit at [v],
+    deterministic (CSR neighbor order), allocation-free apart from
+    the returned list. When [sg] is a valid 2-spanner of a graph with
+    edge [{u,v}], the result has at most 2 hops — the daemon's QUERY
+    kernel, stretch pinned by the test suite. Raises
+    [Invalid_argument] if [u] or [v] is outside [sg]. *)
+
 val directed_covers_edge :
   n:int -> Edge.Directed.Set.t -> k:int -> Edge.Directed.t -> bool
 

@@ -991,8 +991,16 @@ let run_naive ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         Adversary.begin_round adv ~round:!round (fun kind ->
             (match kind with
             | Trace.Crash v ->
-                inboxes.(v) <- [];
-                done_flags.(v) <- true
+                (* On a sparse run the engine arrays are slot-indexed;
+                   a crash scheduled at a frozen vertex touches no
+                   engine state (the vertex was never running — the
+                   adversary still drops traffic addressed to it, of
+                   which there is none). *)
+                let slot = if sparse then pos.(v) else v in
+                if slot >= 0 then begin
+                  inboxes.(slot) <- [];
+                  done_flags.(slot) <- true
+                end
             | Trace.Cut _ | Trace.Restore _ -> ());
             if tracing then
               Trace.emit trace (Trace.Fault_injected { round = !round; kind })));
@@ -1186,10 +1194,15 @@ let run_active ?max_rounds ?(strict = false) ?observer ?(trace = Trace.null)
         Adversary.begin_round adv ~round:!round (fun kind ->
             (match kind with
             | Trace.Crash v ->
-                bank.(v).i_len <- 0;
-                if not done_flags.(v) then begin
-                  done_flags.(v) <- true;
-                  decr not_done
+                (* Slot-indexed engine arrays: a crash at a frozen
+                   vertex of a sparse run touches no engine state. *)
+                let slot = if sparse then pos.(v) else v in
+                if slot >= 0 then begin
+                  bank.(slot).i_len <- 0;
+                  if not done_flags.(slot) then begin
+                    done_flags.(slot) <- true;
+                    decr not_done
+                  end
                 end
             | Trace.Cut _ | Trace.Restore _ -> ());
             if tracing then
@@ -1363,13 +1376,15 @@ let run ?max_rounds ?strict ?observer ?trace ?(sched = `Active) ?par ?adversary
   | None -> ()
   | Some _ ->
       validate_active ~n:(Grapho.Ugraph.n graph) active;
-      (* Both layers key per-edge / per-vertex machinery on the full
-         graph and would silently mis-account against an induced
-         subgraph — reject rather than guess a semantics. *)
+      (* Frugal keys per-edge suppression machines on the full graph
+         and would silently mis-account against an induced subgraph —
+         reject rather than guess a semantics.  The adversary, by
+         contrast, composes: its coin stream is consulted once per
+         delivered message in merge order (unchanged by sparsity),
+         fraction crashes resolve over the full n, and a crash landing
+         on a frozen vertex is a no-op (the vertex was never running). *)
       if frugal <> None then
-        invalid_arg "Engine: ?active is incompatible with ?frugal";
-      if normalize_adversary adversary <> None then
-        invalid_arg "Engine: ?active is incompatible with ?adversary");
+        invalid_arg "Engine: ?active is incompatible with ?frugal");
   match sched with
   | `Naive ->
       (* The reference path stays single-domain by design: it is the

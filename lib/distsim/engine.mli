@@ -320,7 +320,12 @@ val run :
     address. Determinism is preserved: active slots are stepped (and
     merged, under [par]) in ascending vertex order, so seq/[par]/
     [`Naive] runs remain bit-identical exactly as in the dense case.
-    [max_rounds] defaults to [50 * (|active| + 5)]. Incompatible with
-    [?frugal] and [?adversary] (both key per-edge/per-vertex machinery
-    on the full graph): passing either together with [active] raises
-    [Invalid_argument]. *)
+    [max_rounds] defaults to [50 * (|active| + 5)]. Composes with
+    [?adversary]: the coin stream is consulted once per delivered
+    message in merge order exactly as on a dense run, fraction
+    crashes resolve over the full-graph [n], and a crash scheduled at
+    a frozen vertex is a no-op on engine state (the vertex was never
+    running) — so faulted sparse runs stay bit-identical across
+    schedulers and shard counts. Incompatible with [?frugal] (it keys
+    per-edge suppression machines on the full graph): passing it
+    together with [active] raises [Invalid_argument]. *)

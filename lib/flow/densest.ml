@@ -76,18 +76,21 @@ let solver_calls = ref 0
 
 let small_n_limit = 12
 
-(* Per-12-bit-mask popcount and lowest-set-bit-index tables, built
-   once. *)
+(* Per-12-bit-mask popcount and lowest-set-bit-index tables. Built
+   eagerly at module init: the oracle runs inside vertex handlers,
+   which execute on pool domains under [Engine.run ~par], and a
+   module-global [lazy] forced from two domains at once raises
+   [CamlinternalLazy.Undefined]. 2^12 words is cheap enough to never
+   defer. *)
 let small_tables =
-  lazy
-    (let size = 1 lsl small_n_limit in
-     let pc = Array.make size 0 in
-     let lb = Array.make size 0 in
-     for i = 1 to size - 1 do
-       pc.(i) <- pc.(i lsr 1) + (i land 1);
-       lb.(i) <- (if i land 1 = 1 then 0 else lb.(i lsr 1) + 1)
-     done;
-     (pc, lb))
+  let size = 1 lsl small_n_limit in
+  let pc = Array.make size 0 in
+  let lb = Array.make size 0 in
+  for i = 1 to size - 1 do
+    pc.(i) <- pc.(i lsr 1) + (i land 1);
+    lb.(i) <- (if i land 1 = 1 then 0 else lb.(i lsr 1) + 1)
+  done;
+  (pc, lb)
 
 (* [None] when duplicate edges prevent the bitmask encoding. *)
 let exhaustive_small ?weights ?bonuses ~n ~edges () =
@@ -108,7 +111,7 @@ let exhaustive_small ?weights ?bonuses ~n ~edges () =
   else begin
     let weight v = match weights with None -> 1.0 | Some w -> w.(v) in
     let bonus v = match bonuses with None -> 0.0 | Some b -> b.(v) in
-    let pc, lb = Lazy.force small_tables in
+    let pc, lb = small_tables in
     let size = 1 lsl n in
     let inside = Array.make size 0 in
     let wsum = Array.make size 0.0 in

@@ -1,0 +1,45 @@
+type t = { fd : Unix.file_descr; buf : Netbuf.t }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.setsockopt fd TCP_NODELAY true;
+  { fd; buf = Netbuf.create () }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let s = line ^ "\n" in
+  let len = String.length s in
+  let sent = ref 0 in
+  while !sent < len do
+    sent :=
+      !sent + Unix.write_substring t.fd s !sent (len - !sent)
+  done
+
+let recv_line t =
+  let rec go () =
+    match Netbuf.take_line t.buf with
+    | Some line -> Some line
+    | None -> (
+        match Netbuf.read_from_fd t.buf t.fd with
+        | `Eof -> None
+        | `Data _ | `Again -> go ())
+  in
+  go ()
+
+let request t req =
+  send_line t (Wire.print_request req);
+  let rec await () =
+    match recv_line t with
+    | None -> Error "connection closed"
+    | Some line -> (
+        match Wire.parse_reply line with
+        | Ok (Wire.Event _) -> await ()
+        | Ok reply -> Ok reply
+        | Error e -> Error e)
+  in
+  await ()

@@ -1,0 +1,247 @@
+module Trace = Distsim.Trace
+
+module Conn = struct
+  type verdict = Continue | Close | Shutdown
+
+  type t = {
+    inbuf : Netbuf.t;
+    outbuf : Netbuf.t;
+    max_line : int;
+    mutable subscribed : bool;
+    mutable verdict : verdict;
+  }
+
+  let create ?(max_line = 1 lsl 20) () =
+    {
+      inbuf = Netbuf.create ();
+      outbuf = Netbuf.create ();
+      max_line;
+      subscribed = false;
+      verdict = Continue;
+    }
+
+  let output t = t.outbuf
+  let subscribed t = t.subscribed
+
+  let reply t r =
+    Netbuf.add_string t.outbuf (Wire.print_reply r);
+    Netbuf.add_string t.outbuf "\n"
+
+  let push_event t ev = reply t (Wire.Event ev)
+
+  let dispatch t service line =
+    if String.trim line = "" then ()
+    else
+      match Wire.parse_request line with
+      | Error e ->
+          Service.bump_errors service;
+          reply t (Wire.Err e)
+      | Ok Wire.Quit ->
+          reply t Wire.Bye;
+          t.verdict <- Close
+      | Ok Wire.Shutdown ->
+          reply t Wire.Shutting_down;
+          t.verdict <- Shutdown
+      | Ok Wire.Subscribe ->
+          t.subscribed <- true;
+          reply t Wire.Subscribed
+      | Ok Wire.Unsubscribe ->
+          t.subscribed <- false;
+          reply t Wire.Unsubscribed
+      | Ok req -> reply t (Service.handle service req)
+
+  let feed t service bytes =
+    if t.verdict = Continue then begin
+      Netbuf.add_string t.inbuf bytes;
+      let continue = ref true in
+      while !continue && t.verdict = Continue do
+        match Netbuf.take_line t.inbuf with
+        | Some line -> dispatch t service line
+        | None ->
+            if Netbuf.length t.inbuf > t.max_line then begin
+              Service.bump_errors service;
+              reply t (Wire.Err "line too long");
+              t.verdict <- Close
+            end;
+            continue := false
+      done;
+      if t.verdict <> Continue then Netbuf.clear t.inbuf
+    end;
+    t.verdict
+end
+
+(* ---- the select loop --------------------------------------------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  conn : Conn.t;
+  mutable last_activity : float;
+}
+
+let write_port_file path port =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "%d\n" port;
+  close_out oc;
+  Sys.rename tmp path
+
+let serve ?(host = "127.0.0.1") ?(port = 0) ?port_file ?idle_timeout
+    ?max_line service =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = ref false in
+  let prev_sigint =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  let listener = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      Sys.set_signal Sys.sigint prev_sigint)
+  @@ fun () ->
+  Unix.setsockopt listener SO_REUSEADDR true;
+  Unix.bind listener (ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listener 128;
+  Unix.set_nonblock listener;
+  let bound_port =
+    match Unix.getsockname listener with
+    | ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  (match port_file with
+  | Some path -> write_port_file path bound_port
+  | None -> ());
+  let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 64 in
+  let drop c =
+    Hashtbl.remove clients c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  (* The engine-event hook is installed only while someone listens:
+     with no subscribers the protocol runs with Trace.null and pays
+     nothing. *)
+  let refresh_hook () =
+    let any =
+      Hashtbl.fold (fun _ c any -> any || Conn.subscribed c.conn) clients false
+    in
+    Service.set_on_event service
+      (if any then
+         Some
+           (fun ev ->
+             Hashtbl.iter
+               (fun _ c ->
+                 if Conn.subscribed c.conn then Conn.push_event c.conn ev)
+               clients)
+       else None)
+  in
+  let listening = ref true in
+  let stop_listening () =
+    if !listening then begin
+      listening := false;
+      try Unix.close listener with Unix.Unix_error _ -> ()
+    end
+  in
+  let accept_new () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept listener with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          Hashtbl.replace clients fd
+            {
+              fd;
+              conn = Conn.create ?max_line ();
+              last_activity = Unix.gettimeofday ();
+            }
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          continue := false
+      | exception Unix.Unix_error ((ECONNABORTED | EPERM), _, _) -> ()
+    done
+  in
+  let flush_client c =
+    match Netbuf.write_to_fd (Conn.output c.conn) c.fd with
+    | `Closed ->
+        drop c;
+        refresh_hook ()
+    | `Flushed when c.conn.Conn.verdict <> Conn.Continue ->
+        drop c;
+        refresh_hook ();
+        if c.conn.Conn.verdict = Conn.Shutdown then stop := true
+    | `Flushed | `Partial -> ()
+  in
+  let read_client c =
+    match Netbuf.read_from_fd c.conn.Conn.inbuf c.fd with
+    | exception _ ->
+        drop c;
+        refresh_hook ()
+    | `Eof ->
+        drop c;
+        refresh_hook ()
+    | `Again -> ()
+    | `Data _ ->
+        c.last_activity <- Unix.gettimeofday ();
+        (* Bytes already sit in the conn's in-buffer; feed processes
+           them (empty append keeps the actor's single entry point). *)
+        let verdict = Conn.feed c.conn service "" in
+        refresh_hook ();
+        if verdict <> Conn.Continue then flush_client c
+  in
+  let deadline = ref infinity in
+  let finished = ref false in
+  while not !finished do
+    if !stop then begin
+      stop_listening ();
+      if !deadline = infinity then deadline := Unix.gettimeofday () +. 5.0
+    end;
+    let now = Unix.gettimeofday () in
+    (* Idle reaping (subscribers exempt: they are deliberately quiet). *)
+    (match idle_timeout with
+    | Some limit ->
+        let stale =
+          Hashtbl.fold
+            (fun _ c acc ->
+              if
+                (not (Conn.subscribed c.conn))
+                && now -. c.last_activity > limit
+              then c :: acc
+              else acc)
+            clients []
+        in
+        List.iter drop stale;
+        if stale <> [] then refresh_hook ()
+    | None -> ());
+    let reads =
+      Hashtbl.fold
+        (fun fd c acc -> if c.conn.Conn.verdict = Conn.Continue then fd :: acc else acc)
+        clients
+        (if !listening && not !stop then [ listener ] else [])
+    in
+    let writes =
+      Hashtbl.fold
+        (fun fd c acc ->
+          if not (Netbuf.is_empty (Conn.output c.conn)) then fd :: acc
+          else acc)
+        clients []
+    in
+    if !stop && (writes = [] || now > !deadline) then begin
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) clients;
+      Hashtbl.reset clients;
+      finished := true
+    end
+    else begin
+      match Unix.select reads writes [] 0.25 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, writable, _ ->
+          if !listening && List.memq listener readable then accept_new ();
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt clients fd with
+              | Some c -> read_client c
+              | None -> ())
+            readable;
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt clients fd with
+              | Some c -> flush_client c
+              | None -> ())
+            writable
+    end
+  done

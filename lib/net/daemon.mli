@@ -1,0 +1,69 @@
+(** The spannerd event loop: non-blocking [Unix] sockets multiplexed
+    by [select], one {!Conn} state machine per client.
+
+    Single process, single thread: readiness events are the only
+    scheduler. Each connection owns a growable in-buffer (bytes
+    accumulate until complete lines appear — slow and one-byte-at-a-
+    time writers are fine) and out-buffer (replies queue until the
+    socket can take them — write backpressure is just membership in
+    the writability set). Malformed lines answer [ERR] and the
+    connection survives; killed clients ([EPIPE]/[ECONNRESET], or a
+    read returning EOF) are cleaned up silently; idle connections are
+    closed after a configurable timeout. SIGINT (and the [SHUTDOWN]
+    request) stop accepting, drain pending replies with a deadline,
+    and return cleanly. *)
+
+module Conn : sig
+  (** The per-connection state machine, socket-free: bytes in, reply
+      bytes out. The daemon owns one per client; the protocol tests
+      drive it directly — partial-frame reassembly and garbage-input
+      fuzz need no sockets. *)
+
+  type t
+
+  type verdict =
+    | Continue  (** keep serving this connection *)
+    | Close  (** flush the out-buffer, then close (QUIT, fatal input) *)
+    | Shutdown  (** like [Close], but stop the whole daemon (SHUTDOWN) *)
+
+  val create : ?max_line:int -> unit -> t
+  (** [max_line] (default 1 MiB) bounds the in-buffer: input that
+      grows past it with no newline in sight answers [ERR] and closes
+      (there is no way to resync a lost frame boundary). *)
+
+  val feed : t -> Service.t -> string -> verdict
+  (** Append raw bytes, process every complete line: parse, dispatch
+      (to the service, or locally for the connection-scoped verbs),
+      append each reply line to the out-buffer. Never raises on any
+      input. Once a non-[Continue] verdict is reached, remaining
+      buffered input is discarded. *)
+
+  val output : t -> Netbuf.t
+  (** The out-buffer, for the event loop to flush (or for tests to
+      read). *)
+
+  val subscribed : t -> bool
+  (** Whether this connection has an active [SUBSCRIBE]. *)
+
+  val push_event : t -> Distsim.Trace.event -> unit
+  (** Append one [EVENT] line to the out-buffer (the daemon calls
+      this on every subscribed connection when the service emits). *)
+end
+
+val serve :
+  ?host:string ->
+  ?port:int ->
+  ?port_file:string ->
+  ?idle_timeout:float ->
+  ?max_line:int ->
+  Service.t ->
+  unit
+(** Bind (default [127.0.0.1], port [0] = ephemeral), listen with
+    [SO_REUSEADDR], ignore SIGPIPE, and serve until SIGINT or a
+    [SHUTDOWN] request. [port_file] is written atomically with the
+    bound port (how scripts discover an ephemeral port).
+    [idle_timeout] (seconds; default none) closes connections with no
+    inbound traffic for that long, except subscribed ones — a
+    subscriber is deliberately quiet. Returns after the drain:
+    listener closed first, pending replies flushed with a 5 s
+    deadline, every fd closed. *)

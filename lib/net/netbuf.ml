@@ -1,0 +1,82 @@
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable len : int;  (* unconsumed byte count *)
+}
+
+let create ?(cap = 256) () = { buf = Bytes.create (max cap 16); start = 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0
+
+(* Make room for [extra] more bytes at the tail: compact first (free
+   the consumed prefix), grow only if still too small. *)
+let reserve t extra =
+  let cap = Bytes.length t.buf in
+  if t.start + t.len + extra > cap then begin
+    if t.len + extra <= cap then begin
+      Bytes.blit t.buf t.start t.buf 0 t.len;
+      t.start <- 0
+    end
+    else begin
+      let cap' = max (t.len + extra) (2 * cap) in
+      let buf' = Bytes.create cap' in
+      Bytes.blit t.buf t.start buf' 0 t.len;
+      t.buf <- buf';
+      t.start <- 0
+    end
+  end
+
+let add_string t s =
+  let k = String.length s in
+  reserve t k;
+  Bytes.blit_string s 0 t.buf (t.start + t.len) k;
+  t.len <- t.len + k
+
+let consume t k =
+  t.start <- t.start + k;
+  t.len <- t.len - k;
+  if t.len = 0 then t.start <- 0
+
+let take_line t =
+  match Bytes.index_from_opt t.buf t.start '\n' with
+  | Some i when i < t.start + t.len ->
+      let stop =
+        if i > t.start && Bytes.get t.buf (i - 1) = '\r' then i - 1 else i
+      in
+      let line = Bytes.sub_string t.buf t.start (stop - t.start) in
+      consume t (i + 1 - t.start);
+      Some line
+  | _ -> None
+
+let contents t = Bytes.sub_string t.buf t.start t.len
+
+let chunk = 65536
+
+let read_from_fd t fd =
+  reserve t chunk;
+  match Unix.read fd t.buf (t.start + t.len) chunk with
+  | 0 -> `Eof
+  | k ->
+      t.len <- t.len + k;
+      `Data k
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> `Again
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | ENOTCONN | ESHUTDOWN), _, _)
+    ->
+      `Eof
+
+let write_to_fd t fd =
+  if t.len = 0 then `Flushed
+  else
+    match Unix.write fd t.buf t.start t.len with
+    | k ->
+        consume t k;
+        if t.len = 0 then `Flushed else `Partial
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        `Partial
+    | exception
+        Unix.Unix_error ((EPIPE | ECONNRESET | ENOTCONN | ESHUTDOWN), _, _) ->
+        `Closed

@@ -1,0 +1,48 @@
+(** Growable byte buffers for non-blocking socket I/O.
+
+    One pair per connection: the in-buffer accumulates whatever
+    [read] returns until complete ['\n']-terminated lines can be
+    taken off the front; the out-buffer queues replies until the
+    readiness loop can flush them, possibly a few bytes at a time.
+    Both are plain contiguous [Bytes] with a consumed-prefix cursor,
+    compacted opportunistically — steady-state traffic reuses the
+    allocation. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** Fresh empty buffer (default initial capacity 256 bytes). *)
+
+val length : t -> int
+(** Unconsumed bytes currently held. *)
+
+val is_empty : t -> bool
+
+val add_string : t -> string -> unit
+(** Append the whole string, growing as needed. *)
+
+val take_line : t -> string option
+(** Remove and return the first complete line — everything up to the
+    first ['\n'], which is consumed; one trailing ['\r'] is stripped
+    (the protocol is CRLF-tolerant). [None] when no full line is
+    buffered yet. *)
+
+val contents : t -> string
+(** The unconsumed bytes, as a string (for tests; does not consume). *)
+
+val clear : t -> unit
+
+val read_from_fd : t -> Unix.file_descr -> [ `Data of int | `Eof | `Again ]
+(** One [read] into the buffer (up to 64 KiB). [`Data k] appended k
+    bytes; [`Eof] is an orderly close; [`Again] means the socket had
+    nothing ([EAGAIN]/[EWOULDBLOCK]/[EINTR]). Connection-reset errors
+    ([ECONNRESET] and friends) surface as [`Eof] — a killed client is
+    a clean disconnect, not a crash. *)
+
+val write_to_fd : t -> Unix.file_descr -> [ `Flushed | `Partial | `Closed ]
+(** One [write] of as much of the buffer as the socket accepts,
+    consuming what was written. [`Flushed] emptied the buffer;
+    [`Partial] means bytes remain (keep the fd in the writability
+    set); [`Closed] means the peer is gone ([EPIPE]/[ECONNRESET]/...),
+    which with [SIGPIPE] ignored arrives here as an errno, not a
+    signal. *)

@@ -1,0 +1,49 @@
+(** The daemon's resident state: one graph + maintained 2-spanner,
+    the BFS query scratch, and deterministic serving counters.
+
+    One value per daemon, shared by every connection — the event loop
+    is single-threaded, so handlers run to completion and need no
+    locking. {!handle} answers the graph-facing requests ([LOAD],
+    [LOADFILE], [QUERY], [CHURN], [STATS]); connection-scoped
+    requests ([SUBSCRIBE]/[QUIT]/...) are the {!Daemon.Conn} actor's
+    business. Replies are a pure function of the load/churn/query
+    history — no wall-clock, pid or address material — which is what
+    makes scripted-session transcripts byte-identical across daemon
+    runs. *)
+
+open Grapho
+
+type t
+
+val create : unit -> t
+(** Fresh service with nothing loaded. *)
+
+val handle : t -> Wire.request -> Wire.reply
+(** Answer one request. Never raises: malformed or unserviceable
+    requests (unknown family, no graph loaded, vertex out of range,
+    churn delta rejected) come back as [Err] with the reason, and the
+    connection survives. [Subscribe]/[Unsubscribe]/[Quit]/[Shutdown]
+    also answer [Err] here — routing them to the service instead of
+    the connection actor is a programming error surfaced gently. *)
+
+val set_on_event : t -> (Distsim.Trace.event -> unit) option -> unit
+(** Install (or remove) the engine-event hook. While installed, the
+    bootstrap and churn-repair runs stream their trace events through
+    it, with the nondeterministic [Round_end] fields ([elapsed_ns],
+    [minor_words]) zeroed so subscribers see a deterministic
+    projection. While absent the engine runs with {!Distsim.Trace.null}
+    and skips event construction entirely. *)
+
+val bump_errors : t -> unit
+(** Count a protocol-level error that never reached {!handle} (a
+    connection actor's parse failure) in the [errors] stat. *)
+
+val stats : t -> (string * float) list
+(** The [STATS] payload: fixed field order, deterministic values
+    only. *)
+
+val graph : t -> Ugraph.t option
+(** The resident graph, if any (for the CLI/bench to introspect). *)
+
+val spanner_size : t -> int
+(** Edges in the maintained spanner; 0 when nothing is loaded. *)

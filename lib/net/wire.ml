@@ -1,0 +1,266 @@
+module Trace = Distsim.Trace
+
+type churn_op = Ins of int * int | Del of int * int
+
+type request =
+  | Load of { family : string; n : int; p : float; seed : int }
+  | Loadfile of string
+  | Query of int * int
+  | Churn of churn_op list
+  | Stats
+  | Subscribe
+  | Unsubscribe
+  | Quit
+  | Shutdown
+
+type reply =
+  | Loaded of { n : int; m : int; spanner : int; rounds : int }
+  | Path of int list
+  | Nopath of int * int
+  | Churned of {
+      tick : int;
+      deleted : int;
+      inserted : int;
+      broken : int;
+      dirty : int;
+      spanner : int;
+      valid : bool;
+    }
+  | Stats_reply of (string * float) list
+  | Subscribed
+  | Unsubscribed
+  | Bye
+  | Shutting_down
+  | Event of Trace.event
+  | Err of string
+
+(* ---- printing ---------------------------------------------------- *)
+
+let churn_op_to_string = function
+  | Ins (u, v) -> Printf.sprintf "+%d-%d" u v
+  | Del (u, v) -> Printf.sprintf "-%d-%d" u v
+
+let print_request = function
+  | Load { family; n; p; seed } ->
+      Printf.sprintf "LOAD %s %d %s %d" family n (Trace.json_float p) seed
+  | Loadfile path -> "LOADFILE " ^ path
+  | Query (u, v) -> Printf.sprintf "QUERY %d %d" u v
+  | Churn ops ->
+      "CHURN " ^ String.concat " " (List.map churn_op_to_string ops)
+  | Stats -> "STATS"
+  | Subscribe -> "SUBSCRIBE"
+  | Unsubscribe -> "UNSUBSCRIBE"
+  | Quit -> "QUIT"
+  | Shutdown -> "SHUTDOWN"
+
+let stats_json fields =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Trace.escape_into b k;
+      Buffer.add_string b "\":";
+      Buffer.add_string b (Trace.json_float v))
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let print_reply = function
+  | Loaded { n; m; spanner; rounds } ->
+      Printf.sprintf "OK LOADED n=%d m=%d spanner=%d rounds=%d" n m spanner
+        rounds
+  | Path vs ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b
+        (Printf.sprintf "PATH %d" (List.length vs - 1));
+      List.iter (fun v -> Buffer.add_string b (Printf.sprintf " %d" v)) vs;
+      Buffer.contents b
+  | Nopath (u, v) -> Printf.sprintf "NOPATH %d %d" u v
+  | Churned { tick; deleted; inserted; broken; dirty; spanner; valid } ->
+      Printf.sprintf
+        "OK CHURN tick=%d del=%d ins=%d broken=%d dirty=%d spanner=%d \
+         valid=%d"
+        tick deleted inserted broken dirty spanner
+        (if valid then 1 else 0)
+  | Stats_reply fields -> "STATS " ^ stats_json fields
+  | Subscribed -> "OK SUBSCRIBED"
+  | Unsubscribed -> "OK UNSUBSCRIBED"
+  | Bye -> "OK BYE"
+  | Shutting_down -> "OK SHUTDOWN"
+  | Event ev -> "EVENT " ^ Trace.event_to_json ev
+  | Err msg -> "ERR " ^ msg
+
+(* ---- parsing ----------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let tokens s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> Ok v
+  | Some _ -> Error (Printf.sprintf "%s must be non-negative" what)
+  | None -> Error (Printf.sprintf "%s is not an integer: %s" what s)
+
+let float_field what s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s is not a number: %s" what s)
+
+let parse_churn_op tok =
+  let fail () =
+    Error (Printf.sprintf "bad churn op %S (want +u-v or -u-v)" tok)
+  in
+  if String.length tok < 4 then fail ()
+  else
+    let mk u v =
+      match tok.[0] with
+      | '+' -> Ok (Ins (u, v))
+      | '-' -> Ok (Del (u, v))
+      | _ -> fail ()
+    in
+    match String.index_from_opt tok 1 '-' with
+    | None -> fail ()
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub tok 1 (i - 1)),
+            int_of_string_opt
+              (String.sub tok (i + 1) (String.length tok - i - 1)) )
+        with
+        | Some u, Some v when u >= 0 && v >= 0 -> mk u v
+        | _ -> fail ())
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let after_verb line verb =
+  String.sub line (String.length verb + 1)
+    (String.length line - String.length verb - 1)
+
+let parse_request line =
+  let line = String.trim line in
+  match tokens line with
+  | [] -> Error "empty request"
+  | [ "LOAD"; family; n; p; seed ] ->
+      let* n = int_field "n" n in
+      let* p = float_field "p" p in
+      let* seed = int_field "seed" seed in
+      Ok (Load { family; n; p; seed })
+  | "LOAD" :: _ -> Error "usage: LOAD <family> <n> <p> <seed>"
+  | "LOADFILE" :: _ :: _ ->
+      (* The path is the raw remainder of the line — it may contain
+         spaces, so it is not tokenized. *)
+      Ok (Loadfile (after_verb line "LOADFILE"))
+  | [ "LOADFILE" ] -> Error "usage: LOADFILE <path>"
+  | [ "QUERY"; u; v ] ->
+      let* u = int_field "u" u in
+      let* v = int_field "v" v in
+      Ok (Query (u, v))
+  | "QUERY" :: _ -> Error "usage: QUERY <u> <v>"
+  | "CHURN" :: ops when ops <> [] ->
+      let* ops = map_result parse_churn_op ops in
+      Ok (Churn ops)
+  | [ "CHURN" ] -> Error "usage: CHURN <+u-v|-u-v> ..."
+  | [ "STATS" ] -> Ok Stats
+  | [ "SUBSCRIBE" ] -> Ok Subscribe
+  | [ "UNSUBSCRIBE" ] -> Ok Unsubscribe
+  | [ "QUIT" ] -> Ok Quit
+  | [ "SHUTDOWN" ] -> Ok Shutdown
+  | verb :: _ -> Error (Printf.sprintf "unknown request %S" verb)
+
+let parse_kv what tok =
+  match String.index_opt tok '=' with
+  | None -> Error (Printf.sprintf "%s: expected key=value, got %S" what tok)
+  | Some i ->
+      let k = String.sub tok 0 i in
+      let* v =
+        int_field
+          (Printf.sprintf "%s.%s" what k)
+          (String.sub tok (i + 1) (String.length tok - i - 1))
+      in
+      Ok (k, v)
+
+let parse_kvs what expected toks =
+  let* kvs = map_result (parse_kv what) toks in
+  if List.map fst kvs = expected then Ok (List.map snd kvs)
+  else
+    Error
+      (Printf.sprintf "%s: expected fields %s" what
+         (String.concat "," expected))
+
+let parse_stats_json what s =
+  let* fields =
+    Result.map_error (fun e -> what ^ ": " ^ e) (Trace.parse_flat_json s)
+  in
+  map_result
+    (fun (k, v) ->
+      match (v : Trace.json_value) with
+      | Jnum f -> Ok (k, f)
+      | Jstr _ -> Error (Printf.sprintf "%s: field %s is not a number" what k))
+    fields
+
+let parse_reply line =
+  let line = String.trim line in
+  match tokens line with
+  | [] -> Error "empty reply"
+  | "OK" :: "LOADED" :: kvs ->
+      let* vs = parse_kvs "LOADED" [ "n"; "m"; "spanner"; "rounds" ] kvs in
+      (match vs with
+      | [ n; m; spanner; rounds ] -> Ok (Loaded { n; m; spanner; rounds })
+      | _ -> assert false)
+  | "PATH" :: hops :: vs when vs <> [] ->
+      let* hops = int_field "hops" hops in
+      let* vs = map_result (int_field "vertex") vs in
+      if List.length vs = hops + 1 then Ok (Path vs)
+      else Error "PATH: hop count does not match vertex count"
+  | "PATH" :: _ -> Error "usage: PATH <hops> <v0> ... <vk>"
+  | [ "NOPATH"; u; v ] ->
+      let* u = int_field "u" u in
+      let* v = int_field "v" v in
+      Ok (Nopath (u, v))
+  | "OK" :: "CHURN" :: kvs ->
+      let* vs =
+        parse_kvs "CHURN"
+          [ "tick"; "del"; "ins"; "broken"; "dirty"; "spanner"; "valid" ]
+          kvs
+      in
+      (match vs with
+      | [ tick; deleted; inserted; broken; dirty; spanner; valid ] ->
+          if valid > 1 then Error "CHURN: valid must be 0 or 1"
+          else
+            Ok
+              (Churned
+                 {
+                   tick;
+                   deleted;
+                   inserted;
+                   broken;
+                   dirty;
+                   spanner;
+                   valid = valid = 1;
+                 })
+      | _ -> assert false)
+  | [ "OK"; "SUBSCRIBED" ] -> Ok Subscribed
+  | [ "OK"; "UNSUBSCRIBED" ] -> Ok Unsubscribed
+  | [ "OK"; "BYE" ] -> Ok Bye
+  | [ "OK"; "SHUTDOWN" ] -> Ok Shutting_down
+  | "STATS" :: _ :: _ ->
+      let* fields = parse_stats_json "STATS" (after_verb line "STATS") in
+      Ok (Stats_reply fields)
+  | "EVENT" :: _ :: _ ->
+      let* ev =
+        Result.map_error
+          (fun e -> "EVENT: " ^ e)
+          (Trace.event_of_json (after_verb line "EVENT"))
+      in
+      Ok (Event ev)
+  | "ERR" :: _ :: _ -> Ok (Err (after_verb line "ERR"))
+  | [ "ERR" ] -> Ok (Err "")
+  | verb :: _ -> Error (Printf.sprintf "unknown reply %S" verb)

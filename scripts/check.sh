@@ -35,6 +35,13 @@
 #     mode: deterministic fields must match exactly, timing may drift
 #     up to 3x (the new "frugal" section shows up as a named
 #     "section added" — informational, not a failure)
+#   - the serving subsystem: a spannerd on an ephemeral port must
+#     answer a scripted session (including a malformed line the
+#     connection survives) with a reply transcript that is
+#     byte-identical across two fresh daemon runs, shut down cleanly
+#     on request, and sustain a short closed-loop loadgen burst with
+#     zero errors; the e21 bench JSON must carry the schema-10
+#     "serve" rows (qps + latency percentiles)
 #   - the message-frugality layer: span --frugal must produce the
 #     same spanner (exit 0 implies the internal identity assertions
 #     held) and print the physical summary; the default trace table
@@ -57,9 +64,9 @@ dune exec test/test_csr.exe -- test gc > /dev/null
 dune exec bench/main.exe -- e1 --json /dev/null --trace /dev/null
 benchjson=$(mktemp)
 dune exec bench/main.exe -- e13 --json "$benchjson" --trace /dev/null
-# The perf trajectory must be schema 9 and expose the allocation A/B
+# The perf trajectory must be schema 10 and expose the allocation A/B
 # plus the profile section's histogram percentiles and per-phase rows.
-grep -q '"schema": "spanner-bench/9"' "$benchjson"
+grep -q '"schema": "spanner-bench/10"' "$benchjson"
 grep -q '"alloc"' "$benchjson"
 grep -q '"minor_words"' "$benchjson"
 grep -q '"allocated_bytes"' "$benchjson"
@@ -85,11 +92,11 @@ grep -q '"auto_message_reduction"' "$benchjson"
 grep -q '"auto_identical": 1' "$benchjson"
 # The bench-trajectory regression gate, both ways it is used:
 # checked-in PR5 vs PR6 must pass the calibrated defaults, and the
-# fresh e13 run just emitted must match BENCH_PR7.json exactly on
-# every deterministic field (--strict) with a wide 3x allowance on
-# this machine's wall clock.
+# fresh e13 run just emitted must match BENCH_PR9.json exactly on
+# every deterministic field (--strict) with a wide allowance on this
+# machine's wall clock.
 dune exec bench/diff.exe -- BENCH_PR5.json BENCH_PR6.json > /dev/null
-dune exec bench/diff.exe -- BENCH_PR7.json "$benchjson" \
+dune exec bench/diff.exe -- BENCH_PR9.json "$benchjson" \
   --strict --tolerance 2.0 > /dev/null
 rm -f "$benchjson"
 dune exec bench/main.exe -- e13 --par 2 --json /dev/null
@@ -205,6 +212,18 @@ dune exec bin/spanner_cli.exe -- churn "$tmpgraph" --ticks 3 \
 dune exec bin/spanner_cli.exe -- churn "$tmpgraph" --ticks 3 \
   --rate 0.02 --par 2 | sed -E 's/[0-9.]+ ?ms//g' > "$parrep"
 diff "$seqrep" "$parrep"
+# Churn composes with the adversary: each repair tick runs under the
+# fault schedule, the adversary's coin stream joins the determinism
+# contract, and the per-tick table stays byte-identical across shard
+# counts once wall-clock tokens are stripped.
+dune exec bin/spanner_cli.exe -- churn "$tmpgraph" --ticks 3 \
+  --rate 0.02 --schedule "$sched" --retry 3 \
+  | sed -E 's/[0-9.]+ ?ms//g' > "$seqrep"
+grep -q 'on every repair run' "$seqrep"
+dune exec bin/spanner_cli.exe -- churn "$tmpgraph" --ticks 3 \
+  --rate 0.02 --schedule "$sched" --retry 3 --par 2 \
+  | sed -E 's/[0-9.]+ ?ms//g' > "$parrep"
+diff "$seqrep" "$parrep"
 
 # Profiler smoke: the profile subcommand must produce a per-phase
 # breakdown and a Chrome trace_event file that is a JSON array with
@@ -221,5 +240,63 @@ grep -q '"ph":"X"' "$chromejson"
 grep -q '"cat":"round"' "$chromejson"
 grep -q '"cat":"shard"' "$chromejson"
 rm -f "$chromejson"
+
+# Serving smoke: a scripted session against two FRESH daemons on
+# ephemeral ports must produce byte-identical reply transcripts (the
+# replies carry no wall-clock, pid or address material), including an
+# ERR line the connection survives; SHUTDOWN must stop the daemon
+# cleanly (exit 0).
+spannerd=./_build/default/bin/spannerd.exe
+loadgen=./_build/default/bench/loadgen.exe
+session=$(mktemp)
+cat > "$session" <<'EOF'
+# scripted spannerd session — replies must be deterministic
+LOAD caveman 24 0.1 7
+QUERY 0 5
+SUBSCRIBE
+CHURN -0-1 +0-13
+UNSUBSCRIBE
+QUERY 0 1
+GARBAGE this line must ERR without killing the connection
+STATS
+SHUTDOWN
+EOF
+run_scripted() {
+  pf=$(mktemp -u)
+  "$spannerd" --port 0 --port-file "$pf" > /dev/null &
+  dpid=$!
+  for _ in $(seq 1 100); do [ -s "$pf" ] && break; sleep 0.1; done
+  [ -s "$pf" ]
+  "$loadgen" --port "$(cat "$pf")" --script "$session" > "$1"
+  wait "$dpid"
+  rm -f "$pf"
+}
+run_scripted "$seqrep"
+run_scripted "$parrep"
+diff "$seqrep" "$parrep"
+grep -q '^OK LOADED ' "$seqrep"
+grep -q '^EVENT ' "$seqrep"
+grep -q '^ERR ' "$seqrep"
+# STATS comes after the ERR line, so the connection survived it.
+grep -q '^STATS {' "$seqrep"
+rm -f "$session"
+
+# A short closed-loop burst against a forked daemon must complete with
+# zero protocol errors and print the latency summary.
+"$loadgen" --spawn "gnp 2000 0.004 51" --conns 4 --secs 1 > "$seqrep"
+grep -q 'errors=0' "$seqrep"
+grep -q '^latency_us: p50=' "$seqrep"
+
+# The serving bench section: e21 selects the spannerd anchors, whose
+# schema-10 JSON rows must carry throughput and latency percentiles.
+benchjson=$(mktemp)
+timeout 300 dune exec bench/main.exe -- e21 --json "$benchjson" > /dev/null
+grep -q '"serve"' "$benchjson"
+grep -q '"serve_gnp10k_c32"' "$benchjson"
+grep -q '"qps"' "$benchjson"
+grep -q '"lat_us_p50"' "$benchjson"
+grep -q '"lat_us_p99"' "$benchjson"
+grep -q '"errors"' "$benchjson"
+rm -f "$benchjson"
 
 echo "check.sh: all green"

@@ -395,6 +395,105 @@ let prop_cover2_client_server_matches_naive =
         done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* query_path: the daemon's QUERY kernel. One scratch is reused across
+   every query of a run; the contracts are (a) each returned sequence
+   is a real path of the spanner CSR, (b) its hop count is at most
+   2 · dist_G(u, v) — a 2-spanner's edge-stretch bound extends to all
+   pairs by concatenating the per-edge detours — and (c) reusing the
+   scratch never changes an answer (the epoch reset is exact). *)
+
+let bfs_dist g src =
+  let n = Ugraph.n g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    Ugraph.iter_neighbors
+      (fun y ->
+        if dist.(y) = -1 then begin
+          dist.(y) <- dist.(x) + 1;
+          Queue.add y q
+        end)
+      g x
+  done;
+  dist
+
+let check_is_path sg name p ~u ~v =
+  (match p with
+  | [] -> Alcotest.fail (name ^ ": empty path")
+  | x :: _ -> check_int (name ^ ": starts at u") u x);
+  check_int (name ^ ": ends at v") v (List.nth p (List.length p - 1));
+  let rec edges = function
+    | x :: (y :: _ as rest) ->
+        check (name ^ ": consecutive vertices adjacent") true
+          (Ugraph.mem_edge sg x y);
+        edges rest
+    | _ -> ()
+  in
+  edges p
+
+let test_query_path_stretch_on_anchors () =
+  List.iter
+    (fun (name, g) ->
+      let r = C.Two_spanner_local.run ~seed:9 g in
+      let n = Ugraph.n g in
+      let sg = C.Spanner_check.spanner_csr ~n r.spanner in
+      let q = C.Spanner_check.query_create ~n () in
+      (* Every graph edge: covered in <= 2 hops. *)
+      Ugraph.iter_edges_uv
+        (fun u v ->
+          match C.Spanner_check.query_path q sg ~u ~v with
+          | None -> Alcotest.fail (Printf.sprintf "%s: edge %d-%d unspanned" name u v)
+          | Some p ->
+              check_is_path sg name p ~u ~v;
+              check (name ^ ": edge stretch <= 2") true (List.length p <= 3))
+        g;
+      (* Random pairs: stretch <= 2 * dist_G. *)
+      let rng = Rng.create 31 in
+      for _ = 1 to 50 do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        let dg = (bfs_dist g u).(v) in
+        match C.Spanner_check.query_path q sg ~u ~v with
+        | None ->
+            check (name ^ ": None only when G disconnects them") true (dg = -1)
+        | Some p ->
+            check_is_path sg name p ~u ~v;
+            check (name ^ ": pair stretch <= 2*distG") true
+              (dg >= 0 && List.length p - 1 <= 2 * dg)
+      done)
+    families
+
+let test_query_path_edge_cases () =
+  let g = Generators.path 4 in
+  (* spanner = the graph itself *)
+  let sg = C.Spanner_check.spanner_csr ~n:6 (Ugraph.edge_set g) in
+  let q = C.Spanner_check.query_create () in
+  (match C.Spanner_check.query_path q sg ~u:2 ~v:2 with
+  | Some [ 2 ] -> ()
+  | _ -> Alcotest.fail "u = v must be Some [u]");
+  (* vertices 4 and 5 exist but are isolated in the CSR *)
+  check "disconnected" true (C.Spanner_check.query_path q sg ~u:0 ~v:5 = None);
+  check "out of range raises" true
+    (try
+       ignore (C.Spanner_check.query_path q sg ~u:0 ~v:6);
+       false
+     with Invalid_argument _ -> true);
+  (* Scratch reuse across graphs of different sizes (the daemon
+     reloads): answers match a fresh scratch, query by query. *)
+  let g2 = Generators.cycle 40 in
+  let sg2 = C.Spanner_check.spanner_csr ~n:40 (Ugraph.edge_set g2) in
+  let rng = Rng.create 77 in
+  for _ = 1 to 200 do
+    let u = Rng.int rng 40 and v = Rng.int rng 40 in
+    let fresh = C.Spanner_check.query_create () in
+    check "reused scratch = fresh scratch" true
+      (C.Spanner_check.query_path q sg2 ~u ~v
+      = C.Spanner_check.query_path fresh sg2 ~u ~v)
+  done
+
 let prop_stretch_consistent_with_is_spanner =
   QCheck.Test.make ~name:"stretch <= k iff is_spanner" ~count:25
     QCheck.(pair (int_range 1 4) (int_range 0 10_000))
@@ -416,6 +515,10 @@ let () =
           Alcotest.test_case "stretch" `Quick test_stretch;
           Alcotest.test_case "foreign edge" `Quick test_spanner_edge_must_exist;
           Alcotest.test_case "directed" `Quick test_directed_check;
+          Alcotest.test_case "query_path stretch" `Quick
+            test_query_path_stretch_on_anchors;
+          Alcotest.test_case "query_path edge cases" `Quick
+            test_query_path_edge_cases;
         ] );
       ( "cover2",
         [
